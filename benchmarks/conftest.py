@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+experiment registry, times it with pytest-benchmark, and prints the rendered
+table so that ``pytest benchmarks/ --benchmark-only -s`` reproduces the full
+evaluation section in one run.  Experiments are executed once per benchmark
+(``rounds=1``) because they are full evaluation sweeps, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import ExperimentResult
+
+
+def run_and_report(benchmark, runner, *args, **kwargs) -> ExperimentResult:
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def fast() -> bool:
+    """Benchmarks default to the CI-sized workloads; flip to False for full runs."""
+    return True

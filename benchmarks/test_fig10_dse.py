@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 10: the parallelism design-space exploration."""
+
+from repro.eval import run_fig10_dse
+
+from conftest import run_and_report
+
+
+def test_fig10_dse(benchmark, fast):
+    result = run_and_report(benchmark, run_fig10_dse, fast=fast)
+    assert len(result.rows) == 108

@@ -1,0 +1,15 @@
+"""Benchmarks regenerating Fig. 7: latency vs. GPU batch size on MolHIV/MolPCBA."""
+
+from repro.eval import run_fig7_latency_sweep
+
+from conftest import run_and_report
+
+
+def test_fig7_molhiv(benchmark, fast):
+    result = run_and_report(benchmark, run_fig7_latency_sweep, "MolHIV", fast=fast)
+    assert len(result.rows) == 36  # 6 models x 6 batch sizes
+
+
+def test_fig7_molpcba(benchmark, fast):
+    result = run_and_report(benchmark, run_fig7_latency_sweep, "MolPCBA", fast=fast)
+    assert len(result.rows) == 36

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 8: latency on the Cora and CiteSeer graphs."""
+
+from repro.eval import run_fig8_citation
+
+from conftest import run_and_report
+
+
+def test_fig8_citation(benchmark, fast):
+    result = run_and_report(benchmark, run_fig8_citation, fast=fast)
+    assert len(result.rows) == 12

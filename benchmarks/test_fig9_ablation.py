@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig. 9: the pipelining ablation."""
+
+from repro.eval import run_fig9_ablation
+
+from conftest import run_and_report
+
+
+def test_fig9_ablation(benchmark, fast):
+    result = run_and_report(benchmark, run_fig9_ablation, fast=fast)
+    speedups = [row["speedup_vs_non_pipeline"] for row in result.rows]
+    assert speedups == sorted(speedups)

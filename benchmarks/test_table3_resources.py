@@ -1,0 +1,12 @@
+"""Benchmark regenerating Table III: FPGA resource usage per model."""
+
+from repro.eval import run_table3_resources
+
+from conftest import run_and_report
+
+
+def test_table3_resources(benchmark, fast):
+    result = run_and_report(benchmark, run_table3_resources, fast=fast)
+    assert len(result.rows) == 5
+    for row in result.rows:
+        assert row["dsp"] < 5952  # fits the Alveo U50 DSP budget

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table IV: dataset statistics."""
+
+from repro.eval import run_table4_datasets
+
+from conftest import run_and_report
+
+
+def test_table4_datasets(benchmark, fast):
+    result = run_and_report(benchmark, run_table4_datasets, fast=fast)
+    assert len(result.rows) == 7

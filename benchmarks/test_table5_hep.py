@@ -1,0 +1,12 @@
+"""Benchmark regenerating Table V: batch-1 latency on the HEP dataset."""
+
+from repro.eval import run_table5_hep_latency
+
+from conftest import run_and_report
+
+
+def test_table5_hep_latency(benchmark, fast):
+    result = run_and_report(benchmark, run_table5_hep_latency, fast=fast)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row["speedup_vs_gpu"] > 1.0

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table VI: energy efficiency on MolHIV."""
+
+from repro.eval import run_table6_energy
+
+from conftest import run_and_report
+
+
+def test_table6_energy(benchmark, fast):
+    result = run_and_report(benchmark, run_table6_energy, fast=fast)
+    for row in result.rows:
+        assert row["flowgnn_graphs_per_kj"] > row["gpu_graphs_per_kj"]

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table VII: MP workload imbalance vs. P_edge."""
+
+from repro.eval import run_table7_imbalance
+
+from conftest import run_and_report
+
+
+def test_table7_imbalance(benchmark, fast):
+    result = run_and_report(benchmark, run_table7_imbalance, fast=fast)
+    assert [row["p_edge"] for row in result.rows] == [2, 4, 8, 16, 32, 64]

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table VIII: comparison with I-GCN and AWB-GCN."""
+
+from repro.eval import run_table8_gcn_accelerators
+
+from conftest import run_and_report
+
+
+def test_table8_gcn_accelerators(benchmark, fast):
+    result = run_and_report(benchmark, run_table8_gcn_accelerators, fast=fast)
+    assert len(result.rows) == 4

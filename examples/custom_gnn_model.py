@@ -1,0 +1,128 @@
+"""Building a new GNN inside the FlowGNN framework (the paper's "Alice" workflow).
+
+Sec. V of the paper walks a researcher, Alice, through accelerating *NewGNN* —
+a model that does not ship with the framework but combines existing
+components: an attention-style message weighting with min/max/mean
+aggregators.  The message-passing skeleton stays untouched; only the
+model-specific pieces change.
+
+This example does the same in the reproduction: it defines ``NewGNNLayer`` by
+subclassing :class:`repro.nn.GNNLayer`, reusing the library's aggregators and
+dense layers, declares its structural ``LayerSpec`` so the cycle-level
+simulator and the resource model understand it, and then runs it on the
+accelerator — no changes to the simulator are needed.
+
+Run with:  python examples/custom_gnn_model.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import ArchitectureConfig, FlowGNNAccelerator, load_dataset
+from repro.arch import estimate_resources, ALVEO_U50
+from repro.baselines import GPUBaseline
+from repro.nn import GNNModel, Linear, LinearHead, relu, sigmoid
+from repro.nn.aggregators import segment_max, segment_mean, segment_min
+from repro.nn.models.base import GNNLayer, LayerSpec
+
+
+class NewGNNLayer(GNNLayer):
+    """NewGNN: gated messages + concatenated mean/max/min aggregation.
+
+    Message:   m_{j->i} = sigmoid(a . [x_j ; e_{j,i}]) * (x_j + e_{j,i})
+    Aggregate: concat(mean, max, min) over in-neighbours
+    Update:    ReLU(W [x_i ; aggregated])
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        self.dim = dim
+        self.gate = rng.standard_normal(2 * dim) * 0.1
+        self.linear = Linear(dim * 4, dim, rng=rng)
+
+    def spec(self) -> LayerSpec:
+        return LayerSpec(
+            in_dim=self.dim,
+            out_dim=self.dim,
+            nt_linear_shapes=((self.linear.in_dim, self.linear.out_dim),),
+            message_dim=self.dim,
+            aggregated_dim=3 * self.dim,
+            aggregation="pna",          # multi-aggregator family, like PNA
+            uses_edge_features=True,
+            edge_ops_per_element=4,     # gate, add, and three running aggregates
+            dataflow="nt_to_mp",
+        )
+
+    def message(self, x_src, x_dst, edge_features: Optional[np.ndarray]):
+        if edge_features is None:
+            edge_features = np.zeros_like(x_src)
+        gate_input = np.concatenate([x_src, edge_features], axis=1)
+        gate = sigmoid(gate_input @ self.gate)[:, None]
+        return gate * (x_src + edge_features)
+
+    def aggregate(self, messages, destinations, sources, num_nodes, graph):
+        return np.concatenate(
+            [
+                segment_mean(messages, destinations, num_nodes),
+                segment_max(messages, destinations, num_nodes),
+                segment_min(messages, destinations, num_nodes),
+            ],
+            axis=1,
+        )
+
+    def update(self, x, aggregated):
+        return relu(self.linear(np.concatenate([x, aggregated], axis=1)))
+
+    def parameter_count(self) -> int:
+        return self.linear.parameter_count() + self.gate.size
+
+
+def build_newgnn(input_dim: int, edge_input_dim: int, hidden_dim: int = 64,
+                 num_layers: int = 4, seed: int = 0) -> GNNModel:
+    """Assemble NewGNN from the library's building blocks."""
+    rng = np.random.default_rng(seed)
+    encoder = Linear(input_dim, hidden_dim, rng=rng)
+    layers = [NewGNNLayer(hidden_dim, rng) for _ in range(num_layers)]
+    edge_encoders = [Linear(edge_input_dim, hidden_dim, rng=rng) for _ in range(num_layers)]
+    head = LinearHead(hidden_dim, 1, rng=rng)
+    return GNNModel(
+        name="NewGNN",
+        input_encoder=encoder,
+        layers=layers,
+        head=head,
+        pooling="mean",
+        edge_encoders=edge_encoders,
+    )
+
+
+def main() -> None:
+    dataset = load_dataset("MolHIV", num_graphs=32)
+    graphs = list(dataset)
+    model = build_newgnn(dataset.node_feature_dim, dataset.edge_feature_dim)
+    print(f"built {model.name}: {model.num_layers} layers, "
+          f"{model.parameter_count():,} parameters")
+
+    # The unchanged accelerator consumes the new model through its LayerSpec.
+    config = ArchitectureConfig()
+    accelerator = FlowGNNAccelerator(model, config)
+    stream = accelerator.run_stream(graphs)
+    resources = estimate_resources(model, config)
+    print(f"FlowGNN latency: {stream.mean_latency_ms:.4f} ms per graph")
+    print(f"estimated resources: {resources.dsp} DSPs, {resources.bram} BRAMs "
+          f"(fits Alveo U50: {resources.fits(ALVEO_U50)})")
+
+    gpu_ms = GPUBaseline(model).mean_latency_ms(graphs)
+    print(f"GPU baseline (batch 1): {gpu_ms:.3f} ms per graph "
+          f"-> {gpu_ms / stream.mean_latency_ms:.1f}x speedup")
+
+    # Functional check: accelerator output equals the reference forward pass.
+    reference = model.forward(graphs[0]).graph_output
+    accelerated = accelerator.infer(graphs[0]).graph_output
+    assert np.allclose(reference, accelerated)
+    print("functional cross-check passed — NewGNN runs on FlowGNN unchanged.")
+
+
+if __name__ == "__main__":
+    main()

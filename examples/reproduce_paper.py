@@ -1,0 +1,45 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment registry (Tables III-VIII, Figs. 7-10) and prints
+each rendered table.  Pass ``--full`` to use the full-size synthetic datasets
+instead of the CI-sized subsamples (slower, same shapes).
+
+Run with:  python examples/reproduce_paper.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.eval import EXPERIMENT_NAMES, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use full-size synthetic datasets (slower; defaults to fast subsamples)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help=f"subset of experiments to run (choices: {', '.join(EXPERIMENT_NAMES)})",
+    )
+    args = parser.parse_args()
+
+    names = args.only or EXPERIMENT_NAMES
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, fast=not args.full)
+        elapsed = time.perf_counter() - started
+        print("=" * 100)
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f} s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` in offline environments that lack the ``wheel``
+package (pip falls back to ``setup.py develop`` with ``--no-use-pep517``).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

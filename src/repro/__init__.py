@@ -1,0 +1,50 @@
+"""FlowGNN reproduction: a dataflow-architecture simulator for real-time GNN inference.
+
+The package mirrors the system described in *FlowGNN: A Dataflow Architecture
+for Real-Time Workload-Agnostic Graph Neural Network Inference* (HPCA 2023):
+
+* :mod:`repro.graph`     — graph data structures, formats, generators, partitioning;
+* :mod:`repro.datasets`  — synthetic datasets matched to the paper's workloads;
+* :mod:`repro.nn`        — numpy reference GNN library (GCN, GIN, GIN+VN, GAT, PNA, DGN);
+* :mod:`repro.arch`      — the FlowGNN dataflow architecture: cycle-level simulator,
+  resource and energy models;
+* :mod:`repro.baselines` — CPU / GPU / I-GCN / AWB-GCN baseline models;
+* :mod:`repro.eval`      — the experiment harness reproducing every table and figure.
+
+Quickstart::
+
+    from repro import build_model, load_dataset, FlowGNNAccelerator
+
+    dataset = load_dataset("MolHIV", num_graphs=32)
+    model = build_model("GIN", input_dim=dataset.node_feature_dim,
+                        edge_input_dim=dataset.edge_feature_dim)
+    accelerator = FlowGNNAccelerator(model)
+    print(accelerator.run_stream(dataset).mean_latency_ms, "ms per graph")
+"""
+
+from .graph import Graph, GraphStream
+from .datasets import GraphDataset, load_dataset
+from .nn import MODEL_NAMES, build_model, build_all_models
+from .arch import ArchitectureConfig, FlowGNNAccelerator, PipelineStrategy
+from .baselines import CPUBaseline, GPUBaseline
+from .eval import run_experiment, run_all_experiments
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphStream",
+    "GraphDataset",
+    "load_dataset",
+    "MODEL_NAMES",
+    "build_model",
+    "build_all_models",
+    "ArchitectureConfig",
+    "FlowGNNAccelerator",
+    "PipelineStrategy",
+    "CPUBaseline",
+    "GPUBaseline",
+    "run_experiment",
+    "run_all_experiments",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""The public accelerator API: compile a model, stream graphs, report latency.
+
+``FlowGNNAccelerator`` is the object a downstream user interacts with.  It
+wraps one GNN model and one :class:`ArchitectureConfig`, and exposes:
+
+* :meth:`run` — process a single graph (cycle count + optional output);
+* :meth:`run_stream` — process a stream of graphs back-to-back or at a fixed
+  arrival rate, returning aggregate latency/throughput statistics with the
+  one-time weight load amortised over the stream;
+* :meth:`latency_seconds` — a convenience callable suitable for the
+  :func:`repro.graph.streaming.simulate_stream_consumption` harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph, GraphStream, StreamStatistics, simulate_stream_consumption
+from ..nn.models.base import GNNModel, GNNOutput
+from .config import ArchitectureConfig
+from .simulator import SimulationResult, simulate_inference, weight_loading_cycles
+
+__all__ = ["StreamResult", "FlowGNNAccelerator"]
+
+
+@dataclass
+class StreamResult:
+    """Aggregate result of streaming many graphs through the accelerator."""
+
+    per_graph_results: List[SimulationResult]
+    weight_loading_cycles: int
+    config: ArchitectureConfig
+    stream_statistics: Optional[StreamStatistics] = None
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.per_graph_results)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean per-graph latency including the amortised weight load."""
+        if not self.per_graph_results:
+            return 0.0
+        cycles = np.array([r.total_cycles for r in self.per_graph_results], dtype=np.float64)
+        amortised = cycles + self.weight_loading_cycles / len(cycles)
+        return float(self.config.cycles_to_seconds(amortised.mean()))
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.mean_latency_s * 1e3
+
+    @property
+    def total_cycles(self) -> int:
+        return int(
+            sum(r.total_cycles for r in self.per_graph_results) + self.weight_loading_cycles
+        )
+
+    @property
+    def throughput_graphs_per_s(self) -> float:
+        """Back-to-back throughput (graphs per second)."""
+        total_s = self.config.cycles_to_seconds(self.total_cycles)
+        return self.num_graphs / total_s if total_s > 0 else 0.0
+
+    def latencies_ms(self) -> np.ndarray:
+        """Per-graph latencies in milliseconds (weight load excluded)."""
+        return np.array([r.latency_ms for r in self.per_graph_results])
+
+
+class FlowGNNAccelerator:
+    """One FlowGNN hardware instance compiled for one GNN model."""
+
+    def __init__(self, model: GNNModel, config: Optional[ArchitectureConfig] = None) -> None:
+        self.model = model
+        self.config = config or ArchitectureConfig()
+        self._weight_loading_cycles = weight_loading_cycles(self.model, self.config)
+
+    # -- single graph ---------------------------------------------------------
+    def run(self, graph: Graph, functional: bool = False) -> SimulationResult:
+        """Process a single graph; returns cycles, latency and optional output."""
+        return simulate_inference(self.model, graph, self.config, functional=functional)
+
+    def infer(self, graph: Graph) -> GNNOutput:
+        """Functional inference only (reference-exact output, no timing focus)."""
+        result = self.run(graph, functional=True)
+        assert result.functional_output is not None
+        return result.functional_output
+
+    def latency_seconds(self, graph: Graph) -> float:
+        """Latency of one graph in seconds (for stream-consumption harnesses)."""
+        return self.run(graph).latency_s
+
+    def latency_ms(self, graph: Graph) -> float:
+        return self.latency_seconds(graph) * 1e3
+
+    # -- streams ----------------------------------------------------------------
+    def run_stream(
+        self,
+        graphs: Iterable[Graph],
+        functional: bool = False,
+        arrival_interval_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+    ) -> StreamResult:
+        """Process a stream of graphs in arrival order.
+
+        When ``arrival_interval_s`` is given, a real-time arrival process is
+        simulated and queueing statistics (deadline misses, buffer depth) are
+        attached to the result.
+        """
+        graph_list: List[Graph] = list(graphs)
+        results = [
+            simulate_inference(self.model, graph, self.config, functional=functional)
+            for graph in graph_list
+        ]
+        stream_statistics = None
+        if arrival_interval_s is not None and graph_list:
+            latency_by_id = {id(g): r.latency_s for g, r in zip(graph_list, results)}
+            stream = GraphStream(
+                graphs=graph_list, arrival_interval_s=arrival_interval_s
+            )
+            stream_statistics = simulate_stream_consumption(
+                stream, lambda g: latency_by_id[id(g)], deadline_s=deadline_s
+            )
+        return StreamResult(
+            per_graph_results=results,
+            weight_loading_cycles=self._weight_loading_cycles,
+            config=self.config,
+            stream_statistics=stream_statistics,
+        )
+
+    def mean_latency_ms(self, graphs: Sequence[Graph]) -> float:
+        """Mean per-graph latency (ms) over ``graphs`` with amortised weights."""
+        return self.run_stream(graphs).mean_latency_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlowGNNAccelerator(model={self.model.name!r}, config={self.config.describe()})"

@@ -1,0 +1,189 @@
+"""On-chip memory structures: banked buffers and ping-pong message buffers.
+
+The baseline architecture (Fig. 3a) has three N-entry buffers: one node
+embedding buffer and two message buffers that alternate between read-only and
+write roles across layers (ping-pong).  The FlowGNN architecture (Fig. 3b)
+partitions each buffer into banks so that multiple NT/MP units can access
+them concurrently without conflicts — each bank is owned by exactly one unit,
+with ownership determined by node id (no preprocessing).
+
+These classes are *functional* models: they hold real embedding vectors and
+count accesses, so tests can verify (a) that the banked scatter produces the
+same aggregate as the reference library and (b) that no unit ever touches
+another unit's bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["BankedBuffer", "PingPongMessageBuffers", "BankAccessError"]
+
+
+class BankAccessError(RuntimeError):
+    """Raised when a unit accesses a bank it does not own."""
+
+
+@dataclass
+class BankAccessCounters:
+    """Read/write counters per bank, used for conflict-freedom checks."""
+
+    reads: np.ndarray
+    writes: np.ndarray
+
+
+class BankedBuffer:
+    """An N-entry vector buffer partitioned into ``num_banks`` banks by node id.
+
+    Bank ownership uses the modulo policy (``node % num_banks``), matching
+    :func:`repro.graph.partition.partition_by_destination` and the hardware's
+    cyclic array partitioning.
+    """
+
+    def __init__(self, num_entries: int, width: int, num_banks: int = 1, name: str = "buffer") -> None:
+        if num_entries < 0 or width < 0:
+            raise ValueError("num_entries and width must be non-negative")
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self.num_entries = num_entries
+        self.width = width
+        self.num_banks = num_banks
+        self.name = name
+        self._data = np.zeros((num_entries, width))
+        self.counters = BankAccessCounters(
+            reads=np.zeros(num_banks, dtype=np.int64),
+            writes=np.zeros(num_banks, dtype=np.int64),
+        )
+
+    def bank_of(self, entry: int) -> int:
+        """Bank that owns ``entry`` (cyclic partitioning)."""
+        return int(entry) % self.num_banks
+
+    def _check(self, entry: int, owner_bank: Optional[int]) -> int:
+        if not 0 <= entry < self.num_entries:
+            raise IndexError(f"{self.name}: entry {entry} out of range")
+        bank = self.bank_of(entry)
+        if owner_bank is not None and bank != owner_bank:
+            raise BankAccessError(
+                f"{self.name}: unit owning bank {owner_bank} accessed entry "
+                f"{entry} in bank {bank}"
+            )
+        return bank
+
+    def read(self, entry: int, owner_bank: Optional[int] = None) -> np.ndarray:
+        """Read one entry; ``owner_bank`` asserts the caller owns that bank."""
+        bank = self._check(entry, owner_bank)
+        self.counters.reads[bank] += 1
+        return self._data[entry].copy()
+
+    def write(self, entry: int, value: np.ndarray, owner_bank: Optional[int] = None) -> None:
+        """Overwrite one entry."""
+        bank = self._check(entry, owner_bank)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != (self.width,):
+            raise ValueError(f"{self.name}: expected shape ({self.width},), got {value.shape}")
+        self.counters.writes[bank] += 1
+        self._data[entry] = value
+
+    def accumulate(
+        self,
+        entry: int,
+        value: np.ndarray,
+        owner_bank: Optional[int] = None,
+        reduction: str = "sum",
+    ) -> None:
+        """Read-modify-write an entry with a running reduction.
+
+        This is the operation the MP unit performs on the message buffer: the
+        incoming message is combined with the partially-aggregated message of
+        the destination node.
+        """
+        bank = self._check(entry, owner_bank)
+        value = np.asarray(value, dtype=np.float64)
+        self.counters.reads[bank] += 1
+        self.counters.writes[bank] += 1
+        if reduction == "sum":
+            self._data[entry] += value
+        elif reduction == "max":
+            self._data[entry] = np.maximum(self._data[entry], value)
+        elif reduction == "min":
+            self._data[entry] = np.minimum(self._data[entry], value)
+        else:
+            raise ValueError(f"unsupported running reduction {reduction!r}")
+
+    def fill(self, value: float = 0.0) -> None:
+        """Reset every entry (done at the start of each layer's write phase)."""
+        self._data[:] = value
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full buffer contents."""
+        return self._data.copy()
+
+    def load(self, values: np.ndarray) -> None:
+        """Bulk-load the buffer (graph loading / layer initialisation)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.num_entries, self.width):
+            raise ValueError(
+                f"{self.name}: expected shape {(self.num_entries, self.width)}, got {values.shape}"
+            )
+        self._data = values.copy()
+
+    def total_accesses(self) -> int:
+        return int(self.counters.reads.sum() + self.counters.writes.sum())
+
+
+class PingPongMessageBuffers:
+    """The pair of message buffers that alternate roles across layers.
+
+    During layer ``l`` one buffer is read-only (it holds the messages
+    aggregated during layer ``l-1``) while the other accumulates the messages
+    being produced for layer ``l+1``; ``swap()`` is called at each layer
+    barrier.
+    """
+
+    def __init__(self, num_entries: int, width: int, num_banks: int = 1) -> None:
+        self._buffers = [
+            BankedBuffer(num_entries, width, num_banks, name="msg_buffer_0"),
+            BankedBuffer(num_entries, width, num_banks, name="msg_buffer_1"),
+        ]
+        self._read_index = 0
+        self.swaps = 0
+
+    @property
+    def read_buffer(self) -> BankedBuffer:
+        """Buffer holding the previous layer's aggregated messages."""
+        return self._buffers[self._read_index]
+
+    @property
+    def write_buffer(self) -> BankedBuffer:
+        """Buffer accumulating the next layer's messages."""
+        return self._buffers[1 - self._read_index]
+
+    def swap(self) -> None:
+        """Switch roles at a layer barrier and clear the new write buffer."""
+        self._read_index = 1 - self._read_index
+        self.write_buffer.fill(0.0)
+        self.swaps += 1
+
+    def resize_width(self, width: int) -> None:
+        """Re-allocate both buffers with a new message width.
+
+        Layers can have different aggregated-message widths (e.g. PNA); the
+        hardware sizes the buffer for the maximum, but the functional model
+        simply reallocates.
+        """
+        entries = self._buffers[0].num_entries
+        banks = self._buffers[0].num_banks
+        read_name = self._buffers[self._read_index].name
+        preserved = self._buffers[self._read_index].snapshot()
+        self._buffers = [
+            BankedBuffer(entries, width, banks, name="msg_buffer_0"),
+            BankedBuffer(entries, width, banks, name="msg_buffer_1"),
+        ]
+        # Preserve read-side contents when the width is unchanged.
+        if preserved.shape[1] == width:
+            self._buffers[self._read_index].load(preserved)
+        self._buffers[self._read_index].name = read_name

@@ -1,0 +1,114 @@
+"""Message Passing (MP) unit: timing and functional models.
+
+Each MP unit owns a bank of destination nodes (``dst % P_edge``) and handles
+every edge pointing into that bank.  Per edge it:
+
+1. fetches the edge attributes / edge embedding (fixed overhead cycles),
+2. consumes the source node's embedding from its data queue in chunks of
+   ``P_scatter`` elements per cycle, applying the message transformation
+   (add edge embedding, multiply by normalisation or attention weight, ...),
+3. combines the message into the destination's partial aggregate in the
+   message buffer (running reduction, so memory stays O(N) not O(E)).
+
+Anisotropic (attention) layers need a second pass over each in-edge — one to
+compute the softmax normaliser, one to apply it — which doubles the per-edge
+chunk count (the ``passes`` term below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Optional
+
+import numpy as np
+
+from ..nn.models.base import LayerSpec
+from .config import ArchitectureConfig
+from .memory import BankedBuffer
+
+__all__ = ["MPTiming", "mp_timing", "MPUnit"]
+
+# Running reductions the MP unit can maintain in the message buffer without
+# materialising per-edge messages (O(N) memory).  Mean is sum + a divide in
+# the NT unit; std needs sum and sum-of-squares, still O(N).
+_RUNNING_REDUCTIONS = {"sum", "mean", "max", "min", "std"}
+
+
+@dataclass(frozen=True)
+class MPTiming:
+    """Per-edge cycle costs of the MP unit for one layer."""
+
+    chunk_cycles: int
+    passes: int
+    overhead_cycles: int
+
+    @property
+    def edge_latency(self) -> int:
+        """Cycles to process one edge end-to-end."""
+        return self.chunk_cycles * self.passes + self.overhead_cycles
+
+
+def mp_timing(spec: LayerSpec, config: ArchitectureConfig) -> MPTiming:
+    """Cycle cost of the MP unit for one edge of a layer with ``spec``."""
+    p_scatter = config.scatter_parallelism
+    chunks = ceil(spec.message_dim / p_scatter)
+    passes = 2 if spec.aggregation == "attention" else 1
+    overhead = config.edge_overhead_cycles
+    if spec.uses_edge_features:
+        # Edge embedding fetch streams alongside the node embedding; it adds
+        # address-generation overhead rather than extra chunk passes.
+        overhead += 1
+    return MPTiming(chunk_cycles=int(chunks), passes=int(passes), overhead_cycles=int(overhead))
+
+
+class MPUnit:
+    """Functional MP unit: scatters messages into its bank of the message buffer.
+
+    Only the elementary running reductions are executed edge-by-edge here;
+    richer aggregations (PNA's scaled multi-aggregation, DGN's directional
+    weights, GAT's attention) are verified at the layer level instead, since
+    their hardware implementation keeps several running aggregates whose
+    combination is algebraically identical to the batched reference.
+    """
+
+    def __init__(self, unit_id: int, config: ArchitectureConfig) -> None:
+        self.unit_id = unit_id
+        self.config = config
+        self.edges_processed = 0
+        self.busy_cycles = 0
+
+    def owns_destination(self, destination: int, num_units: int) -> bool:
+        """An MP unit owns every edge whose destination is in its bank."""
+        return destination % num_units == self.unit_id
+
+    def scatter_edge(
+        self,
+        layer,
+        message_buffer: BankedBuffer,
+        source_embedding: np.ndarray,
+        destination_embedding: np.ndarray,
+        destination: int,
+        edge_features: Optional[np.ndarray],
+        reduction: str = "sum",
+        timing: Optional[MPTiming] = None,
+    ) -> np.ndarray:
+        """Compute one edge's message and fold it into the destination's aggregate."""
+        if reduction not in _RUNNING_REDUCTIONS:
+            raise ValueError(
+                f"MP unit cannot maintain a running {reduction!r} aggregate"
+            )
+        self.edges_processed += 1
+        if timing is not None:
+            self.busy_cycles += timing.edge_latency
+        message = layer.message(
+            source_embedding[None, :],
+            destination_embedding[None, :],
+            None if edge_features is None else edge_features[None, :],
+        )[0]
+        running = "sum" if reduction in ("sum", "mean", "std") else reduction
+        message_buffer.accumulate(
+            destination, message, owner_bank=self.unit_id % message_buffer.num_banks,
+            reduction=running,
+        )
+        return message

@@ -1,0 +1,122 @@
+"""Cycle-aware bounded FIFO queues.
+
+The node queue between the NT and MP units (and the per-MP-unit data queues
+behind the multicast adapter) are the enabling structures of the dataflow
+architecture: as long as a queue is neither empty nor full, its producer and
+consumer run concurrently.  This module provides a small FIFO model with
+explicit timestamps so that tests can verify back-pressure behaviour and the
+scheduler can account for stalls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["QueueFullError", "QueueEmptyError", "FIFOQueue", "QueueStatistics"]
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """Raised on push into a full queue (producer should have stalled)."""
+
+
+class QueueEmptyError(RuntimeError):
+    """Raised on pop from an empty queue (consumer should have stalled)."""
+
+
+@dataclass
+class QueueStatistics:
+    """Occupancy statistics accumulated over a queue's lifetime."""
+
+    pushes: int = 0
+    pops: int = 0
+    max_occupancy: int = 0
+    full_stall_cycles: int = 0
+    empty_stall_cycles: int = 0
+
+
+class FIFOQueue(Generic[T]):
+    """A bounded FIFO with cycle timestamps.
+
+    Items are pushed with the cycle at which they become visible; ``pop``
+    takes the current cycle and only returns items that are already visible,
+    modelling the one-cycle (or longer) latency of a hardware FIFO.
+    """
+
+    def __init__(self, capacity: int, latency_cycles: int = 1, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if latency_cycles < 0:
+            raise ValueError("latency_cycles must be >= 0")
+        self.capacity = capacity
+        self.latency_cycles = latency_cycles
+        self.name = name
+        self._items: Deque[Tuple[int, T]] = deque()
+        self.stats = QueueStatistics()
+
+    # -- state ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def peek_ready(self, cycle: int) -> Optional[T]:
+        """Return the head item if it is visible at ``cycle`` without removing it."""
+        if self._items and self._items[0][0] <= cycle:
+            return self._items[0][1]
+        return None
+
+    # -- operations ----------------------------------------------------------
+    def push(self, item: T, cycle: int) -> None:
+        """Push ``item`` produced at ``cycle``; raises if the queue is full."""
+        if self.is_full():
+            self.stats.full_stall_cycles += 1
+            raise QueueFullError(f"{self.name}: push into full queue at cycle {cycle}")
+        self._items.append((cycle + self.latency_cycles, item))
+        self.stats.pushes += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
+
+    def try_push(self, item: T, cycle: int) -> bool:
+        """Push if space is available; return whether the push happened."""
+        if self.is_full():
+            self.stats.full_stall_cycles += 1
+            return False
+        self.push(item, cycle)
+        return True
+
+    def pop(self, cycle: int) -> T:
+        """Pop the head item; raises if nothing is visible at ``cycle``."""
+        if self.is_empty() or self._items[0][0] > cycle:
+            self.stats.empty_stall_cycles += 1
+            raise QueueEmptyError(f"{self.name}: pop from empty queue at cycle {cycle}")
+        _, item = self._items.popleft()
+        self.stats.pops += 1
+        return item
+
+    def try_pop(self, cycle: int) -> Optional[T]:
+        """Pop the head item if visible; return ``None`` otherwise."""
+        if self.is_empty() or self._items[0][0] > cycle:
+            if self.is_empty():
+                self.stats.empty_stall_cycles += 1
+            return None
+        return self.pop(cycle)
+
+    def drain(self, cycle: int) -> List[T]:
+        """Pop every item visible at ``cycle`` (used at layer barriers)."""
+        drained: List[T] = []
+        while True:
+            item = self.try_pop(cycle)
+            if item is None:
+                break
+            drained.append(item)
+        return drained

@@ -1,0 +1,109 @@
+"""Per-unit utilisation traces and idle-time accounting.
+
+The ablation study (Fig. 9) is fundamentally about idle time: each pipeline
+strategy removes a class of idle cycles.  ``UtilisationTrace`` aggregates the
+per-layer timing objects into the quantities the ablation and DSE reports
+plot: busy/idle cycle totals per unit class and overall utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .pipeline import LayerTiming
+from .simulator import SimulationResult
+
+__all__ = ["UtilisationTrace", "trace_from_result", "compare_traces"]
+
+
+@dataclass(frozen=True)
+class UtilisationTrace:
+    """Aggregated busy/idle accounting over a full inference."""
+
+    total_cycles: int
+    nt_busy_cycles: int
+    mp_busy_cycles: int
+    nt_units: int
+    mp_units: int
+
+    @property
+    def nt_idle_cycles(self) -> int:
+        return max(self.total_cycles * self.nt_units - self.nt_busy_cycles, 0)
+
+    @property
+    def mp_idle_cycles(self) -> int:
+        return max(self.total_cycles * self.mp_units - self.mp_busy_cycles, 0)
+
+    @property
+    def nt_utilisation(self) -> float:
+        slots = self.total_cycles * self.nt_units
+        return self.nt_busy_cycles / slots if slots else 0.0
+
+    @property
+    def mp_utilisation(self) -> float:
+        slots = self.total_cycles * self.mp_units
+        return self.mp_busy_cycles / slots if slots else 0.0
+
+    @property
+    def overall_utilisation(self) -> float:
+        slots = self.total_cycles * (self.nt_units + self.mp_units)
+        busy = self.nt_busy_cycles + self.mp_busy_cycles
+        return busy / slots if slots else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_cycles": self.total_cycles,
+            "nt_busy_cycles": self.nt_busy_cycles,
+            "mp_busy_cycles": self.mp_busy_cycles,
+            "nt_idle_cycles": self.nt_idle_cycles,
+            "mp_idle_cycles": self.mp_idle_cycles,
+            "nt_utilisation": self.nt_utilisation,
+            "mp_utilisation": self.mp_utilisation,
+            "overall_utilisation": self.overall_utilisation,
+        }
+
+
+def trace_from_timings(timings: Sequence[LayerTiming]) -> UtilisationTrace:
+    """Aggregate a sequence of layer timings into one trace."""
+    if not timings:
+        return UtilisationTrace(0, 0, 0, 1, 1)
+    return UtilisationTrace(
+        total_cycles=int(sum(t.cycles for t in timings)),
+        nt_busy_cycles=int(sum(t.nt_busy_cycles for t in timings)),
+        mp_busy_cycles=int(sum(t.mp_busy_cycles for t in timings)),
+        nt_units=timings[0].nt_units,
+        mp_units=timings[0].mp_units,
+    )
+
+
+def trace_from_result(result: SimulationResult) -> UtilisationTrace:
+    """Trace over the layer-stack portion of a full simulation result."""
+    return trace_from_timings(result.layer_timings)
+
+
+def compare_traces(traces: Dict[str, UtilisationTrace]) -> Dict[str, Dict[str, float]]:
+    """Relative comparison of several configurations (ablation report rows).
+
+    The first entry is used as the reference; each row reports speedup over
+    it along with the utilisation figures.
+    """
+    if not traces:
+        return {}
+    names = list(traces)
+    reference = traces[names[0]].total_cycles
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        trace = traces[name]
+        rows[name] = {
+            "cycles": float(trace.total_cycles),
+            "speedup_vs_first": (
+                reference / trace.total_cycles if trace.total_cycles else float("inf")
+            ),
+            "nt_utilisation": trace.nt_utilisation,
+            "mp_utilisation": trace.mp_utilisation,
+            "overall_utilisation": trace.overall_utilisation,
+        }
+    return rows

@@ -1,0 +1,36 @@
+"""Baseline latency/energy models: CPU, GPU and published GCN accelerators."""
+
+from .roofline import PlatformModel, WorkloadProfile, profile_model_on_graph
+from .cpu import CPU_MODEL_CALIBRATION, CPUBaseline, XEON_6226R
+from .gpu import DEFAULT_BATCH_SIZES, GPU_MODEL_CALIBRATION, GPUBaseline, RTX_A6000
+from .gcn_accelerators import (
+    AWBGCN_PUBLISHED,
+    AcceleratorReference,
+    FLOWGNN_TABLE8_PUBLISHED,
+    GCNAcceleratorModel,
+    IGCN_PUBLISHED,
+    awbgcn_model,
+    dsp_normalised_latency,
+    igcn_model,
+)
+
+__all__ = [
+    "PlatformModel",
+    "WorkloadProfile",
+    "profile_model_on_graph",
+    "CPU_MODEL_CALIBRATION",
+    "CPUBaseline",
+    "XEON_6226R",
+    "DEFAULT_BATCH_SIZES",
+    "GPU_MODEL_CALIBRATION",
+    "GPUBaseline",
+    "RTX_A6000",
+    "AWBGCN_PUBLISHED",
+    "AcceleratorReference",
+    "FLOWGNN_TABLE8_PUBLISHED",
+    "GCNAcceleratorModel",
+    "IGCN_PUBLISHED",
+    "awbgcn_model",
+    "dsp_normalised_latency",
+    "igcn_model",
+]

@@ -1,0 +1,159 @@
+"""I-GCN and AWB-GCN accelerator models for the Table VIII comparison.
+
+The paper compares FlowGNN against the two state-of-the-art GCN accelerators
+on the four single-graph benchmarks (Cora, CiteSeer, PubMed, Reddit), using a
+2-layer GCN with hidden dimension 16 and no edge embeddings, and normalises
+latency by DSP count because the platforms differ.
+
+I-GCN and AWB-GCN are not re-runnable (no public cycle-accurate artifacts),
+so — exactly as the paper does — we take their *published* latency and
+energy-efficiency numbers as the comparison points, and provide a light
+analytical extrapolation (cycles proportional to non-redundant edge work,
+scaled to each accelerator's DSP count and clock) for graphs outside the
+published set.  The published numbers are the source of truth whenever they
+exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..graph import Graph
+
+__all__ = [
+    "AcceleratorReference",
+    "IGCN_PUBLISHED",
+    "AWBGCN_PUBLISHED",
+    "FLOWGNN_TABLE8_PUBLISHED",
+    "GCNAcceleratorModel",
+    "dsp_normalised_latency",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorReference:
+    """One published accelerator result row."""
+
+    name: str
+    dataset: str
+    latency_us: float
+    dsps: int
+    energy_efficiency_graphs_per_kj: float
+
+
+# Published numbers reproduced from Table VIII of the FlowGNN paper.
+IGCN_PUBLISHED: Dict[str, AcceleratorReference] = {
+    "Cora": AcceleratorReference("I-GCN", "Cora", 1.3, 4096, 7.1e6),
+    "CiteSeer": AcceleratorReference("I-GCN", "CiteSeer", 1.9, 4096, 3.7e6),
+    "PubMed": AcceleratorReference("I-GCN", "PubMed", 15.1, 4096, 5.3e5),
+    "Reddit": AcceleratorReference("I-GCN", "Reddit", 3.0e4, 4096, 3.5e2),
+}
+
+AWBGCN_PUBLISHED: Dict[str, AcceleratorReference] = {
+    "Cora": AcceleratorReference("AWB-GCN", "Cora", 2.3, 4096, 3.1e6),
+    "CiteSeer": AcceleratorReference("AWB-GCN", "CiteSeer", 4.0, 4096, 1.9e6),
+    "PubMed": AcceleratorReference("AWB-GCN", "PubMed", 30.0, 4096, 2.5e5),
+    "Reddit": AcceleratorReference("AWB-GCN", "Reddit", 3.2e4, 4096, 2.1e2),
+}
+
+# FlowGNN's own published Table VIII rows, kept for report cross-referencing.
+FLOWGNN_TABLE8_PUBLISHED: Dict[str, AcceleratorReference] = {
+    "Cora": AcceleratorReference("FlowGNN", "Cora", 6.912, 747, 7.77e6),
+    "CiteSeer": AcceleratorReference("FlowGNN", "CiteSeer", 8.332, 747, 6.44e6),
+    "PubMed": AcceleratorReference("FlowGNN", "PubMed", 53.22, 747, 1.01e6),
+    "Reddit": AcceleratorReference("FlowGNN", "Reddit", 1.36e5, 747, 3.94e2),
+}
+
+
+def dsp_normalised_latency(latency_us: float, dsps: int, reference_dsps: int = 4096) -> float:
+    """Normalise a latency by DSP count, as the paper's Table VIII does.
+
+    A design using fewer DSPs gets credit proportionally:
+    ``normalised = latency * dsps / reference_dsps``.
+    """
+    if dsps <= 0 or reference_dsps <= 0:
+        raise ValueError("DSP counts must be positive")
+    return latency_us * dsps / reference_dsps
+
+
+class GCNAcceleratorModel:
+    """Analytical stand-in for a published GCN accelerator (I-GCN / AWB-GCN)."""
+
+    def __init__(
+        self,
+        name: str,
+        published: Dict[str, AcceleratorReference],
+        dsps: int = 4096,
+        clock_mhz: float = 350.0,
+        macs_per_cycle_per_dsp: float = 1.0,
+        redundancy_removal: float = 1.0,
+        power_w: float = 45.0,
+    ) -> None:
+        self.name = name
+        self.published = published
+        self.dsps = dsps
+        self.clock_mhz = clock_mhz
+        self.macs_per_cycle_per_dsp = macs_per_cycle_per_dsp
+        # I-GCN's islandization removes redundant aggregation work; expressed
+        # as the fraction of edge work that remains (< 1 for I-GCN).
+        self.redundancy_removal = redundancy_removal
+        self.power_w = power_w
+
+    def published_latency_us(self, dataset: str) -> Optional[float]:
+        """Published latency for ``dataset`` if the paper reports one."""
+        reference = self.published.get(dataset)
+        return reference.latency_us if reference else None
+
+    def published_energy_efficiency(self, dataset: str) -> Optional[float]:
+        reference = self.published.get(dataset)
+        return reference.energy_efficiency_graphs_per_kj if reference else None
+
+    def estimated_latency_us(
+        self, graph: Graph, hidden_dim: int = 16, num_layers: int = 2
+    ) -> float:
+        """Analytical latency estimate for graphs without published numbers.
+
+        The dominant work of a 2-layer GCN is ``E * F`` aggregation MACs plus
+        ``N * F_in * F_out`` transformation MACs per layer, spread across the
+        accelerator's MAC array.
+        """
+        feature_dim = max(graph.node_feature_dim, hidden_dim)
+        macs = 0.0
+        in_dim = feature_dim
+        for _ in range(num_layers):
+            macs += graph.num_edges * in_dim * self.redundancy_removal
+            macs += graph.num_nodes * in_dim * hidden_dim
+            in_dim = hidden_dim
+        cycles = macs / (self.dsps * self.macs_per_cycle_per_dsp)
+        return cycles / self.clock_mhz  # cycles / (cycles per microsecond)
+
+    def latency_us(self, dataset: str, graph: Optional[Graph] = None) -> float:
+        """Published latency when available, analytical estimate otherwise."""
+        published = self.published_latency_us(dataset)
+        if published is not None:
+            return published
+        if graph is None:
+            raise KeyError(
+                f"{self.name} has no published number for {dataset!r} and no graph "
+                "was supplied for estimation"
+            )
+        return self.estimated_latency_us(graph)
+
+    def normalised_latency_us(self, dataset: str, graph: Optional[Graph] = None) -> float:
+        """DSP-normalised latency (the comparison metric of Table VIII)."""
+        return dsp_normalised_latency(self.latency_us(dataset, graph), self.dsps)
+
+
+def igcn_model() -> GCNAcceleratorModel:
+    """I-GCN: islandization removes ~35% of aggregation work on citation graphs."""
+    return GCNAcceleratorModel(
+        name="I-GCN", published=IGCN_PUBLISHED, redundancy_removal=0.65, power_w=40.0
+    )
+
+
+def awbgcn_model() -> GCNAcceleratorModel:
+    """AWB-GCN: workload rebalancing but no redundancy removal."""
+    return GCNAcceleratorModel(
+        name="AWB-GCN", published=AWBGCN_PUBLISHED, redundancy_removal=1.0, power_w=45.0
+    )

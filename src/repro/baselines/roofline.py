@@ -1,0 +1,143 @@
+"""Shared primitives for the analytical CPU/GPU baseline latency models.
+
+We cannot benchmark a Xeon Gold 6226R or an RTX A6000 in this environment, so
+the baselines are roofline-style analytical models with three terms:
+
+* a **per-inference framework overhead** (Python/PyTorch-Geometric dispatch,
+  kernel launches) that is paid once per mini-batch and therefore amortises
+  as the batch size grows — this is the term responsible for the paper's
+  batch-size crossover behaviour;
+* a **compute term** — multiply-accumulates of the dense node transformations
+  divided by an effective (not peak) FLOP rate, which improves with batch
+  size until the device saturates;
+* a **scatter term** — irregular per-edge memory traffic (gather/scatter of
+  messages), divided by an effective scatter rate that does *not* improve
+  much with batching, since it is bound by random memory access.
+
+Per-model calibration constants live in :mod:`repro.baselines.cpu` and
+:mod:`repro.baselines.gpu`; they are fitted to the paper's reported
+measurements (Table V, Figs. 7–8) and documented there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..graph import Graph
+from ..nn.models.base import GNNModel
+
+__all__ = ["WorkloadProfile", "PlatformModel", "profile_model_on_graph"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Device-independent work counts of one model on one graph."""
+
+    num_nodes: int
+    num_edges: int
+    dense_macs: int          # node-transformation multiply-accumulates
+    edge_elements: int       # per-edge message elements moved/processed
+    num_layers: int
+    kernel_invocations: int  # framework-level ops per inference
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Calibrated description of a CPU or GPU platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    framework_overhead_s:
+        Fixed per-mini-batch cost (interpreter, data movement, sync).
+    kernel_launch_s:
+        Cost per framework kernel invocation per mini-batch.
+    effective_flops:
+        Dense-compute throughput when fully saturated (MAC/s counted as
+        2 FLOPs each).
+    scatter_elements_per_s:
+        Throughput of irregular per-edge element processing.
+    saturation_batch:
+        Mini-batch size at which dense compute reaches full utilisation;
+        below it, utilisation scales roughly linearly with the batch.
+    min_utilisation:
+        Dense-compute utilisation at batch size 1.
+    power_w:
+        Average board/package power under load (used for energy efficiency).
+    """
+
+    name: str
+    framework_overhead_s: float
+    kernel_launch_s: float
+    effective_flops: float
+    scatter_elements_per_s: float
+    saturation_batch: int
+    min_utilisation: float
+    power_w: float
+
+    def utilisation(self, batch_size: int) -> float:
+        """Dense-compute utilisation as a function of the mini-batch size."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        fraction = batch_size / self.saturation_batch
+        return min(1.0, self.min_utilisation + (1.0 - self.min_utilisation) * fraction)
+
+    def latency_per_graph_s(
+        self,
+        profile: WorkloadProfile,
+        batch_size: int = 1,
+        model_floor_s: float = 0.0,
+        model_overhead_scale: float = 1.0,
+    ) -> float:
+        """Average latency per graph when ``batch_size`` graphs are batched.
+
+        ``model_floor_s`` is a per-graph cost that never amortises (e.g. the
+        per-graph softmax/eigenvector work of GAT/DGN); ``model_overhead_scale``
+        scales the framework overhead for models with more complex Python
+        call graphs.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        overhead = (
+            self.framework_overhead_s * model_overhead_scale
+            + profile.kernel_invocations * self.kernel_launch_s
+        )
+        dense_s = (2.0 * profile.dense_macs) / (
+            self.effective_flops * self.utilisation(batch_size)
+        )
+        scatter_s = profile.edge_elements / self.scatter_elements_per_s
+        return overhead / batch_size + dense_s + scatter_s + model_floor_s
+
+
+# Framework kernel counts per layer for each model family: roughly how many
+# distinct tensor ops a PyTorch-Geometric implementation dispatches.
+_KERNELS_PER_LAYER: Dict[str, int] = {
+    "GCN": 6,
+    "GIN": 9,
+    "GIN+VN": 12,
+    "GAT": 16,
+    "PNA": 22,
+    "DGN": 18,
+}
+
+
+def profile_model_on_graph(model: GNNModel, graph: Graph) -> WorkloadProfile:
+    """Device-independent work counts of ``model`` applied to ``graph``."""
+    dense_macs = 0
+    edge_elements = 0
+    for spec in model.layer_specs():
+        dense_macs += graph.num_nodes * spec.nt_macs_per_node()
+        edge_elements += graph.num_edges * spec.mp_ops_per_edge()
+    if model.input_encoder is not None:
+        dense_macs += model.input_encoder.multiply_accumulate_count(graph.num_nodes)
+    kernels = _KERNELS_PER_LAYER.get(model.name, 10) * model.num_layers + 6
+    return WorkloadProfile(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        dense_macs=int(dense_macs),
+        edge_elements=int(edge_elements),
+        num_layers=model.num_layers,
+        kernel_invocations=int(kernels),
+    )

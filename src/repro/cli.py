@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``experiments`` — regenerate the paper's tables and figures;
+* ``simulate``    — run one model on one dataset on a chosen architecture
+  configuration and report latency, throughput, resources and energy;
+* ``datasets``    — print the synthetic dataset statistics (Table IV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .arch import (
+    ALVEO_U50,
+    ArchitectureConfig,
+    FlowGNNAccelerator,
+    estimate_energy,
+    estimate_resources,
+)
+from .baselines import CPUBaseline, GPUBaseline
+from .datasets import DATASET_NAMES, load_dataset
+from .eval import EXPERIMENT_NAMES, render_dict_table, run_experiment
+from .nn import MODEL_NAMES, build_model
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlowGNN reproduction: dataflow-architecture GNN inference simulator",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "names",
+        nargs="*",
+        default=None,
+        help=f"experiments to run (default: all of {', '.join(EXPERIMENT_NAMES)})",
+    )
+    experiments.add_argument(
+        "--full", action="store_true", help="use full-size synthetic datasets"
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one model on one dataset"
+    )
+    simulate.add_argument("--model", choices=MODEL_NAMES, default="GIN")
+    simulate.add_argument("--dataset", choices=DATASET_NAMES, default="MolHIV")
+    simulate.add_argument("--num-graphs", type=int, default=32)
+    simulate.add_argument("--nt-units", type=int, default=2, help="P_node")
+    simulate.add_argument("--mp-units", type=int, default=4, help="P_edge")
+    simulate.add_argument("--apply", type=int, default=2, help="P_apply")
+    simulate.add_argument("--scatter", type=int, default=4, help="P_scatter")
+    simulate.add_argument(
+        "--compare-baselines",
+        action="store_true",
+        help="also report the CPU and GPU batch-1 latency models",
+    )
+
+    datasets = subparsers.add_parser(
+        "datasets", help="print synthetic dataset statistics (Table IV)"
+    )
+    datasets.add_argument("names", nargs="*", default=None)
+
+    return parser
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    names = args.names or EXPERIMENT_NAMES
+    for name in names:
+        result = run_experiment(name, fast=not args.full)
+        print(result.render())
+        print()
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, num_graphs=args.num_graphs)
+    graphs = list(dataset)
+    model = build_model(
+        args.model,
+        input_dim=dataset.node_feature_dim,
+        edge_input_dim=dataset.edge_feature_dim,
+    )
+    config = ArchitectureConfig(
+        num_nt_units=args.nt_units,
+        num_mp_units=args.mp_units,
+        apply_parallelism=args.apply,
+        scatter_parallelism=args.scatter,
+    )
+    accelerator = FlowGNNAccelerator(model, config)
+    stream = accelerator.run_stream(graphs)
+    resources = estimate_resources(model, config)
+    energy = estimate_energy(accelerator.run(graphs[0]), resources)
+
+    rows = [
+        {
+            "model": model.name,
+            "dataset": dataset.name,
+            "graphs": len(graphs),
+            "config": config.describe(),
+            "latency_ms": round(stream.mean_latency_ms, 4),
+            "graphs_per_s": round(stream.throughput_graphs_per_s, 1),
+            "dsp": resources.dsp,
+            "bram": resources.bram,
+            "fits_u50": resources.fits(ALVEO_U50),
+            "power_w": round(energy.power.total_w, 1),
+            "graphs_per_kj": round(energy.graphs_per_kilojoule, 1),
+        }
+    ]
+    print(render_dict_table(rows, title="FlowGNN simulation"))
+
+    if args.compare_baselines:
+        cpu_ms = CPUBaseline(model).mean_latency_ms(graphs)
+        gpu_ms = GPUBaseline(model).mean_latency_ms(graphs)
+        comparison = [
+            {"platform": "FlowGNN (simulated)", "latency_ms": round(stream.mean_latency_ms, 4), "speedup": 1.0},
+            {"platform": "GPU A6000 (model, bs=1)", "latency_ms": round(gpu_ms, 3), "speedup": round(stream.mean_latency_ms / gpu_ms, 4)},
+            {"platform": "CPU 6226R (model, bs=1)", "latency_ms": round(cpu_ms, 3), "speedup": round(stream.mean_latency_ms / cpu_ms, 4)},
+        ]
+        print()
+        print(render_dict_table(comparison, title="baseline comparison (batch size 1)"))
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    names = args.names or DATASET_NAMES
+    rows = []
+    for name in names:
+        if name in ("PubMed", "Reddit"):
+            dataset = load_dataset(name, scale=0.05)
+        elif name in ("Cora", "CiteSeer"):
+            dataset = load_dataset(name, scale=0.5)
+        else:
+            dataset = load_dataset(name, num_graphs=128)
+        stats = dataset.statistics()
+        rows.append(
+            {
+                "dataset": stats.name,
+                "graphs": stats.num_graphs,
+                "mean_nodes": round(stats.mean_nodes, 1),
+                "mean_edges": round(stats.mean_edges, 1),
+                "edge_features": stats.has_edge_features,
+            }
+        )
+    print(render_dict_table(rows, title="synthetic dataset statistics"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "datasets":
+        return _run_datasets(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

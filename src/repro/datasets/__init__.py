@@ -1,0 +1,45 @@
+"""Synthetic datasets statistically matched to the paper's Table IV workloads."""
+
+from .base import DatasetStatistics, GraphDataset
+from .molecular import (
+    MOLHIV_REFERENCE,
+    MOLPCBA_REFERENCE,
+    make_molhiv_like,
+    make_molpcba_like,
+)
+from .hep import HEP_REFERENCE, HEP_KNN_K, make_hep_like
+from .citation import (
+    CITATION_REFERENCE,
+    make_citeseer_like,
+    make_cora_like,
+    make_pubmed_like,
+)
+from .social import REDDIT_REFERENCE, make_reddit_like
+from .registry import (
+    DATASET_NAMES,
+    TABLE4_REFERENCE,
+    dataset_statistics_table,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetStatistics",
+    "GraphDataset",
+    "MOLHIV_REFERENCE",
+    "MOLPCBA_REFERENCE",
+    "make_molhiv_like",
+    "make_molpcba_like",
+    "HEP_REFERENCE",
+    "HEP_KNN_K",
+    "make_hep_like",
+    "CITATION_REFERENCE",
+    "make_cora_like",
+    "make_citeseer_like",
+    "make_pubmed_like",
+    "REDDIT_REFERENCE",
+    "make_reddit_like",
+    "DATASET_NAMES",
+    "TABLE4_REFERENCE",
+    "dataset_statistics_table",
+    "load_dataset",
+]

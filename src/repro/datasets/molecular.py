@@ -1,0 +1,110 @@
+"""Molecular property-prediction datasets: MolHIV- and MolPCBA-like graphs.
+
+The paper uses the Open Graph Benchmark's ogbg-molhiv (4,113 graphs,
+25.3 nodes and 55.6 edges on average) and ogbg-molpcba (43,773 graphs,
+27.0 nodes and 59.3 edges on average), both with 9-dimensional node features
+(atom descriptors) and 3-dimensional edge features (bond descriptors).
+
+We cannot ship OGB data, so these generators synthesise molecule-like graphs
+whose statistics match those targets: graph sizes drawn from a log-normal
+distribution fitted to the reported means, tree-plus-rings connectivity, and
+one-hot atom/bond categorical features.  The substitution is recorded in
+DESIGN.md; only structural statistics matter for the latency evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import molecule_like_graph
+from .base import GraphDataset
+
+__all__ = [
+    "make_molhiv_like",
+    "make_molpcba_like",
+    "MOLHIV_REFERENCE",
+    "MOLPCBA_REFERENCE",
+]
+
+# Reference statistics from Table IV of the paper.
+MOLHIV_REFERENCE = {"graphs": 4113, "mean_nodes": 25.3, "mean_edges": 55.6}
+MOLPCBA_REFERENCE = {"graphs": 43773, "mean_nodes": 27.0, "mean_edges": 59.3}
+
+NODE_FEATURE_DIM = 9
+EDGE_FEATURE_DIM = 3
+
+
+def _sample_molecule_sizes(
+    rng: np.random.Generator, count: int, mean_nodes: float
+) -> np.ndarray:
+    """Draw molecule sizes with the right mean and a realistic spread.
+
+    Molecule-size distributions are right-skewed; a log-normal with sigma 0.4
+    reproduces the 10–100 node range the paper quotes for its target
+    workloads while hitting the required mean.
+    """
+    sigma = 0.4
+    mu = np.log(mean_nodes) - sigma**2 / 2.0
+    sizes = np.round(rng.lognormal(mean=mu, sigma=sigma, size=count))
+    return np.clip(sizes, 4, 220).astype(np.int64)
+
+
+def _make_molecular_dataset(
+    name: str,
+    num_graphs: int,
+    mean_nodes: float,
+    mean_edges: float,
+    seed: int,
+) -> GraphDataset:
+    rng = np.random.default_rng(seed)
+    sizes = _sample_molecule_sizes(rng, num_graphs, mean_nodes)
+    # Directed edge count of a tree-plus-rings molecule is
+    # 2 * (nodes - 1 + extra_bonds); choose the ring-closure rate so the mean
+    # directed edge count matches the reference.
+    target_ratio = mean_edges / mean_nodes
+    extra_bond_probability = max(target_ratio / 2.0 - 1.0 + 1.0 / mean_nodes, 0.0)
+
+    graphs = []
+    for index, size in enumerate(sizes):
+        graph = molecule_like_graph(
+            num_atoms=int(size),
+            rng=rng,
+            node_feature_dim=NODE_FEATURE_DIM,
+            edge_feature_dim=EDGE_FEATURE_DIM,
+            extra_bond_probability=extra_bond_probability,
+            name=f"{name}/{index}",
+        )
+        graphs.append(graph)
+    return GraphDataset(
+        name=name,
+        graphs=graphs,
+        node_feature_dim=NODE_FEATURE_DIM,
+        edge_feature_dim=EDGE_FEATURE_DIM,
+        task="graph_classification",
+    )
+
+
+def make_molhiv_like(num_graphs: int = 512, seed: int = 1) -> GraphDataset:
+    """MolHIV-like dataset.
+
+    ``num_graphs`` defaults to a 512-graph subsample for fast experiments;
+    pass ``MOLHIV_REFERENCE['graphs']`` to generate the full-size dataset.
+    """
+    return _make_molecular_dataset(
+        name="MolHIV",
+        num_graphs=num_graphs,
+        mean_nodes=MOLHIV_REFERENCE["mean_nodes"],
+        mean_edges=MOLHIV_REFERENCE["mean_edges"],
+        seed=seed,
+    )
+
+
+def make_molpcba_like(num_graphs: int = 512, seed: int = 2) -> GraphDataset:
+    """MolPCBA-like dataset (slightly larger molecules than MolHIV)."""
+    return _make_molecular_dataset(
+        name="MolPCBA",
+        num_graphs=num_graphs,
+        mean_nodes=MOLPCBA_REFERENCE["mean_nodes"],
+        mean_edges=MOLPCBA_REFERENCE["mean_edges"],
+        seed=seed,
+    )

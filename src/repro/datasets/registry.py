@@ -1,0 +1,121 @@
+"""Named dataset registry and the Table IV reference statistics.
+
+``load_dataset(name)`` is the single entry point experiments use; it accepts
+an optional size hint so that unit tests can request small subsamples while
+benchmarks use the full synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import DatasetStatistics, GraphDataset
+from .citation import make_citeseer_like, make_cora_like, make_pubmed_like
+from .hep import HEP_REFERENCE, make_hep_like
+from .molecular import MOLHIV_REFERENCE, MOLPCBA_REFERENCE, make_molhiv_like, make_molpcba_like
+from .social import REDDIT_REFERENCE, make_reddit_like
+
+__all__ = [
+    "DATASET_NAMES",
+    "TABLE4_REFERENCE",
+    "load_dataset",
+    "dataset_statistics_table",
+]
+
+DATASET_NAMES = [
+    "MolHIV",
+    "MolPCBA",
+    "HEP",
+    "Cora",
+    "CiteSeer",
+    "PubMed",
+    "Reddit",
+]
+
+# Paper Table IV: number of graphs, mean nodes, mean edges, edge features.
+TABLE4_REFERENCE: Dict[str, Dict[str, float]] = {
+    "MolHIV": {
+        "graphs": MOLHIV_REFERENCE["graphs"],
+        "nodes": MOLHIV_REFERENCE["mean_nodes"],
+        "edges": MOLHIV_REFERENCE["mean_edges"],
+        "edge_features": True,
+    },
+    "MolPCBA": {
+        "graphs": MOLPCBA_REFERENCE["graphs"],
+        "nodes": MOLPCBA_REFERENCE["mean_nodes"],
+        "edges": MOLPCBA_REFERENCE["mean_edges"],
+        "edge_features": True,
+    },
+    "HEP": {
+        "graphs": HEP_REFERENCE["graphs"],
+        "nodes": HEP_REFERENCE["mean_nodes"],
+        "edges": HEP_REFERENCE["mean_edges"],
+        "edge_features": False,
+    },
+    "Cora": {"graphs": 1, "nodes": 2708, "edges": 5429, "edge_features": False},
+    "CiteSeer": {"graphs": 1, "nodes": 3327, "edges": 4732, "edge_features": False},
+    "PubMed": {"graphs": 1, "nodes": 19717, "edges": 44338, "edge_features": False},
+    "Reddit": {
+        "graphs": 1,
+        "nodes": REDDIT_REFERENCE["nodes"],
+        "edges": REDDIT_REFERENCE["edges"],
+        "edge_features": False,
+    },
+}
+
+
+def load_dataset(
+    name: str, num_graphs: Optional[int] = None, scale: Optional[float] = None, seed: Optional[int] = None
+) -> GraphDataset:
+    """Build a synthetic dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-insensitive).
+    num_graphs:
+        For multi-graph datasets, how many graphs to generate.  Defaults to a
+        fast subsample (512 molecules, 256 jets).
+    scale:
+        For single-graph datasets, fraction of the real graph's node count to
+        generate.  Defaults to 1.0 for Cora/CiteSeer/PubMed and 0.01 for
+        Reddit.
+    seed:
+        Override the default per-dataset random seed.
+    """
+    key = name.lower()
+    builders: Dict[str, Callable[[], GraphDataset]] = {
+        "molhiv": lambda: make_molhiv_like(
+            num_graphs=num_graphs or 512, seed=seed if seed is not None else 1
+        ),
+        "molpcba": lambda: make_molpcba_like(
+            num_graphs=num_graphs or 512, seed=seed if seed is not None else 2
+        ),
+        "hep": lambda: make_hep_like(
+            num_graphs=num_graphs or 256, seed=seed if seed is not None else 3
+        ),
+        "cora": lambda: make_cora_like(
+            seed=seed if seed is not None else 11, scale=scale if scale is not None else 1.0
+        ),
+        "citeseer": lambda: make_citeseer_like(
+            seed=seed if seed is not None else 12, scale=scale if scale is not None else 1.0
+        ),
+        "pubmed": lambda: make_pubmed_like(
+            seed=seed if seed is not None else 13, scale=scale if scale is not None else 1.0
+        ),
+        "reddit": lambda: make_reddit_like(
+            seed=seed if seed is not None else 21, scale=scale if scale is not None else 0.01
+        ),
+    }
+    if key not in builders:
+        raise KeyError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")
+    return builders[key]()
+
+
+def dataset_statistics_table(
+    datasets: Optional[List[GraphDataset]] = None,
+) -> List[DatasetStatistics]:
+    """Compute Table IV statistics, either from provided datasets or defaults."""
+    if datasets is None:
+        datasets = [load_dataset(name) for name in DATASET_NAMES]
+    return [dataset.statistics() for dataset in datasets]

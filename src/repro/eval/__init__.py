@@ -1,0 +1,52 @@
+"""Evaluation harness: metrics, table rendering and the paper's experiments."""
+
+from .metrics import (
+    energy_efficiency_graphs_per_kj,
+    geometric_mean,
+    relative_error,
+    speedup,
+    within_factor,
+)
+from .tables import format_value, render_dict_table, render_table
+from .experiments import (
+    EXPERIMENT_NAMES,
+    ExperimentResult,
+    run_fig7_latency_sweep,
+    run_fig8_citation,
+    run_fig9_ablation,
+    run_fig10_dse,
+    run_table3_resources,
+    run_table4_datasets,
+    run_table5_hep_latency,
+    run_table6_energy,
+    run_table7_imbalance,
+    run_table8_gcn_accelerators,
+)
+from .harness import EXPERIMENT_REGISTRY, render_report, run_all_experiments, run_experiment
+
+__all__ = [
+    "energy_efficiency_graphs_per_kj",
+    "geometric_mean",
+    "relative_error",
+    "speedup",
+    "within_factor",
+    "format_value",
+    "render_dict_table",
+    "render_table",
+    "EXPERIMENT_NAMES",
+    "ExperimentResult",
+    "run_fig7_latency_sweep",
+    "run_fig8_citation",
+    "run_fig9_ablation",
+    "run_fig10_dse",
+    "run_table3_resources",
+    "run_table4_datasets",
+    "run_table5_hep_latency",
+    "run_table6_energy",
+    "run_table7_imbalance",
+    "run_table8_gcn_accelerators",
+    "EXPERIMENT_REGISTRY",
+    "render_report",
+    "run_all_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,617 @@
+"""Experiment implementations: one per table and figure in the paper.
+
+Every function returns an :class:`ExperimentResult` whose ``rows`` are plain
+dictionaries (so they can be asserted on in tests, rendered as text tables in
+benchmarks, and dumped into ``EXPERIMENTS.md``).  Each experiment accepts a
+``fast`` flag: ``True`` (default) uses subsampled synthetic datasets sized
+for CI; ``False`` uses the full synthetic dataset sizes.
+
+The mapping to the paper:
+
+==================  =========================================================
+``table3``          FPGA resource usage per model (Table III)
+``table4``          Dataset statistics (Table IV)
+``table5``          Batch-1 latency on the HEP dataset (Table V)
+``table6``          Energy efficiency on MolHIV (Table VI)
+``table7``          MP workload imbalance vs. P_edge (Table VII)
+``table8``          Comparison against I-GCN / AWB-GCN (Table VIII)
+``fig7_molhiv``     Latency vs. GPU batch size on MolHIV (Fig. 7a)
+``fig7_molpcba``    Latency vs. GPU batch size on MolPCBA (Fig. 7b)
+``fig8``            Cora / CiteSeer latency (Fig. 8)
+``fig9``            Pipelining ablation (Fig. 9)
+``fig10``           Parallelism design-space exploration (Fig. 10)
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arch import (
+    ArchitectureConfig,
+    FlowGNNAccelerator,
+    TABLE3_REFERENCE,
+    ablation_configs,
+    estimate_resources,
+    estimate_energy,
+    trace_from_result,
+)
+from ..baselines import (
+    AWBGCN_PUBLISHED,
+    CPUBaseline,
+    DEFAULT_BATCH_SIZES,
+    FLOWGNN_TABLE8_PUBLISHED,
+    GPUBaseline,
+    IGCN_PUBLISHED,
+    awbgcn_model,
+    dsp_normalised_latency,
+    igcn_model,
+)
+from ..datasets import (
+    REDDIT_REFERENCE,
+    TABLE4_REFERENCE,
+    load_dataset,
+)
+from ..graph import Graph, imbalance_table
+from ..nn import MODEL_NAMES, build_model
+from .metrics import geometric_mean, speedup
+from .tables import render_dict_table
+
+__all__ = ["ExperimentResult", "EXPERIMENT_NAMES"] + [
+    "run_table3_resources",
+    "run_table4_datasets",
+    "run_table5_hep_latency",
+    "run_table6_energy",
+    "run_table7_imbalance",
+    "run_table8_gcn_accelerators",
+    "run_fig7_latency_sweep",
+    "run_fig8_citation",
+    "run_fig9_ablation",
+    "run_fig10_dse",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    name: str
+    description: str
+    rows: List[Dict]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report: table plus notes."""
+        parts = [render_dict_table(self.rows, title=f"{self.name}: {self.description}")]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, key: str) -> List:
+        """Extract one column across all rows."""
+        return [row[key] for row in self.rows]
+
+
+EXPERIMENT_NAMES = [
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig7_molhiv",
+    "fig7_molpcba",
+    "fig8",
+    "fig9",
+    "fig10",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+def _dataset_sample(name: str, fast: bool, fast_graphs: int, full_graphs: int, scale: Optional[float] = None):
+    """Load a dataset sized for the requested fidelity level."""
+    if name in ("Cora", "CiteSeer", "PubMed", "Reddit"):
+        return load_dataset(name, scale=scale)
+    return load_dataset(name, num_graphs=fast_graphs if fast else full_graphs)
+
+
+def _build_models_for_dataset(dataset, seed: int = 0) -> Dict[str, object]:
+    """Build all six paper models for one dataset's feature dimensions."""
+    return {
+        name: build_model(
+            name,
+            input_dim=dataset.node_feature_dim,
+            edge_input_dim=dataset.edge_feature_dim,
+            seed=seed,
+        )
+        for name in MODEL_NAMES
+    }
+
+
+def _flowgnn_mean_latency_ms(model, graphs: Sequence[Graph], config: Optional[ArchitectureConfig] = None) -> float:
+    accelerator = FlowGNNAccelerator(model, config or ArchitectureConfig())
+    return accelerator.run_stream(graphs).mean_latency_ms
+
+
+# ---------------------------------------------------------------------------
+# Table III — FPGA resource usage
+# ---------------------------------------------------------------------------
+def run_table3_resources(fast: bool = True) -> ExperimentResult:
+    """Estimate DSP/LUT/FF/BRAM per model and compare to Table III."""
+    config = ArchitectureConfig()
+    rows: List[Dict] = []
+    for name in ["GIN", "GCN", "PNA", "GAT", "DGN"]:
+        model = build_model(name, input_dim=9, edge_input_dim=3)
+        estimate = estimate_resources(model, config)
+        reference = TABLE3_REFERENCE.get(name, {})
+        rows.append(
+            {
+                "model": name,
+                "dsp": estimate.dsp,
+                "lut": estimate.lut,
+                "ff": estimate.ff,
+                "bram": estimate.bram,
+                "paper_dsp": reference.get("dsp"),
+                "paper_lut": reference.get("lut"),
+                "paper_ff": reference.get("ff"),
+                "paper_bram": reference.get("bram"),
+            }
+        )
+    return ExperimentResult(
+        name="table3",
+        description="FPGA resource usage per model kernel (Alveo U50, 300 MHz)",
+        rows=rows,
+        notes=[
+            "Resources come from an analytical estimator; the paper reports "
+            "post-place-and-route Vivado numbers."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — dataset statistics
+# ---------------------------------------------------------------------------
+def run_table4_datasets(fast: bool = True) -> ExperimentResult:
+    """Generate every dataset and compare its statistics to Table IV."""
+    rows: List[Dict] = []
+    for name, reference in TABLE4_REFERENCE.items():
+        if name == "Reddit":
+            dataset = load_dataset(name, scale=0.005 if fast else 0.01)
+        elif name == "PubMed":
+            dataset = load_dataset(name, scale=0.25 if fast else 1.0)
+        elif name in ("Cora", "CiteSeer"):
+            dataset = load_dataset(name, scale=0.5 if fast else 1.0)
+        else:
+            dataset = load_dataset(name, num_graphs=128 if fast else 2048)
+        stats = dataset.statistics()
+        rows.append(
+            {
+                "dataset": name,
+                "graphs_generated": stats.num_graphs,
+                "mean_nodes": round(stats.mean_nodes, 1),
+                "mean_edges": round(stats.mean_edges, 1),
+                "edge_features": stats.has_edge_features,
+                "paper_graphs": int(reference["graphs"]),
+                "paper_nodes": reference["nodes"],
+                "paper_edges": reference["edges"],
+                "paper_edge_features": bool(reference["edge_features"]),
+            }
+        )
+    return ExperimentResult(
+        name="table4",
+        description="Dataset statistics (synthetic, matched to Table IV)",
+        rows=rows,
+        notes=[
+            "Multi-graph datasets are subsampled and single-graph datasets may be "
+            "scaled down in fast mode; the per-graph statistics are what is matched.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V — batch-1 latency on HEP
+# ---------------------------------------------------------------------------
+TABLE5_REFERENCE_MS = {
+    "GIN": {"cpu": 4.23, "gpu": 2.38, "flowgnn": 0.1799},
+    "GIN+VN": {"cpu": 5.02, "gpu": 3.51, "flowgnn": 0.2076},
+    "GCN": {"cpu": 4.59, "gpu": 3.01, "flowgnn": 0.1639},
+    "GAT": {"cpu": 2.24, "gpu": 1.96, "flowgnn": 0.0544},
+    "PNA": {"cpu": 9.66, "gpu": 5.37, "flowgnn": 0.1578},
+    "DGN": {"cpu": 30.20, "gpu": 61.26, "flowgnn": 0.1382},
+}
+
+
+def run_table5_hep_latency(fast: bool = True, num_graphs: Optional[int] = None) -> ExperimentResult:
+    """Batch-1 latency of all six models on the HEP dataset (Table V)."""
+    dataset = load_dataset("HEP", num_graphs=num_graphs or (16 if fast else 256))
+    graphs = list(dataset)
+    models = _build_models_for_dataset(dataset)
+
+    rows: List[Dict] = []
+    for name, model in models.items():
+        cpu = CPUBaseline(model)
+        gpu = GPUBaseline(model)
+        cpu_ms = cpu.mean_latency_ms(graphs, batch_size=1)
+        gpu_ms = gpu.mean_latency_ms(graphs, batch_size=1)
+        flowgnn_ms = _flowgnn_mean_latency_ms(model, graphs)
+        reference = TABLE5_REFERENCE_MS[name]
+        rows.append(
+            {
+                "model": name,
+                "cpu_ms": round(cpu_ms, 4),
+                "gpu_ms": round(gpu_ms, 4),
+                "flowgnn_ms": round(flowgnn_ms, 4),
+                "speedup_vs_cpu": round(speedup(cpu_ms, flowgnn_ms), 1),
+                "speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 1),
+                "paper_cpu_ms": reference["cpu"],
+                "paper_gpu_ms": reference["gpu"],
+                "paper_flowgnn_ms": reference["flowgnn"],
+            }
+        )
+    return ExperimentResult(
+        name="table5",
+        description="On-board batch-1 latency (ms) on the HEP dataset",
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VI — energy efficiency on MolHIV
+# ---------------------------------------------------------------------------
+TABLE6_REFERENCE = {
+    "GIN": {"cpu": 4.48e3, "gpu": 4.50e3, "flowgnn": 7.34e5},
+    "GIN+VN": {"cpu": 3.16e3, "gpu": 2.99e3, "flowgnn": 6.46e5},
+    "GCN": {"cpu": 4.02e3, "gpu": 3.50e3, "flowgnn": 8.88e5},
+    "GAT": {"cpu": 6.29e3, "gpu": 5.41e3, "flowgnn": 2.29e6},
+    "PNA": {"cpu": 2.52e3, "gpu": 2.33e3, "flowgnn": 6.11e5},
+    "DGN": {"cpu": 1.40e3, "gpu": 7.96e2, "flowgnn": 1.39e6},
+}
+
+
+def run_table6_energy(fast: bool = True) -> ExperimentResult:
+    """Energy efficiency (graphs/kJ) at batch 1 on MolHIV (Table VI)."""
+    dataset = load_dataset("MolHIV", num_graphs=16 if fast else 256)
+    graphs = list(dataset)
+    models = _build_models_for_dataset(dataset)
+    config = ArchitectureConfig()
+
+    rows: List[Dict] = []
+    for name, model in models.items():
+        cpu = CPUBaseline(model)
+        gpu = GPUBaseline(model)
+        cpu_eff = float(np.mean([cpu.graphs_per_kilojoule(g) for g in graphs]))
+        gpu_eff = float(np.mean([gpu.graphs_per_kilojoule(g) for g in graphs]))
+
+        accelerator = FlowGNNAccelerator(model, config)
+        resources = estimate_resources(model, config)
+        efficiencies = []
+        for graph in graphs:
+            result = accelerator.run(graph)
+            report = estimate_energy(result, resources)
+            efficiencies.append(report.graphs_per_kilojoule)
+        flowgnn_eff = float(np.mean(efficiencies))
+
+        reference = TABLE6_REFERENCE[name]
+        rows.append(
+            {
+                "model": name,
+                "cpu_graphs_per_kj": cpu_eff,
+                "gpu_graphs_per_kj": gpu_eff,
+                "flowgnn_graphs_per_kj": flowgnn_eff,
+                "gain_vs_gpu": round(flowgnn_eff / gpu_eff, 1) if gpu_eff else None,
+                "paper_cpu": reference["cpu"],
+                "paper_gpu": reference["gpu"],
+                "paper_flowgnn": reference["flowgnn"],
+            }
+        )
+    return ExperimentResult(
+        name="table6",
+        description="Energy efficiency (graphs/kJ) at batch 1 on MolHIV",
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VII — MP workload imbalance
+# ---------------------------------------------------------------------------
+TABLE7_P_EDGE_VALUES = (2, 4, 8, 16, 32, 64)
+
+TABLE7_REFERENCE_PERCENT = {
+    2: {"MolHIV": 6.41, "MolPCBA": 5.58, "HEP": 2.47, "Cora": 0.95, "CiteSeer": 0.40, "PubMed": 0.41, "Reddit": 0.04},
+    4: {"MolHIV": 8.59, "MolPCBA": 7.78, "HEP": 3.24, "Cora": 3.83, "CiteSeer": 1.67, "PubMed": 2.21, "Reddit": 0.17},
+    8: {"MolHIV": 8.82, "MolPCBA": 7.82, "HEP": 3.30, "Cora": 2.56, "CiteSeer": 2.69, "PubMed": 1.81, "Reddit": 0.28},
+    16: {"MolHIV": 8.34, "MolPCBA": 7.62, "HEP": 3.12, "Cora": 2.72, "CiteSeer": 2.36, "PubMed": 1.23, "Reddit": 0.21},
+    32: {"MolHIV": 7.37, "MolPCBA": 6.25, "HEP": 3.75, "Cora": 1.95, "CiteSeer": 1.68, "PubMed": 0.87, "Reddit": 0.21},
+    64: {"MolHIV": 7.27, "MolPCBA": 6.28, "HEP": 3.95, "Cora": 1.82, "CiteSeer": 1.22, "PubMed": 0.82, "Reddit": 0.16},
+}
+
+
+def run_table7_imbalance(fast: bool = True) -> ExperimentResult:
+    """MP-unit workload imbalance across datasets and P_edge (Table VII)."""
+    dataset_names = ["MolHIV", "MolPCBA", "HEP", "Cora", "CiteSeer"]
+    if not fast:
+        dataset_names += ["PubMed", "Reddit"]
+    datasets = {}
+    for name in dataset_names:
+        if name in ("Cora", "CiteSeer", "PubMed"):
+            datasets[name] = list(load_dataset(name, scale=0.5 if fast else 1.0))
+        elif name == "Reddit":
+            datasets[name] = list(load_dataset(name, scale=0.01))
+        else:
+            datasets[name] = list(load_dataset(name, num_graphs=64 if fast else 512))
+
+    table = imbalance_table(datasets, TABLE7_P_EDGE_VALUES)
+    rows: List[Dict] = []
+    for p_edge, per_dataset in table.items():
+        row: Dict = {"p_edge": p_edge}
+        for name, value in per_dataset.items():
+            row[f"{name}_pct"] = round(100.0 * value, 2)
+            reference = TABLE7_REFERENCE_PERCENT.get(p_edge, {}).get(name)
+            row[f"{name}_paper_pct"] = reference
+        rows.append(row)
+    return ExperimentResult(
+        name="table7",
+        description="MP workload imbalance (%) for varying P_edge",
+        rows=rows,
+        notes=["Imbalance = (max - min) edges per MP unit, as % of total edges."],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VIII — comparison against I-GCN and AWB-GCN
+# ---------------------------------------------------------------------------
+def run_table8_gcn_accelerators(fast: bool = True) -> ExperimentResult:
+    """DSP-normalised comparison with I-GCN / AWB-GCN on citation graphs."""
+    igcn = igcn_model()
+    awb = awbgcn_model()
+    # The Table VIII kernel is specialised for a 2-layer, dim-16 GCN: with the
+    # embedding only 16 wide, the lanes cover the full vector (P_apply =
+    # P_scatter = 16) and the DSP budget affords more units.  The graph is
+    # resident (single-graph node classification), so feature streaming is
+    # not part of the measured latency.
+    config = ArchitectureConfig(
+        num_nt_units=8,
+        num_mp_units=16,
+        apply_parallelism=16,
+        scatter_parallelism=16,
+        edge_overhead_cycles=1,
+        nt_overhead_cycles=1,
+        include_graph_loading=False,
+        include_weight_loading=False,
+    )
+    flowgnn_dsps = 747  # reported by the paper for the Table VIII GCN kernel
+
+    dataset_specs = [
+        ("Cora", dict(scale=0.5 if fast else 1.0)),
+        ("CiteSeer", dict(scale=0.5 if fast else 1.0)),
+        ("PubMed", dict(scale=0.1 if fast else 0.5)),
+        ("Reddit", dict(scale=0.003 if fast else 0.01)),
+    ]
+
+    rows: List[Dict] = []
+    for name, kwargs in dataset_specs.items() if isinstance(dataset_specs, dict) else dataset_specs:
+        dataset = load_dataset(name, **kwargs)
+        graph = dataset[0]
+        reference_nodes = TABLE4_REFERENCE[name]["nodes"]
+        reference_edges = TABLE4_REFERENCE[name]["edges"]
+        # Table VIII uses a 2-layer, dim-16 GCN with no edge embeddings.
+        model = build_model(
+            "GCN", input_dim=dataset.node_feature_dim, num_layers=2, hidden_dim=16
+        )
+        accelerator = FlowGNNAccelerator(model, config)
+        simulated = accelerator.run(graph)
+        # Extrapolate from the scaled synthetic graph to the real dataset size
+        # (2-layer GCN latency is dominated by edge traversal).
+        edge_scale = max(reference_edges / max(graph.num_edges, 1), 1.0)
+        node_scale = max(reference_nodes / max(graph.num_nodes, 1), 1.0)
+        flowgnn_us = simulated.latency_s * 1e6 * max(edge_scale, node_scale)
+        flowgnn_norm = dsp_normalised_latency(flowgnn_us, flowgnn_dsps)
+
+        igcn_norm = dsp_normalised_latency(igcn.latency_us(name), igcn.dsps)
+        awb_norm = dsp_normalised_latency(awb.latency_us(name), awb.dsps)
+        rows.append(
+            {
+                "dataset": name,
+                "flowgnn_us": round(flowgnn_us, 2),
+                "flowgnn_norm_us": round(flowgnn_norm, 3),
+                "igcn_us": igcn.latency_us(name),
+                "igcn_norm_us": round(igcn_norm, 3),
+                "awbgcn_us": awb.latency_us(name),
+                "awbgcn_norm_us": round(awb_norm, 3),
+                "speedup_vs_igcn": round(igcn_norm / flowgnn_norm, 2) if flowgnn_norm else None,
+                "speedup_vs_awbgcn": round(awb_norm / flowgnn_norm, 2) if flowgnn_norm else None,
+                "paper_flowgnn_norm_us": dsp_normalised_latency(
+                    FLOWGNN_TABLE8_PUBLISHED[name].latency_us, flowgnn_dsps
+                ),
+                "paper_speedup_vs_igcn": round(
+                    IGCN_PUBLISHED[name].latency_us
+                    / dsp_normalised_latency(
+                        FLOWGNN_TABLE8_PUBLISHED[name].latency_us, flowgnn_dsps
+                    ),
+                    2,
+                ),
+            }
+        )
+    mean_speedup = geometric_mean(
+        [row["speedup_vs_igcn"] for row in rows if row["speedup_vs_igcn"]]
+    )
+    return ExperimentResult(
+        name="table8",
+        description="DSP-normalised comparison with I-GCN and AWB-GCN (2-layer GCN, dim 16)",
+        rows=rows,
+        notes=[
+            f"geometric-mean speedup over I-GCN (normalised): {mean_speedup:.2f}x",
+            "I-GCN / AWB-GCN numbers are the published Table VIII values; FlowGNN "
+            "latency is simulated on scaled synthetic graphs and extrapolated to "
+            "the real node/edge counts.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — latency vs. GPU batch size (MolHIV, MolPCBA)
+# ---------------------------------------------------------------------------
+def run_fig7_latency_sweep(
+    dataset_name: str = "MolHIV",
+    fast: bool = True,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+) -> ExperimentResult:
+    """Per-model latency of CPU (bs 1), GPU (bs sweep) and FlowGNN (Fig. 7)."""
+    dataset = load_dataset(dataset_name, num_graphs=24 if fast else 256)
+    graphs = list(dataset)
+    models = _build_models_for_dataset(dataset)
+
+    rows: List[Dict] = []
+    for name, model in models.items():
+        cpu_ms = CPUBaseline(model).mean_latency_ms(graphs, batch_size=1)
+        flowgnn_ms = _flowgnn_mean_latency_ms(model, graphs)
+        gpu = GPUBaseline(model)
+        sweep = gpu.mean_batch_sweep_ms(graphs, batch_sizes)
+        for batch, gpu_ms in sweep.items():
+            rows.append(
+                {
+                    "model": name,
+                    "batch_size": batch,
+                    "cpu_ms_bs1": round(cpu_ms, 4),
+                    "gpu_ms": round(gpu_ms, 4),
+                    "flowgnn_ms": round(flowgnn_ms, 4),
+                    "flowgnn_speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 2),
+                }
+            )
+    return ExperimentResult(
+        name=f"fig7_{dataset_name.lower()}",
+        description=f"Latency per graph vs. GPU batch size on {dataset_name}",
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — Cora and CiteSeer latency
+# ---------------------------------------------------------------------------
+def run_fig8_citation(fast: bool = True) -> ExperimentResult:
+    """Per-model latency on the Cora and CiteSeer single graphs (Fig. 8)."""
+    rows: List[Dict] = []
+    for dataset_name in ("Cora", "CiteSeer"):
+        dataset = load_dataset(dataset_name, scale=0.3 if fast else 1.0)
+        graph = dataset[0]
+        models = _build_models_for_dataset(dataset)
+        for name, model in models.items():
+            cpu_ms = CPUBaseline(model).latency_ms(graph, batch_size=1)
+            gpu_ms = GPUBaseline(model).latency_ms(graph, batch_size=1)
+            flowgnn_ms = FlowGNNAccelerator(model).run(graph).latency_ms
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "model": name,
+                    "cpu_ms": round(cpu_ms, 3),
+                    "gpu_ms": round(gpu_ms, 3),
+                    "flowgnn_ms": round(flowgnn_ms, 3),
+                    "speedup_vs_cpu": round(speedup(cpu_ms, flowgnn_ms), 1),
+                    "speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 1),
+                }
+            )
+    return ExperimentResult(
+        name="fig8",
+        description="Latency on single citation graphs (batch size 1)",
+        rows=rows,
+        notes=["Fast mode scales the citation graphs to 30% of their real node count."],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — pipelining ablation
+# ---------------------------------------------------------------------------
+def run_fig9_ablation(fast: bool = True) -> ExperimentResult:
+    """Incremental speedups of the pipeline strategies (Fig. 9), GCN on MolHIV."""
+    dataset = load_dataset("MolHIV", num_graphs=24 if fast else 256)
+    graphs = list(dataset)
+    model = build_model("GCN", input_dim=dataset.node_feature_dim)
+    gpu_ms = GPUBaseline(model).mean_latency_ms(graphs, batch_size=1)
+
+    rows: List[Dict] = []
+    reference_ms: Optional[float] = None
+    previous_ms: Optional[float] = None
+    for config_name, config in ablation_configs().items():
+        flowgnn_ms = _flowgnn_mean_latency_ms(model, graphs, config)
+        if reference_ms is None:
+            reference_ms = flowgnn_ms
+        rows.append(
+            {
+                "configuration": config_name,
+                "latency_ms": round(flowgnn_ms, 4),
+                "speedup_vs_non_pipeline": round(reference_ms / flowgnn_ms, 2),
+                "speedup_vs_previous": round(previous_ms / flowgnn_ms, 2) if previous_ms else 1.0,
+                "speedup_vs_gpu_bs1": round(gpu_ms / flowgnn_ms, 2),
+            }
+        )
+        previous_ms = flowgnn_ms
+    return ExperimentResult(
+        name="fig9",
+        description="Pipelining ablation: GCN on MolHIV, speedup over the non-pipelined design",
+        rows=rows,
+        notes=[
+            "Paper reference speedups over non-pipeline: fixed 1.66x, baseline dataflow "
+            "2.29x, FlowGNN-1-1 3.32x, FlowGNN-1-2 4.92x, FlowGNN-2-2 5.20x.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — design-space exploration over the four parallelism factors
+# ---------------------------------------------------------------------------
+def run_fig10_dse(
+    fast: bool = True,
+    node_values: Sequence[int] = (1, 2, 4),
+    edge_values: Sequence[int] = (1, 2, 4),
+    apply_values: Sequence[int] = (1, 2, 4),
+    scatter_values: Sequence[int] = (1, 2, 4, 8),
+) -> ExperimentResult:
+    """Speedup of every (P_node, P_edge, P_apply, P_scatter) combination (Fig. 10)."""
+    dataset = load_dataset("MolHIV", num_graphs=12 if fast else 128)
+    graphs = list(dataset)
+    model = build_model("GCN", input_dim=dataset.node_feature_dim)
+
+    baseline_config = ArchitectureConfig(
+        num_nt_units=1, num_mp_units=1, apply_parallelism=1, scatter_parallelism=1
+    )
+    baseline_ms = _flowgnn_mean_latency_ms(model, graphs, baseline_config)
+
+    rows: List[Dict] = []
+    for p_apply in apply_values:
+        for p_scatter in scatter_values:
+            for p_node in node_values:
+                for p_edge in edge_values:
+                    config = ArchitectureConfig(
+                        num_nt_units=p_node,
+                        num_mp_units=p_edge,
+                        apply_parallelism=p_apply,
+                        scatter_parallelism=p_scatter,
+                    )
+                    latency_ms = _flowgnn_mean_latency_ms(model, graphs, config)
+                    rows.append(
+                        {
+                            "p_node": p_node,
+                            "p_edge": p_edge,
+                            "p_apply": p_apply,
+                            "p_scatter": p_scatter,
+                            "latency_ms": round(latency_ms, 4),
+                            "speedup_vs_all_ones": round(baseline_ms / latency_ms, 3),
+                        }
+                    )
+    best = max(rows, key=lambda row: row["speedup_vs_all_ones"])
+    return ExperimentResult(
+        name="fig10",
+        description="Design-space exploration over P_node, P_edge, P_apply, P_scatter (GCN, MolHIV)",
+        rows=rows,
+        notes=[
+            f"best configuration: P_node={best['p_node']}, P_edge={best['p_edge']}, "
+            f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
+            f"({best['speedup_vs_all_ones']}x)",
+            "Paper reports a best speedup of 5.76x at P_edge=4, P_node=2, P_apply=4, P_scatter=8.",
+        ],
+    )

@@ -1,0 +1,69 @@
+"""Experiment registry and runner.
+
+``run_experiment("fig9")`` is how benchmarks, examples and tests invoke the
+paper's experiments; ``run_all_experiments`` regenerates every table and
+figure in one call (used to populate ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    EXPERIMENT_NAMES,
+    ExperimentResult,
+    run_fig7_latency_sweep,
+    run_fig8_citation,
+    run_fig9_ablation,
+    run_fig10_dse,
+    run_table3_resources,
+    run_table4_datasets,
+    run_table5_hep_latency,
+    run_table6_energy,
+    run_table7_imbalance,
+    run_table8_gcn_accelerators,
+)
+
+__all__ = ["EXPERIMENT_REGISTRY", "run_experiment", "run_all_experiments", "render_report"]
+
+
+EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "table3": run_table3_resources,
+    "table4": run_table4_datasets,
+    "table5": run_table5_hep_latency,
+    "table6": run_table6_energy,
+    "table7": run_table7_imbalance,
+    "table8": run_table8_gcn_accelerators,
+    "fig7_molhiv": lambda fast=True: run_fig7_latency_sweep("MolHIV", fast=fast),
+    "fig7_molpcba": lambda fast=True: run_fig7_latency_sweep("MolPCBA", fast=fast),
+    "fig8": run_fig8_citation,
+    "fig9": run_fig9_ablation,
+    "fig10": run_fig10_dse,
+}
+
+
+def run_experiment(name: str, fast: bool = True) -> ExperimentResult:
+    """Run one named experiment; ``fast=True`` uses CI-sized workloads."""
+    try:
+        runner = EXPERIMENT_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENT_REGISTRY)}"
+        ) from exc
+    return runner(fast=fast)
+
+
+def run_all_experiments(
+    fast: bool = True, names: Optional[List[str]] = None
+) -> Dict[str, ExperimentResult]:
+    """Run every (or the selected) experiment and return results by name."""
+    selected = names or EXPERIMENT_NAMES
+    return {name: run_experiment(name, fast=fast) for name in selected}
+
+
+def render_report(results: Dict[str, ExperimentResult]) -> str:
+    """Render a combined text report of several experiment results."""
+    sections = []
+    for name in sorted(results):
+        sections.append(results[name].render())
+    return "\n\n".join(sections)

@@ -1,0 +1,55 @@
+"""Metrics shared by the experiment harness: speedups, energy efficiency, errors."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "speedup",
+    "energy_efficiency_graphs_per_kj",
+    "geometric_mean",
+    "relative_error",
+    "within_factor",
+]
+
+
+def speedup(baseline_latency: float, accelerated_latency: float) -> float:
+    """How many times faster the accelerated latency is than the baseline."""
+    if accelerated_latency <= 0:
+        return float("inf")
+    return baseline_latency / accelerated_latency
+
+
+def energy_efficiency_graphs_per_kj(power_w: float, latency_s: float) -> float:
+    """Graphs per kilojoule given average power and per-graph latency."""
+    energy_j = power_w * latency_s
+    return 1000.0 / energy_j if energy_j > 0 else float("inf")
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the right way to average speedups."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (0 when both are 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when measured and reference agree within a multiplicative factor."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if measured <= 0 or reference <= 0:
+        return measured == reference
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment returns rows of primitive values; ``render_table`` turns
+them into the aligned monospace tables printed by the benchmark harness and
+written into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+__all__ = ["format_value", "render_table", "render_dict_table"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Render a single cell: compact floats, scientific for extremes."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render an aligned text table with a header separator line."""
+    formatted_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in formatted_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns"
+            )
+    widths = [len(str(h)) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append(line(["-" * w for w in widths]))
+    for row in formatted_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def render_dict_table(
+    rows: Sequence[Dict[str, Cell]], precision: int = 3, title: str = ""
+) -> str:
+    """Render a list of dicts (all sharing keys) as a table."""
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    return render_table(
+        headers,
+        [[row.get(h) for h in headers] for row in rows],
+        precision=precision,
+        title=title,
+    )

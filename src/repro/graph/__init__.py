@@ -1,0 +1,48 @@
+"""Graph substrate: data structures, formats, generators and partitioning."""
+
+from .graph import Graph, GraphValidationError
+from .formats import CSRMatrix, CSCMatrix, to_csr, to_csc, to_coo, from_dense
+from .batch import BatchedGraph, batch_graphs, unbatch_node_values, iter_batches
+from .generators import (
+    erdos_renyi_graph,
+    barabasi_albert_graph,
+    powerlaw_cluster_graph,
+    knn_point_cloud_graph,
+    molecule_like_graph,
+    random_features,
+)
+from .partition import (
+    BankPartition,
+    partition_by_destination,
+    workload_imbalance,
+    imbalance_table,
+)
+from .streaming import GraphStream, StreamStatistics, simulate_stream_consumption
+
+__all__ = [
+    "Graph",
+    "GraphValidationError",
+    "CSRMatrix",
+    "CSCMatrix",
+    "to_csr",
+    "to_csc",
+    "to_coo",
+    "from_dense",
+    "BatchedGraph",
+    "batch_graphs",
+    "unbatch_node_values",
+    "iter_batches",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "knn_point_cloud_graph",
+    "molecule_like_graph",
+    "random_features",
+    "BankPartition",
+    "partition_by_destination",
+    "workload_imbalance",
+    "imbalance_table",
+    "GraphStream",
+    "StreamStatistics",
+    "simulate_stream_consumption",
+]

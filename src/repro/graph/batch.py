@@ -1,0 +1,132 @@
+"""Disjoint-union batching of graphs.
+
+FlowGNN itself never batches: graphs are streamed in one at a time so that
+each graph's result is available as early as possible (real-time constraint).
+The CPU/GPU baselines, however, amortise kernel-launch overhead by packing
+``batch_size`` graphs into one disjoint union — exactly how PyTorch-Geometric
+builds mini-batches.  This module implements that packing so that the GPU
+latency model can reason about batched workloads, and so tests can verify
+that batching does not change any per-graph GNN output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["BatchedGraph", "batch_graphs", "unbatch_node_values", "iter_batches"]
+
+
+@dataclass(frozen=True)
+class BatchedGraph:
+    """A disjoint union of several graphs plus bookkeeping to split it back."""
+
+    graph: Graph
+    graph_sizes: np.ndarray  # number of nodes per member graph
+    edge_counts: np.ndarray  # number of edges per member graph
+    node_to_graph: np.ndarray  # graph index of every node in the union
+
+    @property
+    def num_graphs(self) -> int:
+        return int(self.graph_sizes.shape[0])
+
+    def node_slice(self, index: int) -> slice:
+        """Slice of the union's node axis belonging to member ``index``."""
+        offsets = np.concatenate([[0], np.cumsum(self.graph_sizes)])
+        return slice(int(offsets[index]), int(offsets[index + 1]))
+
+    def edge_slice(self, index: int) -> slice:
+        """Slice of the union's edge axis belonging to member ``index``."""
+        offsets = np.concatenate([[0], np.cumsum(self.edge_counts)])
+        return slice(int(offsets[index]), int(offsets[index + 1]))
+
+
+def batch_graphs(graphs: Sequence[Graph]) -> BatchedGraph:
+    """Pack ``graphs`` into one disjoint-union :class:`Graph`.
+
+    Node ids of graph ``k`` are shifted by the total node count of graphs
+    ``0..k-1``.  Feature matrices are concatenated; a batch may only mix
+    graphs whose node (and edge) feature widths agree.
+    """
+    if not graphs:
+        raise ValueError("cannot batch an empty list of graphs")
+
+    node_dims = {g.node_feature_dim for g in graphs}
+    edge_dims = {g.edge_feature_dim for g in graphs}
+    if len(node_dims) != 1:
+        raise ValueError(f"inconsistent node feature dims in batch: {node_dims}")
+    if len(edge_dims) != 1:
+        raise ValueError(f"inconsistent edge feature dims in batch: {edge_dims}")
+
+    sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+    edge_counts = np.array([g.num_edges for g in graphs], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    edge_blocks: List[np.ndarray] = []
+    for graph, offset in zip(graphs, offsets):
+        edge_blocks.append(graph.edge_index + offset)
+    edge_index = (
+        np.concatenate(edge_blocks, axis=0)
+        if edge_blocks
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+
+    node_features = None
+    if node_dims != {0}:
+        node_features = np.concatenate([g.node_features for g in graphs], axis=0)
+    edge_features = None
+    if edge_dims != {0}:
+        edge_features = np.concatenate(
+            [
+                g.edge_features
+                if g.edge_features is not None
+                else np.zeros((0, next(iter(edge_dims))))
+                for g in graphs
+            ],
+            axis=0,
+        )
+
+    union = Graph(
+        num_nodes=int(sizes.sum()),
+        edge_index=edge_index,
+        node_features=node_features,
+        edge_features=edge_features,
+        name=f"batch[{len(graphs)}]",
+    )
+    node_to_graph = np.repeat(np.arange(len(graphs), dtype=np.int64), sizes)
+    return BatchedGraph(
+        graph=union,
+        graph_sizes=sizes,
+        edge_counts=edge_counts,
+        node_to_graph=node_to_graph,
+    )
+
+
+def unbatch_node_values(batch: BatchedGraph, values: np.ndarray) -> List[np.ndarray]:
+    """Split a per-node value array of the union back into per-graph arrays."""
+    values = np.asarray(values)
+    if values.shape[0] != batch.graph.num_nodes:
+        raise ValueError(
+            f"values has {values.shape[0]} rows, expected {batch.graph.num_nodes}"
+        )
+    return [values[batch.node_slice(i)] for i in range(batch.num_graphs)]
+
+
+def iter_batches(
+    graphs: Iterable[Graph], batch_size: int
+) -> Iterator[BatchedGraph]:
+    """Yield :class:`BatchedGraph` unions of at most ``batch_size`` members."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    bucket: List[Graph] = []
+    for graph in graphs:
+        bucket.append(graph)
+        if len(bucket) == batch_size:
+            yield batch_graphs(bucket)
+            bucket = []
+    if bucket:
+        yield batch_graphs(bucket)

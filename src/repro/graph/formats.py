@@ -1,0 +1,128 @@
+"""Sparse adjacency formats: COO, CSR and CSC.
+
+The FlowGNN baseline dataflow (Sec. III-C of the paper) stores the graph in
+CSR so that the MP unit can walk a node's out-neighbour list after its node
+transformation finishes; the MP-to-NT dataflow (used for GAT) instead needs
+CSC so that a unit can walk a node's *in*-neighbour list.  These conversions
+are cheap linear passes — they are the only per-graph "preparation" the
+accelerator performs and they are counted in its latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["CSRMatrix", "CSCMatrix", "to_csr", "to_csc", "to_coo", "from_dense"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Compressed sparse row adjacency.
+
+    ``indptr[i]:indptr[i+1]`` indexes the out-edges of node ``i`` inside
+    ``indices`` (destination ids) and ``edge_ids`` (position of the edge in
+    the original COO list, used to look up edge features).
+    """
+
+    num_nodes: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def row(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(destinations, edge_ids)`` for the out-edges of ``node``."""
+        start, stop = int(self.indptr[node]), int(self.indptr[node + 1])
+        return self.indices[start:stop], self.edge_ids[start:stop]
+
+    def out_degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """Compressed sparse column adjacency.
+
+    ``indptr[i]:indptr[i+1]`` indexes the in-edges of node ``i`` inside
+    ``indices`` (source ids) and ``edge_ids``.
+    """
+
+    num_nodes: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def column(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, edge_ids)`` for the in-edges of ``node``."""
+        start, stop = int(self.indptr[node]), int(self.indptr[node + 1])
+        return self.indices[start:stop], self.edge_ids[start:stop]
+
+    def in_degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+
+def _compress(keys: np.ndarray, values: np.ndarray, num_nodes: int):
+    """Stable counting-sort of ``(keys, values)`` into indptr/indices arrays."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    counts = np.bincount(sorted_keys, minlength=num_nodes) if keys.size else np.zeros(
+        num_nodes, dtype=np.int64
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, values[order], order.astype(np.int64)
+
+
+def to_csr(graph: Graph) -> CSRMatrix:
+    """Convert a graph's COO edge list to CSR (grouped by source node)."""
+    indptr, indices, edge_ids = _compress(
+        graph.sources, graph.destinations, graph.num_nodes
+    )
+    return CSRMatrix(
+        num_nodes=graph.num_nodes, indptr=indptr, indices=indices, edge_ids=edge_ids
+    )
+
+
+def to_csc(graph: Graph) -> CSCMatrix:
+    """Convert a graph's COO edge list to CSC (grouped by destination node)."""
+    indptr, indices, edge_ids = _compress(
+        graph.destinations, graph.sources, graph.num_nodes
+    )
+    return CSCMatrix(
+        num_nodes=graph.num_nodes, indptr=indptr, indices=indices, edge_ids=edge_ids
+    )
+
+
+def to_coo(csr: CSRMatrix) -> np.ndarray:
+    """Expand a CSR matrix back to a ``(num_edges, 2)`` COO edge list.
+
+    Edges are returned in CSR traversal order (sorted by source node); the
+    original COO positions remain recoverable via ``csr.edge_ids``.
+    """
+    sources = np.repeat(np.arange(csr.num_nodes), np.diff(csr.indptr))
+    return np.stack([sources, csr.indices], axis=1).astype(np.int64)
+
+
+def from_dense(adjacency: np.ndarray) -> np.ndarray:
+    """Convert a dense 0/1 adjacency matrix to a COO edge list.
+
+    Only used by tests and tiny examples — the accelerator itself never
+    materialises dense adjacency.
+    """
+    adjacency = np.asarray(adjacency)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be a square matrix")
+    src, dst = np.nonzero(adjacency)
+    return np.stack([src, dst], axis=1).astype(np.int64)

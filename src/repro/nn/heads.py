@@ -1,0 +1,81 @@
+"""Prediction heads applied after graph pooling.
+
+The paper's model configurations (Sec. VI-A):
+
+* GCN / GIN / GIN+VN — one linear output layer;
+* PNA — an MLP-ReLU head of sizes (40, 20, 1);
+* DGN — an MLP-ReLU head of sizes (50, 25, 1);
+* GAT — one linear output layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .layers import MLP, Linear
+
+__all__ = ["LinearHead", "MLPHead"]
+
+
+class LinearHead:
+    """Single linear layer mapping the pooled embedding to the output."""
+
+    def __init__(
+        self, in_dim: int, out_dim: int = 1, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    @property
+    def in_dim(self) -> int:
+        return self.linear.in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.linear.out_dim
+
+    def __call__(self, pooled: np.ndarray) -> np.ndarray:
+        return self.linear(pooled)
+
+    def parameter_count(self) -> int:
+        return self.linear.parameter_count()
+
+    def multiply_accumulate_count(self, rows: int = 1) -> int:
+        return self.linear.multiply_accumulate_count(rows)
+
+
+class MLPHead:
+    """MLP head; ``dims`` lists every layer width after the pooled input.
+
+    ``MLPHead(80, dims=(40, 20, 1))`` reproduces the paper's PNA head.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        dims: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "relu",
+    ) -> None:
+        if not dims:
+            raise ValueError("MLPHead needs at least one output dimension")
+        hidden = list(dims[:-1])
+        self.mlp = MLP(in_dim, hidden, dims[-1], rng=rng, activation=activation)
+
+    @property
+    def in_dim(self) -> int:
+        return self.mlp.in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.mlp.out_dim
+
+    def __call__(self, pooled: np.ndarray) -> np.ndarray:
+        return self.mlp(pooled)
+
+    def parameter_count(self) -> int:
+        return self.mlp.parameter_count()
+
+    def multiply_accumulate_count(self, rows: int = 1) -> int:
+        return self.mlp.multiply_accumulate_count(rows)

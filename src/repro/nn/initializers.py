@@ -1,0 +1,39 @@
+"""Deterministic weight initialisation.
+
+Inference latency does not depend on weight values, but functional
+cross-checking (simulator output vs. reference library output) does, so all
+weights come from seeded generators and standard schemes (Glorot/He).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "ones", "constant"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal initialisation, appropriate before ReLU activations."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.standard_normal((fan_in, fan_out)) * std
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zeros parameter (biases, initial states)."""
+    return np.zeros(shape)
+
+
+def ones(*shape: int) -> np.ndarray:
+    """All-ones parameter (scale factors)."""
+    return np.ones(shape)
+
+
+def constant(value: float, *shape: int) -> np.ndarray:
+    """Constant-filled parameter (e.g. GIN's learnable epsilon)."""
+    return np.full(shape, float(value))

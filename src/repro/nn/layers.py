@@ -1,0 +1,227 @@
+"""Dense layers and activations for the numpy reference GNN library.
+
+These are *inference-only* layers: forward passes with fixed weights.  The
+FlowGNN paper cross-checks its FPGA kernels against PyTorch models; here the
+same role is played by this library, against which the cycle-level simulator's
+functional output is verified bit-for-bit (both run float64 numpy math).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .initializers import glorot_uniform, he_normal, zeros
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "softmax",
+    "elu",
+    "identity",
+    "ACTIVATIONS",
+    "Linear",
+    "MLP",
+    "BatchNorm",
+]
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    """Leaky ReLU; the 0.2 slope matches GAT's attention activation."""
+    return np.where(x >= 0.0, x, negative_slope * x)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Exponential linear unit, used after GAT aggregation."""
+    return np.where(x >= 0.0, x, alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """No-op activation."""
+    return x
+
+
+ACTIVATIONS: dict = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "elu": elu,
+    "sigmoid": sigmoid,
+    "identity": identity,
+    "none": identity,
+}
+
+
+def resolve_activation(activation) -> Callable[[np.ndarray], np.ndarray]:
+    """Accept either a callable or the name of a registered activation."""
+    if callable(activation):
+        return activation
+    try:
+        return ACTIVATIONS[str(activation).lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown activation {activation!r}; known: {sorted(ACTIVATIONS)}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Layers
+# ---------------------------------------------------------------------------
+class Linear:
+    """Fully-connected layer ``y = x @ W + b``.
+
+    This is the workhorse of every NT unit: the paper's node transformation
+    is one or more linear layers, computed input-stationary on the FPGA.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+        init: str = "glorot",
+    ) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError("Linear dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        if init == "glorot":
+            self.weight = glorot_uniform(rng, in_dim, out_dim)
+        elif init == "he":
+            self.weight = he_normal(rng, in_dim, out_dim)
+        else:
+            raise ValueError(f"unknown init scheme {init!r}")
+        self.bias = zeros(out_dim) if bias else None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_dim:
+            raise ValueError(
+                f"Linear expected last dim {self.in_dim}, got {x.shape[-1]}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def parameter_count(self) -> int:
+        """Number of scalar parameters (used by the resource model)."""
+        count = self.weight.size
+        if self.bias is not None:
+            count += self.bias.size
+        return int(count)
+
+    def multiply_accumulate_count(self, rows: int) -> int:
+        """MAC operations for a forward pass over ``rows`` input rows."""
+        return int(rows) * self.in_dim * self.out_dim
+
+
+class MLP:
+    """Multi-layer perceptron: Linear → activation → … → Linear.
+
+    ``hidden_dims`` lists the intermediate widths; the final Linear has no
+    activation unless ``final_activation`` is set.  GIN's node transformation
+    and the prediction heads of every model are MLPs.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dims: Sequence[int],
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        activation="relu",
+        final_activation=None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        dims = [in_dim, *hidden_dims, out_dim]
+        self.layers: List[Linear] = [
+            Linear(dims[i], dims[i + 1], rng=rng) for i in range(len(dims) - 1)
+        ]
+        self.activation = resolve_activation(activation)
+        self.final_activation = (
+            resolve_activation(final_activation) if final_activation else identity
+        )
+
+    @property
+    def in_dim(self) -> int:
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.layers[-1].out_dim
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers[:-1]:
+            out = self.activation(layer(out))
+        out = self.layers[-1](out)
+        return self.final_activation(out)
+
+    def parameter_count(self) -> int:
+        return sum(layer.parameter_count() for layer in self.layers)
+
+    def multiply_accumulate_count(self, rows: int) -> int:
+        return sum(layer.multiply_accumulate_count(rows) for layer in self.layers)
+
+
+class BatchNorm:
+    """Inference-mode batch normalisation with frozen statistics.
+
+    GIN/PNA/DGN reference models include BatchNorm after each layer; at
+    inference it is an affine per-feature transform, which is how the
+    accelerator folds it into the NT unit.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        epsilon: float = 1e-5,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.epsilon = epsilon
+        # Frozen "running" statistics, randomly chosen but fixed by the seed.
+        self.running_mean = rng.standard_normal(dim) * 0.1
+        self.running_var = np.abs(rng.standard_normal(dim)) * 0.1 + 1.0
+        self.gamma = np.ones(dim)
+        self.beta = np.zeros(dim)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"BatchNorm expected last dim {self.dim}, got {x.shape[-1]}")
+        scale = self.gamma / np.sqrt(self.running_var + self.epsilon)
+        return (x - self.running_mean) * scale + self.beta
+
+    def parameter_count(self) -> int:
+        return 4 * self.dim

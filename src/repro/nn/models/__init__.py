@@ -1,0 +1,30 @@
+"""Concrete GNN models, one per family in the paper's Table II."""
+
+from .base import GNNLayer, GNNModel, GNNOutput, LayerSpec
+from .gcn import GCNLayer, build_gcn
+from .gin import GINLayer, build_gin
+from .gat import GATLayer, build_gat
+from .pna import PNALayer, build_pna, DEFAULT_MEAN_LOG_DEGREE
+from .dgn import DGNLayer, build_dgn, laplacian_positional_field
+from .virtual_node import VirtualNodeModel, build_gin_virtual_node
+
+__all__ = [
+    "GNNLayer",
+    "GNNModel",
+    "GNNOutput",
+    "LayerSpec",
+    "GCNLayer",
+    "build_gcn",
+    "GINLayer",
+    "build_gin",
+    "GATLayer",
+    "build_gat",
+    "PNALayer",
+    "build_pna",
+    "DEFAULT_MEAN_LOG_DEGREE",
+    "DGNLayer",
+    "build_dgn",
+    "laplacian_positional_field",
+    "VirtualNodeModel",
+    "build_gin_virtual_node",
+]

@@ -1,0 +1,151 @@
+"""Graph Attention Network (multi-head self-attention).
+
+GAT is the paper's representative anisotropic GNN: incoming messages are
+weighted by attention coefficients computed from both endpoints' embeddings,
+normalised with a softmax over each node's in-neighbourhood.  Because the
+normaliser depends on *all* of a node's neighbours, messages must be
+materialised explicitly — GAT cannot be expressed as SpMM — and FlowGNN runs
+it with the MP-to-NT (gather-then-transform) dataflow.
+
+Per head ``h``:
+
+    z_j          = W_h x_j
+    score(j->i)  = LeakyReLU(a_src . z_j + a_dst . z_i)
+    alpha(j->i)  = softmax_j score(j->i)          (over j in N(i), plus self loop)
+    out_i        = ELU( sum_j alpha(j->i) z_j )
+
+Heads are concatenated on every layer except the last, which averages them
+(the standard GAT output layer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graph import Graph
+from ..layers import Linear, elu, leaky_relu
+from .base import GNNLayer, GNNModel, LayerSpec
+
+__all__ = ["GATLayer", "build_gat"]
+
+
+class GATLayer(GNNLayer):
+    """Multi-head GAT layer with softmax-normalised attention."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        head_dim: int,
+        num_heads: int,
+        rng: Optional[np.random.Generator] = None,
+        concat_heads: bool = True,
+        negative_slope: float = 0.2,
+        add_self_loops: bool = True,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.in_dim = in_dim
+        self.head_dim = head_dim
+        self.num_heads = num_heads
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        self.add_self_loops = add_self_loops
+        self.projections = [Linear(in_dim, head_dim, rng=rng) for _ in range(num_heads)]
+        # Attention vectors a = [a_src ; a_dst] per head.
+        self.att_src = rng.standard_normal((num_heads, head_dim)) * 0.1
+        self.att_dst = rng.standard_normal((num_heads, head_dim)) * 0.1
+
+    @property
+    def out_dim(self) -> int:
+        return self.head_dim * self.num_heads if self.concat_heads else self.head_dim
+
+    def spec(self) -> LayerSpec:
+        shapes = tuple((self.in_dim, self.head_dim) for _ in range(self.num_heads))
+        return LayerSpec(
+            in_dim=self.in_dim,
+            out_dim=self.out_dim,
+            nt_linear_shapes=shapes,
+            message_dim=self.head_dim * self.num_heads,
+            aggregated_dim=self.head_dim * self.num_heads,
+            aggregation="attention",
+            uses_edge_features=False,
+            edge_ops_per_element=4,  # score, exp, weighted multiply, accumulate
+            dataflow="mp_to_nt",
+            attention_heads=self.num_heads,
+        )
+
+    def forward(self, graph: Graph, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.add_self_loops:
+            graph = graph.add_self_loops()
+        sources = graph.sources
+        destinations = graph.destinations
+
+        head_outputs = []
+        for head in range(self.num_heads):
+            z = self.projections[head](x)  # (N, head_dim)
+            scores = (
+                z[sources] @ self.att_src[head] + z[destinations] @ self.att_dst[head]
+            )
+            scores = leaky_relu(scores, self.negative_slope)
+            # Softmax over each destination's in-neighbourhood, computed with
+            # the max-subtraction trick per destination for stability.
+            max_per_dst = np.full(graph.num_nodes, -np.inf)
+            np.maximum.at(max_per_dst, destinations, scores)
+            max_per_dst[np.isinf(max_per_dst)] = 0.0
+            exp_scores = np.exp(scores - max_per_dst[destinations])
+            denom = np.zeros(graph.num_nodes)
+            np.add.at(denom, destinations, exp_scores)
+            denom = np.maximum(denom, 1e-16)
+            alpha = exp_scores / denom[destinations]
+
+            out = np.zeros((graph.num_nodes, self.head_dim))
+            np.add.at(out, destinations, z[sources] * alpha[:, None])
+            head_outputs.append(out)
+
+        if self.concat_heads:
+            combined = np.concatenate(head_outputs, axis=1)
+        else:
+            combined = np.mean(np.stack(head_outputs, axis=0), axis=0)
+        return elu(combined)
+
+    def parameter_count(self) -> int:
+        count = sum(p.parameter_count() for p in self.projections)
+        count += self.att_src.size + self.att_dst.size
+        return int(count)
+
+
+def build_gat(
+    input_dim: int,
+    head_dim: int = 16,
+    num_heads: int = 4,
+    num_layers: int = 5,
+    output_dim: int = 1,
+    seed: int = 0,
+    with_head: bool = True,
+) -> GNNModel:
+    """Build the paper's GAT configuration: 5 layers, 4 heads x 16 features."""
+    rng = np.random.default_rng(seed)
+    hidden_dim = head_dim * num_heads
+    encoder = Linear(input_dim, hidden_dim, rng=rng)
+    layers = []
+    for i in range(num_layers):
+        last = i == num_layers - 1
+        layers.append(
+            GATLayer(
+                in_dim=hidden_dim,
+                head_dim=head_dim if not last else hidden_dim,
+                num_heads=num_heads if not last else 1,
+                rng=rng,
+                concat_heads=not last,
+            )
+        )
+    head = None
+    if with_head:
+        from ..heads import LinearHead
+
+        head = LinearHead(hidden_dim, output_dim, rng=rng)
+    return GNNModel(
+        name="GAT", input_encoder=encoder, layers=layers, head=head, pooling="mean"
+    )

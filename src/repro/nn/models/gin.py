@@ -1,0 +1,111 @@
+"""Graph Isomorphism Network with edge embeddings (Eq. (1) of the paper).
+
+    x_i^{l+1} = MLP( (1 + eps) * x_i^l + sum_{j in N(i)} ReLU(x_j^l + e_{j,i}^l) )
+
+GIN is the paper's representative of GNNs where SpMM does not apply because
+the message ``ReLU(x_j + e_{j,i})`` must be computed once *per edge*.  The
+node transformation is a two-layer MLP, which is why GIN's NT unit dominates
+its latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graph import Graph
+from ..layers import MLP, Linear, relu
+from .base import GNNLayer, GNNModel, LayerSpec
+
+__all__ = ["GINLayer", "build_gin"]
+
+
+class GINLayer(GNNLayer):
+    """One GIN layer with edge embeddings and an MLP node transformation."""
+
+    def __init__(
+        self,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        epsilon: float = 0.0,
+        mlp_hidden: Optional[int] = None,
+    ) -> None:
+        self.dim = dim
+        self.epsilon = float(epsilon)
+        hidden = mlp_hidden if mlp_hidden is not None else dim
+        self.mlp = MLP(dim, [hidden], dim, rng=rng, activation="relu")
+
+    def spec(self) -> LayerSpec:
+        shapes = tuple((layer.in_dim, layer.out_dim) for layer in self.mlp.layers)
+        return LayerSpec(
+            in_dim=self.dim,
+            out_dim=self.dim,
+            nt_linear_shapes=shapes,
+            message_dim=self.dim,
+            aggregated_dim=self.dim,
+            aggregation="sum",
+            uses_edge_features=True,
+            edge_ops_per_element=3,  # add edge embedding, ReLU, accumulate
+            dataflow="nt_to_mp",
+        )
+
+    def message(
+        self,
+        x_src: np.ndarray,
+        x_dst: np.ndarray,
+        edge_features: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if edge_features is not None:
+            if edge_features.shape[1] != x_src.shape[1]:
+                raise ValueError(
+                    "GIN edge embeddings must match the node embedding width; "
+                    "encode raw edge features with the model's edge encoder"
+                )
+            return relu(x_src + edge_features)
+        return relu(x_src)
+
+    def update(self, x: np.ndarray, aggregated: np.ndarray) -> np.ndarray:
+        return self.mlp((1.0 + self.epsilon) * x + aggregated)
+
+    def parameter_count(self) -> int:
+        return self.mlp.parameter_count() + 1  # +1 for epsilon
+
+
+def build_gin(
+    input_dim: int,
+    edge_input_dim: int = 0,
+    hidden_dim: int = 100,
+    num_layers: int = 5,
+    output_dim: int = 1,
+    seed: int = 0,
+    epsilon: float = 0.0,
+    with_head: bool = True,
+) -> GNNModel:
+    """Build the paper's GIN configuration: 5 layers, dim 100, linear head.
+
+    When ``edge_input_dim > 0`` each layer gets its own edge encoder mapping
+    raw edge features (e.g. bond types) into the hidden dimension, mirroring
+    the OGB GIN reference the paper cross-checks against.
+    """
+    rng = np.random.default_rng(seed)
+    encoder = Linear(input_dim, hidden_dim, rng=rng)
+    layers = [GINLayer(hidden_dim, rng=rng, epsilon=epsilon) for _ in range(num_layers)]
+    edge_encoders = None
+    if edge_input_dim > 0:
+        edge_encoders = [
+            Linear(edge_input_dim, hidden_dim, rng=rng) for _ in range(num_layers)
+        ]
+    head = None
+    if with_head:
+        from ..heads import LinearHead
+
+        head = LinearHead(hidden_dim, output_dim, rng=rng)
+    return GNNModel(
+        name="GIN",
+        input_encoder=encoder,
+        layers=layers,
+        head=head,
+        pooling="mean",
+        edge_encoders=edge_encoders,
+    )

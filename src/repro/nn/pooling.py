@@ -1,0 +1,65 @@
+"""Graph-level readout (pooling) functions.
+
+Every graph-level model in the paper ends with global average pooling
+followed by a prediction head; sum and max pooling are provided as well for
+extension models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool", "POOLING"]
+
+
+def _segments(node_to_graph: Optional[np.ndarray], num_rows: int):
+    if node_to_graph is None:
+        return np.zeros(num_rows, dtype=np.int64), 1
+    node_to_graph = np.asarray(node_to_graph, dtype=np.int64)
+    if node_to_graph.shape[0] != num_rows:
+        raise ValueError("node_to_graph must assign every node to a graph")
+    num_graphs = int(node_to_graph.max()) + 1 if node_to_graph.size else 0
+    return node_to_graph, num_graphs
+
+
+def global_sum_pool(
+    embeddings: np.ndarray, node_to_graph: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Sum node embeddings per graph.  ``node_to_graph`` defaults to a single graph."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    segments, num_graphs = _segments(node_to_graph, embeddings.shape[0])
+    out = np.zeros((num_graphs, embeddings.shape[1]))
+    np.add.at(out, segments, embeddings)
+    return out
+
+
+def global_mean_pool(
+    embeddings: np.ndarray, node_to_graph: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Average node embeddings per graph — the readout used by all six models."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    segments, num_graphs = _segments(node_to_graph, embeddings.shape[0])
+    totals = global_sum_pool(embeddings, segments)
+    counts = np.bincount(segments, minlength=num_graphs).astype(np.float64)[:, None]
+    return np.divide(totals, counts, out=np.zeros_like(totals), where=counts > 0)
+
+
+def global_max_pool(
+    embeddings: np.ndarray, node_to_graph: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Element-wise max of node embeddings per graph."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    segments, num_graphs = _segments(node_to_graph, embeddings.shape[0])
+    out = np.full((num_graphs, embeddings.shape[1]), -np.inf)
+    np.maximum.at(out, segments, embeddings)
+    out[np.isinf(out)] = 0.0
+    return out
+
+
+POOLING = {
+    "mean": global_mean_pool,
+    "sum": global_sum_pool,
+    "max": global_max_pool,
+}

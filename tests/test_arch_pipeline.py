@@ -1,0 +1,164 @@
+"""Tests for the layer-level pipeline scheduling strategies (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchitectureConfig,
+    PipelineStrategy,
+    baseline_dataflow_config,
+    fixed_pipeline_config,
+    non_pipeline_config,
+    schedule_layer,
+)
+from repro.graph import Graph, erdos_renyi_graph, knn_point_cloud_graph
+from repro.nn import build_gat, build_gcn, build_gin
+
+
+@pytest.fixture
+def hep_like_graph(rng):
+    return knn_point_cloud_graph(40, 8, rng, node_feature_dim=7)
+
+
+@pytest.fixture
+def gcn_spec():
+    return build_gcn(input_dim=7, hidden_dim=64, num_layers=1).layers[0].spec()
+
+
+class TestStrategyOrdering:
+    """The qualitative claim of Fig. 4/Fig. 9: each refinement helps (or at least never hurts)."""
+
+    def test_pipelining_never_hurts(self, hep_like_graph, gcn_spec):
+        non_pipeline = schedule_layer(hep_like_graph, gcn_spec, non_pipeline_config())
+        fixed = schedule_layer(hep_like_graph, gcn_spec, fixed_pipeline_config())
+        baseline = schedule_layer(hep_like_graph, gcn_spec, baseline_dataflow_config())
+        flowgnn = schedule_layer(
+            hep_like_graph, gcn_spec, ArchitectureConfig(apply_parallelism=1, scatter_parallelism=1)
+        )
+        assert fixed.cycles <= non_pipeline.cycles
+        assert baseline.cycles <= fixed.cycles
+        assert flowgnn.cycles <= baseline.cycles
+
+    def test_fixed_pipeline_strictly_faster_than_non_pipeline(self, hep_like_graph, gcn_spec):
+        non_pipeline = schedule_layer(hep_like_graph, gcn_spec, non_pipeline_config())
+        fixed = schedule_layer(hep_like_graph, gcn_spec, fixed_pipeline_config())
+        assert fixed.cycles < non_pipeline.cycles
+
+    def test_more_units_help_on_large_graphs(self, rng, gcn_spec):
+        graph = erdos_renyi_graph(200, 0.05, rng)
+        small = schedule_layer(graph, gcn_spec, ArchitectureConfig(num_nt_units=1, num_mp_units=1))
+        large = schedule_layer(graph, gcn_spec, ArchitectureConfig(num_nt_units=4, num_mp_units=4))
+        assert large.cycles < small.cycles
+
+    def test_lane_parallelism_helps(self, hep_like_graph, gcn_spec):
+        narrow = schedule_layer(
+            hep_like_graph, gcn_spec, ArchitectureConfig(apply_parallelism=1, scatter_parallelism=1)
+        )
+        wide = schedule_layer(
+            hep_like_graph, gcn_spec, ArchitectureConfig(apply_parallelism=4, scatter_parallelism=8)
+        )
+        assert wide.cycles < narrow.cycles
+
+
+class TestTimingAccounting:
+    def test_busy_cycles_independent_of_strategy(self, hep_like_graph, gcn_spec):
+        """Total useful work is strategy-independent; only idle time differs."""
+        results = [
+            schedule_layer(hep_like_graph, gcn_spec, config)
+            for config in (
+                non_pipeline_config(),
+                fixed_pipeline_config(),
+                baseline_dataflow_config(),
+            )
+        ]
+        nt_busy = {r.nt_busy_cycles for r in results}
+        mp_busy = {r.mp_busy_cycles for r in results}
+        assert len(nt_busy) == 1
+        assert len(mp_busy) == 1
+
+    def test_utilisation_bounds(self, hep_like_graph, gcn_spec):
+        for config in (non_pipeline_config(), ArchitectureConfig()):
+            timing = schedule_layer(hep_like_graph, gcn_spec, config)
+            assert 0.0 <= timing.nt_utilisation <= 1.0
+            assert 0.0 <= timing.mp_utilisation <= 1.0
+            assert timing.idle_cycles >= 0
+
+    def test_non_pipeline_cycles_equal_sum_of_work(self, hep_like_graph, gcn_spec):
+        config = non_pipeline_config()
+        timing = schedule_layer(hep_like_graph, gcn_spec, config)
+        # Serialised: total is at least the sum of NT and MP busy time.
+        assert timing.cycles >= timing.nt_busy_cycles + timing.mp_busy_cycles
+
+    def test_flowgnn_cycles_bounded_below_by_critical_unit(self, hep_like_graph, gcn_spec):
+        config = ArchitectureConfig()
+        timing = schedule_layer(hep_like_graph, gcn_spec, config)
+        nt_lower = timing.nt_busy_cycles / config.num_nt_units
+        mp_lower = timing.mp_busy_cycles / config.num_mp_units
+        assert timing.cycles >= max(nt_lower, mp_lower)
+
+    def test_empty_graph_costs_only_barrier(self, gcn_spec):
+        graph = Graph(num_nodes=0, edge_index=np.zeros((0, 2)))
+        for config in (
+            non_pipeline_config(),
+            fixed_pipeline_config(),
+            baseline_dataflow_config(),
+            ArchitectureConfig(),
+        ):
+            timing = schedule_layer(graph, gcn_spec, config)
+            assert timing.cycles == config.layer_barrier_cycles
+
+    def test_edgeless_graph_still_pays_nt(self, gcn_spec):
+        graph = Graph(num_nodes=10, edge_index=np.zeros((0, 2)))
+        timing = schedule_layer(graph, gcn_spec, ArchitectureConfig())
+        assert timing.cycles > ArchitectureConfig().layer_barrier_cycles
+        assert timing.mp_busy_cycles == 0
+
+
+class TestDataflowDirections:
+    def test_gat_uses_gather_first_schedule(self, hep_like_graph):
+        gat_spec = build_gat(input_dim=7, num_layers=1).layers[0].spec()
+        timing = schedule_layer(hep_like_graph, gat_spec, ArchitectureConfig())
+        assert timing.strategy == PipelineStrategy.FLOWGNN
+        assert timing.cycles > 0
+        assert timing.mp_busy_cycles > 0
+
+    def test_gather_first_supported_by_all_strategies(self, hep_like_graph):
+        gat_spec = build_gat(input_dim=7, num_layers=1).layers[0].spec()
+        cycles = []
+        for config in (
+            non_pipeline_config(),
+            fixed_pipeline_config(),
+            baseline_dataflow_config(),
+            ArchitectureConfig(),
+        ):
+            cycles.append(schedule_layer(hep_like_graph, gat_spec, config).cycles)
+        # Monotone non-increasing across the refinement order.
+        assert cycles == sorted(cycles, reverse=True) or cycles[-1] <= cycles[0]
+
+    def test_edge_embedding_models_cost_more_per_edge(self, hep_like_graph):
+        gin_spec = build_gin(input_dim=7, edge_input_dim=3, hidden_dim=64, num_layers=1).layers[0].spec()
+        gcn_spec = build_gcn(input_dim=7, hidden_dim=64, num_layers=1).layers[0].spec()
+        config = non_pipeline_config()
+        gin_timing = schedule_layer(hep_like_graph, gin_spec, config)
+        gcn_timing = schedule_layer(hep_like_graph, gcn_spec, config)
+        assert gin_timing.mp_busy_cycles > gcn_timing.mp_busy_cycles
+
+
+class TestVirtualNodeOverlap:
+    def test_flowgnn_absorbs_virtual_node_imbalance_better_than_fixed(self, rng, gcn_spec):
+        """Fig. 6: the dataflow pipeline overlaps the virtual node's huge MP burst."""
+        base = erdos_renyi_graph(60, 0.05, rng)
+        augmented, _ = base.with_virtual_node()
+
+        fixed = fixed_pipeline_config()
+        flow = ArchitectureConfig(apply_parallelism=1, scatter_parallelism=1)
+
+        fixed_penalty = (
+            schedule_layer(augmented, gcn_spec, fixed).cycles
+            - schedule_layer(base, gcn_spec, fixed).cycles
+        )
+        flow_penalty = (
+            schedule_layer(augmented, gcn_spec, flow).cycles
+            - schedule_layer(base, gcn_spec, flow).cycles
+        )
+        assert flow_penalty < fixed_penalty

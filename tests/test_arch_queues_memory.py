@@ -1,0 +1,157 @@
+"""Tests for the FIFO queues and banked/ping-pong memory structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    BankAccessError,
+    BankedBuffer,
+    FIFOQueue,
+    PingPongMessageBuffers,
+    QueueEmptyError,
+    QueueFullError,
+)
+
+
+class TestFIFOQueue:
+    def test_fifo_order(self):
+        queue = FIFOQueue(capacity=4, latency_cycles=0)
+        for i in range(3):
+            queue.push(i, cycle=i)
+        assert [queue.pop(10) for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_enforced(self):
+        queue = FIFOQueue(capacity=2)
+        queue.push("a", 0)
+        queue.push("b", 0)
+        assert queue.is_full()
+        with pytest.raises(QueueFullError):
+            queue.push("c", 0)
+        assert not queue.try_push("c", 0)
+        assert queue.stats.full_stall_cycles >= 2
+
+    def test_latency_hides_items_until_visible(self):
+        queue = FIFOQueue(capacity=4, latency_cycles=3)
+        queue.push("x", cycle=10)
+        assert queue.try_pop(cycle=12) is None
+        assert queue.peek_ready(cycle=12) is None
+        assert queue.pop(cycle=13) == "x"
+
+    def test_pop_empty_raises(self):
+        queue = FIFOQueue(capacity=2)
+        with pytest.raises(QueueEmptyError):
+            queue.pop(0)
+        assert queue.try_pop(0) is None
+        assert queue.stats.empty_stall_cycles >= 2
+
+    def test_drain(self):
+        queue = FIFOQueue(capacity=8, latency_cycles=1)
+        for i in range(5):
+            queue.push(i, cycle=0)
+        assert queue.drain(cycle=100) == [0, 1, 2, 3, 4]
+        assert queue.is_empty()
+
+    def test_statistics_track_occupancy(self):
+        queue = FIFOQueue(capacity=8)
+        for i in range(5):
+            queue.push(i, 0)
+        assert queue.stats.max_occupancy == 5
+        assert queue.stats.pushes == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FIFOQueue(capacity=0)
+        with pytest.raises(ValueError):
+            FIFOQueue(capacity=2, latency_cycles=-1)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fifo_preserves_order(self, items):
+        queue = FIFOQueue(capacity=len(items), latency_cycles=0)
+        for i, item in enumerate(items):
+            queue.push(item, cycle=i)
+        popped = [queue.pop(cycle=10_000) for _ in items]
+        assert popped == items
+
+
+class TestBankedBuffer:
+    def test_read_write_roundtrip(self):
+        buffer = BankedBuffer(num_entries=8, width=4, num_banks=2)
+        value = np.arange(4, dtype=float)
+        buffer.write(3, value)
+        np.testing.assert_array_equal(buffer.read(3), value)
+
+    def test_bank_ownership_enforced(self):
+        buffer = BankedBuffer(num_entries=8, width=2, num_banks=4)
+        # Entry 5 lives in bank 1; a unit owning bank 2 must not touch it.
+        buffer.write(5, np.zeros(2), owner_bank=1)
+        with pytest.raises(BankAccessError):
+            buffer.write(5, np.zeros(2), owner_bank=2)
+        with pytest.raises(BankAccessError):
+            buffer.read(5, owner_bank=0)
+
+    def test_accumulate_reductions(self):
+        buffer = BankedBuffer(num_entries=2, width=2)
+        buffer.accumulate(0, np.array([1.0, 5.0]))
+        buffer.accumulate(0, np.array([3.0, 2.0]))
+        np.testing.assert_array_equal(buffer.read(0), [4.0, 7.0])
+        buffer.fill(0.0)
+        buffer.accumulate(0, np.array([1.0, 5.0]), reduction="max")
+        buffer.accumulate(0, np.array([3.0, 2.0]), reduction="max")
+        np.testing.assert_array_equal(buffer.read(0), [3.0, 5.0])
+
+    def test_unsupported_reduction(self):
+        buffer = BankedBuffer(2, 2)
+        with pytest.raises(ValueError):
+            buffer.accumulate(0, np.zeros(2), reduction="median")
+
+    def test_shape_validation(self):
+        buffer = BankedBuffer(4, 3)
+        with pytest.raises(ValueError):
+            buffer.write(0, np.zeros(5))
+        with pytest.raises(IndexError):
+            buffer.read(10)
+        with pytest.raises(ValueError):
+            buffer.load(np.zeros((2, 2)))
+
+    def test_access_counters(self):
+        buffer = BankedBuffer(4, 2, num_banks=2)
+        buffer.write(0, np.zeros(2))
+        buffer.read(1)
+        buffer.accumulate(2, np.zeros(2))
+        assert buffer.total_accesses() == 4  # write + read + (read+write)
+
+
+class TestPingPongBuffers:
+    def test_roles_swap(self):
+        buffers = PingPongMessageBuffers(num_entries=4, width=2)
+        read_before = buffers.read_buffer
+        write_before = buffers.write_buffer
+        assert read_before is not write_before
+        buffers.swap()
+        assert buffers.read_buffer is write_before
+        assert buffers.write_buffer is read_before
+        assert buffers.swaps == 1
+
+    def test_swap_clears_new_write_buffer(self):
+        buffers = PingPongMessageBuffers(num_entries=2, width=2)
+        buffers.read_buffer.write(0, np.array([7.0, 7.0]))
+        buffers.swap()
+        # The buffer that held data is now the write buffer and was cleared.
+        np.testing.assert_array_equal(buffers.write_buffer.read(0), [0.0, 0.0])
+
+    def test_layer_alternation_preserves_aggregates(self):
+        """Simulate two layers: messages written in layer l are read in layer l+1."""
+        buffers = PingPongMessageBuffers(num_entries=3, width=1)
+        buffers.write_buffer.accumulate(1, np.array([2.0]))
+        buffers.write_buffer.accumulate(1, np.array([3.0]))
+        buffers.swap()
+        np.testing.assert_array_equal(buffers.read_buffer.read(1), [5.0])
+
+    def test_resize_width(self):
+        buffers = PingPongMessageBuffers(num_entries=2, width=2)
+        buffers.resize_width(6)
+        assert buffers.read_buffer.width == 6
+        assert buffers.write_buffer.width == 6

@@ -1,0 +1,178 @@
+"""Tests for the end-to-end simulator and the FlowGNNAccelerator API."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchitectureConfig,
+    FlowGNNAccelerator,
+    graph_loading_cycles,
+    simulate_inference,
+    weight_loading_cycles,
+)
+from repro.graph import molecule_like_graph
+from repro.nn import MODEL_NAMES, build_gin, build_gin_virtual_node, build_model
+
+
+class TestLoadingCosts:
+    def test_graph_loading_scales_with_graph_size(self, rng):
+        config = ArchitectureConfig()
+        small = molecule_like_graph(10, rng, 9, 3)
+        large = molecule_like_graph(100, rng, 9, 3)
+        assert graph_loading_cycles(large, config) > graph_loading_cycles(small, config)
+
+    def test_graph_loading_can_be_disabled(self, rng):
+        graph = molecule_like_graph(10, rng, 9, 3)
+        config = ArchitectureConfig(include_graph_loading=False)
+        assert graph_loading_cycles(graph, config) == 0
+
+    def test_weight_loading_proportional_to_parameters(self):
+        config = ArchitectureConfig()
+        small = build_model("GCN", input_dim=9, hidden_dim=16, num_layers=2)
+        large = build_model("GCN", input_dim=9, hidden_dim=100, num_layers=5)
+        assert weight_loading_cycles(large, config) > weight_loading_cycles(small, config)
+        assert weight_loading_cycles(large, config) == pytest.approx(
+            large.parameter_count() / config.loading_elements_per_cycle, abs=1.0
+        )
+
+
+class TestSimulationResult:
+    def test_total_cycles_composition(self, gin_model, molhiv_sample):
+        result = simulate_inference(gin_model, molhiv_sample[0])
+        assert result.total_cycles == (
+            result.loading_cycles + result.compute_cycles + result.readout_cycles
+        )
+        assert result.latency_s == pytest.approx(
+            result.total_cycles / 300e6, rel=1e-9
+        )
+        assert len(result.layer_timings) == gin_model.num_layers
+
+    def test_amortised_cycles_decrease_with_stream_length(self, gin_model, molhiv_sample):
+        result = simulate_inference(gin_model, molhiv_sample[0])
+        assert result.amortised_cycles(1) > result.amortised_cycles(1000)
+        assert result.amortised_cycles(10**9) == pytest.approx(result.total_cycles, rel=1e-3)
+        with pytest.raises(ValueError):
+            result.amortised_cycles(0)
+
+    def test_breakdown_keys(self, gin_model, molhiv_sample):
+        breakdown = simulate_inference(gin_model, molhiv_sample[0]).breakdown()
+        assert set(breakdown) == {
+            "graph_loading",
+            "layers",
+            "readout",
+            "weight_loading_one_time",
+        }
+
+    def test_functional_output_matches_reference(self, gin_model, molhiv_sample):
+        graph = molhiv_sample[0]
+        result = simulate_inference(gin_model, graph, functional=True)
+        reference = gin_model.forward(graph)
+        np.testing.assert_allclose(
+            result.functional_output.graph_output, reference.graph_output, atol=1e-12
+        )
+
+    def test_timing_independent_of_functional_flag(self, gin_model, molhiv_sample):
+        graph = molhiv_sample[0]
+        with_fn = simulate_inference(gin_model, graph, functional=True)
+        without = simulate_inference(gin_model, graph, functional=False)
+        assert with_fn.total_cycles == without.total_cycles
+
+    def test_larger_graphs_take_longer(self, gin_model, rng):
+        small = molecule_like_graph(10, rng, 9, 3)
+        large = molecule_like_graph(80, rng, 9, 3)
+        assert (
+            simulate_inference(gin_model, large).total_cycles
+            > simulate_inference(gin_model, small).total_cycles
+        )
+
+    def test_virtual_node_model_pays_extra_cycles(self, molhiv_sample):
+        graph = molhiv_sample[0]
+        gin = build_gin(input_dim=9, edge_input_dim=3, hidden_dim=32, num_layers=3, seed=1)
+        gin_vn = build_gin_virtual_node(
+            input_dim=9, edge_input_dim=3, hidden_dim=32, num_layers=3, seed=1
+        )
+        assert (
+            simulate_inference(gin_vn, graph).total_cycles
+            > simulate_inference(gin, graph).total_cycles
+        )
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_every_model_simulates(self, name, molhiv_sample):
+        model = build_model(
+            name,
+            input_dim=molhiv_sample.node_feature_dim,
+            edge_input_dim=molhiv_sample.edge_feature_dim,
+        )
+        result = simulate_inference(model, molhiv_sample[0])
+        assert result.total_cycles > 0
+        assert 0.0 < result.latency_ms < 10.0  # sane magnitude for a 25-node molecule
+
+    def test_parallelism_monotonicity(self, gcn_model, molhiv_sample):
+        """The DSE premise: adding lanes or units never increases latency."""
+        graph = molhiv_sample[0]
+        base = simulate_inference(
+            gcn_model,
+            graph,
+            ArchitectureConfig(num_nt_units=1, num_mp_units=1, apply_parallelism=1, scatter_parallelism=1),
+        ).compute_cycles
+        for kwargs in (
+            dict(num_nt_units=2),
+            dict(num_mp_units=2),
+            dict(apply_parallelism=2),
+            dict(scatter_parallelism=2),
+            dict(num_nt_units=4, num_mp_units=4, apply_parallelism=4, scatter_parallelism=8),
+        ):
+            config = ArchitectureConfig(
+                **{
+                    "num_nt_units": 1,
+                    "num_mp_units": 1,
+                    "apply_parallelism": 1,
+                    "scatter_parallelism": 1,
+                    **kwargs,
+                }
+            )
+            assert simulate_inference(gcn_model, graph, config).compute_cycles <= base
+
+
+class TestAccelerator:
+    def test_run_stream_aggregates(self, gin_model, molhiv_sample):
+        accelerator = FlowGNNAccelerator(gin_model)
+        result = accelerator.run_stream(list(molhiv_sample))
+        assert result.num_graphs == len(molhiv_sample)
+        assert result.mean_latency_ms > 0
+        assert result.throughput_graphs_per_s > 0
+        assert len(result.latencies_ms()) == result.num_graphs
+
+    def test_mean_latency_includes_amortised_weights(self, gin_model, molhiv_sample):
+        accelerator = FlowGNNAccelerator(gin_model)
+        graphs = list(molhiv_sample)[:2]
+        stream = accelerator.run_stream(graphs)
+        raw_mean = float(np.mean([r.latency_ms for r in stream.per_graph_results]))
+        assert stream.mean_latency_ms > raw_mean  # weight load spread over 2 graphs
+
+    def test_latency_callable_matches_run(self, gin_model, molhiv_sample):
+        accelerator = FlowGNNAccelerator(gin_model)
+        graph = molhiv_sample[0]
+        assert accelerator.latency_seconds(graph) == pytest.approx(
+            accelerator.run(graph).latency_s
+        )
+
+    def test_infer_returns_reference_output(self, gin_model, molhiv_sample):
+        accelerator = FlowGNNAccelerator(gin_model)
+        graph = molhiv_sample[0]
+        np.testing.assert_allclose(
+            accelerator.infer(graph).graph_output,
+            gin_model.forward(graph).graph_output,
+            atol=1e-12,
+        )
+
+    def test_real_time_stream_statistics(self, gin_model, molhiv_sample):
+        accelerator = FlowGNNAccelerator(gin_model)
+        result = accelerator.run_stream(
+            list(molhiv_sample), arrival_interval_s=1e-3, deadline_s=1e-3
+        )
+        stats = result.stream_statistics
+        assert stats is not None
+        # FlowGNN latency is far below a 1 ms arrival interval: no misses.
+        assert stats.deadline_miss_count() == 0
+        assert stats.mean_latency_s < 1e-3

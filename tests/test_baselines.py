@@ -1,0 +1,164 @@
+"""Tests for the CPU / GPU / GCN-accelerator baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AWBGCN_PUBLISHED,
+    CPUBaseline,
+    GPUBaseline,
+    IGCN_PUBLISHED,
+    awbgcn_model,
+    dsp_normalised_latency,
+    igcn_model,
+    profile_model_on_graph,
+)
+from repro.eval import within_factor
+from repro.eval.experiments import TABLE5_REFERENCE_MS
+from repro.nn import MODEL_NAMES, build_model
+
+
+@pytest.fixture(scope="module")
+def hep_models(request):
+    from repro.datasets import make_hep_like
+
+    dataset = make_hep_like(num_graphs=6, seed=9)
+    models = {
+        name: build_model(
+            name,
+            input_dim=dataset.node_feature_dim,
+            edge_input_dim=dataset.edge_feature_dim,
+        )
+        for name in MODEL_NAMES
+    }
+    return dataset, models
+
+
+class TestWorkloadProfile:
+    def test_profile_counts(self, gin_model, molhiv_sample):
+        graph = molhiv_sample[0]
+        profile = profile_model_on_graph(gin_model, graph)
+        assert profile.num_nodes == graph.num_nodes
+        assert profile.num_edges == graph.num_edges
+        assert profile.dense_macs > 0
+        assert profile.edge_elements > 0
+        assert profile.kernel_invocations > gin_model.num_layers
+
+    def test_profile_scales_with_graph(self, gin_model, molhiv_sample, rng):
+        from repro.graph import molecule_like_graph
+
+        small = profile_model_on_graph(gin_model, molecule_like_graph(10, rng, 9, 3))
+        large = profile_model_on_graph(gin_model, molecule_like_graph(100, rng, 9, 3))
+        assert large.dense_macs > small.dense_macs
+        assert large.edge_elements > small.edge_elements
+
+
+class TestBatchAmortisation:
+    def test_gpu_latency_decreases_with_batch_size(self, hep_models):
+        dataset, models = hep_models
+        gpu = GPUBaseline(models["GIN"])
+        graph = dataset[0]
+        latencies = [gpu.latency_ms(graph, batch) for batch in (1, 4, 16, 64, 256, 1024)]
+        assert all(b <= a for a, b in zip(latencies, latencies[1:]))
+        # Amortisation is dramatic: >10x from batch 1 to batch 1024.
+        assert latencies[0] / latencies[-1] > 10
+
+    def test_gat_and_dgn_keep_a_per_graph_floor(self, hep_models):
+        """The models FlowGNN still beats at batch 1024 must not amortise away."""
+        dataset, models = hep_models
+        graph = dataset[0]
+        for name in ("GAT", "DGN"):
+            gpu = GPUBaseline(models[name])
+            assert gpu.latency_ms(graph, 1024) > 0.1  # >= 100 us per graph
+        assert GPUBaseline(models["GIN"]).latency_ms(graph, 1024) < 0.1
+
+    def test_batch_sweep_shapes(self, hep_models):
+        dataset, models = hep_models
+        sweep = GPUBaseline(models["GCN"]).batch_sweep_ms(dataset[0])
+        assert list(sweep) == [1, 4, 16, 64, 256, 1024]
+        mean_sweep = GPUBaseline(models["GCN"]).mean_batch_sweep_ms(list(dataset)[:3])
+        assert set(mean_sweep) == set(sweep)
+
+    def test_invalid_batch_size(self, hep_models):
+        dataset, models = hep_models
+        with pytest.raises(ValueError):
+            GPUBaseline(models["GCN"]).latency_ms(dataset[0], 0)
+        with pytest.raises(ValueError):
+            CPUBaseline(models["GCN"]).latency_ms(dataset[0], -1)
+
+
+class TestCalibrationAgainstTableV:
+    """Batch-1 latencies on HEP-sized graphs should track the paper's Table V."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_cpu_within_factor_two(self, hep_models, name):
+        dataset, models = hep_models
+        measured = CPUBaseline(models[name]).mean_latency_ms(list(dataset))
+        assert within_factor(measured, TABLE5_REFERENCE_MS[name]["cpu"], 2.0), (
+            name,
+            measured,
+        )
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_gpu_within_factor_two(self, hep_models, name):
+        dataset, models = hep_models
+        measured = GPUBaseline(models[name]).mean_latency_ms(list(dataset))
+        assert within_factor(measured, TABLE5_REFERENCE_MS[name]["gpu"], 2.0), (
+            name,
+            measured,
+        )
+
+    def test_cpu_slower_than_gpu_except_dgn(self, hep_models):
+        dataset, models = hep_models
+        graph = dataset[0]
+        for name in ("GCN", "GIN", "PNA"):
+            assert CPUBaseline(models[name]).latency_ms(graph) > GPUBaseline(
+                models[name]
+            ).latency_ms(graph)
+        # DGN is the paper's odd case: the GPU is slower than the CPU at batch 1.
+        assert GPUBaseline(models["DGN"]).latency_ms(graph) > CPUBaseline(
+            models["DGN"]
+        ).latency_ms(graph)
+
+    def test_energy_metrics_positive(self, hep_models):
+        dataset, models = hep_models
+        graph = dataset[0]
+        for baseline_cls in (CPUBaseline, GPUBaseline):
+            baseline = baseline_cls(models["GIN"])
+            assert baseline.energy_per_graph_j(graph) > 0
+            assert baseline.graphs_per_kilojoule(graph) > 0
+
+
+class TestGCNAcceleratorModels:
+    def test_published_numbers_round_trip(self):
+        igcn = igcn_model()
+        for dataset, reference in IGCN_PUBLISHED.items():
+            assert igcn.latency_us(dataset) == reference.latency_us
+            assert igcn.published_energy_efficiency(dataset) == (
+                reference.energy_efficiency_graphs_per_kj
+            )
+
+    def test_awbgcn_slower_than_igcn_everywhere(self):
+        igcn, awb = igcn_model(), awbgcn_model()
+        for dataset in IGCN_PUBLISHED:
+            assert awb.latency_us(dataset) >= igcn.latency_us(dataset)
+
+    def test_dsp_normalisation(self):
+        # Same latency on 4x fewer DSPs is 4x better after normalisation.
+        assert dsp_normalised_latency(8.0, 1024, reference_dsps=4096) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            dsp_normalised_latency(1.0, 0)
+
+    def test_analytical_estimate_for_unpublished_graph(self, rng):
+        from repro.graph import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(500, 0.01, rng, node_feature_dim=64)
+        igcn = igcn_model()
+        estimate = igcn.estimated_latency_us(graph)
+        assert estimate > 0
+        # Redundancy removal makes I-GCN's estimate cheaper than AWB-GCN's.
+        assert estimate < awbgcn_model().estimated_latency_us(graph)
+
+    def test_unpublished_dataset_requires_graph(self):
+        with pytest.raises(KeyError):
+            igcn_model().latency_us("Flickr")

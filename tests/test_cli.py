@@ -1,0 +1,76 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.model == "GIN"
+        assert args.dataset == "MolHIV"
+        assert args.nt_units == 2 and args.mp_units == 4
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--model", "Transformer"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "MolHIV", "HEP"]) == 0
+        out = capsys.readouterr().out
+        assert "MolHIV" in out and "HEP" in out
+
+    def test_simulate_command_with_baselines(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model",
+                "GCN",
+                "--dataset",
+                "MolHIV",
+                "--num-graphs",
+                "4",
+                "--compare-baselines",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FlowGNN simulation" in out
+        assert "baseline comparison" in out
+        assert "GPU A6000" in out
+
+    def test_simulate_custom_parallelism(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model",
+                "GAT",
+                "--dataset",
+                "HEP",
+                "--num-graphs",
+                "2",
+                "--nt-units",
+                "1",
+                "--mp-units",
+                "2",
+                "--apply",
+                "1",
+                "--scatter",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "P_node=1" in capsys.readouterr().out
+
+    def test_experiments_command_subset(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "dsp" in out

@@ -1,0 +1,156 @@
+"""Tests for the synthetic dataset generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    HEP_KNN_K,
+    TABLE4_REFERENCE,
+    GraphDataset,
+    dataset_statistics_table,
+    load_dataset,
+    make_citeseer_like,
+    make_cora_like,
+    make_hep_like,
+    make_molhiv_like,
+    make_molpcba_like,
+    make_reddit_like,
+)
+from repro.graph import Graph
+
+
+class TestGraphDataset:
+    def test_container_protocol(self, molhiv_sample):
+        assert len(molhiv_sample) == 8
+        assert isinstance(molhiv_sample[0], Graph)
+        assert sum(1 for _ in molhiv_sample) == 8
+
+    def test_statistics(self, molhiv_sample):
+        stats = molhiv_sample.statistics()
+        assert stats.name == "MolHIV"
+        assert stats.num_graphs == 8
+        assert stats.mean_nodes > 0
+        assert stats.has_edge_features
+        assert len(stats.as_row()) == 5
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            GraphDataset(name="empty", graphs=[], node_feature_dim=4)
+
+    def test_as_stream(self, molhiv_sample):
+        stream = molhiv_sample.as_stream(arrival_interval_s=1e-3, limit=3)
+        assert len(stream) == 3
+        assert stream.arrival_times()[-1] == pytest.approx(2e-3)
+
+    def test_sample_without_replacement(self, molhiv_sample):
+        sampled = molhiv_sample.sample(4)
+        assert len(sampled) == 4
+        assert len({id(g) for g in sampled}) == 4
+
+    def test_aggregate_counts(self, molhiv_sample):
+        assert molhiv_sample.total_nodes() == sum(g.num_nodes for g in molhiv_sample)
+        assert molhiv_sample.max_edges() == max(g.num_edges for g in molhiv_sample)
+
+
+class TestMolecularDatasets:
+    def test_molhiv_statistics_match_reference(self):
+        dataset = make_molhiv_like(num_graphs=256, seed=1)
+        stats = dataset.statistics()
+        assert abs(stats.mean_nodes - 25.3) / 25.3 < 0.2
+        assert abs(stats.mean_edges - 55.6) / 55.6 < 0.3
+        assert dataset.node_feature_dim == 9
+        assert dataset.edge_feature_dim == 3
+
+    def test_molpcba_larger_than_molhiv(self):
+        molhiv = make_molhiv_like(num_graphs=128, seed=1).statistics()
+        molpcba = make_molpcba_like(num_graphs=128, seed=2).statistics()
+        assert molpcba.mean_nodes > molhiv.mean_nodes * 0.9
+
+    def test_determinism(self):
+        a = make_molhiv_like(num_graphs=4, seed=3)
+        b = make_molhiv_like(num_graphs=4, seed=3)
+        np.testing.assert_array_equal(a[0].edge_index, b[0].edge_index)
+
+    def test_every_molecule_has_features(self):
+        dataset = make_molhiv_like(num_graphs=16, seed=4)
+        for graph in dataset:
+            assert graph.node_features.shape == (graph.num_nodes, 9)
+            assert graph.edge_features.shape == (graph.num_edges, 3)
+
+
+class TestHEPDataset:
+    def test_knn_structure(self):
+        dataset = make_hep_like(num_graphs=8, seed=5)
+        for graph in dataset:
+            # EdgeConv: every particle has exactly k in-edges.
+            np.testing.assert_array_equal(
+                graph.in_degrees(), np.full(graph.num_nodes, HEP_KNN_K)
+            )
+            assert graph.num_edges == HEP_KNN_K * graph.num_nodes
+
+    def test_mean_statistics(self):
+        stats = make_hep_like(num_graphs=128, seed=6).statistics()
+        assert abs(stats.mean_nodes - 49.1) / 49.1 < 0.15
+        assert abs(stats.mean_edges - 785.3) / 785.3 < 0.15
+
+    def test_no_edge_features(self):
+        dataset = make_hep_like(num_graphs=2, seed=7)
+        assert dataset.edge_feature_dim == 0
+
+
+class TestCitationAndSocialDatasets:
+    def test_cora_size(self):
+        dataset = make_cora_like()
+        graph = dataset[0]
+        assert graph.num_nodes == 2708
+        assert dataset.node_feature_dim == 1433
+        assert len(dataset) == 1
+
+    def test_citeseer_scaled(self):
+        graph = make_citeseer_like(scale=0.25)[0]
+        assert abs(graph.num_nodes - 0.25 * 3327) < 10
+
+    def test_citation_features_are_binary_and_nonempty(self):
+        graph = make_cora_like(scale=0.2)[0]
+        assert set(np.unique(graph.node_features)) <= {0.0, 1.0}
+        assert np.all(graph.node_features.sum(axis=1) >= 1)
+
+    def test_reddit_is_dense_and_hubby(self):
+        dataset = make_reddit_like(scale=0.005)
+        graph = dataset[0]
+        assert graph.average_degree() >= 15
+        degrees = graph.in_degrees()
+        assert degrees.max() > 5 * degrees.mean()  # hub nodes exist
+        assert np.all(graph.sources != graph.destinations)  # no self loops
+
+
+class TestRegistry:
+    def test_all_names_loadable(self):
+        for name in DATASET_NAMES:
+            if name in ("PubMed", "Reddit"):
+                dataset = load_dataset(name, scale=0.02)
+            elif name in ("Cora", "CiteSeer"):
+                dataset = load_dataset(name, scale=0.1)
+            else:
+                dataset = load_dataset(name, num_graphs=4)
+            assert len(dataset) >= 1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("ImageNet")
+
+    def test_case_insensitive_lookup(self):
+        assert load_dataset("molhiv", num_graphs=2).name == "MolHIV"
+
+    def test_table4_reference_covers_all_datasets(self):
+        assert set(TABLE4_REFERENCE) == set(DATASET_NAMES)
+        for reference in TABLE4_REFERENCE.values():
+            assert reference["graphs"] >= 1
+            assert reference["nodes"] > 0
+            assert reference["edges"] > 0
+
+    def test_statistics_table_for_custom_datasets(self):
+        datasets = [make_molhiv_like(num_graphs=4), make_hep_like(num_graphs=2)]
+        rows = dataset_statistics_table(datasets)
+        assert [row.name for row in rows] == ["MolHIV", "HEP"]

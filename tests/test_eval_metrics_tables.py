@@ -1,0 +1,77 @@
+"""Tests for evaluation metrics and the table renderer."""
+
+import pytest
+
+from repro.eval import (
+    energy_efficiency_graphs_per_kj,
+    format_value,
+    geometric_mean,
+    relative_error,
+    render_dict_table,
+    render_table,
+    speedup,
+    within_factor,
+)
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_energy_efficiency(self):
+        # 10 W for 1 ms -> 0.01 J/graph -> 100,000 graphs/kJ.
+        assert energy_efficiency_graphs_per_kj(10.0, 1e-3) == pytest.approx(1e5)
+        assert energy_efficiency_graphs_per_kj(0.0, 0.0) == float("inf")
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_within_factor(self):
+        assert within_factor(2.0, 3.0, 2.0)
+        assert not within_factor(1.0, 10.0, 2.0)
+        assert within_factor(0.0, 0.0, 3.0)
+        with pytest.raises(ValueError):
+            within_factor(1.0, 1.0, 0.5)
+
+
+class TestTableRendering:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(3) == "3"
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(0.5) == "0.5"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 123456789.0]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_dict_table(self):
+        rows = [{"model": "GIN", "ms": 0.18}, {"model": "GCN", "ms": 0.16}]
+        text = render_dict_table(rows, title="latency")
+        assert "GIN" in text and "GCN" in text and "latency" in text
+
+    def test_render_dict_table_empty(self):
+        assert render_dict_table([], title="nothing") == "nothing"

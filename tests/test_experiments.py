@@ -1,0 +1,223 @@
+"""Shape assertions on every paper experiment (Tables III-VIII, Figs. 7-10).
+
+These tests run the experiments in ``fast`` mode and check the *qualitative*
+claims of the paper — who wins, rough factors, monotone trends — rather than
+absolute numbers, which depend on the calibration constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TABLE4_REFERENCE
+from repro.eval import (
+    EXPERIMENT_REGISTRY,
+    run_all_experiments,
+    run_experiment,
+    run_fig7_latency_sweep,
+    run_fig8_citation,
+    run_fig9_ablation,
+    run_fig10_dse,
+    run_table3_resources,
+    run_table4_datasets,
+    run_table5_hep_latency,
+    run_table6_energy,
+    run_table7_imbalance,
+    run_table8_gcn_accelerators,
+)
+
+
+class TestRegistry:
+    def test_registry_covers_every_paper_artifact(self):
+        assert set(EXPERIMENT_REGISTRY) == {
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "fig7_molhiv",
+            "fig7_molpcba",
+            "fig8",
+            "fig9",
+            "fig10",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table3", fast=True)
+        assert result.name == "table3"
+        assert result.render()
+
+
+class TestTable3:
+    def test_every_model_fits_the_board(self):
+        result = run_table3_resources()
+        for row in result.rows:
+            assert row["dsp"] < 5952
+            assert row["bram"] < 1344
+            assert row["lut"] < 872_000
+
+
+class TestTable4:
+    def test_statistics_track_references(self):
+        result = run_table4_datasets(fast=True)
+        by_name = {row["dataset"]: row for row in result.rows}
+        assert set(by_name) == set(TABLE4_REFERENCE)
+        # Multi-graph datasets: mean node/edge counts within 30% of the paper.
+        for name in ("MolHIV", "MolPCBA", "HEP"):
+            row = by_name[name]
+            assert abs(row["mean_nodes"] - row["paper_nodes"]) / row["paper_nodes"] < 0.3
+            assert abs(row["mean_edges"] - row["paper_edges"]) / row["paper_edges"] < 0.3
+            assert row["edge_features"] == row["paper_edge_features"]
+
+
+class TestTable5:
+    def test_flowgnn_beats_cpu_and_gpu_on_every_model(self):
+        result = run_table5_hep_latency(fast=True, num_graphs=6)
+        for row in result.rows:
+            assert row["speedup_vs_cpu"] > 10, row["model"]
+            assert row["speedup_vs_gpu"] > 5, row["model"]
+            # Latency magnitude: sub-millisecond, like the paper's 0.05-0.21 ms.
+            assert row["flowgnn_ms"] < 1.0
+
+    def test_dgn_sees_the_largest_gpu_speedup(self):
+        """The paper's DGN row is the extreme case (443x vs GPU)."""
+        result = run_table5_hep_latency(fast=True, num_graphs=6)
+        by_model = {row["model"]: row for row in result.rows}
+        assert by_model["DGN"]["speedup_vs_gpu"] == max(
+            row["speedup_vs_gpu"] for row in result.rows
+        )
+
+
+class TestTable6:
+    def test_flowgnn_energy_efficiency_dominates(self):
+        result = run_table6_energy(fast=True)
+        for row in result.rows:
+            assert row["flowgnn_graphs_per_kj"] > 100 * row["gpu_graphs_per_kj"]
+            assert row["flowgnn_graphs_per_kj"] > 100 * row["cpu_graphs_per_kj"]
+            # Same order of magnitude as the paper's 6e5 - 2.3e6 graphs/kJ.
+            assert 1e5 < row["flowgnn_graphs_per_kj"] < 1e8
+
+
+class TestTable7:
+    def test_imbalance_below_paper_bound(self):
+        result = run_table7_imbalance(fast=True)
+        for row in result.rows:
+            for key, value in row.items():
+                if key.endswith("_pct") and not key.endswith("_paper_pct") and value is not None:
+                    assert 0.0 <= value <= 35.0, (key, value)
+
+    def test_all_p_edge_values_present(self):
+        result = run_table7_imbalance(fast=True)
+        assert [row["p_edge"] for row in result.rows] == [2, 4, 8, 16, 32, 64]
+
+
+class TestTable8:
+    def test_flowgnn_competitive_with_igcn_after_normalisation(self):
+        result = run_table8_gcn_accelerators(fast=True)
+        speedups = [row["speedup_vs_igcn"] for row in result.rows]
+        # The paper reports a 1.26x average; we accept anything from rough
+        # parity upward given the synthetic graphs and DSP normalisation.
+        assert np.prod(speedups) ** (1 / len(speedups)) > 0.5
+        # And FlowGNN should beat AWB-GCN (the weaker baseline) on most datasets.
+        awb_wins = sum(1 for row in result.rows if row["speedup_vs_awbgcn"] > 1.0)
+        assert awb_wins >= len(result.rows) - 1
+
+
+class TestFig7:
+    def test_flowgnn_wins_at_small_batch_sizes(self):
+        result = run_fig7_latency_sweep("MolHIV", fast=True)
+        for row in result.rows:
+            if row["batch_size"] == 1:
+                assert row["flowgnn_speedup_vs_gpu"] > 10, row["model"]
+            if row["batch_size"] <= 16:
+                assert row["flowgnn_speedup_vs_gpu"] > 1, row
+
+    def test_gpu_catches_up_for_batchable_models(self):
+        """The crossover: GIN/GCN GPU eventually beats FlowGNN, GAT/DGN never does."""
+        result = run_fig7_latency_sweep("MolHIV", fast=True)
+        at_1024 = {row["model"]: row for row in result.rows if row["batch_size"] == 1024}
+        assert at_1024["GIN"]["flowgnn_speedup_vs_gpu"] < 2.0
+        assert at_1024["GAT"]["flowgnn_speedup_vs_gpu"] > 2.0
+        assert at_1024["DGN"]["flowgnn_speedup_vs_gpu"] > 2.0
+
+    def test_gpu_latency_monotone_in_batch_size(self):
+        result = run_fig7_latency_sweep("MolHIV", fast=True)
+        for model in {row["model"] for row in result.rows}:
+            series = [row["gpu_ms"] for row in result.rows if row["model"] == model]
+            assert all(b <= a * 1.001 for a, b in zip(series, series[1:])), model
+
+
+class TestFig8:
+    def test_flowgnn_beats_both_baselines_on_citation_graphs(self):
+        result = run_fig8_citation(fast=True)
+        assert len(result.rows) == 12  # 6 models x 2 datasets
+        for row in result.rows:
+            assert row["speedup_vs_cpu"] > 1.0, row
+            assert row["speedup_vs_gpu"] > 1.0, row
+
+
+class TestFig9:
+    def test_ablation_speedups_monotone_nondecreasing(self):
+        result = run_fig9_ablation(fast=True)
+        speedups = [row["speedup_vs_non_pipeline"] for row in result.rows]
+        assert speedups[0] == 1.0
+        assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))
+        # Full FlowGNN delivers a substantial end-to-end gain (paper: 5.2x).
+        assert speedups[-1] > 3.0
+
+    def test_every_configuration_beats_the_gpu(self):
+        """Even the non-pipelined design beats the batch-1 GPU (paper: 4.91x)."""
+        result = run_fig9_ablation(fast=True)
+        for row in result.rows:
+            assert row["speedup_vs_gpu_bs1"] > 1.0
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def dse(self):
+        return run_fig10_dse(fast=True)
+
+    def test_full_grid_size(self, dse):
+        assert len(dse.rows) == 108  # 3 x 3 x 3 x 4 combinations
+
+    def test_all_ones_is_the_reference_point(self, dse):
+        base = [
+            row
+            for row in dse.rows
+            if row["p_node"] == row["p_edge"] == row["p_apply"] == row["p_scatter"] == 1
+        ]
+        assert len(base) == 1
+        assert base[0]["speedup_vs_all_ones"] == pytest.approx(1.0, abs=0.01)
+
+    def test_parallelism_never_hurts(self, dse):
+        for row in dse.rows:
+            assert row["speedup_vs_all_ones"] >= 0.99
+
+    def test_best_point_uses_high_parallelism(self, dse):
+        best = max(dse.rows, key=lambda row: row["speedup_vs_all_ones"])
+        assert best["p_apply"] >= 2
+        assert best["p_scatter"] >= 4
+        # Paper's best point is 5.76x over the all-ones baseline.
+        assert best["speedup_vs_all_ones"] > 3.0
+
+    def test_speedup_sublinear_in_total_parallelism(self, dse):
+        """Doubling everything does not double performance (entangled bottlenecks)."""
+        for row in dse.rows:
+            total_parallelism = (
+                row["p_node"] * row["p_edge"] * row["p_apply"] * row["p_scatter"]
+            )
+            assert row["speedup_vs_all_ones"] <= total_parallelism
+
+
+class TestRunAll:
+    def test_selected_subset(self):
+        results = run_all_experiments(fast=True, names=["table3", "fig9"])
+        assert set(results) == {"table3", "fig9"}
+        from repro.eval import render_report
+
+        report = render_report(results)
+        assert "table3" in report and "fig9" in report

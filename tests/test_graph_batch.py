@@ -1,0 +1,100 @@
+"""Tests for disjoint-union batching (the GPU-baseline batching path)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import batch_graphs, iter_batches, molecule_like_graph, unbatch_node_values
+from repro.nn import build_model
+
+
+class TestBatchGraphs:
+    def test_counts_and_offsets(self, rng):
+        graphs = [molecule_like_graph(n, rng, 4, 2) for n in (5, 8, 3)]
+        batch = batch_graphs(graphs)
+        assert batch.num_graphs == 3
+        assert batch.graph.num_nodes == 16
+        assert batch.graph.num_edges == sum(g.num_edges for g in graphs)
+        assert batch.graph_sizes.tolist() == [5, 8, 3]
+        # Edge indices of member 1 are offset by member 0's node count.
+        member1_edges = batch.graph.edge_index[batch.edge_slice(1)]
+        assert member1_edges.min() >= 5
+        assert member1_edges.max() < 13
+
+    def test_no_cross_graph_edges(self, rng):
+        graphs = [molecule_like_graph(n, rng, 4, 2) for n in (6, 6, 6)]
+        batch = batch_graphs(graphs)
+        node_to_graph = batch.node_to_graph
+        src_graph = node_to_graph[batch.graph.sources]
+        dst_graph = node_to_graph[batch.graph.destinations]
+        np.testing.assert_array_equal(src_graph, dst_graph)
+
+    def test_features_concatenated(self, rng):
+        graphs = [molecule_like_graph(n, rng, 4, 2) for n in (4, 7)]
+        batch = batch_graphs(graphs)
+        np.testing.assert_array_equal(
+            batch.graph.node_features[batch.node_slice(1)], graphs[1].node_features
+        )
+        np.testing.assert_array_equal(
+            batch.graph.edge_features[batch.edge_slice(0)], graphs[0].edge_features
+        )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+    def test_inconsistent_feature_dims_rejected(self, rng):
+        graphs = [
+            molecule_like_graph(4, rng, node_feature_dim=4),
+            molecule_like_graph(4, rng, node_feature_dim=6),
+        ]
+        with pytest.raises(ValueError):
+            batch_graphs(graphs)
+
+    def test_unbatch_node_values(self, rng):
+        graphs = [molecule_like_graph(n, rng, 4, 2) for n in (5, 9)]
+        batch = batch_graphs(graphs)
+        values = np.arange(batch.graph.num_nodes, dtype=float)[:, None]
+        parts = unbatch_node_values(batch, values)
+        assert [p.shape[0] for p in parts] == [5, 9]
+        assert parts[1][0, 0] == 5.0
+
+    def test_unbatch_wrong_length_rejected(self, rng):
+        batch = batch_graphs([molecule_like_graph(5, rng, 4, 2)])
+        with pytest.raises(ValueError):
+            unbatch_node_values(batch, np.zeros((3, 1)))
+
+
+class TestIterBatches:
+    def test_batch_sizes(self, rng):
+        graphs = [molecule_like_graph(4, rng, 4, 2) for _ in range(10)]
+        batches = list(iter_batches(graphs, 4))
+        assert [b.num_graphs for b in batches] == [4, 4, 2]
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            list(iter_batches([molecule_like_graph(4, rng, 4, 2)], 0))
+
+
+class TestBatchingPreservesModelOutputs:
+    """Batching on the GPU baseline must not change any per-graph result."""
+
+    def test_gcn_output_independent_of_batching(self, rng):
+        graphs = [molecule_like_graph(n, rng, 9, 3) for n in (6, 10, 8)]
+        model = build_model("GCN", input_dim=9, num_layers=2, hidden_dim=16, seed=3)
+        separate = [model.node_embeddings(g) for g in graphs]
+        batch = batch_graphs(graphs)
+        joint = model.node_embeddings(batch.graph)
+        parts = unbatch_node_values(batch, joint)
+        for expected, got in zip(separate, parts):
+            np.testing.assert_allclose(expected, got, atol=1e-9)
+
+    def test_gin_output_independent_of_batching(self, rng):
+        graphs = [molecule_like_graph(n, rng, 9, 3) for n in (5, 7)]
+        model = build_model(
+            "GIN", input_dim=9, edge_input_dim=3, num_layers=2, hidden_dim=16, seed=3
+        )
+        separate = [model.node_embeddings(g) for g in graphs]
+        batch = batch_graphs(graphs)
+        parts = unbatch_node_values(batch, model.node_embeddings(batch.graph))
+        for expected, got in zip(separate, parts):
+            np.testing.assert_allclose(expected, got, atol=1e-9)

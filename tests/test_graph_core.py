@@ -1,0 +1,144 @@
+"""Unit tests for the core Graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphValidationError
+
+
+class TestGraphConstruction:
+    def test_basic_construction(self, tiny_graph):
+        assert tiny_graph.num_nodes == 4
+        assert tiny_graph.num_edges == 6
+        assert tiny_graph.node_feature_dim == 3
+        assert tiny_graph.edge_feature_dim == 2
+        assert tiny_graph.has_edge_features
+
+    def test_empty_graph(self):
+        graph = Graph(num_nodes=0, edge_index=np.zeros((0, 2)))
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.average_degree() == 0.0
+
+    def test_graph_without_features(self):
+        graph = Graph(num_nodes=3, edge_index=[(0, 1), (1, 2)])
+        assert graph.node_feature_dim == 0
+        assert graph.edge_feature_dim == 0
+        assert not graph.has_edge_features
+
+    def test_edge_index_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph(num_nodes=2, edge_index=[(0, 5)])
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph(num_nodes=2, edge_index=[(-1, 0)])
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph(num_nodes=-1, edge_index=np.zeros((0, 2)))
+
+    def test_bad_edge_index_shape_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph(num_nodes=3, edge_index=np.zeros((4, 3)))
+
+    def test_mismatched_node_features_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph(num_nodes=3, edge_index=[(0, 1)], node_features=np.zeros((2, 4)))
+
+    def test_mismatched_edge_features_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph(num_nodes=3, edge_index=[(0, 1)], edge_features=np.zeros((2, 4)))
+
+    def test_one_dimensional_features_promoted_to_column(self):
+        graph = Graph(num_nodes=3, edge_index=[(0, 1)], node_features=[1.0, 2.0, 3.0])
+        assert graph.node_features.shape == (3, 1)
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees(self, tiny_graph):
+        # Node 0 points to 1, 2, 3 and receives from 1, 2, 3.
+        assert tiny_graph.out_degrees()[0] == 3
+        assert tiny_graph.in_degrees()[0] == 3
+        assert tiny_graph.out_degrees()[1] == 1
+        assert int(tiny_graph.out_degrees().sum()) == tiny_graph.num_edges
+        assert int(tiny_graph.in_degrees().sum()) == tiny_graph.num_edges
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree() == pytest.approx(6 / 4)
+
+    def test_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.neighbors(0).tolist()) == [1, 2, 3]
+        assert sorted(tiny_graph.in_neighbors(0).tolist()) == [1, 2, 3]
+        assert tiny_graph.neighbors(1).tolist() == [0]
+
+    def test_neighbors_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.neighbors(10)
+        with pytest.raises(IndexError):
+            tiny_graph.in_neighbors(-1)
+
+    def test_degree_caches_consistent_after_repeated_calls(self, random_graph):
+        first = random_graph.in_degrees()
+        second = random_graph.in_degrees()
+        np.testing.assert_array_equal(first, second)
+
+
+class TestTransformations:
+    def test_with_node_features(self, tiny_graph):
+        new = tiny_graph.with_node_features(np.zeros((4, 7)))
+        assert new.node_feature_dim == 7
+        assert new.num_edges == tiny_graph.num_edges
+        # Original is untouched (immutability).
+        assert tiny_graph.node_feature_dim == 3
+
+    def test_with_edge_features_none_clears(self, tiny_graph):
+        new = tiny_graph.with_edge_features(None)
+        assert not new.has_edge_features
+
+    def test_reversed_swaps_directions(self, tiny_graph):
+        reversed_graph = tiny_graph.reversed()
+        np.testing.assert_array_equal(reversed_graph.sources, tiny_graph.destinations)
+        np.testing.assert_array_equal(reversed_graph.destinations, tiny_graph.sources)
+        # Reversing twice gives back the original edge list.
+        np.testing.assert_array_equal(
+            reversed_graph.reversed().edge_index, tiny_graph.edge_index
+        )
+
+    def test_add_self_loops(self, tiny_graph):
+        looped = tiny_graph.add_self_loops()
+        assert looped.num_edges == tiny_graph.num_edges + tiny_graph.num_nodes
+        # Self-loop edges carry zero edge features.
+        assert np.all(looped.edge_features[-tiny_graph.num_nodes:] == 0.0)
+        # Each node's in-degree grows by exactly one.
+        np.testing.assert_array_equal(
+            looped.in_degrees(), tiny_graph.in_degrees() + 1
+        )
+
+    def test_subgraph_relabels_and_filters(self, tiny_graph):
+        sub = tiny_graph.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        # Only the 0<->1 edges survive.
+        assert sub.num_edges == 2
+        assert sub.node_features.shape == (2, 3)
+        assert set(map(tuple, sub.edge_index.tolist())) == {(0, 1), (1, 0)}
+
+    def test_subgraph_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.subgraph([0, 99])
+
+    def test_virtual_node_connects_everything(self, tiny_graph):
+        augmented, vn = tiny_graph.with_virtual_node()
+        assert vn == tiny_graph.num_nodes
+        assert augmented.num_nodes == tiny_graph.num_nodes + 1
+        assert augmented.num_edges == tiny_graph.num_edges + 2 * tiny_graph.num_nodes
+        # The virtual node has an edge to and from every real node.
+        assert sorted(augmented.neighbors(vn).tolist()) == [0, 1, 2, 3]
+        assert sorted(augmented.in_neighbors(vn).tolist()) == [0, 1, 2, 3]
+        # Virtual node features are zero-initialised.
+        assert np.all(augmented.node_features[vn] == 0.0)
+
+    def test_describe_mentions_counts(self, tiny_graph):
+        text = tiny_graph.describe()
+        assert "nodes=4" in text
+        assert "edges=6" in text

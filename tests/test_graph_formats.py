@@ -1,0 +1,119 @@
+"""Tests for CSR/CSC/COO conversions, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    erdos_renyi_graph,
+    from_dense,
+    to_coo,
+    to_csc,
+    to_csr,
+)
+
+
+def _random_graph_strategy():
+    """Hypothesis strategy producing small random graphs as (num_nodes, edges)."""
+    return st.integers(min_value=1, max_value=12).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=40,
+            ),
+        )
+    )
+
+
+class TestCSR:
+    def test_rows_match_out_neighbours(self, tiny_graph):
+        csr = to_csr(tiny_graph)
+        destinations, edge_ids = csr.row(0)
+        assert sorted(destinations.tolist()) == [1, 2, 3]
+        assert csr.out_degree(0) == 3
+        assert csr.out_degree(1) == 1
+        assert csr.num_edges == tiny_graph.num_edges
+
+    def test_edge_ids_recover_edge_features(self, molecule_graph):
+        csr = to_csr(molecule_graph)
+        for node in range(molecule_graph.num_nodes):
+            destinations, edge_ids = csr.row(node)
+            for dst, eid in zip(destinations, edge_ids):
+                assert molecule_graph.sources[eid] == node
+                assert molecule_graph.destinations[eid] == dst
+
+    def test_indptr_monotone_and_complete(self, random_graph):
+        csr = to_csr(random_graph)
+        assert csr.indptr[0] == 0
+        assert csr.indptr[-1] == random_graph.num_edges
+        assert np.all(np.diff(csr.indptr) >= 0)
+
+
+class TestCSC:
+    def test_columns_match_in_neighbours(self, tiny_graph):
+        csc = to_csc(tiny_graph)
+        sources, _ = csc.column(0)
+        assert sorted(sources.tolist()) == [1, 2, 3]
+        assert csc.in_degree(0) == 3
+
+    def test_csc_degrees_match_graph(self, random_graph):
+        csc = to_csc(random_graph)
+        for node in range(random_graph.num_nodes):
+            assert csc.in_degree(node) == random_graph.in_degrees()[node]
+
+
+class TestCOO:
+    def test_csr_to_coo_preserves_edge_multiset(self, random_graph):
+        csr = to_csr(random_graph)
+        coo = to_coo(csr)
+        original = sorted(map(tuple, random_graph.edge_index.tolist()))
+        recovered = sorted(map(tuple, coo.tolist()))
+        assert original == recovered
+
+    def test_from_dense(self):
+        adjacency = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        edge_index = from_dense(adjacency)
+        assert set(map(tuple, edge_index.tolist())) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_from_dense_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            from_dense(np.zeros((2, 3)))
+
+
+class TestPropertyBased:
+    @given(_random_graph_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_roundtrip_preserves_edges(self, data):
+        num_nodes, edges = data
+        graph = Graph(num_nodes=num_nodes, edge_index=np.array(edges).reshape(-1, 2))
+        csr = to_csr(graph)
+        recovered = sorted(map(tuple, to_coo(csr).tolist()))
+        assert recovered == sorted(map(tuple, graph.edge_index.tolist()))
+
+    @given(_random_graph_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_csc_degree_sums_agree(self, data):
+        num_nodes, edges = data
+        graph = Graph(num_nodes=num_nodes, edge_index=np.array(edges).reshape(-1, 2))
+        csr = to_csr(graph)
+        csc = to_csc(graph)
+        out_total = sum(csr.out_degree(v) for v in range(num_nodes))
+        in_total = sum(csc.in_degree(v) for v in range(num_nodes))
+        assert out_total == in_total == graph.num_edges
+
+    @given(st.integers(min_value=2, max_value=20), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_graph_csr_consistency(self, num_nodes, probability):
+        rng = np.random.default_rng(0)
+        graph = erdos_renyi_graph(num_nodes, probability, rng)
+        csr = to_csr(graph)
+        assert csr.num_edges == graph.num_edges
+        for node in range(num_nodes):
+            destinations, _ = csr.row(node)
+            assert sorted(destinations.tolist()) == sorted(graph.neighbors(node).tolist())

@@ -1,0 +1,122 @@
+"""Tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    knn_point_cloud_graph,
+    molecule_like_graph,
+    powerlaw_cluster_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_shape_and_symmetry(self, rng):
+        graph = erdos_renyi_graph(40, 0.2, rng, node_feature_dim=5, edge_feature_dim=2)
+        assert graph.num_nodes == 40
+        assert graph.node_features.shape == (40, 5)
+        assert graph.edge_features.shape == (graph.num_edges, 2)
+        # Both directions exist for every undirected pair.
+        pairs = set(map(tuple, graph.edge_index.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_edge_probability_extremes(self, rng):
+        empty = erdos_renyi_graph(10, 0.0, rng)
+        full = erdos_renyi_graph(10, 1.0, rng)
+        assert empty.num_edges == 0
+        assert full.num_edges == 10 * 9  # both directions of every pair
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5, rng)
+
+    def test_determinism(self):
+        a = erdos_renyi_graph(20, 0.3, np.random.default_rng(5))
+        b = erdos_renyi_graph(20, 0.3, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.edge_index, b.edge_index)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self, rng):
+        graph = barabasi_albert_graph(50, 3, rng)
+        assert graph.num_nodes == 50
+        # Each of the (50 - 3) added nodes contributes at most 3 undirected edges.
+        assert graph.num_edges <= 2 * 3 * 47
+        assert graph.num_edges > 0
+
+    def test_heavy_tail(self, rng):
+        graph = barabasi_albert_graph(300, 2, rng)
+        degrees = graph.in_degrees() + graph.out_degrees()
+        # Hubs exist: the max degree should be far above the mean.
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0, rng)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 5, rng)
+
+
+class TestPowerlawCluster:
+    def test_counts(self, rng):
+        graph = powerlaw_cluster_graph(100, 2, 0.4, rng, node_feature_dim=6)
+        assert graph.num_nodes == 100
+        assert graph.node_features.shape == (100, 6)
+        assert graph.num_edges > 0
+
+    def test_invalid_triangle_probability(self, rng):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 2, 1.5, rng)
+
+
+class TestKNNPointCloud:
+    def test_every_node_has_k_in_edges(self, rng):
+        graph = knn_point_cloud_graph(30, 5, rng)
+        np.testing.assert_array_equal(graph.in_degrees(), np.full(30, 5))
+        assert graph.num_edges == 30 * 5
+
+    def test_k_clamped_to_population(self, rng):
+        graph = knn_point_cloud_graph(4, 10, rng)
+        np.testing.assert_array_equal(graph.in_degrees(), np.full(4, 3))
+
+    def test_no_self_loops(self, rng):
+        graph = knn_point_cloud_graph(25, 6, rng)
+        assert np.all(graph.sources != graph.destinations)
+
+    def test_edge_features_are_relative_positions(self, rng):
+        graph = knn_point_cloud_graph(20, 4, rng, node_feature_dim=3, edge_feature_dim=3)
+        # Edge feature = source position - destination position.
+        expected = graph.node_features[graph.sources] - graph.node_features[graph.destinations]
+        np.testing.assert_allclose(graph.edge_features, expected, atol=1e-9)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            knn_point_cloud_graph(1, 3, rng)
+        with pytest.raises(ValueError):
+            knn_point_cloud_graph(10, 0, rng)
+
+
+class TestMoleculeLike:
+    def test_connected_tree_backbone(self, rng):
+        graph = molecule_like_graph(30, rng)
+        # A tree plus extra bonds has at least 2*(n-1) directed edges.
+        assert graph.num_edges >= 2 * 29
+        # One-hot feature rows sum to exactly 1.
+        assert np.all(graph.node_features.sum(axis=1) == 1.0)
+        assert np.all(graph.edge_features.sum(axis=1) == 1.0)
+
+    def test_single_atom(self, rng):
+        graph = molecule_like_graph(1, rng)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_invalid_num_atoms(self, rng):
+        with pytest.raises(ValueError):
+            molecule_like_graph(0, rng)
+
+    def test_sparsity(self, rng):
+        graph = molecule_like_graph(50, rng, extra_bond_probability=0.1)
+        # Molecules stay sparse: average directed degree below 4.
+        assert graph.average_degree() < 4.0

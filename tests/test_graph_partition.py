@@ -1,0 +1,103 @@
+"""Tests for destination-bank partitioning and workload-imbalance analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    erdos_renyi_graph,
+    imbalance_table,
+    partition_by_destination,
+    workload_imbalance,
+)
+from repro.graph.partition import dataset_workload_imbalance
+
+
+class TestPartition:
+    def test_every_edge_assigned_exactly_once(self, random_graph):
+        partition = partition_by_destination(random_graph, 4)
+        assert partition.edge_to_bank.shape[0] == random_graph.num_edges
+        assert partition.edges_per_bank().sum() == random_graph.num_edges
+
+    def test_modulo_policy_matches_destination(self, random_graph):
+        partition = partition_by_destination(random_graph, 3)
+        np.testing.assert_array_equal(
+            partition.edge_to_bank, random_graph.destinations % 3
+        )
+
+    def test_contiguous_policy(self):
+        graph = Graph(num_nodes=8, edge_index=[(0, 0), (0, 7), (0, 4)])
+        partition = partition_by_destination(graph, 2, policy="contiguous")
+        assert partition.edge_to_bank.tolist() == [0, 1, 1]
+
+    def test_bank_edge_ids_cover_all(self, random_graph):
+        partition = partition_by_destination(random_graph, 4)
+        collected = np.concatenate([partition.bank_edge_ids(b) for b in range(4)])
+        assert sorted(collected.tolist()) == list(range(random_graph.num_edges))
+
+    def test_unknown_policy_rejected(self, random_graph):
+        with pytest.raises(ValueError):
+            partition_by_destination(random_graph, 2, policy="zigzag")
+
+    def test_invalid_bank_count(self, random_graph):
+        with pytest.raises(ValueError):
+            partition_by_destination(random_graph, 0)
+
+    def test_single_bank_owns_everything(self, random_graph):
+        partition = partition_by_destination(random_graph, 1)
+        assert partition.edges_per_bank().tolist() == [random_graph.num_edges]
+
+
+class TestWorkloadImbalance:
+    def test_empty_graph_is_balanced(self):
+        graph = Graph(num_nodes=4, edge_index=np.zeros((0, 2)))
+        assert workload_imbalance(graph, 4) == 0.0
+
+    def test_perfectly_balanced_ring(self):
+        # Ring over 8 nodes: one in-edge per node -> perfectly balanced banks.
+        edges = [(i, (i + 1) % 8) for i in range(8)]
+        graph = Graph(num_nodes=8, edge_index=edges)
+        assert workload_imbalance(graph, 4) == 0.0
+
+    def test_star_graph_is_maximally_imbalanced(self):
+        # Every edge points at node 0 -> one MP unit gets all the work.
+        edges = [(i, 0) for i in range(1, 9)]
+        graph = Graph(num_nodes=9, edge_index=edges)
+        assert workload_imbalance(graph, 4) == 1.0
+
+    def test_imbalance_in_unit_interval(self, random_graph):
+        for banks in (2, 4, 8):
+            value = workload_imbalance(random_graph, banks)
+            assert 0.0 <= value <= 1.0
+
+    def test_paper_bound_on_molecule_datasets(self, molhiv_sample):
+        """Table VII: imbalance stays below ~10% on molecule-sized graphs."""
+        value = dataset_workload_imbalance(list(molhiv_sample), 4)
+        assert value < 0.25  # generous bound for an 8-graph sample
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_imbalance_bounded_for_random_graphs(self, banks):
+        rng = np.random.default_rng(banks)
+        graph = erdos_renyi_graph(60, 0.2, rng)
+        value = workload_imbalance(graph, banks)
+        assert 0.0 <= value <= 1.0
+
+
+class TestImbalanceTable:
+    def test_table_structure(self, molhiv_sample, hep_sample):
+        datasets = {"MolHIV": list(molhiv_sample), "HEP": list(hep_sample)}
+        table = imbalance_table(datasets, (2, 4))
+        assert set(table) == {2, 4}
+        assert set(table[2]) == {"MolHIV", "HEP"}
+        for row in table.values():
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_hep_more_balanced_than_molecules(self, molhiv_sample, hep_sample):
+        """HEP k-NN graphs (regular in-degree 16) balance better than molecules."""
+        datasets = {"MolHIV": list(molhiv_sample), "HEP": list(hep_sample)}
+        table = imbalance_table(datasets, (4,))
+        assert table[4]["HEP"] <= table[4]["MolHIV"]

@@ -1,0 +1,82 @@
+"""Tests for the real-time graph-stream model."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, molecule_like_graph, simulate_stream_consumption
+
+
+@pytest.fixture
+def five_graph_stream(rng):
+    graphs = [molecule_like_graph(10, rng, 4, 2) for _ in range(5)]
+    return GraphStream(graphs=graphs, arrival_interval_s=1e-3, name="test")
+
+
+class TestGraphStream:
+    def test_length_and_iteration(self, five_graph_stream):
+        assert len(five_graph_stream) == 5
+        assert sum(1 for _ in five_graph_stream) == 5
+
+    def test_arrival_times_spacing(self, five_graph_stream):
+        arrivals = five_graph_stream.arrival_times()
+        np.testing.assert_allclose(np.diff(arrivals), 1e-3)
+
+    def test_back_to_back_arrivals_default(self, rng):
+        stream = GraphStream(graphs=[molecule_like_graph(5, rng)])
+        assert stream.arrival_times().tolist() == [0.0]
+
+    def test_totals(self, five_graph_stream):
+        assert five_graph_stream.total_nodes() == sum(
+            g.num_nodes for g in five_graph_stream.graphs
+        )
+        assert five_graph_stream.total_edges() == sum(
+            g.num_edges for g in five_graph_stream.graphs
+        )
+
+
+class TestStreamConsumption:
+    def test_fast_consumer_never_queues(self, five_graph_stream):
+        stats = simulate_stream_consumption(five_graph_stream, lambda g: 1e-5)
+        # Processing is 100x faster than arrivals: latency equals service time.
+        np.testing.assert_allclose(stats.per_graph_latency_s, 1e-5)
+        assert stats.deadline_miss_count() == 0
+        assert stats.max_queue_depth == 0
+
+    def test_slow_consumer_accumulates_latency(self, five_graph_stream):
+        # Service takes 2x the arrival interval: queueing delay grows linearly.
+        stats = simulate_stream_consumption(five_graph_stream, lambda g: 2e-3)
+        latencies = stats.per_graph_latency_s
+        assert latencies[0] == pytest.approx(2e-3)
+        assert np.all(np.diff(latencies) > 0)
+        assert stats.max_latency_s == pytest.approx(latencies[-1])
+
+    def test_deadline_misses_counted(self, five_graph_stream):
+        stats = simulate_stream_consumption(
+            five_graph_stream, lambda g: 2e-3, deadline_s=3e-3
+        )
+        assert stats.deadline_miss_count() > 0
+        assert 0.0 < stats.deadline_miss_rate() <= 1.0
+
+    def test_no_deadline_means_no_misses(self, five_graph_stream):
+        stats = simulate_stream_consumption(five_graph_stream, lambda g: 10.0)
+        assert stats.deadline_miss_count() == 0
+        assert stats.deadline_miss_rate() == 0.0
+
+    def test_throughput_matches_service_rate_when_saturated(self, five_graph_stream):
+        stats = simulate_stream_consumption(five_graph_stream, lambda g: 2e-3)
+        # Saturated consumer: throughput approaches 1 / service_time.
+        assert stats.throughput_graphs_per_s == pytest.approx(1.0 / 2e-3, rel=0.3)
+
+    def test_latency_depends_on_graph(self, five_graph_stream):
+        stats = simulate_stream_consumption(
+            five_graph_stream, lambda g: g.num_nodes * 1e-6
+        )
+        expected = np.array([g.num_nodes * 1e-6 for g in five_graph_stream.graphs])
+        np.testing.assert_allclose(stats.per_graph_latency_s, expected)
+
+    def test_statistics_accessors_on_empty_stream(self):
+        stream = GraphStream(graphs=[])
+        stats = simulate_stream_consumption(stream, lambda g: 1.0)
+        assert stats.mean_latency_s == 0.0
+        assert stats.p99_latency_s == 0.0
+        assert stats.throughput_graphs_per_s == 0.0

@@ -1,0 +1,132 @@
+"""Integration tests: datasets -> models -> accelerator -> baselines, end to end.
+
+These mirror the paper's methodology: every model's accelerator output is
+cross-checked against the reference library (the paper cross-checks its FPGA
+kernels against PyTorch), and the end-to-end latency claims are validated on
+streams of graphs rather than single inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchitectureConfig, FlowGNNAccelerator, ablation_configs
+from repro.baselines import CPUBaseline, GPUBaseline
+from repro.datasets import load_dataset
+from repro.graph import GraphStream, simulate_stream_consumption
+from repro.nn import MODEL_NAMES, build_model
+
+
+@pytest.fixture(scope="module")
+def molhiv():
+    return load_dataset("MolHIV", num_graphs=6, seed=42)
+
+
+@pytest.fixture(scope="module")
+def hep():
+    return load_dataset("HEP", num_graphs=4, seed=43)
+
+
+class TestFunctionalCrossCheck:
+    """Accelerator functional output == reference library output, per model."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_molhiv_outputs_match(self, molhiv, name):
+        model = build_model(
+            name,
+            input_dim=molhiv.node_feature_dim,
+            edge_input_dim=molhiv.edge_feature_dim,
+            seed=11,
+        )
+        accelerator = FlowGNNAccelerator(model)
+        for graph in list(molhiv)[:3]:
+            reference = model.forward(graph)
+            accelerated = accelerator.infer(graph)
+            np.testing.assert_allclose(
+                accelerated.graph_output, reference.graph_output, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                accelerated.node_embeddings, reference.node_embeddings, atol=1e-10
+            )
+
+    @pytest.mark.parametrize("name", ["GCN", "GIN", "GAT"])
+    def test_output_independent_of_architecture_config(self, molhiv, name):
+        """Changing parallelism knobs must never change the numerics."""
+        model = build_model(
+            name,
+            input_dim=molhiv.node_feature_dim,
+            edge_input_dim=molhiv.edge_feature_dim,
+            seed=3,
+        )
+        graph = molhiv[0]
+        outputs = []
+        for config in (
+            ArchitectureConfig(num_nt_units=1, num_mp_units=1),
+            ArchitectureConfig(num_nt_units=4, num_mp_units=8, apply_parallelism=4),
+        ):
+            outputs.append(FlowGNNAccelerator(model, config).infer(graph).graph_output)
+        np.testing.assert_allclose(outputs[0], outputs[1], atol=1e-12)
+
+
+class TestEndToEndLatencyClaims:
+    """The paper's headline claims, checked on streams of synthetic graphs."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_flowgnn_beats_batch1_baselines_on_hep(self, hep, name):
+        model = build_model(
+            name,
+            input_dim=hep.node_feature_dim,
+            edge_input_dim=hep.edge_feature_dim,
+        )
+        graphs = list(hep)
+        flowgnn_ms = FlowGNNAccelerator(model).run_stream(graphs).mean_latency_ms
+        cpu_ms = CPUBaseline(model).mean_latency_ms(graphs)
+        gpu_ms = GPUBaseline(model).mean_latency_ms(graphs)
+        # Paper: 24-254x vs CPU and 1.3-477x vs GPU across batch sizes; at
+        # batch 1 the advantage is at least an order of magnitude.
+        assert cpu_ms / flowgnn_ms > 10
+        assert gpu_ms / flowgnn_ms > 5
+
+    def test_ablation_configs_preserve_functionality(self, molhiv):
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim, seed=2)
+        graph = molhiv[0]
+        reference = model.forward(graph).graph_output
+        for config in ablation_configs().values():
+            output = FlowGNNAccelerator(model, config).infer(graph).graph_output
+            np.testing.assert_allclose(output, reference, atol=1e-12)
+
+    def test_real_time_hep_stream_meets_25us_budget_per_layer_scale(self, hep):
+        """HEP trigger scenario: graphs arrive every 1 ms and must not queue up."""
+        model = build_model("GIN", input_dim=hep.node_feature_dim, edge_input_dim=hep.edge_feature_dim)
+        accelerator = FlowGNNAccelerator(model)
+        stream = GraphStream(graphs=list(hep), arrival_interval_s=1e-3)
+        stats = simulate_stream_consumption(
+            stream, accelerator.latency_seconds, deadline_s=1e-3
+        )
+        assert stats.deadline_miss_count() == 0
+        assert stats.max_queue_depth == 0
+
+    def test_workload_agnostic_no_per_graph_state(self, molhiv, hep):
+        """The same compiled accelerator handles structurally different streams."""
+        model = build_model("GIN", input_dim=9, edge_input_dim=3)
+        accelerator = FlowGNNAccelerator(model)
+        molhiv_graph = molhiv[0]
+        # HEP graphs have different sizes/feature widths, so re-encode features
+        # to the molecular widths to emulate a mixed stream of raw graphs.
+        rng = np.random.default_rng(0)
+        hep_graph = hep[0]
+        mixed = hep_graph.with_node_features(rng.standard_normal((hep_graph.num_nodes, 9)))
+        mixed = mixed.with_edge_features(rng.standard_normal((mixed.num_edges, 3)))
+        first = accelerator.run(molhiv_graph)
+        second = accelerator.run(mixed)
+        third = accelerator.run(molhiv_graph)
+        # Processing an unrelated graph in between does not change results
+        # (no graph-specific preprocessing or cached state).
+        assert first.total_cycles == third.total_cycles
+        assert second.total_cycles != first.total_cycles
+
+    def test_stream_throughput_consistent_with_latency(self, molhiv):
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim)
+        accelerator = FlowGNNAccelerator(model)
+        result = accelerator.run_stream(list(molhiv))
+        expected = 1000.0 / result.mean_latency_ms
+        assert result.throughput_graphs_per_s == pytest.approx(expected, rel=0.05)

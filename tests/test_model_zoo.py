@@ -1,0 +1,92 @@
+"""Tests for the model zoo and paper configurations."""
+
+import pytest
+
+from repro.nn import MODEL_NAMES, PAPER_MODEL_CONFIGS, build_all_models, build_model
+from repro.nn.model_zoo import canonical_model_name
+
+
+class TestCanonicalNames:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("gcn", "GCN"),
+            ("GIN", "GIN"),
+            ("gin_vn", "GIN+VN"),
+            ("GIN-VN", "GIN+VN"),
+            ("gat", "GAT"),
+            ("pna", "PNA"),
+            ("dgn", "DGN"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert canonical_model_name(alias) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            canonical_model_name("GraphTransformer")
+        with pytest.raises(KeyError):
+            build_model("GraphTransformer", input_dim=4)
+
+
+class TestPaperConfigurations:
+    def test_all_models_buildable(self):
+        models = build_all_models(input_dim=9, edge_input_dim=3)
+        assert set(models) == set(MODEL_NAMES)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_layer_counts_match_paper(self, name):
+        model = build_model(name, input_dim=9, edge_input_dim=3)
+        assert model.num_layers == PAPER_MODEL_CONFIGS[name]["layers"]
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_hidden_dims_match_paper(self, name):
+        model = build_model(name, input_dim=9, edge_input_dim=3)
+        assert model.hidden_dim == PAPER_MODEL_CONFIGS[name]["hidden_dim"]
+
+    def test_only_edge_capable_models_use_edge_features(self):
+        models = build_all_models(input_dim=9, edge_input_dim=3)
+        assert models["GIN"].uses_edge_features()
+        assert models["GIN+VN"].uses_edge_features()
+        assert models["PNA"].uses_edge_features()
+        assert not models["GCN"].uses_edge_features()
+        assert not models["GAT"].uses_edge_features()
+        assert not models["DGN"].uses_edge_features()
+
+    def test_overrides_for_table8_kernel(self):
+        model = build_model("GCN", input_dim=1433, num_layers=2, hidden_dim=16)
+        assert model.num_layers == 2
+        assert model.hidden_dim == 16
+
+    def test_gat_dataflow_is_gather_first(self):
+        model = build_model("GAT", input_dim=9)
+        assert all(spec.dataflow == "mp_to_nt" for spec in model.layer_specs())
+
+    def test_other_models_are_scatter_after_transform(self):
+        for name in ("GCN", "GIN", "PNA", "DGN"):
+            model = build_model(name, input_dim=9, edge_input_dim=3)
+            assert all(spec.dataflow == "nt_to_mp" for spec in model.layer_specs())
+
+    def test_deterministic_builds(self):
+        a = build_model("GIN", input_dim=9, edge_input_dim=3, seed=4)
+        b = build_model("GIN", input_dim=9, edge_input_dim=3, seed=4)
+        assert a.parameter_count() == b.parameter_count()
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            a.layers[0].mlp.layers[0].weight, b.layers[0].mlp.layers[0].weight
+        )
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_parameter_counts_positive(self, name):
+        model = build_model(name, input_dim=9, edge_input_dim=3)
+        assert model.parameter_count() > 0
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_specs_are_consistent(self, name):
+        model = build_model(name, input_dim=9, edge_input_dim=3)
+        for spec in model.layer_specs():
+            assert spec.in_dim > 0 and spec.out_dim > 0
+            assert spec.message_dim > 0 and spec.aggregated_dim > 0
+            assert spec.nt_macs_per_node() > 0
+            assert spec.mp_ops_per_edge() > 0

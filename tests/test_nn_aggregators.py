@@ -1,0 +1,171 @@
+"""Tests for the permutation-invariant aggregators, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    aggregate,
+    directional_aggregate,
+    pna_aggregate,
+    pna_degree_scalers,
+    segment_max,
+    segment_mean,
+    segment_min,
+    segment_std,
+    segment_sum,
+)
+
+
+@pytest.fixture
+def simple_case():
+    """Three edges into node 0, one edge into node 2, node 1 isolated."""
+    messages = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]])
+    destinations = np.array([0, 0, 0, 2])
+    return messages, destinations, 3
+
+
+class TestElementaryAggregators:
+    def test_sum(self, simple_case):
+        messages, destinations, n = simple_case
+        out = segment_sum(messages, destinations, n)
+        np.testing.assert_allclose(out[0], [9.0, 12.0])
+        np.testing.assert_allclose(out[1], [0.0, 0.0])
+        np.testing.assert_allclose(out[2], [7.0, 8.0])
+
+    def test_mean(self, simple_case):
+        messages, destinations, n = simple_case
+        out = segment_mean(messages, destinations, n)
+        np.testing.assert_allclose(out[0], [3.0, 4.0])
+        np.testing.assert_allclose(out[1], [0.0, 0.0])
+
+    def test_max_min(self, simple_case):
+        messages, destinations, n = simple_case
+        np.testing.assert_allclose(segment_max(messages, destinations, n)[0], [5.0, 6.0])
+        np.testing.assert_allclose(segment_min(messages, destinations, n)[0], [1.0, 2.0])
+        # Isolated node aggregates to zero, not +/- infinity.
+        np.testing.assert_allclose(segment_max(messages, destinations, n)[1], [0.0, 0.0])
+        np.testing.assert_allclose(segment_min(messages, destinations, n)[1], [0.0, 0.0])
+
+    def test_std_matches_numpy(self, simple_case):
+        messages, destinations, n = simple_case
+        out = segment_std(messages, destinations, n, epsilon=0.0)
+        np.testing.assert_allclose(out[0], np.std(messages[:3], axis=0), atol=1e-9)
+
+    def test_dispatch_by_name(self, simple_case):
+        messages, destinations, n = simple_case
+        np.testing.assert_allclose(
+            aggregate("sum", messages, destinations, n),
+            segment_sum(messages, destinations, n),
+        )
+        with pytest.raises(KeyError):
+            aggregate("median", messages, destinations, n)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            segment_sum(np.zeros((3, 2)), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            segment_sum(np.zeros((2, 2)), np.array([0, 5]), 2)
+        with pytest.raises(ValueError):
+            segment_sum(np.zeros(3), np.array([0, 1, 1]), 2)
+
+
+class TestPermutationInvariance:
+    """The defining property of Eq. (2)'s aggregation A(.)."""
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=6), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_aggregators_invariant_to_edge_order(self, num_edges, dim, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = 5
+        messages = rng.standard_normal((num_edges, dim))
+        destinations = rng.integers(0, num_nodes, size=num_edges)
+        permutation = rng.permutation(num_edges)
+        for name in ("sum", "mean", "max", "min", "std"):
+            original = aggregate(name, messages, destinations, num_nodes)
+            shuffled = aggregate(
+                name, messages[permutation], destinations[permutation], num_nodes
+            )
+            np.testing.assert_allclose(original, shuffled, atol=1e-9, err_msg=name)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pna_invariant_to_edge_order(self, seed):
+        rng = np.random.default_rng(seed)
+        messages = rng.standard_normal((12, 3))
+        destinations = rng.integers(0, 4, size=12)
+        permutation = rng.permutation(12)
+        original = pna_aggregate(messages, destinations, 4, mean_log_degree=1.1)
+        shuffled = pna_aggregate(
+            messages[permutation], destinations[permutation], 4, mean_log_degree=1.1
+        )
+        np.testing.assert_allclose(original, shuffled, atol=1e-9)
+
+
+class TestPNA:
+    def test_output_width(self):
+        messages = np.ones((4, 5))
+        destinations = np.array([0, 0, 1, 1])
+        out = pna_aggregate(messages, destinations, 2, mean_log_degree=1.0)
+        assert out.shape == (2, 4 * 3 * 5)  # aggregators x scalers x dim
+
+    def test_scalers(self):
+        scalers = pna_degree_scalers(np.array([0.0, 1.0, np.e - 1.0]), mean_log_degree=1.0)
+        np.testing.assert_allclose(scalers["identity"], 1.0)
+        # Amplification = log(D+1)/mean; for D = e-1 it equals 1.
+        assert scalers["amplification"][2] == pytest.approx(1.0)
+        # Attenuation of an isolated node is defined as 0.
+        assert scalers["attenuation"][0] == 0.0
+
+    def test_invalid_mean_log_degree(self):
+        with pytest.raises(ValueError):
+            pna_degree_scalers(np.array([1.0]), mean_log_degree=0.0)
+
+    def test_unknown_scaler_rejected(self):
+        with pytest.raises(KeyError):
+            pna_aggregate(
+                np.ones((2, 2)), np.array([0, 1]), 2, 1.0, scalers=("identity", "boost")
+            )
+
+
+class TestDirectional:
+    def test_constant_field_gives_zero_derivative(self):
+        """With a constant field there is no direction: derivative must vanish."""
+        messages = np.ones((4, 3))
+        destinations = np.array([0, 0, 1, 1])
+        sources = np.array([1, 2, 0, 2])
+        out = directional_aggregate(
+            messages, destinations, sources, 3, field=np.ones(3), mode="derivative"
+        )
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_derivative_sign_invariance(self):
+        """|B_dx X| is invariant to flipping the eigenvector's sign."""
+        rng = np.random.default_rng(0)
+        messages = rng.standard_normal((6, 2))
+        destinations = np.array([0, 1, 2, 0, 1, 2])
+        sources = np.array([1, 2, 0, 2, 0, 1])
+        field = rng.standard_normal(3)
+        plus = directional_aggregate(messages, destinations, sources, 3, field, "derivative")
+        minus = directional_aggregate(messages, destinations, sources, 3, -field, "derivative")
+        np.testing.assert_allclose(plus, minus, atol=1e-9)
+
+    def test_smoothing_is_convex_combination(self):
+        """Smoothing weights are non-negative and normalised per node."""
+        messages = np.array([[1.0], [3.0], [5.0]])
+        destinations = np.array([0, 0, 0])
+        sources = np.array([1, 2, 3])
+        field = np.array([0.0, 1.0, 2.0, 4.0])
+        out = directional_aggregate(messages, destinations, sources, 4, field, "smoothing")
+        assert 1.0 <= out[0, 0] <= 5.0
+
+    def test_invalid_mode_and_field(self):
+        with pytest.raises(ValueError):
+            directional_aggregate(
+                np.ones((1, 1)), np.array([0]), np.array([0]), 1, np.ones(1), "curl"
+            )
+        with pytest.raises(ValueError):
+            directional_aggregate(
+                np.ones((1, 1)), np.array([0]), np.array([0]), 2, np.ones(1)
+            )

@@ -1,0 +1,127 @@
+"""Tests for dense layers, activations and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm, Linear, MLP, elu, leaky_relu, relu, sigmoid, softmax
+from repro.nn.layers import resolve_activation
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 3.0])
+
+    def test_leaky_relu(self):
+        x = np.array([-1.0, 2.0])
+        np.testing.assert_allclose(leaky_relu(x), [-0.2, 2.0])
+
+    def test_elu_continuity_at_zero(self):
+        assert elu(np.array([0.0]))[0] == 0.0
+        assert elu(np.array([-1e9]))[0] == pytest.approx(-1.0)
+
+    def test_sigmoid_range_and_stability(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        y = sigmoid(x)
+        assert np.all((y >= 0) & (y <= 1))
+        assert y[1] == pytest.approx(0.5)
+        assert np.all(np.isfinite(y))
+
+    def test_softmax_sums_to_one(self):
+        x = np.array([[1.0, 2.0, 3.0], [1000.0, 1000.0, 1000.0]])
+        y = softmax(x, axis=-1)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0)
+        np.testing.assert_allclose(y[1], [1 / 3] * 3)
+
+    def test_resolve_activation(self):
+        assert resolve_activation("relu") is relu
+        assert resolve_activation(relu) is relu
+        with pytest.raises(KeyError):
+            resolve_activation("swishish")
+
+
+class TestLinear:
+    def test_forward_shape_and_bias(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        out = layer(np.ones((3, 4)))
+        assert out.shape == (3, 6)
+        expected = np.ones((3, 4)) @ layer.weight + layer.bias
+        np.testing.assert_allclose(out, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, rng=rng, bias=False)
+        assert layer.bias is None
+        np.testing.assert_allclose(layer(np.zeros((2, 4))), 0.0)
+
+    def test_wrong_input_dim_rejected(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((1, 5)))
+
+    def test_invalid_dims_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng=rng)
+
+    def test_he_init_scale(self, rng):
+        layer = Linear(1000, 10, rng=rng, init="he")
+        assert layer.weight.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.2)
+
+    def test_unknown_init_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(3, 3, rng=rng, init="magic")
+
+    def test_counts(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        assert layer.parameter_count() == 4 * 6 + 6
+        assert layer.multiply_accumulate_count(10) == 10 * 4 * 6
+
+    def test_determinism(self):
+        a = Linear(5, 5, rng=np.random.default_rng(3))
+        b = Linear(5, 5, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        mlp = MLP(8, [16, 16], 4, rng=rng)
+        assert mlp(np.zeros((5, 8))).shape == (5, 4)
+        assert mlp.in_dim == 8
+        assert mlp.out_dim == 4
+
+    def test_hidden_relu_applied(self, rng):
+        # With ReLU between layers, the MLP is a nonlinear function: check it
+        # differs from the composed linear map on some input.
+        mlp = MLP(4, [8], 2, rng=rng, activation="relu")
+        x = rng.standard_normal((6, 4))
+        composed = (x @ mlp.layers[0].weight + mlp.layers[0].bias) @ mlp.layers[
+            1
+        ].weight + mlp.layers[1].bias
+        assert not np.allclose(mlp(x), composed)
+
+    def test_final_activation(self, rng):
+        mlp = MLP(4, [], 3, rng=rng, final_activation="relu")
+        out = mlp(rng.standard_normal((10, 4)))
+        assert np.all(out >= 0.0)
+
+    def test_counts_sum_over_layers(self, rng):
+        mlp = MLP(4, [8], 2, rng=rng)
+        assert mlp.parameter_count() == (4 * 8 + 8) + (8 * 2 + 2)
+        assert mlp.multiply_accumulate_count(3) == 3 * (4 * 8 + 8 * 2)
+
+
+class TestBatchNorm:
+    def test_affine_transform(self, rng):
+        bn = BatchNorm(5, rng=rng)
+        x = rng.standard_normal((7, 5))
+        out = bn(x)
+        assert out.shape == (7, 5)
+        expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.epsilon)
+        np.testing.assert_allclose(out, expected)
+
+    def test_wrong_dim_rejected(self, rng):
+        bn = BatchNorm(5, rng=rng)
+        with pytest.raises(ValueError):
+            bn(np.zeros((2, 4)))
+
+    def test_parameter_count(self, rng):
+        assert BatchNorm(10, rng=rng).parameter_count() == 40

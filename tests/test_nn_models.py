@@ -1,0 +1,232 @@
+"""Functional tests for the six GNN models of Table II."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, molecule_like_graph
+from repro.nn import (
+    DGNLayer,
+    GATLayer,
+    GCNLayer,
+    GINLayer,
+    PNALayer,
+    build_dgn,
+    build_gat,
+    build_gcn,
+    build_gin,
+    build_gin_virtual_node,
+    build_pna,
+    laplacian_positional_field,
+    relu,
+)
+
+
+@pytest.fixture
+def path_graph():
+    """Directed path 0 -> 1 -> 2 with both directions and simple features."""
+    edges = [(0, 1), (1, 0), (1, 2), (2, 1)]
+    features = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    return Graph(num_nodes=3, edge_index=edges, node_features=features)
+
+
+class TestGCN:
+    def test_matches_dense_formula(self, path_graph):
+        """GCN layer output equals D^-1/2 (A+I) D^-1/2 X W with ReLU."""
+        layer = GCNLayer(2, 4, rng=np.random.default_rng(0))
+        out = layer.forward(path_graph, path_graph.node_features)
+
+        adjacency = np.zeros((3, 3))
+        for s, d in path_graph.edge_index:
+            adjacency[d, s] = 1.0
+        a_hat = adjacency + np.eye(3)
+        degree = np.diag(1.0 / np.sqrt(a_hat.sum(axis=1)))
+        normalised = degree @ a_hat @ degree
+        expected = relu(normalised @ path_graph.node_features @ layer.linear.weight + layer.linear.bias)
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_no_activation_on_last_layer(self, path_graph):
+        layer = GCNLayer(2, 4, rng=np.random.default_rng(0), final_activation=False)
+        out = layer.forward(path_graph, path_graph.node_features)
+        assert np.any(out < 0)  # negatives survive without ReLU
+
+    def test_paper_configuration(self):
+        model = build_gcn(input_dim=9)
+        assert model.num_layers == 5
+        assert model.hidden_dim == 100
+        assert model.layers[0].spec().aggregation == "sum"
+        assert not model.uses_edge_features()
+
+    def test_full_forward_shapes(self, rng):
+        graph = molecule_like_graph(15, rng, node_feature_dim=9, edge_feature_dim=3)
+        model = build_gcn(input_dim=9, hidden_dim=16, num_layers=2)
+        output = model(graph)
+        assert output.node_embeddings.shape == (15, 16)
+        assert output.graph_output.shape == (1, 1)
+
+
+class TestGIN:
+    def test_matches_equation_one(self, path_graph):
+        """GIN layer output equals MLP((1+eps) x_i + sum_j ReLU(x_j + e_ji))."""
+        layer = GINLayer(2, rng=np.random.default_rng(1), epsilon=0.3)
+        edge_features = np.full((path_graph.num_edges, 2), 0.5)
+        graph = path_graph.with_edge_features(edge_features)
+        out = layer.forward(graph, graph.node_features)
+
+        x = graph.node_features
+        aggregated = np.zeros_like(x)
+        for (src, dst), e in zip(graph.edge_index, edge_features):
+            aggregated[dst] += relu(x[src] + e)
+        expected = layer.mlp(1.3 * x + aggregated)
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_edge_width_mismatch_rejected(self, path_graph):
+        layer = GINLayer(2, rng=np.random.default_rng(1))
+        graph = path_graph.with_edge_features(np.ones((path_graph.num_edges, 5)))
+        with pytest.raises(ValueError):
+            layer.forward(graph, graph.node_features)
+
+    def test_edge_features_change_output(self, rng):
+        graph = molecule_like_graph(12, rng, node_feature_dim=9, edge_feature_dim=3)
+        model = build_gin(input_dim=9, edge_input_dim=3, hidden_dim=16, num_layers=2)
+        with_edges = model(graph).graph_output
+        without_edges = model(graph.with_edge_features(np.zeros((graph.num_edges, 3)))).graph_output
+        assert not np.allclose(with_edges, without_edges)
+
+    def test_paper_configuration(self):
+        model = build_gin(input_dim=9, edge_input_dim=3)
+        assert model.num_layers == 5
+        assert model.hidden_dim == 100
+        assert model.uses_edge_features()
+        spec = model.layers[0].spec()
+        assert spec.nt_linear_shapes == ((100, 100), (100, 100))
+
+
+class TestGAT:
+    def test_attention_weights_normalised(self, path_graph):
+        """Uniform projections + zero attention vectors give a mean over neighbours."""
+        layer = GATLayer(2, 4, num_heads=1, rng=np.random.default_rng(2), add_self_loops=False)
+        layer.att_src[:] = 0.0
+        layer.att_dst[:] = 0.0
+        out = layer.forward(path_graph, path_graph.node_features)
+        z = layer.projections[0](path_graph.node_features)
+        # alpha is uniform over in-neighbours, so node 1 gets the mean of z0 and z2.
+        from repro.nn import elu
+
+        np.testing.assert_allclose(out[1], elu((z[0] + z[2]) / 2.0), atol=1e-9)
+
+    def test_output_dim_concat_vs_average(self):
+        concat = GATLayer(8, 4, num_heads=4, concat_heads=True)
+        avg = GATLayer(8, 4, num_heads=4, concat_heads=False)
+        assert concat.out_dim == 16
+        assert avg.out_dim == 4
+
+    def test_mp_to_nt_dataflow_declared(self):
+        assert GATLayer(8, 4, 2).spec().dataflow == "mp_to_nt"
+
+    def test_paper_configuration(self):
+        model = build_gat(input_dim=7)
+        assert model.num_layers == 5
+        assert model.layers[0].spec().attention_heads == 4
+        assert model.layers[0].spec().out_dim == 64
+        # Last layer averages heads back to the hidden width.
+        assert model.layers[-1].spec().out_dim == 64
+
+
+class TestPNA:
+    def test_aggregated_width(self, path_graph):
+        layer = PNALayer(2, rng=np.random.default_rng(3), use_edge_features=False)
+        spec = layer.spec()
+        assert spec.aggregated_dim == 2 * 4 * 3
+        out = layer.forward(path_graph, path_graph.node_features)
+        assert out.shape == (3, 2)
+
+    def test_degree_scaling_changes_output(self, rng):
+        """PNA output differs between high- and low-degree versions of a node."""
+        layer = PNALayer(3, rng=np.random.default_rng(3), use_edge_features=False)
+        x = rng.standard_normal((4, 3))
+        sparse = Graph(num_nodes=4, edge_index=[(1, 0)], node_features=x)
+        dense = Graph(num_nodes=4, edge_index=[(1, 0), (2, 0), (3, 0)], node_features=x)
+        out_sparse = layer.forward(sparse, x)[0]
+        out_dense = layer.forward(dense, x)[0]
+        assert not np.allclose(out_sparse, out_dense)
+
+    def test_paper_configuration(self):
+        model = build_pna(input_dim=9, edge_input_dim=3)
+        assert model.num_layers == 4
+        assert model.hidden_dim == 80
+        assert model.head.out_dim == 1
+
+
+class TestDGN:
+    def test_positional_field_orthogonal_to_trivial(self, rng):
+        graph = molecule_like_graph(20, rng)
+        field = laplacian_positional_field(graph)
+        assert field.shape == (20,)
+        degrees = np.maximum(graph.in_degrees() + graph.out_degrees(), 1).astype(float)
+        trivial = np.sqrt(degrees)
+        assert abs(field @ (trivial / np.linalg.norm(trivial))) < 1e-6
+
+    def test_field_for_trivial_graphs(self):
+        assert laplacian_positional_field(Graph(0, np.zeros((0, 2)))).shape == (0,)
+        assert laplacian_positional_field(Graph(1, np.zeros((0, 2))))[0] == 0.0
+
+    def test_layer_output_shape(self, rng):
+        graph = molecule_like_graph(12, rng, node_feature_dim=4)
+        layer = DGNLayer(4, rng=np.random.default_rng(4))
+        out = layer.forward(graph, graph.node_features)
+        assert out.shape == (12, 4)
+
+    def test_paper_configuration(self):
+        model = build_dgn(input_dim=7)
+        assert model.num_layers == 4
+        assert model.hidden_dim == 100
+        assert model.layers[0].spec().aggregation == "directional"
+
+
+class TestVirtualNode:
+    def test_virtual_node_state_changes_output(self, rng):
+        graph = molecule_like_graph(10, rng, node_feature_dim=9, edge_feature_dim=3)
+        vn_model = build_gin_virtual_node(
+            input_dim=9, edge_input_dim=3, hidden_dim=16, num_layers=3, seed=2
+        )
+        plain = build_gin(input_dim=9, edge_input_dim=3, hidden_dim=16, num_layers=3, seed=2)
+        assert not np.allclose(
+            vn_model(graph).graph_output, plain(graph).graph_output
+        )
+
+    def test_virtual_node_extra_edges(self, rng):
+        graph = molecule_like_graph(10, rng, node_feature_dim=9, edge_feature_dim=3)
+        model = build_gin_virtual_node(input_dim=9, edge_input_dim=3, hidden_dim=8, num_layers=2)
+        assert model.virtual_node_extra_edges(graph) == 20
+
+    def test_parameter_count_larger_than_plain_gin(self):
+        vn_model = build_gin_virtual_node(input_dim=9, hidden_dim=16, num_layers=3)
+        plain = build_gin(input_dim=9, hidden_dim=16, num_layers=3)
+        assert vn_model.parameter_count() > plain.parameter_count()
+
+
+class TestPermutationEquivariance:
+    """Relabelling nodes must permute the embeddings and leave pooling unchanged."""
+
+    @pytest.mark.parametrize("builder,kwargs", [
+        (build_gcn, {}),
+        (build_gin, {"edge_input_dim": 3}),
+        (build_pna, {"edge_input_dim": 3}),
+    ])
+    def test_graph_output_invariant_to_node_relabelling(self, rng, builder, kwargs):
+        graph = molecule_like_graph(12, rng, node_feature_dim=9, edge_feature_dim=3)
+        model = builder(input_dim=9, hidden_dim=16, num_layers=2, seed=8, **kwargs)
+
+        permutation = rng.permutation(graph.num_nodes)
+        inverse = np.argsort(permutation)
+        permuted = Graph(
+            num_nodes=graph.num_nodes,
+            edge_index=np.stack(
+                [inverse[graph.sources], inverse[graph.destinations]], axis=1
+            ),
+            node_features=graph.node_features[permutation],
+            edge_features=graph.edge_features,
+        )
+        original = model(graph).graph_output
+        relabelled = model(permuted).graph_output
+        np.testing.assert_allclose(original, relabelled, atol=1e-8)
