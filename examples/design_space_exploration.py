@@ -2,68 +2,64 @@
 
 FlowGNN exposes four knobs — P_node, P_edge, P_apply, P_scatter — and the
 right setting depends on the model and the workload (Fig. 10 of the paper).
-This example sweeps the knobs for two very different workloads:
+This example drives the :mod:`repro.dse` engine over two very different
+workloads:
 
 * GCN on MolHIV-like molecules (small graphs, node-transformation heavy);
 * GAT on HEP-like jets (16x more edges than nodes, message-passing heavy);
 
-and reports, for each candidate configuration, the latency, the estimated
-FPGA resources, and whether the design still fits on an Alveo U50 — i.e. the
-latency/area trade-off a deployment engineer would actually look at.
+and reports, for each workload, the full sweep table (latency, estimated
+FPGA resources, power), the designs that do *not* fit an Alveo U50 (filtered
+out before simulation), and the latency/area/power Pareto frontier — i.e.
+exactly the short-list a deployment engineer would pick from.
+
+The engine memoises layer schedules across the grid and can fan points out
+over multiprocessing workers (``SweepRunner(spec, workers=8)``); this example
+stays in-process so its output is easy to follow.
 
 Run with:  python examples/design_space_exploration.py
 """
 
 from __future__ import annotations
 
-from repro import ArchitectureConfig, FlowGNNAccelerator, build_model, load_dataset
-from repro.arch import ALVEO_U50, estimate_resources
+from repro.dse import SweepRunner, SweepSpec
 from repro.eval import render_dict_table
-
-CANDIDATES = [
-    dict(num_nt_units=1, num_mp_units=1, apply_parallelism=1, scatter_parallelism=1),
-    dict(num_nt_units=2, num_mp_units=4, apply_parallelism=1, scatter_parallelism=2),
-    dict(num_nt_units=2, num_mp_units=4, apply_parallelism=2, scatter_parallelism=4),
-    dict(num_nt_units=2, num_mp_units=4, apply_parallelism=4, scatter_parallelism=8),
-    dict(num_nt_units=4, num_mp_units=8, apply_parallelism=4, scatter_parallelism=8),
-]
 
 
 def sweep(model_name: str, dataset_name: str, num_graphs: int) -> None:
-    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
-    graphs = list(dataset)
-    model = build_model(
-        model_name,
-        input_dim=dataset.node_feature_dim,
-        edge_input_dim=dataset.edge_feature_dim,
+    spec = SweepSpec.parallelism_grid(
+        models=(model_name,),
+        datasets=(dataset_name,),
+        node_values=(1, 2, 4),
+        edge_values=(1, 4, 8),
+        apply_values=(1, 2, 4),
+        scatter_values=(2, 8),
+        num_graphs=num_graphs,
     )
+    result = SweepRunner(spec, workers=0).run()
 
-    rows = []
-    baseline_ms = None
-    for candidate in CANDIDATES:
-        config = ArchitectureConfig(**candidate)
-        latency_ms = FlowGNNAccelerator(model, config).run_stream(graphs).mean_latency_ms
-        resources = estimate_resources(model, config)
-        if baseline_ms is None:
-            baseline_ms = latency_ms
-        rows.append(
-            {
-                "P_node": candidate["num_nt_units"],
-                "P_edge": candidate["num_mp_units"],
-                "P_apply": candidate["apply_parallelism"],
-                "P_scatter": candidate["scatter_parallelism"],
-                "latency_ms": round(latency_ms, 4),
-                "speedup": round(baseline_ms / latency_ms, 2),
-                "dsp": resources.dsp,
-                "bram": resources.bram,
-                "fits_u50": resources.fits(ALVEO_U50),
-            }
-        )
-    print(render_dict_table(rows, title=f"{model_name} on {dataset_name}"))
-    best = max(rows, key=lambda r: r["speedup"] if r["fits_u50"] else 0.0)
-    print(f"-> recommended configuration: P_node={best['P_node']}, P_edge={best['P_edge']}, "
-          f"P_apply={best['P_apply']}, P_scatter={best['P_scatter']} "
-          f"({best['speedup']}x over the minimal design, {best['dsp']} DSPs)\n")
+    print(result.render(title=f"{model_name} on {dataset_name} ({result.num_points} designs fit the U50)"))
+    if result.skipped:
+        names = [
+            f"({row['p_node']},{row['p_edge']},{row['p_apply']},{row['p_scatter']})"
+            for row in result.skipped
+        ]
+        print(f"filtered before simulation (exceed the U50): {', '.join(names)}")
+
+    frontier = result.pareto()
+    print()
+    print(render_dict_table(frontier, title="Pareto frontier: latency vs. DSP vs. BRAM vs. power"))
+    best = result.best("latency_ms")
+    print(
+        f"-> fastest feasible design: P_node={best['p_node']}, P_edge={best['p_edge']}, "
+        f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
+        f"({best['latency_ms']:.4f} ms, {best['dsp']} DSPs, {best['power_w']} W)"
+    )
+    cache = result.cache_info
+    print(
+        f"   [{result.elapsed_s:.2f}s; schedule cache reused {cache['hits']} of "
+        f"{cache['hits'] + cache['misses']} layer schedules]\n"
+    )
 
 
 def main() -> None:

@@ -1,10 +1,23 @@
-"""Legacy setup shim.
+"""Packaging for the FlowGNN reproduction.
 
-Allows ``pip install -e .`` in offline environments that lack the ``wheel``
-package (pip falls back to ``setup.py develop`` with ``--no-use-pep517``).
-All project metadata lives in ``pyproject.toml``.
+Kept as a plain ``setup.py`` (no build isolation required) so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package — pip falls back to ``setup.py develop``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="flowgnn-repro",
+    version="1.1.0",
+    description=(
+        "Cycle-level reproduction of FlowGNN (HPCA 2023): a dataflow "
+        "architecture for real-time GNN inference, with a parallel "
+        "design-space exploration engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -9,7 +9,9 @@ for Real-Time Workload-Agnostic Graph Neural Network Inference* (HPCA 2023):
 * :mod:`repro.arch`      — the FlowGNN dataflow architecture: cycle-level simulator,
   resource and energy models;
 * :mod:`repro.baselines` — CPU / GPU / I-GCN / AWB-GCN baseline models;
-* :mod:`repro.eval`      — the experiment harness reproducing every table and figure.
+* :mod:`repro.eval`      — the experiment harness reproducing every table and figure;
+* :mod:`repro.dse`       — the parallel design-space exploration engine with
+  schedule caching (sweeps, Pareto frontiers, CSV export).
 
 Quickstart::
 
@@ -28,8 +30,9 @@ from .nn import MODEL_NAMES, build_model, build_all_models
 from .arch import ArchitectureConfig, FlowGNNAccelerator, PipelineStrategy
 from .baselines import CPUBaseline, GPUBaseline
 from .eval import run_experiment, run_all_experiments
+from .dse import SweepRunner, SweepSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -46,5 +49,7 @@ __all__ = [
     "GPUBaseline",
     "run_experiment",
     "run_all_experiments",
+    "SweepRunner",
+    "SweepSpec",
     "__version__",
 ]

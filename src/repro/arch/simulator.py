@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -155,14 +155,22 @@ def simulate_inference(
     graph: Graph,
     config: Optional[ArchitectureConfig] = None,
     functional: bool = False,
+    schedule_fn: Optional[Callable[..., LayerTiming]] = None,
 ) -> SimulationResult:
     """Simulate one graph through ``model`` on the FlowGNN architecture.
 
     ``functional=True`` additionally runs the model's arithmetic and attaches
     the :class:`GNNOutput`; timing never depends on data values, so the flag
     only affects runtime of the simulation itself.
+
+    ``schedule_fn`` replaces :func:`repro.arch.pipeline.schedule_layer` for
+    layer scheduling (same ``(graph, spec, config)`` signature).  It exists
+    so the design-space engine (:mod:`repro.dse`) can plug in its memoising,
+    vectorised scheduler; any substitute must produce bit-identical
+    :class:`LayerTiming` values.
     """
     config = config or ArchitectureConfig()
+    schedule = schedule_fn or schedule_layer
 
     # Virtual-node models process the graph with one extra, fully-connected
     # node; that is the structure the MP/NT units actually see.
@@ -174,16 +182,14 @@ def simulate_inference(
 
     layer_timings: List[LayerTiming] = []
     for spec in model.layer_specs():
-        layer_timings.append(schedule_layer(timing_graph, spec, config))
-    if virtual_extra:
-        # The VN MLP runs between layers on an NT unit; it serialises with the
-        # layer barrier, so we charge it to the last layer's timing via an
-        # extra pseudo-layer entry folded into readout below instead of
-        # mutating LayerTiming objects (kept immutable for reporting).
-        pass
+        layer_timings.append(schedule(timing_graph, spec, config))
 
     loading = graph_loading_cycles(graph, config)
     weight_loading = weight_loading_cycles(model, config)
+    # The VN MLP runs between layers on an NT unit and serialises with the
+    # layer barrier; its cycles are charged to the readout phase (rather than
+    # mutating the per-layer LayerTiming objects, which stay immutable for
+    # reporting).
     readout = _readout_cycles(model, graph, config) + virtual_extra
 
     functional_output: Optional[GNNOutput] = None

@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``simulate``    — run one model on one dataset on a chosen architecture
   configuration and report latency, throughput, resources and energy;
-* ``datasets``    — print the synthetic dataset statistics (Table IV).
+* ``datasets``    — print the synthetic dataset statistics (Table IV);
+* ``dse``         — sweep parallelism grids over models and datasets with
+  the design-space exploration engine (:mod:`repro.dse`), with Pareto
+  extraction and CSV export.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from .arch import (
 )
 from .baselines import CPUBaseline, GPUBaseline
 from .datasets import DATASET_NAMES, load_dataset
+from .dse import SweepRunner, SweepSpec
 from .eval import EXPERIMENT_NAMES, render_dict_table, run_experiment
 from .nn import MODEL_NAMES, build_model
 
@@ -70,6 +74,51 @@ def build_parser() -> argparse.ArgumentParser:
         "datasets", help="print synthetic dataset statistics (Table IV)"
     )
     datasets.add_argument("names", nargs="*", default=None)
+
+    def int_list(text: str) -> List[int]:
+        return [int(part) for part in text.split(",") if part]
+
+    def str_list(text: str) -> List[str]:
+        return [part for part in text.split(",") if part]
+
+    dse = subparsers.add_parser(
+        "dse",
+        help="design-space exploration: sweep parallelism grids over models/datasets",
+    )
+    dse.add_argument(
+        "--models",
+        type=str_list,
+        default=["GCN"],
+        help=f"comma-separated model names from: {', '.join(MODEL_NAMES)}",
+    )
+    dse.add_argument(
+        "--datasets",
+        type=str_list,
+        default=["MolHIV"],
+        help=f"comma-separated dataset names from: {', '.join(DATASET_NAMES)}",
+    )
+    dse.add_argument("--num-graphs", type=int, default=12, help="graphs per multi-graph dataset")
+    dse.add_argument("--p-node", type=int_list, default=[1, 2, 4], help="P_node grid, e.g. 1,2,4")
+    dse.add_argument("--p-edge", type=int_list, default=[1, 2, 4], help="P_edge grid")
+    dse.add_argument("--p-apply", type=int_list, default=[1, 2, 4], help="P_apply grid")
+    dse.add_argument("--p-scatter", type=int_list, default=[1, 2, 4, 8], help="P_scatter grid")
+    dse.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers (default: CPU count; 0 runs in-process)",
+    )
+    dse.add_argument(
+        "--no-board-filter",
+        action="store_true",
+        help="also simulate configurations that do not fit the Alveo U50",
+    )
+    dse.add_argument(
+        "--pareto",
+        action="store_true",
+        help="print the latency/DSP/BRAM/power Pareto frontier",
+    )
+    dse.add_argument("--csv", metavar="PATH", default=None, help="write the sweep rows as CSV")
 
     return parser
 
@@ -156,6 +205,58 @@ def _run_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_dse(args: argparse.Namespace) -> int:
+    try:
+        spec = SweepSpec.parallelism_grid(
+            models=args.models,
+            datasets=args.datasets,
+            node_values=args.p_node,
+            edge_values=args.p_edge,
+            apply_values=args.p_apply,
+            scatter_values=args.p_scatter,
+            num_graphs=args.num_graphs,
+            board=None if args.no_board_filter else ALVEO_U50,
+        )
+    except ValueError as error:
+        print(f"invalid sweep: {error}", file=sys.stderr)
+        return 2
+    print(spec.describe())
+    result = SweepRunner(spec, workers=args.workers).run()
+    print(result.render(title="design-space sweep (per-graph latency, amortised weights)"))
+    if result.skipped:
+        print()
+        print(
+            render_dict_table(
+                result.skipped, title=f"skipped: {len(result.skipped)} configurations do not fit"
+            )
+        )
+    if result.rows:
+        best = result.best("latency_ms")
+        print()
+        print(
+            f"fastest feasible design: P_node={best['p_node']}, P_edge={best['p_edge']}, "
+            f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
+            f"({best['latency_ms']:.4f} ms, {best['dsp']} DSPs) for {best['model']} on {best['dataset']}"
+        )
+    if args.pareto:
+        print()
+        print(render_dict_table(result.pareto(), title="Pareto frontier (latency / dsp / bram / power)"))
+    if args.csv:
+        try:
+            result.to_csv(args.csv)
+        except OSError as error:
+            print(f"cannot write CSV to {args.csv}: {error}", file=sys.stderr)
+            return 2
+        print(f"\nwrote {len(result.rows)} rows to {args.csv}")
+    cache = result.cache_info
+    print(
+        f"\n{result.num_points} points in {result.elapsed_s:.2f}s; "
+        f"schedule cache: {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
+        f"({cache.get('hit_rate', 0.0):.0%} hit rate)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -166,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_simulate(args)
     if args.command == "datasets":
         return _run_datasets(args)
+    if args.command == "dse":
+        return _run_dse(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,44 @@
+"""Pareto-frontier extraction over sweep result rows.
+
+A deployment engineer reading a sweep table cares about the *non-dominated*
+configurations: no other point is at least as good on every objective and
+strictly better on one.  The default objectives mirror the trade-off the
+paper's Fig. 10 discussion makes explicit — latency versus DSP/BRAM area
+versus power — all minimised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["pareto_frontier", "DEFAULT_OBJECTIVES"]
+
+# All minimised: per-graph latency, the two scarce FPGA resources, power.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("latency_ms", "dsp", "bram", "power_w")
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` dominates ``b`` (all <=, one <)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(
+    rows: Sequence[Dict], objectives: Sequence[str] = DEFAULT_OBJECTIVES
+) -> List[Dict]:
+    """Return the non-dominated rows, preserving their original order.
+
+    ``objectives`` names numeric row keys, all minimised (negate a column to
+    maximise it).  Rows missing an objective raise ``KeyError`` — a sweep
+    that wants a custom frontier must have produced those columns.  Duplicate
+    objective vectors are all kept (they dominate each other weakly, not
+    strictly).
+    """
+    vectors = [tuple(float(row[key]) for key in objectives) for row in rows]
+    frontier: List[Dict] = []
+    for i, row in enumerate(rows):
+        if any(
+            _dominates(vectors[j], vectors[i]) for j in range(len(rows)) if j != i
+        ):
+            continue
+        frontier.append(row)
+    return frontier

@@ -1,0 +1,388 @@
+"""Sweep execution: feasibility filtering, worker fan-out, result assembly.
+
+:class:`SweepRunner` evaluates every point of a :class:`~repro.dse.SweepSpec`
+and returns a :class:`SweepResult`.  The pipeline per (model, dataset) group:
+
+1. load the dataset and build the model once;
+2. pre-filter configurations whose estimated resources do not fit the spec's
+   target board (they are reported as ``skipped`` rows, not simulated);
+3. evaluate the surviving configurations, either in-process or fanned out
+   over ``multiprocessing`` workers, with every worker memoising layer
+   schedules in a :class:`~repro.dse.ScheduleCache`.
+
+Latency aggregation goes through
+:class:`~repro.arch.accelerator.StreamResult`, so engine rows are
+bit-identical to the naive ``FlowGNNAccelerator.run_stream`` loop
+(:func:`naive_sweep`) that the pre-engine experiments used — the speedup
+comes purely from memoisation, the vectorised scheduler and parallelism,
+never from a different cycle model.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.accelerator import FlowGNNAccelerator, StreamResult
+from ..arch.config import ArchitectureConfig
+from ..arch.energy import estimate_energy
+from ..arch.resources import estimate_resources
+from ..arch.simulator import simulate_inference, weight_loading_cycles
+from ..datasets import load_dataset
+from ..eval.tables import render_csv, render_dict_table
+from ..graph import Graph
+from ..nn import build_model
+from ..nn.models.base import GNNModel
+from .cache import ScheduleCache
+from .pareto import DEFAULT_OBJECTIVES, pareto_frontier
+from .spec import SweepSpec, _config_knobs
+
+__all__ = ["SweepResult", "SweepRunner", "naive_sweep"]
+
+
+# ---------------------------------------------------------------------------
+# Result container
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: one row per simulated point, plus bookkeeping."""
+
+    spec: SweepSpec
+    rows: List[Dict]
+    skipped: List[Dict] = field(default_factory=list)
+    cache_info: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def num_points(self) -> int:
+        return len(self.rows)
+
+    def column(self, key: str) -> List:
+        return [row[key] for row in self.rows]
+
+    def find(self, **criteria) -> List[Dict]:
+        """Rows whose values match every ``key=value`` criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def best(self, metric: str = "latency_ms") -> Dict:
+        """The row minimising ``metric`` (ties: first in sweep order)."""
+        if not self.rows:
+            raise ValueError("sweep produced no rows")
+        return min(self.rows, key=lambda row: row[metric])
+
+    def pareto(self, objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> List[Dict]:
+        """Non-dominated rows under ``objectives`` (all minimised)."""
+        return pareto_frontier(self.rows, objectives)
+
+    def render(self, title: str = "design-space sweep") -> str:
+        """Aligned text table of every simulated point."""
+        return render_dict_table(self.rows, title=title)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Rows as CSV text; when ``path`` is given, also write the file."""
+        text = render_csv(self.rows)
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Per-point evaluation (runs in workers)
+# ---------------------------------------------------------------------------
+def _evaluate_config(
+    model: GNNModel,
+    model_name: str,
+    dataset_name: str,
+    graphs: Sequence[Graph],
+    config: ArchitectureConfig,
+    cache: Optional[ScheduleCache],
+) -> Dict:
+    """Simulate every graph under ``config`` and aggregate one result row."""
+    schedule_fn = cache.bind(config) if cache is not None else None
+    results = [
+        simulate_inference(model, graph, config, schedule_fn=schedule_fn)
+        for graph in graphs
+    ]
+    # Aggregate through StreamResult itself so engine rows are identical to
+    # FlowGNNAccelerator.run_stream by construction, not by parallel code.
+    stream = StreamResult(
+        per_graph_results=results,
+        weight_loading_cycles=weight_loading_cycles(model, config),
+        config=config,
+    )
+    latency_ms = stream.mean_latency_ms
+    total_cycles = stream.total_cycles
+
+    resources = estimate_resources(model, config)
+    energy = estimate_energy(results[0], resources)
+    row = {"model": model_name, "dataset": dataset_name}
+    row.update(_config_knobs(config))
+    row.update(
+        {
+            "latency_ms": latency_ms,
+            "total_cycles": total_cycles,
+            "dsp": resources.dsp,
+            "bram": resources.bram,
+            "lut": resources.lut,
+            "power_w": round(energy.power.total_w, 2),
+        }
+    )
+    return row
+
+
+# Worker-process state, installed once per pool by ``_init_worker`` so that
+# the model and graphs are pickled once per worker instead of once per task.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    model: GNNModel,
+    model_name: str,
+    dataset_name: str,
+    graphs: List[Graph],
+    use_cache: bool,
+    use_fast_path: bool,
+) -> None:
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["model_name"] = model_name
+    _WORKER_STATE["dataset_name"] = dataset_name
+    _WORKER_STATE["graphs"] = graphs
+    _WORKER_STATE["use_cache"] = use_cache
+    _WORKER_STATE["use_fast_path"] = use_fast_path
+
+
+def _evaluate_chunk(
+    configs: List[ArchitectureConfig],
+) -> Tuple[List[Dict], Optional[Dict[str, float]]]:
+    """Evaluate a contiguous chunk of configurations with a shared cache."""
+    model = _WORKER_STATE["model"]
+    model_name = _WORKER_STATE["model_name"]
+    dataset_name = _WORKER_STATE["dataset_name"]
+    graphs = _WORKER_STATE["graphs"]
+    cache: Optional[ScheduleCache] = None
+    if _WORKER_STATE["use_cache"]:
+        cache = ScheduleCache(use_fast_path=bool(_WORKER_STATE["use_fast_path"]))
+    rows = [
+        _evaluate_config(model, model_name, dataset_name, graphs, config, cache)
+        for config in configs
+    ]
+    return rows, (cache.info() if cache is not None else None)
+
+
+def _contiguous_chunks(items: List, count: int) -> List[List]:
+    """Split ``items`` into at most ``count`` contiguous, near-equal chunks."""
+    count = max(min(count, len(items)), 1)
+    size, remainder = divmod(len(items), count)
+    chunks: List[List] = []
+    start = 0
+    for i in range(count):
+        stop = start + size + (1 if i < remainder else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+class SweepRunner:
+    """Executes a :class:`SweepSpec` and assembles a :class:`SweepResult`.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run.
+    workers:
+        ``multiprocessing`` worker count.  ``None`` uses ``os.cpu_count()``;
+        values below 2 run in-process (no pool, still cached).
+    use_cache:
+        Memoise layer schedules (on by default; switching it off exists for
+        benchmarking the cache itself).
+    use_fast_path:
+        Compute cache misses with the vectorised scheduler (bit-identical to
+        the reference; off means the reference scheduler runs on misses).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+        use_fast_path: bool = True,
+    ) -> None:
+        self.spec = spec
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = int(workers)
+        self.use_cache = use_cache
+        self.use_fast_path = use_fast_path
+
+    def run(self) -> SweepResult:
+        """Evaluate every feasible sweep point."""
+        started = time.perf_counter()
+        rows: List[Dict] = []
+        skipped: List[Dict] = []
+        cache_totals = {"entries": 0, "hits": 0, "misses": 0}
+
+        configs = list(self.spec.configs())
+        datasets = {}  # loaded once per dataset, reused across models
+        for model_name in self.spec.models:
+            for dataset_name in self.spec.datasets:
+                if dataset_name not in datasets:
+                    datasets[dataset_name] = load_dataset(
+                        dataset_name, **self.spec.dataset_load_kwargs(dataset_name)
+                    )
+                dataset = datasets[dataset_name]
+                graphs = list(dataset)
+                model = build_model(
+                    model_name,
+                    input_dim=dataset.node_feature_dim,
+                    edge_input_dim=dataset.edge_feature_dim,
+                    seed=0,
+                )
+                feasible = self._prefilter(
+                    model, model_name, dataset_name, configs, skipped
+                )
+                group_rows, group_cache = self._run_group(
+                    model, model_name, dataset_name, graphs, feasible
+                )
+                rows.extend(group_rows)
+                for info in group_cache:
+                    for key in cache_totals:
+                        cache_totals[key] += int(info.get(key, 0))
+
+        lookups = cache_totals["hits"] + cache_totals["misses"]
+        cache_info = dict(cache_totals)
+        cache_info["hit_rate"] = (
+            round(cache_totals["hits"] / lookups, 4) if lookups else 0.0
+        )
+        return SweepResult(
+            spec=self.spec,
+            rows=rows,
+            skipped=skipped,
+            cache_info=cache_info,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # -- internals ------------------------------------------------------------
+    def _prefilter(
+        self,
+        model: GNNModel,
+        model_name: str,
+        dataset_name: str,
+        configs: List[ArchitectureConfig],
+        skipped: List[Dict],
+    ) -> List[ArchitectureConfig]:
+        """Drop configurations whose kernel cannot fit the target board."""
+        board = self.spec.board
+        if board is None:
+            return configs
+        feasible: List[ArchitectureConfig] = []
+        for config in configs:
+            estimate = estimate_resources(model, config)
+            if estimate.fits(board):
+                feasible.append(config)
+            else:
+                over = {
+                    name: round(value, 2)
+                    for name, value in estimate.utilisation(board).items()
+                    if value > 1.0
+                }
+                row = {"model": model_name, "dataset": dataset_name}
+                row.update(_config_knobs(config))
+                row["reason"] = f"exceeds {board.name}: {over}"
+                skipped.append(row)
+        return feasible
+
+    def _run_group(
+        self,
+        model: GNNModel,
+        model_name: str,
+        dataset_name: str,
+        graphs: List[Graph],
+        configs: List[ArchitectureConfig],
+    ) -> Tuple[List[Dict], List[Dict[str, float]]]:
+        if not configs:
+            return [], []
+        init_args = (
+            model,
+            model_name,
+            dataset_name,
+            graphs,
+            self.use_cache,
+            self.use_fast_path,
+        )
+        if self.workers < 2 or len(configs) < 2:
+            _init_worker(*init_args)
+            chunk_rows, info = _evaluate_chunk(configs)
+            return chunk_rows, [info] if info else []
+
+        chunks = _contiguous_chunks(configs, self.workers)
+        with multiprocessing.Pool(
+            processes=len(chunks), initializer=_init_worker, initargs=init_args
+        ) as pool:
+            outcomes = pool.map(_evaluate_chunk, chunks)
+        rows: List[Dict] = []
+        infos: List[Dict[str, float]] = []
+        for chunk_rows, info in outcomes:
+            rows.extend(chunk_rows)
+            if info:
+                infos.append(info)
+        return rows, infos
+
+
+# ---------------------------------------------------------------------------
+# The pre-engine reference loop (kept as the benchmark baseline)
+# ---------------------------------------------------------------------------
+def naive_sweep(spec: SweepSpec) -> SweepResult:
+    """Evaluate a sweep the way the repo did before the DSE engine existed.
+
+    One :class:`~repro.arch.FlowGNNAccelerator` per point, every layer
+    schedule recomputed from scratch, strictly serial.  Exists so benchmarks
+    and tests can assert the engine is bit-identical and measure its speedup.
+    """
+    started = time.perf_counter()
+    rows: List[Dict] = []
+    datasets = {}
+    for model_name in spec.models:
+        for dataset_name in spec.datasets:
+            if dataset_name not in datasets:
+                datasets[dataset_name] = load_dataset(
+                    dataset_name, **spec.dataset_load_kwargs(dataset_name)
+                )
+            dataset = datasets[dataset_name]
+            graphs = list(dataset)
+            model = build_model(
+                model_name,
+                input_dim=dataset.node_feature_dim,
+                edge_input_dim=dataset.edge_feature_dim,
+                seed=0,
+            )
+            for config in spec.configs():
+                stream = FlowGNNAccelerator(model, config).run_stream(graphs)
+                resources = estimate_resources(model, config)
+                energy = estimate_energy(stream.per_graph_results[0], resources)
+                row = {"model": model_name, "dataset": dataset_name}
+                row.update(_config_knobs(config))
+                row.update(
+                    {
+                        "latency_ms": stream.mean_latency_ms,
+                        "total_cycles": stream.total_cycles,
+                        "dsp": resources.dsp,
+                        "bram": resources.bram,
+                        "lut": resources.lut,
+                        "power_w": round(energy.power.total_w, 2),
+                    }
+                )
+                rows.append(row)
+    return SweepResult(
+        spec=spec, rows=rows, skipped=[], cache_info={}, elapsed_s=time.perf_counter() - started
+    )

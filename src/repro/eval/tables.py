@@ -1,15 +1,18 @@
-"""Plain-text table rendering for experiment reports.
+"""Plain-text table and CSV rendering for experiment reports.
 
 Every experiment returns rows of primitive values; ``render_table`` turns
 them into the aligned monospace tables printed by the benchmark harness and
-written into ``EXPERIMENTS.md``.
+written into ``EXPERIMENTS.md``, and ``render_csv`` serialises the same rows
+for spreadsheet/pandas consumption (used by ``python -m repro dse --csv``).
 """
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Dict, Iterable, List, Sequence, Union
 
-__all__ = ["format_value", "render_table", "render_dict_table"]
+__all__ = ["format_value", "render_table", "render_dict_table", "render_csv"]
 
 Cell = Union[str, int, float, bool, None]
 
@@ -79,3 +82,22 @@ def render_dict_table(
         precision=precision,
         title=title,
     )
+
+
+def render_csv(rows: Sequence[Dict[str, Cell]]) -> str:
+    """Serialise dict rows as CSV (header from the first row's keys).
+
+    Values are written unrounded — CSV is the machine-readable export, so no
+    display formatting is applied; ``None`` becomes an empty cell.
+    """
+    if not rows:
+        return ""
+    headers = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=headers, extrasaction="ignore", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: ("" if row.get(key) is None else row.get(key)) for key in headers})
+    return buffer.getvalue()

@@ -6,6 +6,7 @@ import pytest
 from repro.arch import (
     ArchitectureConfig,
     FlowGNNAccelerator,
+    SimulationResult,
     graph_loading_cycles,
     simulate_inference,
     weight_loading_cycles,
@@ -51,17 +52,56 @@ class TestSimulationResult:
         result = simulate_inference(gin_model, molhiv_sample[0])
         assert result.amortised_cycles(1) > result.amortised_cycles(1000)
         assert result.amortised_cycles(10**9) == pytest.approx(result.total_cycles, rel=1e-3)
-        with pytest.raises(ValueError):
-            result.amortised_cycles(0)
 
-    def test_breakdown_keys(self, gin_model, molhiv_sample):
-        breakdown = simulate_inference(gin_model, molhiv_sample[0]).breakdown()
-        assert set(breakdown) == {
-            "graph_loading",
-            "layers",
-            "readout",
-            "weight_loading_one_time",
+    def test_amortised_cycles_single_graph_pays_full_weight_load(self, gin_model, molhiv_sample):
+        result = simulate_inference(gin_model, molhiv_sample[0])
+        assert result.amortised_cycles(1) == pytest.approx(
+            result.total_cycles + result.weight_loading_cycles
+        )
+
+    @pytest.mark.parametrize("stream_length", [0, -1, -1000])
+    def test_amortised_cycles_rejects_nonpositive_stream(
+        self, gin_model, molhiv_sample, stream_length
+    ):
+        result = simulate_inference(gin_model, molhiv_sample[0])
+        with pytest.raises(ValueError, match="stream_length must be >= 1"):
+            result.amortised_cycles(stream_length)
+
+    def test_breakdown_keys_and_values(self, gin_model, molhiv_sample):
+        result = simulate_inference(gin_model, molhiv_sample[0])
+        breakdown = result.breakdown()
+        assert breakdown == {
+            "graph_loading": result.loading_cycles,
+            "layers": result.compute_cycles,
+            "readout": result.readout_cycles,
+            "weight_loading_one_time": result.weight_loading_cycles,
         }
+        # Per-graph phases sum to total_cycles; the weight load stays separate.
+        assert (
+            breakdown["graph_loading"] + breakdown["layers"] + breakdown["readout"]
+            == result.total_cycles
+        )
+
+    def test_utilisation_zero_for_empty_layer_list(self):
+        """A result with no layers (degenerate model) reports 0% utilisation."""
+        result = SimulationResult(
+            model_name="empty",
+            graph_name="none",
+            config=ArchitectureConfig(),
+            layer_timings=[],
+            loading_cycles=10,
+            readout_cycles=5,
+            weight_loading_cycles=0,
+        )
+        assert result.nt_utilisation() == 0.0
+        assert result.mp_utilisation() == 0.0
+        assert result.compute_cycles == 0
+        assert result.total_cycles == 15
+
+    def test_utilisation_bounded_for_real_simulation(self, gin_model, molhiv_sample):
+        result = simulate_inference(gin_model, molhiv_sample[0])
+        assert 0.0 < result.nt_utilisation() <= 1.0
+        assert 0.0 < result.mp_utilisation() <= 1.0
 
     def test_functional_output_matches_reference(self, gin_model, molhiv_sample):
         graph = molhiv_sample[0]

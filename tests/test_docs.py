@@ -1,0 +1,63 @@
+"""Documentation sanity: internal links resolve and every CLI help works.
+
+These are the checks CI runs as its "docs" job; keeping them in the test
+suite means a broken README link fails locally too, not just on GitHub.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = ["README.md", "docs/architecture.md"]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+
+
+def _internal_links(markdown: str):
+    for target in _LINK.findall(markdown):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_doc_exists_and_nonempty(doc):
+    path = REPO_ROOT / doc
+    assert path.is_file(), f"{doc} is missing"
+    assert len(path.read_text().strip()) > 200, f"{doc} looks empty"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_internal_links_resolve(doc):
+    path = REPO_ROOT / doc
+    for target in _internal_links(path.read_text()):
+        resolved = (path.parent / target).resolve()
+        assert resolved.exists(), f"{doc} links to missing path {target!r}"
+
+
+def test_readme_documents_every_subcommand():
+    readme = (REPO_ROOT / "README.md").read_text()
+    commands = build_parser()._subparsers._group_actions[0].choices
+    assert set(commands) == {"experiments", "simulate", "datasets", "dse"}
+    for name in commands:
+        assert f"repro {name}" in readme, f"README does not document `repro {name}`"
+
+
+class TestCliHelp:
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "experiments" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["experiments", "simulate", "datasets", "dse"])
+    def test_subcommand_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip()

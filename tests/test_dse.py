@@ -1,0 +1,360 @@
+"""Tests for the design-space exploration engine (``repro.dse``)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ALVEO_U50, ArchitectureConfig, FlowGNNAccelerator, schedule_layer
+from repro.arch.config import PipelineStrategy
+from repro.datasets import load_dataset
+from repro.dse import (
+    ScheduleCache,
+    SweepRunner,
+    SweepSpec,
+    fast_schedule_layer,
+    graph_signature,
+    naive_sweep,
+    pareto_frontier,
+)
+from repro.graph import molecule_like_graph
+from repro.nn import MODEL_NAMES, build_model
+
+
+@pytest.fixture(scope="module")
+def molhiv():
+    return load_dataset("MolHIV", num_graphs=6)
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return SweepSpec.parallelism_grid(
+        node_values=(1, 2),
+        edge_values=(1, 4),
+        apply_values=(1, 2),
+        scatter_values=(4,),
+        num_graphs=4,
+        board=None,
+    )
+
+
+class TestSweepSpec:
+    def test_point_enumeration_order_and_count(self, small_spec):
+        points = list(small_spec.points())
+        assert len(points) == small_spec.num_points() == 8
+        # Grid order: apply slowest, then scatter, then node, then edge.
+        knobs = [
+            (p.config.apply_parallelism, p.config.num_nt_units, p.config.num_mp_units)
+            for p in points
+        ]
+        assert knobs == [
+            (1, 1, 1), (1, 1, 4), (1, 2, 1), (1, 2, 4),
+            (2, 1, 1), (2, 1, 4), (2, 2, 1), (2, 2, 4),
+        ]
+
+    def test_empty_grid_sweeps_base_config(self):
+        spec = SweepSpec(models=("GIN",), datasets=("HEP",))
+        configs = list(spec.configs())
+        assert configs == [spec.base_config]
+        assert spec.num_points() == 1
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            SweepSpec(models=("Transformer",))
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            SweepSpec(datasets=("ImageNet",))
+
+    def test_unknown_grid_field_rejected(self):
+        with pytest.raises(ValueError, match="not an ArchitectureConfig field"):
+            SweepSpec(grid={"warp_size": (32,)})
+
+    def test_empty_grid_values_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SweepSpec(grid={"num_nt_units": ()})
+
+    def test_invalid_config_value_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            SweepSpec(grid={"num_nt_units": (0,)})
+
+    def test_grid_over_non_parallelism_fields(self):
+        spec = SweepSpec(grid={"node_queue_depth": (8, 32), "clock_mhz": (300.0,)})
+        depths = [config.node_queue_depth for config in spec.configs()]
+        assert depths == [8, 32]
+
+
+class TestGraphSignature:
+    def test_structure_determines_signature(self, rng):
+        graph = molecule_like_graph(20, rng, 9, 3)
+        same_structure = graph.with_node_features(np.ones((20, 9)))
+        assert graph_signature(graph) == graph_signature(same_structure)
+
+    def test_different_structure_differs(self, rng):
+        a = molecule_like_graph(20, rng, 9, 3)
+        b = molecule_like_graph(21, rng, 9, 3)
+        assert graph_signature(a) != graph_signature(b)
+
+    def test_reversed_edges_change_signature(self, rng):
+        graph = molecule_like_graph(20, rng, 9, 3)
+        assert graph_signature(graph) != graph_signature(graph.reversed())
+
+
+class TestFastScheduler:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_bit_identical_to_reference(self, name, molhiv):
+        """The vectorised scheduler must reproduce every LayerTiming field."""
+        model = build_model(
+            name,
+            input_dim=molhiv.node_feature_dim,
+            edge_input_dim=molhiv.edge_feature_dim,
+        )
+        configs = [
+            ArchitectureConfig(),
+            ArchitectureConfig(
+                num_nt_units=1, num_mp_units=1, apply_parallelism=1, scatter_parallelism=1
+            ),
+            ArchitectureConfig(
+                num_nt_units=4, num_mp_units=8, apply_parallelism=4, scatter_parallelism=8
+            ),
+            ArchitectureConfig(num_nt_units=3, num_mp_units=5, nt_overhead_cycles=7),
+        ]
+        for graph in list(molhiv)[:3]:
+            for config in configs:
+                for spec in set(model.layer_specs()):
+                    assert fast_schedule_layer(graph, spec, config) == schedule_layer(
+                        graph, spec, config
+                    )
+
+    def test_non_flowgnn_strategies_fall_through(self, molhiv):
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim)
+        spec = model.layer_specs()[0]
+        graph = molhiv[0]
+        for strategy in PipelineStrategy.ALL:
+            config = ArchitectureConfig(pipeline=strategy)
+            assert fast_schedule_layer(graph, spec, config) == schedule_layer(
+                graph, spec, config
+            )
+
+
+class TestScheduleFnHook:
+    def test_simulate_inference_accepts_schedule_fn(self, molhiv):
+        from repro.arch import simulate_inference
+
+        model = build_model(
+            "GCN", input_dim=molhiv.node_feature_dim, edge_input_dim=molhiv.edge_feature_dim
+        )
+        reference = simulate_inference(model, molhiv[0])
+        substituted = simulate_inference(model, molhiv[0], schedule_fn=fast_schedule_layer)
+        assert substituted.total_cycles == reference.total_cycles
+        assert substituted.layer_timings == reference.layer_timings
+
+
+class TestScheduleCache:
+    def test_hits_and_misses_counted(self, molhiv):
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim)
+        cache = ScheduleCache()
+        config = ArchitectureConfig()
+        graph = molhiv[0]
+        specs = model.layer_specs()  # 5 identical GCN layer specs
+        timings = [cache.schedule(graph, spec, config) for spec in specs]
+        assert cache.misses == 1 and cache.hits == len(specs) - 1
+        assert all(t == timings[0] for t in timings)
+        assert timings[0] == schedule_layer(graph, specs[0], config)
+
+    def test_cache_ignores_schedule_irrelevant_fields(self, molhiv):
+        """Configs differing only in clock / loading share cache entries."""
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim)
+        cache = ScheduleCache()
+        spec = model.layer_specs()[0]
+        graph = molhiv[0]
+        cache.schedule(graph, spec, ArchitectureConfig())
+        cache.schedule(graph, spec, ArchitectureConfig(clock_mhz=150.0))
+        cache.schedule(graph, spec, ArchitectureConfig(include_graph_loading=False))
+        assert cache.misses == 1 and cache.hits == 2
+
+    def test_bound_schedule_matches_unbound(self, molhiv):
+        model = build_model("GIN", input_dim=molhiv.node_feature_dim, edge_input_dim=molhiv.edge_feature_dim)
+        config = ArchitectureConfig(num_nt_units=3)
+        cache = ScheduleCache()
+        bound = cache.bind(config)
+        graph = molhiv[0]
+        for spec in model.layer_specs():
+            assert bound(graph, spec, config) == schedule_layer(graph, spec, config)
+
+    def test_bound_schedule_ignores_mismatched_config(self, molhiv):
+        """bind(a) must never store timings computed under a different config."""
+        bound_config = ArchitectureConfig(num_nt_units=1, num_mp_units=1)
+        other_config = ArchitectureConfig(num_nt_units=4, num_mp_units=8)
+        cache = ScheduleCache()
+        bound = cache.bind(bound_config)
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim)
+        spec = model.layer_specs()[0]
+        graph = molhiv[0]
+        # Misuse: pass a different config. The bound config must win.
+        timing = bound(graph, spec, other_config)
+        assert timing == schedule_layer(graph, spec, bound_config)
+        # And the cached entry must serve future bound-config lookups correctly.
+        assert cache.schedule(graph, spec, bound_config) == timing
+        assert cache.hits == 1
+
+    def test_reference_path_without_fast_scheduler(self, molhiv):
+        cache = ScheduleCache(use_fast_path=False)
+        model = build_model("GAT", input_dim=molhiv.node_feature_dim)
+        spec = model.layer_specs()[0]
+        config = ArchitectureConfig()
+        assert cache.schedule(molhiv[0], spec, config) == schedule_layer(
+            molhiv[0], spec, config
+        )
+
+    def test_clear_resets_counters(self, molhiv):
+        cache = ScheduleCache()
+        model = build_model("GCN", input_dim=molhiv.node_feature_dim)
+        cache.schedule(molhiv[0], model.layer_specs()[0], ArchitectureConfig())
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+
+
+class TestSweepRunner:
+    def test_engine_matches_naive_loop_bit_for_bit(self, small_spec):
+        naive = naive_sweep(small_spec)
+        engine = SweepRunner(small_spec, workers=0).run()
+        assert len(engine.rows) == small_spec.num_points()
+        for reference, candidate in zip(naive.rows, engine.rows):
+            assert candidate == reference
+
+    def test_engine_matches_accelerator_stream(self, molhiv):
+        """Spot-check one point against the public accelerator API."""
+        spec = SweepSpec(models=("GIN+VN",), num_graphs=6, board=None)
+        engine = SweepRunner(spec, workers=0).run()
+        model = build_model(
+            "GIN+VN",
+            input_dim=molhiv.node_feature_dim,
+            edge_input_dim=molhiv.edge_feature_dim,
+            seed=0,
+        )
+        stream = FlowGNNAccelerator(model, spec.base_config).run_stream(list(molhiv))
+        assert engine.rows[0]["latency_ms"] == stream.mean_latency_ms
+        assert engine.rows[0]["total_cycles"] == stream.total_cycles
+
+    def test_cache_statistics_reported(self, small_spec):
+        engine = SweepRunner(small_spec, workers=0).run()
+        info = engine.cache_info
+        assert info["misses"] > 0
+        assert info["hits"] > info["misses"]  # 5 identical GCN layers per graph
+        assert 0.0 < info["hit_rate"] < 1.0
+
+    def test_disabling_cache_gives_same_rows(self, small_spec):
+        cached = SweepRunner(small_spec, workers=0).run()
+        uncached = SweepRunner(small_spec, workers=0, use_cache=False).run()
+        assert uncached.rows == cached.rows
+        assert uncached.cache_info["misses"] == 0
+
+    def test_board_prefilter_skips_infeasible_points(self):
+        spec = SweepSpec.parallelism_grid(
+            models=("PNA",),
+            node_values=(1, 16),
+            edge_values=(4,),
+            apply_values=(1, 16),
+            scatter_values=(4,),
+            num_graphs=2,
+            board=ALVEO_U50,
+        )
+        result = SweepRunner(spec, workers=0).run()
+        assert result.skipped, "expected the 16x16 PNA kernel to exceed the U50"
+        assert len(result.rows) + len(result.skipped) == spec.num_points()
+        for row in result.skipped:
+            assert "exceeds Alveo U50" in row["reason"]
+        assert all(row["dsp"] <= ALVEO_U50.dsp for row in result.rows)
+
+    def test_find_best_and_column(self, small_spec):
+        result = SweepRunner(small_spec, workers=0).run()
+        base = result.find(p_node=1, p_edge=1, p_apply=1, p_scatter=4)
+        assert len(base) == 1
+        best = result.best("latency_ms")
+        assert best["latency_ms"] == min(result.column("latency_ms"))
+
+    def test_csv_export_roundtrip(self, small_spec, tmp_path):
+        result = SweepRunner(small_spec, workers=0).run()
+        path = tmp_path / "sweep.csv"
+        text = result.to_csv(str(path))
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert len(lines) == len(result.rows) + 1
+        assert lines[0].startswith("model,dataset,p_node,p_edge,p_apply,p_scatter")
+
+    def test_multi_model_multi_dataset_sweep(self):
+        spec = SweepSpec(
+            models=("GCN", "GAT"),
+            datasets=("MolHIV", "HEP"),
+            grid={"num_nt_units": (1, 2)},
+            num_graphs=2,
+            board=None,
+        )
+        result = SweepRunner(spec, workers=0).run()
+        assert len(result.rows) == 8
+        assert {(row["model"], row["dataset"]) for row in result.rows} == {
+            ("GCN", "MolHIV"), ("GCN", "HEP"), ("GAT", "MolHIV"), ("GAT", "HEP"),
+        }
+
+
+class TestPareto:
+    def test_dominated_rows_removed(self):
+        rows = [
+            {"latency_ms": 1.0, "dsp": 100, "bram": 10, "power_w": 5.0},
+            {"latency_ms": 2.0, "dsp": 200, "bram": 20, "power_w": 6.0},  # dominated
+            {"latency_ms": 0.5, "dsp": 400, "bram": 10, "power_w": 7.0},
+        ]
+        frontier = pareto_frontier(rows)
+        assert rows[0] in frontier and rows[2] in frontier
+        assert rows[1] not in frontier
+
+    def test_single_objective_degenerates_to_min(self):
+        rows = [{"latency_ms": value} for value in (3.0, 1.0, 2.0)]
+        frontier = pareto_frontier(rows, objectives=("latency_ms",))
+        assert frontier == [{"latency_ms": 1.0}]
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(KeyError):
+            pareto_frontier([{"latency_ms": 1.0}], objectives=("latency_ms", "dsp"))
+
+    def test_sweep_pareto_contains_global_minima(self, small_spec):
+        result = SweepRunner(small_spec, workers=0).run()
+        frontier = result.pareto()
+        assert frontier
+        best_latency = result.best("latency_ms")
+        assert any(row["latency_ms"] == best_latency["latency_ms"] for row in frontier)
+        assert all(row in result.rows for row in frontier)
+
+
+class TestCLIDse:
+    def test_dse_command_runs_and_prints(self, capsys, tmp_path):
+        from repro.cli import main
+
+        csv_path = tmp_path / "dse.csv"
+        code = main(
+            [
+                "dse",
+                "--models", "GCN",
+                "--datasets", "MolHIV",
+                "--num-graphs", "2",
+                "--p-node", "1,2",
+                "--p-edge", "2",
+                "--p-apply", "2",
+                "--p-scatter", "4",
+                "--workers", "0",
+                "--pareto",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design-space sweep" in out
+        assert "Pareto frontier" in out
+        assert "schedule cache" in out
+        assert csv_path.exists()
+
+    def test_dse_command_rejects_bad_model(self, capsys):
+        from repro.cli import main
+
+        assert main(["dse", "--models", "Transformer"]) == 2
+        assert "invalid sweep" in capsys.readouterr().err
