@@ -1,12 +1,15 @@
-"""Quickstart: run a GNN on the FlowGNN accelerator and compare with CPU/GPU.
+"""Quickstart: run one request on every inference backend and compare.
 
-This is the 60-second tour of the library:
+This is the 60-second tour of the library, built on the unified inference
+API (:mod:`repro.api`):
 
-1. generate a small molecular dataset (MolHIV-like),
-2. build the paper's GIN model for its feature dimensions,
-3. compile a FlowGNN accelerator and stream the graphs through it,
-4. compare the per-graph latency against the CPU and GPU baseline models,
-5. cross-check the accelerator's functional output against the reference
+1. declare an ``InferenceRequest`` — model name, dataset name, stream size
+   (validation is eager, resolution goes through the model/dataset
+   registries),
+2. run the *same* request on the FlowGNN simulator and on the CPU, GPU and
+   roofline baseline backends via ``get_backend(name).run(request)``,
+3. read the uniform ``InferenceReport`` accessors for the comparison,
+4. cross-check the accelerator's functional output against the reference
    library (the reproduction's analogue of the paper's PyTorch cross-check).
 
 Run with:  python examples/quickstart.py
@@ -16,43 +19,46 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ArchitectureConfig, FlowGNNAccelerator, build_model, load_dataset
-from repro.baselines import CPUBaseline, GPUBaseline
+from repro.api import BACKEND_NAMES, InferenceRequest, get_backend
 
 
 def main() -> None:
-    # 1. A small stream of molecule-like graphs (25 nodes / 56 edges on average).
-    dataset = load_dataset("MolHIV", num_graphs=32)
-    graphs = list(dataset)
-    print(f"dataset: {dataset.name}, {len(graphs)} graphs, "
-          f"{dataset.statistics().mean_nodes:.1f} nodes on average")
+    # 1. One declarative request: the paper's GIN on a MolHIV-like stream.
+    #    No model building, dataset loading or config plumbing — the request
+    #    resolves names through the registries when a backend runs it.
+    request = InferenceRequest(model="GIN", dataset="MolHIV", num_graphs=32,
+                               functional=True)
+    print(f"request: {request.describe()}")
 
-    # 2. The paper's GIN configuration (5 layers, hidden dim 100, edge embeddings).
-    model = build_model(
-        "GIN",
-        input_dim=dataset.node_feature_dim,
-        edge_input_dim=dataset.edge_feature_dim,
-    )
-    print(f"model: {model.name}, {model.num_layers} layers, "
-          f"{model.parameter_count():,} parameters")
+    # 2-3. The same request on every registered backend.
+    flowgnn = get_backend("flowgnn").run(request)
+    print(f"\ndataset: {flowgnn.dataset}, {flowgnn.num_graphs} graphs; "
+          f"model: {flowgnn.model}")
+    print(f"FlowGNN: {flowgnn.mean_latency_ms:.4f} ms per graph "
+          f"({flowgnn.throughput_graphs_per_s:,.0f} graphs/s, "
+          f"{flowgnn.energy_mj_per_graph:.3f} mJ/graph)")
 
-    # 3. Compile the accelerator (2 NT units, 4 MP units, 300 MHz) and stream.
-    accelerator = FlowGNNAccelerator(model, ArchitectureConfig())
-    stream = accelerator.run_stream(graphs)
-    print(f"FlowGNN: {stream.mean_latency_ms:.4f} ms per graph "
-          f"({stream.throughput_graphs_per_s:,.0f} graphs/s)")
+    for name in BACKEND_NAMES:
+        if name == "flowgnn":
+            continue
+        report = get_backend(name).run(request)
+        ratio = report.mean_latency_ms / flowgnn.mean_latency_ms
+        verdict = (
+            f"FlowGNN speedup {ratio:.1f}x"
+            if ratio >= 1.0
+            # Only the zero-overhead roofline bound lands here: it marks the
+            # headroom a perfect software stack would leave.
+            else f"{1 / ratio:.1f}x below FlowGNN (ideal bound)"
+        )
+        print(f"{report.extras['platform']}: {report.mean_latency_ms:.3f} ms per graph "
+              f"-> {verdict}")
 
-    # 4. Baselines at batch size 1 (the real-time comparison point).
-    cpu_ms = CPUBaseline(model).mean_latency_ms(graphs)
-    gpu_ms = GPUBaseline(model).mean_latency_ms(graphs)
-    print(f"CPU (Xeon 6226R model):  {cpu_ms:.3f} ms per graph "
-          f"-> FlowGNN speedup {cpu_ms / stream.mean_latency_ms:.1f}x")
-    print(f"GPU (A6000 model):       {gpu_ms:.3f} ms per graph "
-          f"-> FlowGNN speedup {gpu_ms / stream.mean_latency_ms:.1f}x")
-
-    # 5. Functional cross-check on the first graph.
-    reference = model.forward(graphs[0]).graph_output
-    accelerated = accelerator.infer(graphs[0]).graph_output
+    # 4. Functional cross-check on the first graph: the request asked for
+    #    functional outputs, so the report carries the accelerator's
+    #    reference-exact predictions.
+    resolved = request.resolve()
+    reference = resolved.model.forward(resolved.graphs[0]).graph_output
+    accelerated = flowgnn.functional_outputs[0].graph_output
     assert np.allclose(reference, accelerated), "accelerator output diverged!"
     print(f"functional cross-check passed (prediction = {accelerated.ravel()[0]:+.4f})")
 

@@ -9,6 +9,8 @@ for Real-Time Workload-Agnostic Graph Neural Network Inference* (HPCA 2023):
 * :mod:`repro.arch`      — the FlowGNN dataflow architecture: cycle-level simulator,
   resource and energy models;
 * :mod:`repro.baselines` — CPU / GPU / I-GCN / AWB-GCN baseline models;
+* :mod:`repro.api`      — the unified inference API: ``Backend`` registry,
+  ``InferenceRequest`` → ``InferenceReport`` across flowgnn/cpu/gpu/roofline;
 * :mod:`repro.eval`      — the experiment harness reproducing every table and figure;
 * :mod:`repro.dse`       — the parallel design-space exploration engine with
   schedule caching (sweeps, Pareto frontiers, CSV export).
@@ -29,14 +31,26 @@ from .datasets import GraphDataset, load_dataset
 from .nn import MODEL_NAMES, build_model, build_all_models
 from .arch import ArchitectureConfig, FlowGNNAccelerator, PipelineStrategy
 from .baselines import CPUBaseline, GPUBaseline
+from .api import (
+    BACKEND_NAMES,
+    InferenceReport,
+    InferenceRequest,
+    get_backend,
+    register_backend,
+)
 from .eval import run_experiment, run_all_experiments
 from .dse import SweepRunner, SweepSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
     "GraphStream",
+    "BACKEND_NAMES",
+    "InferenceReport",
+    "InferenceRequest",
+    "get_backend",
+    "register_backend",
     "GraphDataset",
     "load_dataset",
     "MODEL_NAMES",

@@ -1,0 +1,172 @@
+"""``InferenceReport``: the uniform result object every backend returns.
+
+Whatever platform processed the request — the FlowGNN simulator, the CPU/GPU
+analytical models or the roofline bound — the caller reads the same
+accessors: ``mean_latency_ms``, ``p99_latency_ms``,
+``throughput_graphs_per_s``, ``energy_mj_per_graph``,
+``deadline_miss_rate``, plus ``to_dict()`` / ``to_json()`` for machine
+consumption (the CLI's ``--json`` flag prints exactly ``to_json()``).
+
+Latency accounting conventions (mirroring ``docs/architecture.md``):
+
+* ``per_graph_latency_ms`` holds each graph's *service* latency — the time
+  the platform spends on that graph, excluding queueing and excluding any
+  one-time setup;
+* ``one_time_overhead_ms`` is a per-stream cost paid once (FlowGNN's weight
+  load; zero for the analytical baselines).  ``mean_latency_ms`` amortises
+  it over the stream, matching ``StreamResult.mean_latency_ms``;
+* when an arrival process was simulated, ``stream_statistics`` holds the
+  end-to-end view (queueing counts against the deadline) and the percentile
+  accessors read from it; otherwise they read the service latencies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph import StreamStatistics
+from ..nn.models.base import GNNOutput
+
+__all__ = ["InferenceReport"]
+
+
+@dataclass
+class InferenceReport:
+    """Uniform result of running one :class:`~repro.api.InferenceRequest`."""
+
+    backend: str
+    model: str
+    dataset: str
+    batch_size: int
+    config_description: str
+    per_graph_latency_ms: np.ndarray
+    per_graph_energy_mj: np.ndarray
+    one_time_overhead_ms: float = 0.0
+    stream_statistics: Optional[StreamStatistics] = None
+    functional_outputs: Optional[List[GNNOutput]] = None
+    extras: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.per_graph_latency_ms = np.asarray(self.per_graph_latency_ms, dtype=np.float64)
+        self.per_graph_energy_mj = np.asarray(self.per_graph_energy_mj, dtype=np.float64)
+        if self.per_graph_latency_ms.shape != self.per_graph_energy_mj.shape:
+            raise ValueError("latency and energy arrays must have matching shapes")
+
+    # -- sizes ----------------------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        return int(self.per_graph_latency_ms.size)
+
+    # -- latency --------------------------------------------------------------
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean per-graph service latency with the one-time cost amortised."""
+        if not self.num_graphs:
+            return 0.0
+        return float(
+            self.per_graph_latency_ms.mean() + self.one_time_overhead_ms / self.num_graphs
+        )
+
+    def _latency_sample_ms(self) -> np.ndarray:
+        """End-to-end latencies when an arrival process ran, else service."""
+        if self.stream_statistics is not None and self.stream_statistics.per_graph_latency_s.size:
+            return self.stream_statistics.per_graph_latency_s * 1e3
+        return self.per_graph_latency_ms
+
+    @property
+    def p99_latency_ms(self) -> float:
+        sample = self._latency_sample_ms()
+        return float(np.percentile(sample, 99)) if sample.size else 0.0
+
+    @property
+    def max_latency_ms(self) -> float:
+        sample = self._latency_sample_ms()
+        return float(np.max(sample)) if sample.size else 0.0
+
+    # -- throughput -----------------------------------------------------------
+    @property
+    def throughput_graphs_per_s(self) -> float:
+        """Back-to-back throughput, one-time overhead included."""
+        total_ms = float(self.per_graph_latency_ms.sum()) + self.one_time_overhead_ms
+        if total_ms <= 0:
+            return 0.0
+        return self.num_graphs / (total_ms * 1e-3)
+
+    # -- energy ---------------------------------------------------------------
+    @property
+    def energy_mj_per_graph(self) -> float:
+        """Mean energy per graph in millijoules."""
+        if not self.num_graphs:
+            return 0.0
+        return float(self.per_graph_energy_mj.mean())
+
+    @property
+    def graphs_per_kilojoule(self) -> float:
+        """The paper's efficiency metric, averaged per graph like Table VI."""
+        if not self.num_graphs:
+            return 0.0
+        energies = self.per_graph_energy_mj
+        if np.any(energies <= 0):
+            return float("inf")
+        return float(np.mean(1e6 / energies))
+
+    # -- deadlines / queueing -------------------------------------------------
+    @property
+    def deadline_miss_rate(self) -> float:
+        if self.stream_statistics is None:
+            return 0.0
+        return float(self.stream_statistics.deadline_miss_rate())
+
+    @property
+    def deadline_miss_count(self) -> int:
+        if self.stream_statistics is None:
+            return 0
+        return int(self.stream_statistics.deadline_miss_count())
+
+    @property
+    def max_queue_depth(self) -> int:
+        if self.stream_statistics is None:
+            return 0
+        return int(self.stream_statistics.max_queue_depth)
+
+    # -- export ---------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Flat, JSON-serialisable summary (scalars only, extras merged)."""
+        payload: Dict = {
+            "backend": self.backend,
+            "model": self.model,
+            "dataset": self.dataset,
+            "num_graphs": self.num_graphs,
+            "batch_size": self.batch_size,
+            "config": self.config_description,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "max_latency_ms": self.max_latency_ms,
+            "throughput_graphs_per_s": self.throughput_graphs_per_s,
+            "energy_mj_per_graph": self.energy_mj_per_graph,
+            "graphs_per_kilojoule": self.graphs_per_kilojoule,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "deadline_miss_count": self.deadline_miss_count,
+            "max_queue_depth": self.max_queue_depth,
+        }
+        for key, value in self.extras.items():
+            if isinstance(value, (np.floating, np.integer)):
+                value = value.item()
+            payload.setdefault(key, value)
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.backend}: {self.model} on {self.dataset} "
+            f"({self.num_graphs} graphs, bs={self.batch_size}) — "
+            f"mean {self.mean_latency_ms:.4f} ms, p99 {self.p99_latency_ms:.4f} ms, "
+            f"{self.throughput_graphs_per_s:,.0f} graphs/s"
+        )

@@ -70,17 +70,53 @@ class StreamResult:
 
 
 class FlowGNNAccelerator:
-    """One FlowGNN hardware instance compiled for one GNN model."""
+    """One FlowGNN hardware instance compiled for one GNN model.
 
-    def __init__(self, model: GNNModel, config: Optional[ArchitectureConfig] = None) -> None:
+    Layer schedules are memoised in a :class:`repro.dse.ScheduleCache` keyed
+    on the graph's *structural* signature, so streams containing repeated or
+    structurally identical graphs (e.g. near-duplicate HEP events) schedule
+    each distinct structure once.  The cached scheduler is bit-identical to
+    the reference one; ``schedule_cache_info`` reports hit statistics, and
+    ``use_schedule_cache=False`` restores the historical recompute-everything
+    behaviour (used by :func:`repro.dse.naive_sweep` as a benchmark baseline).
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        config: Optional[ArchitectureConfig] = None,
+        use_schedule_cache: bool = True,
+    ) -> None:
         self.model = model
         self.config = config or ArchitectureConfig()
         self._weight_loading_cycles = weight_loading_cycles(self.model, self.config)
+        self._use_schedule_cache = use_schedule_cache
+        self._schedule_fn = None  # built lazily: importing repro.dse here would cycle
+
+    def _schedule(self):
+        if not self._use_schedule_cache:
+            return None  # simulate_inference falls back to the reference scheduler
+        if self._schedule_fn is None:
+            from ..dse.cache import ScheduleCache
+
+            self._schedule_cache = ScheduleCache()
+            self._schedule_fn = self._schedule_cache.bind(self.config)
+        return self._schedule_fn
+
+    @property
+    def schedule_cache_info(self) -> dict:
+        """Hit/miss statistics of the layer-schedule cache."""
+        if self._schedule_fn is None:
+            return {"entries": 0, "hits": 0, "misses": 0, "hit_rate": 0.0}
+        return self._schedule_cache.info()
 
     # -- single graph ---------------------------------------------------------
     def run(self, graph: Graph, functional: bool = False) -> SimulationResult:
         """Process a single graph; returns cycles, latency and optional output."""
-        return simulate_inference(self.model, graph, self.config, functional=functional)
+        return simulate_inference(
+            self.model, graph, self.config, functional=functional,
+            schedule_fn=self._schedule(),
+        )
 
     def infer(self, graph: Graph) -> GNNOutput:
         """Functional inference only (reference-exact output, no timing focus)."""
@@ -110,8 +146,12 @@ class FlowGNNAccelerator:
         attached to the result.
         """
         graph_list: List[Graph] = list(graphs)
+        schedule_fn = self._schedule()
         results = [
-            simulate_inference(self.model, graph, self.config, functional=functional)
+            simulate_inference(
+                self.model, graph, self.config, functional=functional,
+                schedule_fn=schedule_fn,
+            )
             for graph in graph_list
         ]
         stream_statistics = None

@@ -1,6 +1,14 @@
 """Baseline latency/energy models: CPU, GPU and published GCN accelerators."""
 
-from .roofline import PlatformModel, WorkloadProfile, profile_model_on_graph
+from .roofline import (
+    IDEAL_ROOFLINE,
+    ModelCalibration,
+    PlatformBaseline,
+    PlatformModel,
+    RooflineBaseline,
+    WorkloadProfile,
+    profile_model_on_graph,
+)
 from .cpu import CPU_MODEL_CALIBRATION, CPUBaseline, XEON_6226R
 from .gpu import DEFAULT_BATCH_SIZES, GPU_MODEL_CALIBRATION, GPUBaseline, RTX_A6000
 from .gcn_accelerators import (
@@ -15,7 +23,11 @@ from .gcn_accelerators import (
 )
 
 __all__ = [
+    "IDEAL_ROOFLINE",
+    "ModelCalibration",
+    "PlatformBaseline",
     "PlatformModel",
+    "RooflineBaseline",
     "WorkloadProfile",
     "profile_model_on_graph",
     "CPU_MODEL_CALIBRATION",

@@ -8,18 +8,18 @@ other graph sizes; the per-model ``overhead_scale`` captures how heavy each
 model's Python/framework call graph is (DGN's enormous factor reflects its
 per-graph Laplacian eigenvector preparation, which the PyG pipeline performs
 on the host).
+
+The latency/energy accessors are inherited from
+:class:`~repro.baselines.roofline.PlatformBaseline`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
-from ..graph import Graph
-from ..nn.models.base import GNNModel
-from .roofline import PlatformModel, WorkloadProfile, profile_model_on_graph
+from .roofline import ModelCalibration, PlatformBaseline, PlatformModel
 
-__all__ = ["XEON_6226R", "CPU_MODEL_CALIBRATION", "CPUBaseline"]
+__all__ = ["XEON_6226R", "CPU_MODEL_CALIBRATION", "CPUBaseline", "ModelCalibration"]
 
 XEON_6226R = PlatformModel(
     name="Intel Xeon Gold 6226R (PyTorch Geometric)",
@@ -32,15 +32,6 @@ XEON_6226R = PlatformModel(
     power_w=55.0,
 )
 
-
-@dataclass(frozen=True)
-class ModelCalibration:
-    """Per-model calibration: framework-overhead scale and non-amortisable floor."""
-
-    overhead_scale: float
-    floor_s: float = 0.0
-
-
 # Fitted so that batch-1 latency on the HEP dataset lands near Table V.
 CPU_MODEL_CALIBRATION: Dict[str, ModelCalibration] = {
     "GCN": ModelCalibration(overhead_scale=4.0),
@@ -52,46 +43,12 @@ CPU_MODEL_CALIBRATION: Dict[str, ModelCalibration] = {
 }
 
 
-class CPUBaseline:
-    """Latency/energy model of the CPU baseline for one GNN model."""
+class CPUBaseline(PlatformBaseline):
+    """Latency/energy model of the CPU baseline for one GNN model.
 
-    def __init__(self, model: GNNModel, platform: PlatformModel = XEON_6226R) -> None:
-        self.model = model
-        self.platform = platform
-        self.calibration = CPU_MODEL_CALIBRATION.get(model.name, ModelCalibration(1.0))
+    The paper evaluates the CPU at batch size 1 only; larger batches are
+    supported for completeness.
+    """
 
-    def profile(self, graph: Graph) -> WorkloadProfile:
-        return profile_model_on_graph(self.model, graph)
-
-    def latency_s(self, graph: Graph, batch_size: int = 1) -> float:
-        """Per-graph latency in seconds at the given mini-batch size.
-
-        The paper evaluates the CPU at batch size 1 only; larger batches are
-        supported for completeness.
-        """
-        profile = self.profile(graph)
-        return self.platform.latency_per_graph_s(
-            profile,
-            batch_size=batch_size,
-            model_floor_s=self.calibration.floor_s,
-            model_overhead_scale=self.calibration.overhead_scale,
-        )
-
-    def latency_ms(self, graph: Graph, batch_size: int = 1) -> float:
-        return self.latency_s(graph, batch_size) * 1e3
-
-    def mean_latency_ms(self, graphs, batch_size: int = 1) -> float:
-        """Mean per-graph latency over a collection of graphs."""
-        graphs = list(graphs)
-        if not graphs:
-            return 0.0
-        return sum(self.latency_ms(g, batch_size) for g in graphs) / len(graphs)
-
-    def energy_per_graph_j(self, graph: Graph, batch_size: int = 1) -> float:
-        """Energy per graph (J) assuming the platform's average load power."""
-        return self.latency_s(graph, batch_size) * self.platform.power_w
-
-    def graphs_per_kilojoule(self, graph: Graph, batch_size: int = 1) -> float:
-        """The paper's energy-efficiency metric."""
-        energy = self.energy_per_graph_j(graph, batch_size)
-        return 1000.0 / energy if energy > 0 else float("inf")
+    CALIBRATION = CPU_MODEL_CALIBRATION
+    DEFAULT_PLATFORM = XEON_6226R

@@ -13,19 +13,20 @@ reproduces:
   (attention softmax scatter chains for GAT, per-graph positional
   preprocessing for DGN), so FlowGNN keeps winning at batch 1024, as the
   paper observes.
+
+The latency/energy accessors are inherited from
+:class:`~repro.baselines.roofline.PlatformBaseline`; this module adds the
+Fig. 7 batch-size sweep helpers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Sequence
 
 import numpy as np
 
 from ..graph import Graph
-from ..nn.models.base import GNNModel
-from .cpu import ModelCalibration
-from .roofline import PlatformModel, WorkloadProfile, profile_model_on_graph
+from .roofline import ModelCalibration, PlatformBaseline, PlatformModel
 
 __all__ = ["RTX_A6000", "GPU_MODEL_CALIBRATION", "GPUBaseline", "DEFAULT_BATCH_SIZES"]
 
@@ -55,36 +56,11 @@ GPU_MODEL_CALIBRATION: Dict[str, ModelCalibration] = {
 }
 
 
-class GPUBaseline:
+class GPUBaseline(PlatformBaseline):
     """Latency/energy model of the GPU baseline for one GNN model."""
 
-    def __init__(self, model: GNNModel, platform: PlatformModel = RTX_A6000) -> None:
-        self.model = model
-        self.platform = platform
-        self.calibration = GPU_MODEL_CALIBRATION.get(model.name, ModelCalibration(1.0))
-
-    def profile(self, graph: Graph) -> WorkloadProfile:
-        return profile_model_on_graph(self.model, graph)
-
-    def latency_s(self, graph: Graph, batch_size: int = 1) -> float:
-        """Per-graph latency in seconds when ``batch_size`` graphs are batched."""
-        profile = self.profile(graph)
-        return self.platform.latency_per_graph_s(
-            profile,
-            batch_size=batch_size,
-            model_floor_s=self.calibration.floor_s,
-            model_overhead_scale=self.calibration.overhead_scale,
-        )
-
-    def latency_ms(self, graph: Graph, batch_size: int = 1) -> float:
-        return self.latency_s(graph, batch_size) * 1e3
-
-    def mean_latency_ms(self, graphs, batch_size: int = 1) -> float:
-        """Mean per-graph latency over a collection of graphs."""
-        graphs = list(graphs)
-        if not graphs:
-            return 0.0
-        return sum(self.latency_ms(g, batch_size) for g in graphs) / len(graphs)
+    CALIBRATION = GPU_MODEL_CALIBRATION
+    DEFAULT_PLATFORM = RTX_A6000
 
     def batch_sweep_ms(
         self, graph: Graph, batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES
@@ -102,12 +78,3 @@ class GPUBaseline:
             values = [self.latency_ms(g, int(batch)) for g in graphs]
             sweep[int(batch)] = float(np.mean(values)) if values else 0.0
         return sweep
-
-    def energy_per_graph_j(self, graph: Graph, batch_size: int = 1) -> float:
-        """Energy per graph (J) assuming the platform's average load power."""
-        return self.latency_s(graph, batch_size) * self.platform.power_w
-
-    def graphs_per_kilojoule(self, graph: Graph, batch_size: int = 1) -> float:
-        """The paper's energy-efficiency metric."""
-        energy = self.energy_per_graph_j(graph, batch_size)
-        return 1000.0 / energy if energy > 0 else float("inf")

@@ -22,12 +22,20 @@ measurements (Table V, Figs. 7–8) and documented there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..graph import Graph
 from ..nn.models.base import GNNModel
 
-__all__ = ["WorkloadProfile", "PlatformModel", "profile_model_on_graph"]
+__all__ = [
+    "WorkloadProfile",
+    "PlatformModel",
+    "ModelCalibration",
+    "PlatformBaseline",
+    "RooflineBaseline",
+    "IDEAL_ROOFLINE",
+    "profile_model_on_graph",
+]
 
 
 @dataclass(frozen=True)
@@ -109,6 +117,92 @@ class PlatformModel:
         )
         scatter_s = profile.edge_elements / self.scatter_elements_per_s
         return overhead / batch_size + dense_s + scatter_s + model_floor_s
+
+
+@dataclass(frozen=True)
+class ModelCalibration:
+    """Per-model calibration: framework-overhead scale and non-amortisable floor."""
+
+    overhead_scale: float
+    floor_s: float = 0.0
+
+
+class PlatformBaseline:
+    """Latency/energy model of one platform for one GNN model.
+
+    The shared accessors (`latency_s`, `latency_ms`, `mean_latency_ms`,
+    `energy_per_graph_j`, `graphs_per_kilojoule`) live here; concrete
+    platforms (:class:`~repro.baselines.cpu.CPUBaseline`,
+    :class:`~repro.baselines.gpu.GPUBaseline`, :class:`RooflineBaseline`)
+    supply a default :class:`PlatformModel` and a per-model calibration table.
+    """
+
+    #: Per-model calibration constants; subclasses override.
+    CALIBRATION: Dict[str, ModelCalibration] = {}
+    #: Platform used when the constructor receives none; subclasses override.
+    DEFAULT_PLATFORM: Optional[PlatformModel] = None
+
+    def __init__(self, model: GNNModel, platform: Optional[PlatformModel] = None) -> None:
+        if platform is None:
+            platform = self.DEFAULT_PLATFORM
+        if platform is None:
+            raise ValueError(f"{type(self).__name__} needs a PlatformModel")
+        self.model = model
+        self.platform = platform
+        self.calibration = self.CALIBRATION.get(model.name, ModelCalibration(1.0))
+
+    def profile(self, graph: Graph) -> WorkloadProfile:
+        return profile_model_on_graph(self.model, graph)
+
+    def latency_s(self, graph: Graph, batch_size: int = 1) -> float:
+        """Per-graph latency in seconds when ``batch_size`` graphs are batched."""
+        return self.platform.latency_per_graph_s(
+            self.profile(graph),
+            batch_size=batch_size,
+            model_floor_s=self.calibration.floor_s,
+            model_overhead_scale=self.calibration.overhead_scale,
+        )
+
+    def latency_ms(self, graph: Graph, batch_size: int = 1) -> float:
+        return self.latency_s(graph, batch_size) * 1e3
+
+    def mean_latency_ms(self, graphs, batch_size: int = 1) -> float:
+        """Mean per-graph latency over a collection of graphs."""
+        graphs = list(graphs)
+        if not graphs:
+            return 0.0
+        return sum(self.latency_ms(g, batch_size) for g in graphs) / len(graphs)
+
+    def energy_per_graph_j(self, graph: Graph, batch_size: int = 1) -> float:
+        """Energy per graph (J) assuming the platform's average load power."""
+        return self.latency_s(graph, batch_size) * self.platform.power_w
+
+    def graphs_per_kilojoule(self, graph: Graph, batch_size: int = 1) -> float:
+        """The paper's energy-efficiency metric."""
+        energy = self.energy_per_graph_j(graph, batch_size)
+        return 1000.0 / energy if energy > 0 else float("inf")
+
+
+# The zero-overhead roofline bound: A6000-class silicon driven by a perfect
+# software stack — no framework dispatch, no kernel launches, full dense
+# utilisation from batch 1.  The gap between this and the GPU baseline is
+# exactly the software overhead the paper's batch-1 argument hinges on.
+IDEAL_ROOFLINE = PlatformModel(
+    name="Roofline bound (A6000-class silicon, zero software overhead)",
+    framework_overhead_s=0.0,
+    kernel_launch_s=0.0,
+    effective_flops=2.0e12,
+    scatter_elements_per_s=2.0e10,
+    saturation_batch=1,
+    min_utilisation=1.0,
+    power_w=105.0,
+)
+
+
+class RooflineBaseline(PlatformBaseline):
+    """Pure compute/scatter roofline bound, uncalibrated (scale 1, no floor)."""
+
+    DEFAULT_PLATFORM = IDEAL_ROOFLINE
 
 
 # Framework kernel counts per layer for each model family: roughly how many

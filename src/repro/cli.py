@@ -3,34 +3,67 @@
 Four subcommands cover the common workflows without writing any Python:
 
 * ``experiments`` — regenerate the paper's tables and figures;
-* ``simulate``    — run one model on one dataset on a chosen architecture
-  configuration and report latency, throughput, resources and energy;
+* ``simulate``    — run one model on one dataset on a chosen inference
+  backend (``--backend flowgnn|cpu|gpu|roofline``) and report latency,
+  throughput and energy via the unified :mod:`repro.api` layer; ``--json``
+  emits the machine-readable :meth:`~repro.api.InferenceReport.to_json`;
 * ``datasets``    — print the synthetic dataset statistics (Table IV);
 * ``dse``         — sweep parallelism grids over models and datasets with
   the design-space exploration engine (:mod:`repro.dse`), with Pareto
-  extraction and CSV export.
+  extraction, CSV export, and baseline-platform sweeps via ``--backend``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .arch import (
-    ALVEO_U50,
-    ArchitectureConfig,
-    FlowGNNAccelerator,
-    estimate_energy,
-    estimate_resources,
-)
-from .baselines import CPUBaseline, GPUBaseline
+from .api import BACKEND_NAMES, InferenceRequest, get_backend
+from .arch import ALVEO_U50
 from .datasets import DATASET_NAMES, load_dataset
 from .dse import SweepRunner, SweepSpec
 from .eval import EXPERIMENT_NAMES, render_dict_table, run_experiment
-from .nn import MODEL_NAMES, build_model
+from .nn import MODEL_NAMES
 
 __all__ = ["build_parser", "main"]
+
+
+# The four paper parallelism knobs, shared between the ``simulate`` (scalar)
+# and ``dse`` (grid) subparsers: (dest, scalar flag, grid flag, paper name,
+# scalar default, grid default).
+_PARALLELISM_KNOBS = [
+    ("nt_units", "--nt-units", "--p-node", "P_node", 2, [1, 2, 4]),
+    ("mp_units", "--mp-units", "--p-edge", "P_edge", 4, [1, 2, 4]),
+    ("apply", "--apply", "--p-apply", "P_apply", 2, [1, 2, 4]),
+    ("scatter", "--scatter", "--p-scatter", "P_scatter", 4, [1, 2, 4, 8]),
+]
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _str_list(text: str) -> List[str]:
+    return [part for part in text.split(",") if part]
+
+
+def _add_parallelism_flags(parser: argparse.ArgumentParser, grid: bool = False) -> None:
+    """Install the four parallelism knobs as scalars (simulate) or grids (dse)."""
+    for dest, scalar_flag, grid_flag, paper_name, scalar_default, grid_default in _PARALLELISM_KNOBS:
+        if grid:
+            parser.add_argument(
+                grid_flag,
+                dest=f"p_{grid_flag.split('-')[-1]}",
+                type=_int_list,
+                default=list(grid_default),
+                help=f"{paper_name} grid, e.g. {','.join(map(str, grid_default))}",
+            )
+        else:
+            parser.add_argument(
+                scalar_flag, dest=dest, type=int, default=scalar_default, help=paper_name
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,19 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     simulate = subparsers.add_parser(
-        "simulate", help="simulate one model on one dataset"
+        "simulate", help="simulate one model on one dataset on a chosen backend"
     )
     simulate.add_argument("--model", choices=MODEL_NAMES, default="GIN")
     simulate.add_argument("--dataset", choices=DATASET_NAMES, default="MolHIV")
     simulate.add_argument("--num-graphs", type=int, default=32)
-    simulate.add_argument("--nt-units", type=int, default=2, help="P_node")
-    simulate.add_argument("--mp-units", type=int, default=4, help="P_edge")
-    simulate.add_argument("--apply", type=int, default=2, help="P_apply")
-    simulate.add_argument("--scatter", type=int, default=4, help="P_scatter")
+    simulate.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="flowgnn",
+        help="inference backend from the repro.api registry",
+    )
+    simulate.add_argument(
+        "--batch-size", type=int, default=1, help="mini-batch size for platform backends"
+    )
+    _add_parallelism_flags(simulate)
     simulate.add_argument(
         "--compare-baselines",
         action="store_true",
-        help="also report the CPU and GPU batch-1 latency models",
+        help="also report every other registered backend on the same request",
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the InferenceReport as JSON instead of tables",
     )
 
     datasets = subparsers.add_parser(
@@ -75,33 +119,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     datasets.add_argument("names", nargs="*", default=None)
 
-    def int_list(text: str) -> List[int]:
-        return [int(part) for part in text.split(",") if part]
-
-    def str_list(text: str) -> List[str]:
-        return [part for part in text.split(",") if part]
-
     dse = subparsers.add_parser(
         "dse",
         help="design-space exploration: sweep parallelism grids over models/datasets",
     )
     dse.add_argument(
         "--models",
-        type=str_list,
+        type=_str_list,
         default=["GCN"],
         help=f"comma-separated model names from: {', '.join(MODEL_NAMES)}",
     )
     dse.add_argument(
         "--datasets",
-        type=str_list,
+        type=_str_list,
         default=["MolHIV"],
         help=f"comma-separated dataset names from: {', '.join(DATASET_NAMES)}",
     )
     dse.add_argument("--num-graphs", type=int, default=12, help="graphs per multi-graph dataset")
-    dse.add_argument("--p-node", type=int_list, default=[1, 2, 4], help="P_node grid, e.g. 1,2,4")
-    dse.add_argument("--p-edge", type=int_list, default=[1, 2, 4], help="P_edge grid")
-    dse.add_argument("--p-apply", type=int_list, default=[1, 2, 4], help="P_apply grid")
-    dse.add_argument("--p-scatter", type=int_list, default=[1, 2, 4, 8], help="P_scatter grid")
+    dse.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="flowgnn",
+        help="inference backend to sweep (non-flowgnn backends ignore the grid)",
+    )
+    _add_parallelism_flags(dse, grid=True)
     dse.add_argument(
         "--workers",
         type=int,
@@ -132,52 +173,92 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_simulate(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, num_graphs=args.num_graphs)
-    graphs = list(dataset)
-    model = build_model(
-        args.model,
-        input_dim=dataset.node_feature_dim,
-        edge_input_dim=dataset.edge_feature_dim,
-    )
-    config = ArchitectureConfig(
-        num_nt_units=args.nt_units,
-        num_mp_units=args.mp_units,
-        apply_parallelism=args.apply,
-        scatter_parallelism=args.scatter,
-    )
-    accelerator = FlowGNNAccelerator(model, config)
-    stream = accelerator.run_stream(graphs)
-    resources = estimate_resources(model, config)
-    energy = estimate_energy(accelerator.run(graphs[0]), resources)
+def _report_row(report) -> dict:
+    """The table row the ``simulate`` command prints for one report."""
+    row = {
+        "platform": report.extras.get("platform", report.backend),
+        "latency_ms": round(report.mean_latency_ms, 4),
+        "p99_ms": round(report.p99_latency_ms, 4),
+        "graphs_per_s": round(report.throughput_graphs_per_s, 1),
+        "energy_mj": round(report.energy_mj_per_graph, 3),
+        "graphs_per_kj": round(report.graphs_per_kilojoule, 1),
+    }
+    if "dsp" in report.extras:
+        row.update(
+            dsp=report.extras["dsp"],
+            bram=report.extras["bram"],
+            fits_u50=report.extras["fits_u50"],
+            power_w=report.extras["power_w"],
+        )
+    return row
 
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    request = InferenceRequest(
+        model=args.model,
+        dataset=args.dataset,
+        num_graphs=args.num_graphs,
+        batch_size=args.batch_size,
+        config={
+            "p_node": args.nt_units,
+            "p_edge": args.mp_units,
+            "p_apply": args.apply,
+            "p_scatter": args.scatter,
+        },
+    )
+    report = get_backend(args.backend).run(request)
+
+    other_reports = []
+    if args.compare_baselines:
+        other_reports = [
+            get_backend(name).run(request)
+            for name in BACKEND_NAMES
+            if name != args.backend
+        ]
+
+    if args.json:
+        payload = report.to_dict()
+        if other_reports:
+            payload["baselines"] = [other.to_dict() for other in other_reports]
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+
+    title = (
+        "FlowGNN simulation"
+        if args.backend == "flowgnn"
+        else f"{args.backend} inference ({report.extras.get('platform', args.backend)})"
+    )
     rows = [
         {
-            "model": model.name,
-            "dataset": dataset.name,
-            "graphs": len(graphs),
-            "config": config.describe(),
-            "latency_ms": round(stream.mean_latency_ms, 4),
-            "graphs_per_s": round(stream.throughput_graphs_per_s, 1),
-            "dsp": resources.dsp,
-            "bram": resources.bram,
-            "fits_u50": resources.fits(ALVEO_U50),
-            "power_w": round(energy.power.total_w, 1),
-            "graphs_per_kj": round(energy.graphs_per_kilojoule, 1),
+            "model": report.model,
+            "dataset": report.dataset,
+            "graphs": report.num_graphs,
+            "config": report.config_description,
         }
     ]
-    print(render_dict_table(rows, title="FlowGNN simulation"))
+    rows[0].update(_report_row(report))
+    print(render_dict_table(rows, title=title))
 
-    if args.compare_baselines:
-        cpu_ms = CPUBaseline(model).mean_latency_ms(graphs)
-        gpu_ms = GPUBaseline(model).mean_latency_ms(graphs)
-        comparison = [
-            {"platform": "FlowGNN (simulated)", "latency_ms": round(stream.mean_latency_ms, 4), "speedup": 1.0},
-            {"platform": "GPU A6000 (model, bs=1)", "latency_ms": round(gpu_ms, 3), "speedup": round(stream.mean_latency_ms / gpu_ms, 4)},
-            {"platform": "CPU 6226R (model, bs=1)", "latency_ms": round(cpu_ms, 3), "speedup": round(stream.mean_latency_ms / cpu_ms, 4)},
-        ]
+    if other_reports:
+        reference_ms = report.mean_latency_ms
+        comparison = []
+        for other in [report] + other_reports:
+            comparison.append(
+                {
+                    **_report_row(other),
+                    "speedup": round(reference_ms / other.mean_latency_ms, 4)
+                    if other.mean_latency_ms
+                    else None,
+                }
+            )
         print()
-        print(render_dict_table(comparison, title="baseline comparison (batch size 1)"))
+        print(
+            render_dict_table(
+                comparison,
+                title=f"backend comparison (batch size {args.batch_size}, "
+                f"speedup relative to {args.backend})",
+            )
+        )
     return 0
 
 
@@ -216,6 +297,7 @@ def _run_dse(args: argparse.Namespace) -> int:
             scatter_values=args.p_scatter,
             num_graphs=args.num_graphs,
             board=None if args.no_board_filter else ALVEO_U50,
+            backend=args.backend,
         )
     except ValueError as error:
         print(f"invalid sweep: {error}", file=sys.stderr)
@@ -233,14 +315,23 @@ def _run_dse(args: argparse.Namespace) -> int:
     if result.rows:
         best = result.best("latency_ms")
         print()
-        print(
-            f"fastest feasible design: P_node={best['p_node']}, P_edge={best['p_edge']}, "
-            f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
-            f"({best['latency_ms']:.4f} ms, {best['dsp']} DSPs) for {best['model']} on {best['dataset']}"
-        )
+        if spec.backend == "flowgnn":
+            print(
+                f"fastest feasible design: P_node={best['p_node']}, P_edge={best['p_edge']}, "
+                f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
+                f"({best['latency_ms']:.4f} ms, {best['dsp']} DSPs) for {best['model']} on {best['dataset']}"
+            )
+        else:
+            print(
+                f"fastest point: {best['model']} on {best['dataset']} "
+                f"({best['latency_ms']:.4f} ms on {best['platform']})"
+            )
     if args.pareto:
-        print()
-        print(render_dict_table(result.pareto(), title="Pareto frontier (latency / dsp / bram / power)"))
+        if spec.backend == "flowgnn":
+            print()
+            print(render_dict_table(result.pareto(), title="Pareto frontier (latency / dsp / bram / power)"))
+        else:
+            print("\n--pareto is only meaningful for the flowgnn backend; skipped")
     if args.csv:
         try:
             result.to_csv(args.csv)
@@ -248,12 +339,15 @@ def _run_dse(args: argparse.Namespace) -> int:
             print(f"cannot write CSV to {args.csv}: {error}", file=sys.stderr)
             return 2
         print(f"\nwrote {len(result.rows)} rows to {args.csv}")
-    cache = result.cache_info
-    print(
-        f"\n{result.num_points} points in {result.elapsed_s:.2f}s; "
-        f"schedule cache: {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
-        f"({cache.get('hit_rate', 0.0):.0%} hit rate)"
-    )
+    if spec.backend == "flowgnn":
+        cache = result.cache_info
+        print(
+            f"\n{result.num_points} points in {result.elapsed_s:.2f}s; "
+            f"schedule cache: {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
+            f"({cache.get('hit_rate', 0.0):.0%} hit rate)"
+        )
+    else:
+        print(f"\n{result.num_points} points in {result.elapsed_s:.2f}s via backend {spec.backend!r}")
     return 0
 
 

@@ -227,6 +227,8 @@ class SweepRunner:
 
     def run(self) -> SweepResult:
         """Evaluate every feasible sweep point."""
+        if self.spec.backend != "flowgnn":
+            return self._run_platform_backend()
         started = time.perf_counter()
         rows: List[Dict] = []
         skipped: List[Dict] = []
@@ -273,6 +275,47 @@ class SweepRunner:
         )
 
     # -- internals ------------------------------------------------------------
+    def _run_platform_backend(self) -> SweepResult:
+        """Sweep a platform backend (cpu/gpu/roofline) via the inference API.
+
+        Platform baselines have no architecture knobs, so the config grid
+        collapses: one :class:`~repro.api.InferenceReport` per
+        (model, dataset) pair, obtained through the backend registry.
+        """
+        from ..api import InferenceRequest, get_backend
+
+        started = time.perf_counter()
+        backend = get_backend(self.spec.backend)
+        rows: List[Dict] = []
+        for model_name in self.spec.models:
+            for dataset_name in self.spec.datasets:
+                request = InferenceRequest(
+                    model=model_name,
+                    dataset=dataset_name,
+                    config=self.spec.base_config,
+                    **self.spec.dataset_load_kwargs(dataset_name),
+                )
+                report = backend.run(request)
+                rows.append(
+                    {
+                        "model": model_name,
+                        "dataset": dataset_name,
+                        "backend": report.backend,
+                        "platform": report.extras.get("platform", report.backend),
+                        "latency_ms": report.mean_latency_ms,
+                        "p99_latency_ms": report.p99_latency_ms,
+                        "throughput_graphs_per_s": report.throughput_graphs_per_s,
+                        "energy_mj_per_graph": report.energy_mj_per_graph,
+                    }
+                )
+        return SweepResult(
+            spec=self.spec,
+            rows=rows,
+            skipped=[],
+            cache_info={},
+            elapsed_s=time.perf_counter() - started,
+        )
+
     def _prefilter(
         self,
         model: GNNModel,
@@ -367,7 +410,8 @@ def naive_sweep(spec: SweepSpec) -> SweepResult:
                 seed=0,
             )
             for config in spec.configs():
-                stream = FlowGNNAccelerator(model, config).run_stream(graphs)
+                accelerator = FlowGNNAccelerator(model, config, use_schedule_cache=False)
+                stream = accelerator.run_stream(graphs)
                 resources = estimate_resources(model, config)
                 energy = estimate_energy(stream.per_graph_results[0], resources)
                 row = {"model": model_name, "dataset": dataset_name}

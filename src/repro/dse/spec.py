@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..api.backends import BACKEND_NAMES
 from ..arch.config import ArchitectureConfig
 from ..arch.resources import ALVEO_U50, BoardResources
 from ..datasets import DATASET_NAMES
@@ -65,6 +66,12 @@ class SweepSpec:
     board:
         Target board for the resource-feasibility pre-filter.  ``None``
         disables filtering (every point is simulated, fitting or not).
+    backend:
+        Inference backend from the :mod:`repro.api` registry.  ``"flowgnn"``
+        (the default) sweeps the architecture grid on the cycle simulator;
+        any other backend (``"cpu"``, ``"gpu"``, ``"roofline"``) has no
+        architecture knobs, so the grid collapses to one evaluation per
+        (model, dataset) — this is how a sweep covers baseline platforms.
     """
 
     models: Tuple[str, ...] = ("GCN",)
@@ -74,6 +81,7 @@ class SweepSpec:
     num_graphs: int = 12
     scale: float = 0.3
     board: Optional[BoardResources] = ALVEO_U50
+    backend: str = "flowgnn"
 
     def __post_init__(self) -> None:
         # Normalise sequences to tuples so the spec is an immutable value
@@ -101,6 +109,11 @@ class SweepSpec:
                 )
             if not values:
                 raise ValueError(f"grid for {key!r} is empty")
+        object.__setattr__(self, "backend", str(self.backend).lower())
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; registered: {BACKEND_NAMES}"
+            )
         if self.num_graphs < 1:
             raise ValueError("num_graphs must be >= 1")
         if not 0.0 < self.scale <= 1.0:
@@ -145,6 +158,12 @@ class SweepSpec:
 
     def describe(self) -> str:
         grid = ", ".join(f"{key}={list(values)}" for key, values in self.grid.items())
+        if self.backend != "flowgnn":
+            return (
+                f"SweepSpec(backend={self.backend!r}, models={list(self.models)}, "
+                f"datasets={list(self.datasets)}, "
+                f"{len(self.models) * len(self.datasets)} points)"
+            )
         return (
             f"SweepSpec(models={list(self.models)}, datasets={list(self.datasets)}, "
             f"grid={{{grid}}}, {self.num_points()} points)"

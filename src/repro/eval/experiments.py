@@ -28,23 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from ..api import InferenceRequest, get_backend
 from ..arch import (
     ArchitectureConfig,
-    FlowGNNAccelerator,
     TABLE3_REFERENCE,
     ablation_configs,
     estimate_resources,
-    estimate_energy,
-    trace_from_result,
 )
 from ..baselines import (
     AWBGCN_PUBLISHED,
-    CPUBaseline,
     DEFAULT_BATCH_SIZES,
     FLOWGNN_TABLE8_PUBLISHED,
-    GPUBaseline,
     IGCN_PUBLISHED,
     awbgcn_model,
     dsp_normalised_latency,
@@ -134,9 +128,23 @@ def _build_models_for_dataset(dataset, seed: int = 0) -> Dict[str, object]:
     }
 
 
+def _report(
+    backend: str,
+    model,
+    graphs: Sequence[Graph],
+    batch_size: int = 1,
+    config: Optional[ArchitectureConfig] = None,
+):
+    """One :class:`~repro.api.InferenceReport` — how every comparison column
+    in the experiment tables is produced, whatever the platform."""
+    request = InferenceRequest(
+        model=model, dataset=list(graphs), batch_size=batch_size, config=config
+    )
+    return get_backend(backend).run(request)
+
+
 def _flowgnn_mean_latency_ms(model, graphs: Sequence[Graph], config: Optional[ArchitectureConfig] = None) -> float:
-    accelerator = FlowGNNAccelerator(model, config or ArchitectureConfig())
-    return accelerator.run_stream(graphs).mean_latency_ms
+    return _report("flowgnn", model, graphs, config=config).mean_latency_ms
 
 
 # ---------------------------------------------------------------------------
@@ -235,11 +243,9 @@ def run_table5_hep_latency(fast: bool = True, num_graphs: Optional[int] = None) 
 
     rows: List[Dict] = []
     for name, model in models.items():
-        cpu = CPUBaseline(model)
-        gpu = GPUBaseline(model)
-        cpu_ms = cpu.mean_latency_ms(graphs, batch_size=1)
-        gpu_ms = gpu.mean_latency_ms(graphs, batch_size=1)
-        flowgnn_ms = _flowgnn_mean_latency_ms(model, graphs)
+        cpu_ms = _report("cpu", model, graphs).mean_latency_ms
+        gpu_ms = _report("gpu", model, graphs).mean_latency_ms
+        flowgnn_ms = _report("flowgnn", model, graphs).mean_latency_ms
         reference = TABLE5_REFERENCE_MS[name]
         rows.append(
             {
@@ -279,24 +285,12 @@ def run_table6_energy(fast: bool = True) -> ExperimentResult:
     dataset = load_dataset("MolHIV", num_graphs=16 if fast else 256)
     graphs = list(dataset)
     models = _build_models_for_dataset(dataset)
-    config = ArchitectureConfig()
 
     rows: List[Dict] = []
     for name, model in models.items():
-        cpu = CPUBaseline(model)
-        gpu = GPUBaseline(model)
-        cpu_eff = float(np.mean([cpu.graphs_per_kilojoule(g) for g in graphs]))
-        gpu_eff = float(np.mean([gpu.graphs_per_kilojoule(g) for g in graphs]))
-
-        accelerator = FlowGNNAccelerator(model, config)
-        resources = estimate_resources(model, config)
-        efficiencies = []
-        for graph in graphs:
-            result = accelerator.run(graph)
-            report = estimate_energy(result, resources)
-            efficiencies.append(report.graphs_per_kilojoule)
-        flowgnn_eff = float(np.mean(efficiencies))
-
+        cpu_eff = _report("cpu", model, graphs).graphs_per_kilojoule
+        gpu_eff = _report("gpu", model, graphs).graphs_per_kilojoule
+        flowgnn_eff = _report("flowgnn", model, graphs).graphs_per_kilojoule
         reference = TABLE6_REFERENCE[name]
         rows.append(
             {
@@ -404,13 +398,12 @@ def run_table8_gcn_accelerators(fast: bool = True) -> ExperimentResult:
         model = build_model(
             "GCN", input_dim=dataset.node_feature_dim, num_layers=2, hidden_dim=16
         )
-        accelerator = FlowGNNAccelerator(model, config)
-        simulated = accelerator.run(graph)
+        simulated = _report("flowgnn", model, [graph], config=config)
         # Extrapolate from the scaled synthetic graph to the real dataset size
         # (2-layer GCN latency is dominated by edge traversal).
         edge_scale = max(reference_edges / max(graph.num_edges, 1), 1.0)
         node_scale = max(reference_nodes / max(graph.num_nodes, 1), 1.0)
-        flowgnn_us = simulated.latency_s * 1e6 * max(edge_scale, node_scale)
+        flowgnn_us = simulated.mean_latency_ms * 1e3 * max(edge_scale, node_scale)
         flowgnn_norm = dsp_normalised_latency(flowgnn_us, flowgnn_dsps)
 
         igcn_norm = dsp_normalised_latency(igcn.latency_us(name), igcn.dsps)
@@ -489,10 +482,13 @@ def run_fig7_latency_sweep(
 
     rows: List[Dict] = []
     for name, model in models.items():
-        cpu_ms = CPUBaseline(model).mean_latency_ms(graphs, batch_size=1)
+        cpu_ms = _report("cpu", model, graphs).mean_latency_ms
         flowgnn_ms = flowgnn_by_model[name]
-        gpu = GPUBaseline(model)
-        sweep = gpu.mean_batch_sweep_ms(graphs, batch_sizes)
+        # One GPU report per batch size: the Fig. 7 x-axis.
+        sweep = {
+            int(batch): _report("gpu", model, graphs, batch_size=int(batch)).mean_latency_ms
+            for batch in batch_sizes
+        }
         for batch, gpu_ms in sweep.items():
             rows.append(
                 {
@@ -516,15 +512,19 @@ def run_fig7_latency_sweep(
 # ---------------------------------------------------------------------------
 def run_fig8_citation(fast: bool = True) -> ExperimentResult:
     """Per-model latency on the Cora and CiteSeer single graphs (Fig. 8)."""
+    # Node classification on a resident graph: weights are pre-loaded, so the
+    # FlowGNN number excludes the one-time weight stream (matching the
+    # historical single-`run` measurement).
+    flowgnn_config = ArchitectureConfig(include_weight_loading=False)
     rows: List[Dict] = []
     for dataset_name in ("Cora", "CiteSeer"):
         dataset = load_dataset(dataset_name, scale=0.3 if fast else 1.0)
         graph = dataset[0]
         models = _build_models_for_dataset(dataset)
         for name, model in models.items():
-            cpu_ms = CPUBaseline(model).latency_ms(graph, batch_size=1)
-            gpu_ms = GPUBaseline(model).latency_ms(graph, batch_size=1)
-            flowgnn_ms = FlowGNNAccelerator(model).run(graph).latency_ms
+            cpu_ms = _report("cpu", model, [graph]).mean_latency_ms
+            gpu_ms = _report("gpu", model, [graph]).mean_latency_ms
+            flowgnn_ms = _report("flowgnn", model, [graph], config=flowgnn_config).mean_latency_ms
             rows.append(
                 {
                     "dataset": dataset_name,
@@ -552,7 +552,7 @@ def run_fig9_ablation(fast: bool = True) -> ExperimentResult:
     dataset = load_dataset("MolHIV", num_graphs=24 if fast else 256)
     graphs = list(dataset)
     model = build_model("GCN", input_dim=dataset.node_feature_dim)
-    gpu_ms = GPUBaseline(model).mean_latency_ms(graphs, batch_size=1)
+    gpu_ms = _report("gpu", model, graphs).mean_latency_ms
 
     rows: List[Dict] = []
     reference_ms: Optional[float] = None

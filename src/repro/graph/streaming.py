@@ -89,10 +89,19 @@ class StreamStatistics:
         return len(self.completion_times_s) / makespan
 
     def deadline_miss_count(self) -> int:
-        """Number of graphs whose processing latency exceeded the deadline."""
+        """Number of graphs whose processing latency exceeded the deadline.
+
+        Finishing *exactly* at the deadline is a hit, and the comparison is
+        float-tolerant (relative 1e-9): latencies are ``completion - arrival``
+        differences, whose rounding noise must not flip the boundary case.
+        """
         if self.deadline_s is None:
             return 0
-        return int(np.sum(self.per_graph_latency_s > self.deadline_s))
+        latencies = self.per_graph_latency_s
+        missed = (latencies > self.deadline_s) & ~np.isclose(
+            latencies, self.deadline_s, rtol=1e-9, atol=0.0
+        )
+        return int(np.sum(missed))
 
     def deadline_miss_rate(self) -> float:
         if self.deadline_s is None or not self.per_graph_latency_s.size:

@@ -1,0 +1,250 @@
+"""Tests for the unified inference API (:mod:`repro.api`).
+
+The heart of this file is the cross-backend contract test: every registered
+backend must return a well-formed :class:`InferenceReport` for the *same*
+:class:`InferenceRequest` — that is the property the paper's head-to-head
+platform comparison rests on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BACKEND_NAMES,
+    Backend,
+    InferenceRequest,
+    get_backend,
+    register_backend,
+)
+from repro.arch import ArchitectureConfig, FlowGNNAccelerator
+from repro.nn import build_model
+
+
+@pytest.fixture
+def molhiv_request(molhiv_sample):
+    """One request shared verbatim by every backend in the contract test."""
+    return InferenceRequest(
+        model="GCN",
+        dataset=molhiv_sample,
+        arrival_interval_s=1e-3,
+        deadline_s=5e-3,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Request validation and resolution
+# ---------------------------------------------------------------------------
+class TestInferenceRequest:
+    def test_unknown_model_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            InferenceRequest(model="Transformer", dataset="MolHIV")
+
+    def test_unknown_dataset_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            InferenceRequest(model="GIN", dataset="ImageNet")
+
+    def test_model_and_dataset_names_normalised(self):
+        request = InferenceRequest(model="gin_vn", dataset="molhiv")
+        assert request.model == "GIN+VN"
+        assert request.dataset == "MolHIV"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"num_graphs": 0},
+            {"scale": 1.5},
+            {"arrival_interval_s": -1.0},
+            {"deadline_s": 0.0},
+        ],
+    )
+    def test_bad_run_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            InferenceRequest(model="GIN", dataset="MolHIV", **kwargs)
+
+    def test_parallelism_dict_resolves_to_config(self):
+        request = InferenceRequest(
+            model="GIN",
+            dataset="MolHIV",
+            config={"p_node": 4, "p_edge": 8, "clock_mhz": 200.0},
+        )
+        assert request.config.num_nt_units == 4
+        assert request.config.num_mp_units == 8
+        assert request.config.clock_mhz == 200.0
+
+    def test_unknown_config_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown config knob"):
+            InferenceRequest(model="GIN", dataset="MolHIV", config={"p_warp": 2})
+
+    def test_resolution_builds_model_for_dataset_dims(self):
+        resolved = InferenceRequest(model="GIN", dataset="MolHIV", num_graphs=2).resolve()
+        assert resolved.model.name == "GIN"
+        assert len(resolved.graphs) == 2
+        assert resolved.dataset_name == "MolHIV"
+
+    def test_model_instance_and_graph_list_pass_through(self, gin_model, molhiv_sample):
+        graphs = list(molhiv_sample)[:3]
+        resolved = InferenceRequest(model=gin_model, dataset=graphs).resolve()
+        assert resolved.model is gin_model
+        assert resolved.graphs == graphs
+
+    def test_empty_graph_list_with_model_name_rejected(self):
+        with pytest.raises(ValueError, match="empty graph list"):
+            InferenceRequest(model="GIN", dataset=[]).resolve()
+
+
+# ---------------------------------------------------------------------------
+# The cross-backend contract
+# ---------------------------------------------------------------------------
+class TestBackendContract:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_every_backend_returns_a_well_formed_report(self, name, molhiv_request, molhiv_sample):
+        report = get_backend(name).run(molhiv_request)
+        assert report.backend == name
+        assert report.model == "GCN"
+        assert report.num_graphs == len(molhiv_sample)
+        assert report.per_graph_latency_ms.shape == (len(molhiv_sample),)
+        assert np.all(report.per_graph_latency_ms > 0)
+        assert report.mean_latency_ms > 0
+        assert report.p99_latency_ms > 0
+        assert report.max_latency_ms >= report.p99_latency_ms
+        assert report.throughput_graphs_per_s > 0
+        assert report.energy_mj_per_graph > 0
+        assert report.graphs_per_kilojoule > 0
+        assert 0.0 <= report.deadline_miss_rate <= 1.0
+        # The request asked for an arrival process: stream stats must exist.
+        assert report.stream_statistics is not None
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_to_dict_and_json_round_trip(self, name, molhiv_request):
+        report = get_backend(name).run(molhiv_request)
+        payload = json.loads(report.to_json())
+        assert payload == json.loads(json.dumps(report.to_dict(), default=str))
+        for key in (
+            "backend",
+            "model",
+            "dataset",
+            "mean_latency_ms",
+            "p99_latency_ms",
+            "throughput_graphs_per_s",
+            "energy_mj_per_graph",
+            "deadline_miss_rate",
+        ):
+            assert key in payload
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_run_stream_always_attaches_statistics(self, name, molhiv_sample):
+        request = InferenceRequest(model="GCN", dataset=molhiv_sample)
+        report = get_backend(name).run_stream(request)
+        assert report.stream_statistics is not None
+        # run() without an arrival rate stays a pure latency measurement.
+        assert get_backend(name).run(request).stream_statistics is None
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_satisfies_backend_protocol(self, name):
+        assert isinstance(get_backend(name), Backend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_register_backend_extends_registry(self, molhiv_request):
+        class EchoBackend:
+            name = "echo-test"
+
+            def run(self, request):
+                return get_backend("roofline").run(request)
+
+            def run_stream(self, request):
+                return self.run(request)
+
+        register_backend("echo-test", EchoBackend)
+        try:
+            assert "echo-test" in BACKEND_NAMES
+            assert get_backend("echo-test").run(molhiv_request).mean_latency_ms > 0
+        finally:
+            from repro.api import backends
+
+            backends._REGISTRY.pop("echo-test")
+            BACKEND_NAMES.remove("echo-test")
+
+
+# ---------------------------------------------------------------------------
+# FlowGNN backend semantics
+# ---------------------------------------------------------------------------
+class TestFlowGNNBackend:
+    def test_matches_direct_accelerator_numbers(self, gin_model, molhiv_sample):
+        graphs = list(molhiv_sample)
+        direct = FlowGNNAccelerator(gin_model).run_stream(graphs)
+        report = get_backend("flowgnn").run(
+            InferenceRequest(model=gin_model, dataset=graphs)
+        )
+        assert report.mean_latency_ms == pytest.approx(direct.mean_latency_ms, rel=1e-12)
+        assert report.throughput_graphs_per_s == pytest.approx(
+            direct.throughput_graphs_per_s, rel=1e-12
+        )
+        np.testing.assert_allclose(report.per_graph_latency_ms, direct.latencies_ms())
+
+    def test_config_travels_with_the_request(self, gin_model, molhiv_sample):
+        graphs = list(molhiv_sample)[:2]
+        slow = get_backend("flowgnn").run(
+            InferenceRequest(
+                model=gin_model,
+                dataset=graphs,
+                config={"p_node": 1, "p_edge": 1, "p_apply": 1, "p_scatter": 1},
+            )
+        )
+        fast = get_backend("flowgnn").run(
+            InferenceRequest(
+                model=gin_model,
+                dataset=graphs,
+                config={"p_node": 2, "p_edge": 4, "p_apply": 2, "p_scatter": 4},
+            )
+        )
+        assert fast.mean_latency_ms < slow.mean_latency_ms
+
+    def test_functional_outputs_attached_on_request(self, gin_model, molhiv_sample):
+        graphs = list(molhiv_sample)[:2]
+        report = get_backend("flowgnn").run(
+            InferenceRequest(model=gin_model, dataset=graphs, functional=True)
+        )
+        assert report.functional_outputs is not None
+        reference = gin_model.forward(graphs[0]).graph_output
+        np.testing.assert_allclose(report.functional_outputs[0].graph_output, reference)
+
+    def test_extras_report_resources_and_cache(self, molhiv_request):
+        report = get_backend("flowgnn").run(molhiv_request)
+        assert report.extras["dsp"] > 0
+        assert "fits_u50" in report.extras
+        assert report.extras["schedule_cache"]["misses"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Platform backend semantics
+# ---------------------------------------------------------------------------
+class TestPlatformBackends:
+    def test_gpu_batching_amortises_overhead(self, molhiv_sample):
+        bs1 = get_backend("gpu").run(InferenceRequest(model="GCN", dataset=molhiv_sample))
+        bs64 = get_backend("gpu").run(
+            InferenceRequest(model="GCN", dataset=molhiv_sample, batch_size=64)
+        )
+        assert bs64.mean_latency_ms < bs1.mean_latency_ms
+
+    def test_roofline_bounds_the_gpu_from_below(self, molhiv_sample):
+        request = InferenceRequest(model="GCN", dataset=molhiv_sample)
+        roofline = get_backend("roofline").run(request)
+        gpu = get_backend("gpu").run(request)
+        assert roofline.mean_latency_ms < gpu.mean_latency_ms
+
+    def test_deadline_misses_reported_for_slow_platforms(self, molhiv_sample):
+        request = InferenceRequest(
+            model="GCN",
+            dataset=molhiv_sample,
+            arrival_interval_s=100e-6,
+            deadline_s=100e-6,
+        )
+        report = get_backend("cpu").run(request)
+        assert report.deadline_miss_rate == 1.0
+        assert report.max_queue_depth > 0

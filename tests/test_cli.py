@@ -1,5 +1,7 @@
 """Tests for the command-line interface (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -14,11 +16,23 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.model == "GIN"
         assert args.dataset == "MolHIV"
+        assert args.backend == "flowgnn"
         assert args.nt_units == 2 and args.mp_units == 4
 
     def test_invalid_model_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--model", "Transformer"])
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "tpu"])
+
+    def test_parallelism_flags_shared_with_dse(self):
+        """The four knobs exist on both subparsers (scalar vs. grid form)."""
+        simulate = build_parser().parse_args(["simulate", "--scatter", "8"])
+        assert simulate.scatter == 8
+        dse = build_parser().parse_args(["dse", "--p-scatter", "2,8"])
+        assert dse.p_scatter == [2, 8]
 
 
 class TestCommands:
@@ -43,8 +57,46 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "FlowGNN simulation" in out
-        assert "baseline comparison" in out
-        assert "GPU A6000" in out
+        assert "backend comparison" in out
+        assert "A6000" in out
+
+    def test_simulate_on_cpu_backend(self, capsys):
+        code = main(
+            ["simulate", "--backend", "cpu", "--dataset", "MolHIV", "--num-graphs", "4"]
+        )
+        assert code == 0
+        assert "Xeon" in capsys.readouterr().out
+
+    def test_simulate_json_output_parses(self, capsys):
+        code = main(
+            ["simulate", "--backend", "flowgnn", "--num-graphs", "4", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "flowgnn"
+        assert payload["num_graphs"] == 4
+        assert payload["mean_latency_ms"] > 0
+
+    def test_simulate_json_with_baselines(self, capsys):
+        code = main(
+            ["simulate", "--num-graphs", "2", "--json", "--compare-baselines"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {other["backend"] for other in payload["baselines"]} == {
+            "cpu",
+            "gpu",
+            "roofline",
+        }
+
+    def test_dse_on_platform_backend(self, capsys):
+        code = main(
+            ["dse", "--backend", "cpu", "--models", "GCN", "--num-graphs", "2", "--workers", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend 'cpu'" in out
+        assert "Xeon" in out
 
     def test_simulate_custom_parallelism(self, capsys):
         code = main(

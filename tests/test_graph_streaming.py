@@ -80,3 +80,40 @@ class TestStreamConsumption:
         assert stats.mean_latency_s == 0.0
         assert stats.p99_latency_s == 0.0
         assert stats.throughput_graphs_per_s == 0.0
+
+
+class TestStreamEdgeCases:
+    def test_empty_stream_has_no_misses_and_no_queue(self):
+        stats = simulate_stream_consumption(
+            GraphStream(graphs=[]), lambda g: 1.0, deadline_s=1e-6
+        )
+        assert stats.deadline_miss_count() == 0
+        assert stats.deadline_miss_rate() == 0.0
+        assert stats.max_latency_s == 0.0
+        assert stats.max_queue_depth == 0
+
+    def test_deadline_exactly_equal_to_latency_is_not_a_miss(self, five_graph_stream):
+        # A fast consumer's end-to-end latency equals its service time; a
+        # deadline of exactly that service time is met, not missed.
+        stats = simulate_stream_consumption(
+            five_graph_stream, lambda g: 1e-4, deadline_s=1e-4
+        )
+        np.testing.assert_allclose(stats.per_graph_latency_s, 1e-4)
+        assert stats.deadline_miss_count() == 0
+        # A measurable overshoot (beyond float tolerance) is a miss everywhere.
+        stats = simulate_stream_consumption(
+            five_graph_stream, lambda g: 1e-4 * (1 + 1e-6), deadline_s=1e-4
+        )
+        assert stats.deadline_miss_count() == len(five_graph_stream)
+
+    def test_zero_arrival_interval_is_a_burst(self, rng):
+        graphs = [molecule_like_graph(10, rng, 4, 2) for _ in range(4)]
+        stream = GraphStream(graphs=graphs, arrival_interval_s=0.0)
+        assert stream.arrival_times().tolist() == [0.0] * 4
+        stats = simulate_stream_consumption(stream, lambda g: 1e-3)
+        # Everything arrives at t=0 and is served in order: latency ramps
+        # linearly and the queue drains one graph per service time.
+        np.testing.assert_allclose(
+            stats.per_graph_latency_s, [1e-3, 2e-3, 3e-3, 4e-3]
+        )
+        assert stats.max_queue_depth == 3
