@@ -9,11 +9,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="flowgnn-repro",
-    version="1.1.0",
+    version="1.3.0",
     description=(
         "Cycle-level reproduction of FlowGNN (HPCA 2023): a dataflow "
         "architecture for real-time GNN inference, with a parallel "
-        "design-space exploration engine"
+        "design-space exploration engine and a multi-tenant serving simulator"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -11,6 +11,8 @@ for Real-Time Workload-Agnostic Graph Neural Network Inference* (HPCA 2023):
 * :mod:`repro.baselines` — CPU / GPU / I-GCN / AWB-GCN baseline models;
 * :mod:`repro.api`      — the unified inference API: ``Backend`` registry,
   ``InferenceRequest`` → ``InferenceReport`` across flowgnn/cpu/gpu/roofline;
+* :mod:`repro.serve`     — the multi-tenant serving simulator: load
+  generation, replicated backend pools, dispatch policies, dynamic batching;
 * :mod:`repro.eval`      — the experiment harness reproducing every table and figure;
 * :mod:`repro.dse`       — the parallel design-space exploration engine with
   schedule caching (sweeps, Pareto frontiers, CSV export).
@@ -40,8 +42,9 @@ from .api import (
 )
 from .eval import run_experiment, run_all_experiments
 from .dse import SweepRunner, SweepSpec
+from .serve import Cluster, LoadGenerator, ServingReport, Workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Graph",
@@ -65,5 +68,9 @@ __all__ = [
     "run_all_experiments",
     "SweepRunner",
     "SweepSpec",
+    "Cluster",
+    "LoadGenerator",
+    "ServingReport",
+    "Workload",
     "__version__",
 ]

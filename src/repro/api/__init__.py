@@ -33,6 +33,7 @@ from .backends import (
     CPUBackend,
     FlowGNNBackend,
     GPUBackend,
+    Measurement,
     RooflineBackend,
     get_backend,
     register_backend,
@@ -46,6 +47,7 @@ __all__ = [
     "CPUBackend",
     "FlowGNNBackend",
     "GPUBackend",
+    "Measurement",
     "RooflineBackend",
     "get_backend",
     "register_backend",

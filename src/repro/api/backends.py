@@ -46,6 +46,7 @@ from .request import InferenceRequest, ResolvedRequest
 __all__ = [
     "Backend",
     "BACKEND_NAMES",
+    "Measurement",
     "register_backend",
     "get_backend",
     "FlowGNNBackend",
@@ -99,8 +100,14 @@ def get_backend(name: str) -> Backend:
 # Shared machinery
 # ---------------------------------------------------------------------------
 @dataclass
-class _Measurement:
-    """Everything one backend pass produced, before report assembly."""
+class Measurement:
+    """Everything one backend pass produced, before report assembly.
+
+    Also the return type of :meth:`_BackendBase.measure`, which the serving
+    simulator (:mod:`repro.serve`) uses to obtain the exact per-graph service
+    latencies a replica spends — the same numbers ``run``/``run_stream``
+    build their reports from, without a second arrival-process simulation.
+    """
 
     latencies_s: np.ndarray
     energies_j: np.ndarray
@@ -132,7 +139,7 @@ def _stream_statistics(
 class _BackendBase(ABC):
     """Template implementation: subclasses supply one ``_measure`` pass.
 
-    ``_measure`` returns everything in a local :class:`_Measurement`, so
+    ``_measure`` returns everything in a local :class:`Measurement`, so
     backend instances hold no per-request state and stay reusable.
     """
 
@@ -143,6 +150,18 @@ class _BackendBase(ABC):
 
     def run_stream(self, request: InferenceRequest) -> InferenceReport:
         return self._report(request.resolve(), force_stream=True)
+
+    def measure(self, request: InferenceRequest) -> Measurement:
+        """Service-latency profile of the request (no arrival simulation).
+
+        Exposes the raw per-graph service latencies/energies in seconds and
+        joules — the exact numbers ``run``/``run_stream`` convert into an
+        :class:`InferenceReport`.  The serving simulator (:mod:`repro.serve`)
+        builds replica service times from this, so a cluster replica is
+        cycle-for-cycle the platform the backend models.  Optional for
+        third-party backends: callers fall back to ``run`` when absent.
+        """
+        return self._measure(request.resolve())
 
     def _report(self, resolved: ResolvedRequest, force_stream: bool) -> InferenceReport:
         measured = self._measure(resolved)
@@ -161,7 +180,7 @@ class _BackendBase(ABC):
         )
 
     @abstractmethod
-    def _measure(self, resolved: ResolvedRequest) -> _Measurement:
+    def _measure(self, resolved: ResolvedRequest) -> Measurement:
         """Run the platform over the resolved request's graphs."""
 
 
@@ -177,7 +196,7 @@ class FlowGNNBackend(_BackendBase):
 
     name = "flowgnn"
 
-    def _measure(self, resolved: ResolvedRequest) -> _Measurement:
+    def _measure(self, resolved: ResolvedRequest) -> Measurement:
         # One simulation pass feeds latency, energy, extras and functional
         # outputs; the accelerator's schedule cache de-duplicates repeated
         # graph structures within the request.
@@ -190,7 +209,7 @@ class FlowGNNBackend(_BackendBase):
         power = (
             estimate_energy(results[0], resources).power.total_w if results else 0.0
         )
-        return _Measurement(
+        return Measurement(
             latencies_s=np.array([r.latency_s for r in results], dtype=np.float64),
             energies_j=np.array(
                 [estimate_energy(r, resources).energy_per_graph_j for r in results],
@@ -224,14 +243,14 @@ class _PlatformBackend(_BackendBase):
 
     baseline_cls: Type[PlatformBaseline]
 
-    def _measure(self, resolved: ResolvedRequest) -> _Measurement:
+    def _measure(self, resolved: ResolvedRequest) -> Measurement:
         baseline = self.baseline_cls(resolved.model)
         batch = resolved.request.batch_size
         latencies_s = np.array(
             [baseline.latency_s(g, batch_size=batch) for g in resolved.graphs],
             dtype=np.float64,
         )
-        return _Measurement(
+        return Measurement(
             latencies_s=latencies_s,
             energies_j=latencies_s * baseline.platform.power_w,
             extras={"platform": baseline.platform.name},

@@ -78,6 +78,11 @@ class InferenceReport:
         return self.per_graph_latency_ms
 
     @property
+    def p50_latency_ms(self) -> float:
+        sample = self._latency_sample_ms()
+        return float(np.percentile(sample, 50)) if sample.size else 0.0
+
+    @property
     def p99_latency_ms(self) -> float:
         sample = self._latency_sample_ms()
         return float(np.percentile(sample, 99)) if sample.size else 0.0
@@ -144,6 +149,7 @@ class InferenceReport:
             "batch_size": self.batch_size,
             "config": self.config_description,
             "mean_latency_ms": self.mean_latency_ms,
+            "p50_latency_ms": self.p50_latency_ms,
             "p99_latency_ms": self.p99_latency_ms,
             "max_latency_ms": self.max_latency_ms,
             "throughput_graphs_per_s": self.throughput_graphs_per_s,

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``simulate``    — run one model on one dataset on a chosen inference
@@ -10,7 +10,10 @@ Four subcommands cover the common workflows without writing any Python:
 * ``datasets``    — print the synthetic dataset statistics (Table IV);
 * ``dse``         — sweep parallelism grids over models and datasets with
   the design-space exploration engine (:mod:`repro.dse`), with Pareto
-  extraction, CSV export, and baseline-platform sweeps via ``--backend``.
+  extraction, CSV export, and baseline-platform sweeps via ``--backend``;
+* ``serve``       — multi-tenant serving simulation (:mod:`repro.serve`):
+  many request streams multiplexed over a pool of backend replicas with a
+  chosen dispatch policy and arrival process.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from .datasets import DATASET_NAMES, load_dataset
 from .dse import SweepRunner, SweepSpec
 from .eval import EXPERIMENT_NAMES, render_dict_table, run_experiment
 from .nn import MODEL_NAMES
+from .serve import POLICY_NAMES, Cluster, LoadGenerator, Workload
 
 __all__ = ["build_parser", "main"]
 
@@ -160,6 +164,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the latency/DSP/BRAM/power Pareto frontier",
     )
     dse.add_argument("--csv", metavar="PATH", default=None, help="write the sweep rows as CSV")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="multi-tenant serving simulation over a pool of backend replicas",
+    )
+    serve.add_argument("--tenants", type=int, default=2, help="number of tenants")
+    serve.add_argument("--replicas", type=int, default=1, help="backend replicas in the pool")
+    serve.add_argument(
+        "--policy",
+        choices=POLICY_NAMES,
+        default="round_robin",
+        help="dispatch policy (edf is the SLO-aware earliest-deadline-first)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="flowgnn",
+        help="backend every replica instantiates",
+    )
+    serve.add_argument(
+        "--arrival",
+        default="poisson",
+        help="arrival process: poisson | bursty | constant | trace:PATH "
+        "(CSV with an arrival_s column; a tenant column routes rows)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated traffic horizon in seconds "
+        "(default: 0.05, or the whole trace when replaying one)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="total request rate (req/s) split by tenant share; "
+        "default: ~70%% of the measured pool capacity",
+    )
+    serve.add_argument(
+        "--models",
+        type=_str_list,
+        default=["GIN", "GCN"],
+        help="comma-separated model names, cycled across tenants",
+    )
+    serve.add_argument(
+        "--datasets",
+        type=_str_list,
+        default=["MolHIV"],
+        help="comma-separated dataset names, cycled across tenants",
+    )
+    serve.add_argument(
+        "--num-graphs", type=int, default=6, help="distinct graphs per tenant's request pool"
+    )
+    serve.add_argument(
+        "--deadline-us",
+        type=float,
+        default=None,
+        help="per-request deadline in microseconds "
+        "(default: 4x the measured mean service time)",
+    )
+    serve.add_argument("--max-batch", type=int, default=1, help="dynamic batching: batch size cap")
+    serve.add_argument(
+        "--batch-timeout-us",
+        type=float,
+        default=0.0,
+        help="dynamic batching: how long a replica waits for a batch to fill",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="bound on queued requests; beyond it arrivals are dropped",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the ServingReport as JSON instead of tables",
+    )
 
     return parser
 
@@ -351,6 +435,108 @@ def _run_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_workloads(args: argparse.Namespace) -> List[Workload]:
+    """One workload per tenant, cycling models/datasets across the list."""
+    workloads = []
+    for i in range(args.tenants):
+        workloads.append(
+            Workload(
+                tenant=f"tenant{i}",
+                model=args.models[i % len(args.models)],
+                dataset=args.datasets[i % len(args.datasets)],
+                num_graphs=args.num_graphs,
+                seed=args.seed + i,
+                deadline_s=(
+                    args.deadline_us * 1e-6 if args.deadline_us is not None else None
+                ),
+            )
+        )
+    return workloads
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+    if not args.models or not args.datasets:
+        print("--models and --datasets need at least one name", file=sys.stderr)
+        return 2
+    try:
+        workloads = _build_serve_workloads(args)
+        cluster = Cluster(
+            workloads,
+            backend=args.backend,
+            num_replicas=args.replicas,
+            policy=args.policy,
+            max_batch_size=args.max_batch,
+            batch_timeout_s=args.batch_timeout_us * 1e-6,
+            queue_capacity=args.queue_capacity,
+        )
+    except (ValueError, KeyError) as error:
+        print(f"invalid serving scenario: {error}", file=sys.stderr)
+        return 2
+
+    # Size the default rate and deadline from the measured service time, so
+    # the command produces interesting (loaded but not doomed) traffic on any
+    # backend without manual tuning.  Trace replay has its own rate: the
+    # recorded timestamps.
+    is_trace = args.arrival.startswith("trace:")
+    mean_service = cluster.mean_service_s()
+    rate = args.rate if args.rate is not None else 0.7 * args.replicas / mean_service
+    if args.deadline_us is None:
+        for workload in workloads:
+            workload.deadline_s = 4.0 * mean_service
+
+    # Trace replay with no explicit horizon runs the whole recorded trace
+    # (generate() with no bounds); everything else defaults to 50 ms.
+    duration = args.duration
+    if duration is None and not is_trace:
+        duration = 0.05
+    try:
+        if is_trace:
+            generator = LoadGenerator.trace(workloads, args.arrival[len("trace:"):], seed=args.seed)
+        elif args.arrival == "poisson":
+            generator = LoadGenerator.poisson(workloads, rate, seed=args.seed)
+        elif args.arrival == "bursty":
+            generator = LoadGenerator.bursty(workloads, rate, seed=args.seed)
+        elif args.arrival == "constant":
+            generator = LoadGenerator.constant(workloads, rate, seed=args.seed)
+        else:
+            print(
+                f"unknown arrival process {args.arrival!r}; "
+                "use poisson, bursty, constant or trace:PATH",
+                file=sys.stderr,
+            )
+            return 2
+        requests = generator.generate(duration_s=duration)
+    except (OSError, ValueError) as error:
+        print(f"cannot generate load: {error}", file=sys.stderr)
+        return 2
+
+    report = cluster.serve(requests, duration_s=duration)
+
+    if args.json:
+        print(report.to_json())
+        return 0
+
+    offered = (
+        "replayed trace" if is_trace else f"{args.arrival} arrivals, {rate:,.0f} req/s"
+    )
+    horizon_s = duration if duration is not None else report.horizon_s
+    print(
+        f"serving {len(requests)} requests from {args.tenants} tenants over "
+        f"{args.replicas}x {report.backend} ({offered}, "
+        f"{horizon_s * 1e3:.0f} ms horizon)"
+    )
+    print()
+    print(render_dict_table(report.tenant_rows(), title=f"per-tenant serving report ({report.policy})"))
+    print()
+    print(report.summary())
+    if report.max_batch_size > 1:
+        print(f"mean dispatch batch size: {report.mean_batch_size:.2f}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -363,6 +549,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_datasets(args)
     if args.command == "dse":
         return _run_dse(args)
+    if args.command == "serve":
+        return _run_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -17,7 +17,12 @@ from .partition import (
     workload_imbalance,
     imbalance_table,
 )
-from .streaming import GraphStream, StreamStatistics, simulate_stream_consumption
+from .streaming import (
+    GraphStream,
+    StreamStatistics,
+    queue_depths_at_arrivals,
+    simulate_stream_consumption,
+)
 
 __all__ = [
     "Graph",
@@ -44,5 +49,6 @@ __all__ = [
     "imbalance_table",
     "GraphStream",
     "StreamStatistics",
+    "queue_depths_at_arrivals",
     "simulate_stream_consumption",
 ]

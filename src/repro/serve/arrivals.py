@@ -1,0 +1,442 @@
+"""Arrival processes and the seeded multi-tenant load generator.
+
+The serving simulator consumes a time-ordered list of
+:class:`ServingRequest` events.  ``LoadGenerator`` produces that list from
+per-tenant :class:`Workload` specs and pluggable :class:`ArrivalProcess`
+implementations:
+
+* :class:`ConstantArrivals` — fixed inter-arrival time (the
+  :class:`~repro.graph.GraphStream` model; interval 0 is a burst);
+* :class:`PoissonArrivals` — exponential inter-arrival times;
+* :class:`OnOffArrivals` — bursty MMPP-style traffic: exponentially
+  distributed ON/OFF phases with a high in-burst rate and a (default zero)
+  background rate;
+* :class:`TraceArrivals` — replay of recorded timestamps, loadable from CSV.
+
+Everything is seeded: a ``LoadGenerator`` derives one independent
+``numpy`` generator per tenant from ``(seed, tenant index)``, so the same
+seed always yields the bit-identical request sequence regardless of how
+many tenants share the cluster.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .workload import Workload
+
+__all__ = [
+    "ServingRequest",
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "TraceArrivals",
+    "LoadGenerator",
+]
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One request in flight: a tenant asking for one graph at one instant."""
+
+    tenant: str
+    tenant_index: int
+    index: int                      # per-tenant sequence number
+    arrival_s: float
+    graph_index: int                # into the tenant's graph pool
+    deadline_s: Optional[float]     # relative to arrival; None = best effort
+    priority: int = 0
+
+    @property
+    def absolute_deadline_s(self) -> float:
+        """Wall-clock deadline; +inf for best-effort requests."""
+        if self.deadline_s is None:
+            return math.inf
+        return self.arrival_s + self.deadline_s
+
+
+def _check_sizing(num_requests: Optional[int], duration_s: Optional[float]) -> None:
+    if num_requests is None and duration_s is None:
+        raise ValueError("pass num_requests and/or duration_s")
+    if num_requests is not None and num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if duration_s is not None and duration_s < 0:
+        raise ValueError("duration_s must be >= 0")
+
+
+def _trim(times: np.ndarray, num_requests: Optional[int], duration_s: Optional[float]) -> np.ndarray:
+    if duration_s is not None:
+        times = times[times < duration_s]
+    if num_requests is not None:
+        times = times[:num_requests]
+    return np.asarray(times, dtype=np.float64)
+
+
+class ArrivalProcess(ABC):
+    """Generates sorted, non-negative arrival timestamps.
+
+    Deterministic given the ``rng``: the same generator state yields the
+    same timestamps.  Stochastic processes require an ``rng``; deterministic
+    ones (constant, trace) ignore it.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def times(
+        self,
+        num_requests: Optional[int] = None,
+        duration_s: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """The first ``num_requests`` arrivals and/or those within ``duration_s``."""
+
+
+@dataclass(frozen=True)
+class ConstantArrivals(ArrivalProcess):
+    """Fixed-rate arrivals: request ``i`` at ``i * interval_s``.
+
+    ``interval_s == 0`` is a burst (everything at t=0), matching
+    :meth:`GraphStream.arrival_times` exactly — bit-for-bit, which the
+    single-replica serving equivalence tests rely on.
+    """
+
+    interval_s: float
+
+    name = "constant"
+
+    def __post_init__(self) -> None:
+        if self.interval_s < 0:
+            raise ValueError("interval_s must be >= 0")
+
+    def times(self, num_requests=None, duration_s=None, rng=None) -> np.ndarray:
+        _check_sizing(num_requests, duration_s)
+        if num_requests is None:
+            if self.interval_s == 0:
+                raise ValueError(
+                    "a zero-interval burst is unbounded; pass num_requests"
+                )
+            num_requests = int(math.ceil(duration_s / self.interval_s)) + 1
+        times = np.arange(num_requests) * float(self.interval_s)
+        return _trim(times, num_requests, duration_s)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Poisson process: independent exponential inter-arrival times."""
+
+    rate_rps: float
+
+    name = "poisson"
+
+    def __post_init__(self) -> None:
+        if not self.rate_rps > 0:
+            raise ValueError("rate_rps must be positive")
+
+    def times(self, num_requests=None, duration_s=None, rng=None) -> np.ndarray:
+        _check_sizing(num_requests, duration_s)
+        if rng is None:
+            raise ValueError("PoissonArrivals needs an rng (it is stochastic)")
+        mean_gap = 1.0 / self.rate_rps
+        if num_requests is not None:
+            times = np.cumsum(rng.exponential(mean_gap, size=num_requests))
+        else:
+            # Sample in chunks until the horizon is crossed.
+            chunk = max(16, int(1.5 * self.rate_rps * duration_s) + 1)
+            gaps = rng.exponential(mean_gap, size=chunk)
+            times = np.cumsum(gaps)
+            while times.size and times[-1] < duration_s:
+                more = np.cumsum(rng.exponential(mean_gap, size=chunk)) + times[-1]
+                times = np.concatenate([times, more])
+        return _trim(times, num_requests, duration_s)
+
+
+@dataclass(frozen=True)
+class OnOffArrivals(ArrivalProcess):
+    """Bursty on-off (two-state MMPP) traffic.
+
+    The source alternates between exponentially distributed ON phases (mean
+    ``mean_on_s``, Poisson arrivals at ``on_rate_rps``) and OFF phases (mean
+    ``mean_off_s``, Poisson arrivals at ``off_rate_rps``, default silent).
+    The long-run average rate is
+    ``(on_rate * mean_on + off_rate * mean_off) / (mean_on + mean_off)``.
+    """
+
+    on_rate_rps: float
+    mean_on_s: float
+    mean_off_s: float
+    off_rate_rps: float = 0.0
+
+    name = "bursty"
+
+    def __post_init__(self) -> None:
+        if not self.on_rate_rps > 0:
+            raise ValueError("on_rate_rps must be positive")
+        if self.off_rate_rps < 0:
+            raise ValueError("off_rate_rps must be >= 0")
+        if not self.mean_on_s > 0 or not self.mean_off_s > 0:
+            raise ValueError("mean_on_s and mean_off_s must be positive")
+
+    @property
+    def mean_rate_rps(self) -> float:
+        total = self.mean_on_s + self.mean_off_s
+        return (self.on_rate_rps * self.mean_on_s + self.off_rate_rps * self.mean_off_s) / total
+
+    def times(self, num_requests=None, duration_s=None, rng=None) -> np.ndarray:
+        _check_sizing(num_requests, duration_s)
+        if rng is None:
+            raise ValueError("OnOffArrivals needs an rng (it is stochastic)")
+        horizon = math.inf if duration_s is None else duration_s
+        target = math.inf if num_requests is None else num_requests
+        times: List[float] = []
+        phase_start, on = 0.0, True
+        while phase_start < horizon and len(times) < target:
+            length = rng.exponential(self.mean_on_s if on else self.mean_off_s)
+            rate = self.on_rate_rps if on else self.off_rate_rps
+            if rate > 0:
+                t = phase_start + rng.exponential(1.0 / rate)
+                while t < phase_start + length and t < horizon and len(times) < target:
+                    times.append(t)
+                    t += rng.exponential(1.0 / rate)
+            phase_start += length
+            on = not on
+        return _trim(np.array(times, dtype=np.float64), num_requests, duration_s)
+
+
+def _read_trace_csv(
+    path: str, time_column: str = "arrival_s", tenant_column: str = "tenant"
+) -> Tuple[List[float], Optional[List[str]]]:
+    """Timestamps (and tenant labels, when the column exists) of a trace CSV."""
+    times: List[float] = []
+    tenants: Optional[List[str]] = None
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or time_column not in reader.fieldnames:
+            raise ValueError(f"trace CSV {path!r} has no {time_column!r} column")
+        if tenant_column in reader.fieldnames:
+            tenants = []
+        for row in reader:
+            times.append(float(row[time_column]))
+            if tenants is not None:
+                tenants.append(row[tenant_column])
+    return times, tenants
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replay of recorded arrival timestamps (seconds, sorted)."""
+
+    timestamps: Sequence[float]
+
+    name = "trace"
+
+    def __post_init__(self) -> None:
+        times = np.asarray(list(self.timestamps), dtype=np.float64)
+        if times.size and (np.any(times < 0) or np.any(np.diff(times) < 0)):
+            raise ValueError("trace timestamps must be sorted and non-negative")
+        object.__setattr__(self, "timestamps", tuple(float(t) for t in times))
+
+    @staticmethod
+    def from_csv(
+        path: str,
+        time_column: str = "arrival_s",
+        tenant: Optional[str] = None,
+        tenant_column: str = "tenant",
+    ) -> "TraceArrivals":
+        """Load a trace from a CSV file with an ``arrival_s`` column.
+
+        When ``tenant`` is given and the file has a ``tenant`` column, only
+        that tenant's rows are replayed — one trace file can drive a whole
+        multi-tenant scenario.
+        """
+        times, tenants = _read_trace_csv(path, time_column, tenant_column)
+        if tenant is not None and tenants is not None:
+            times = [t for t, name in zip(times, tenants) if name == tenant]
+        return TraceArrivals(timestamps=sorted(times))
+
+    def times(self, num_requests=None, duration_s=None, rng=None) -> np.ndarray:
+        # A recorded trace is already finite: with no sizing at all, replay
+        # the whole thing (stochastic processes require a bound instead).
+        if num_requests is not None or duration_s is not None:
+            _check_sizing(num_requests, duration_s)
+        return _trim(np.array(self.timestamps, dtype=np.float64), num_requests, duration_s)
+
+
+class LoadGenerator:
+    """Seeded generator of the merged multi-tenant request sequence.
+
+    Parameters
+    ----------
+    workloads:
+        The tenants.  Tenant names must be unique.
+    arrivals:
+        Either one :class:`ArrivalProcess` shared by every tenant or a
+        mapping ``tenant name -> process``.
+    seed:
+        Master seed.  Tenant ``i`` draws from
+        ``numpy.random.default_rng([seed, i])``, so adding a tenant never
+        perturbs the arrival times of the others.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        arrivals: Union[ArrivalProcess, Mapping[str, ArrivalProcess]],
+        seed: int = 0,
+    ) -> None:
+        self.workloads = list(workloads)
+        if not self.workloads:
+            raise ValueError("LoadGenerator needs at least one workload")
+        names = [w.tenant for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique; got {names}")
+        if isinstance(arrivals, ArrivalProcess):
+            self._arrivals: Dict[str, ArrivalProcess] = {n: arrivals for n in names}
+        else:
+            missing = [n for n in names if n not in arrivals]
+            if missing:
+                raise ValueError(f"no arrival process for tenants {missing}")
+            self._arrivals = {n: arrivals[n] for n in names}
+        self.seed = int(seed)
+
+    def arrival_process(self, tenant: str) -> ArrivalProcess:
+        return self._arrivals[tenant]
+
+    def rng_for(self, tenant_index: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, tenant_index])
+
+    def generate(
+        self,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+    ) -> List[ServingRequest]:
+        """The merged request sequence, sorted by arrival time.
+
+        ``num_requests`` is per tenant (each tenant submits at most that
+        many); ``duration_s`` bounds the arrival horizon.  With neither,
+        finite processes (trace replay) emit everything they recorded and
+        stochastic ones raise.  Ties are broken by tenant order then
+        per-tenant sequence, so generation is fully deterministic.
+        """
+        requests: List[ServingRequest] = []
+        for tenant_index, workload in enumerate(self.workloads):
+            process = self._arrivals[workload.tenant]
+            times = process.times(
+                num_requests=num_requests,
+                duration_s=duration_s,
+                rng=self.rng_for(tenant_index),
+            )
+            pool = workload.num_pool_graphs
+            for i, arrival in enumerate(times):
+                requests.append(
+                    ServingRequest(
+                        tenant=workload.tenant,
+                        tenant_index=tenant_index,
+                        index=i,
+                        arrival_s=float(arrival),
+                        graph_index=i % pool,
+                        deadline_s=workload.deadline_s,
+                        priority=workload.priority,
+                    )
+                )
+        requests.sort(key=lambda r: (r.arrival_s, r.tenant_index, r.index))
+        return requests
+
+    # -- conveniences: split a cluster-wide rate by tenant share --------------
+    @staticmethod
+    def _share_rates(workloads: Sequence[Workload], total_rate_rps: float) -> Dict[str, float]:
+        if not total_rate_rps > 0:
+            raise ValueError("total_rate_rps must be positive")
+        total_share = sum(w.share for w in workloads)
+        return {w.tenant: total_rate_rps * w.share / total_share for w in workloads}
+
+    @classmethod
+    def poisson(
+        cls, workloads: Sequence[Workload], total_rate_rps: float, seed: int = 0
+    ) -> "LoadGenerator":
+        """Poisson tenants whose rates split ``total_rate_rps`` by share."""
+        rates = cls._share_rates(workloads, total_rate_rps)
+        return cls(
+            workloads,
+            {name: PoissonArrivals(rate) for name, rate in rates.items()},
+            seed=seed,
+        )
+
+    @classmethod
+    def bursty(
+        cls,
+        workloads: Sequence[Workload],
+        total_rate_rps: float,
+        seed: int = 0,
+        duty_cycle: float = 0.25,
+        mean_on_s: Optional[float] = None,
+    ) -> "LoadGenerator":
+        """On-off tenants averaging ``total_rate_rps`` split by share.
+
+        Each tenant is ON a ``duty_cycle`` fraction of the time; during a
+        burst it fires at ``share_rate / duty_cycle`` so the long-run mean
+        matches the share.  ``mean_on_s`` defaults to the time a burst takes
+        to deliver ~8 requests.
+        """
+        if not 0 < duty_cycle < 1:
+            raise ValueError("duty_cycle must be in (0, 1)")
+        rates = cls._share_rates(workloads, total_rate_rps)
+        processes = {}
+        for name, rate in rates.items():
+            on_rate = rate / duty_cycle
+            on_s = mean_on_s if mean_on_s is not None else 8.0 / on_rate
+            off_s = on_s * (1.0 - duty_cycle) / duty_cycle
+            processes[name] = OnOffArrivals(
+                on_rate_rps=on_rate, mean_on_s=on_s, mean_off_s=off_s
+            )
+        return cls(workloads, processes, seed=seed)
+
+    @classmethod
+    def constant(
+        cls, workloads: Sequence[Workload], total_rate_rps: float, seed: int = 0
+    ) -> "LoadGenerator":
+        """Deterministic fixed-interval tenants splitting ``total_rate_rps``."""
+        rates = cls._share_rates(workloads, total_rate_rps)
+        return cls(
+            workloads,
+            {name: ConstantArrivals(1.0 / rate) for name, rate in rates.items()},
+            seed=seed,
+        )
+
+    @classmethod
+    def trace(
+        cls, workloads: Sequence[Workload], path: str, seed: int = 0
+    ) -> "LoadGenerator":
+        """Replay a CSV trace across the tenants.
+
+        A ``tenant`` column routes each row to the named tenant.  Without
+        one, rows are dealt round-robin across the workloads in time order —
+        never replayed once per tenant, which would multiply the recorded
+        load by the tenant count.
+        """
+        times, tenants = _read_trace_csv(path)
+        per_tenant: Dict[str, List[float]] = {w.tenant: [] for w in workloads}
+        if tenants is not None:
+            for t, name in zip(times, tenants):
+                if name in per_tenant:
+                    per_tenant[name].append(t)
+            if times and not any(per_tenant.values()):
+                raise ValueError(
+                    f"no trace row matches any workload tenant: trace labels "
+                    f"{sorted(set(tenants))} vs workloads {sorted(per_tenant)}"
+                )
+        else:
+            for i, t in enumerate(sorted(times)):
+                per_tenant[workloads[i % len(workloads)].tenant].append(t)
+        processes = {
+            name: TraceArrivals(timestamps=sorted(stamps))
+            for name, stamps in per_tenant.items()
+        }
+        return cls(workloads, processes, seed=seed)

@@ -1,0 +1,533 @@
+"""The multi-tenant serving cluster: replicas, dispatch policies, batching.
+
+``Cluster`` multiplexes the merged request sequence of a
+:class:`~repro.serve.LoadGenerator` across ``num_replicas`` identical
+instances of one registered :class:`~repro.api.Backend`.  The simulation is
+event-driven and fully deterministic: arrivals, batch-release timers and
+replica completions are processed in time order, and every tie is broken by
+a fixed (kind, sequence) rule.
+
+Service times come from the backend's ``measure`` pass — the exact per-graph
+latencies ``run``/``run_stream`` report — so a single replica with FIFO
+dispatch and no batching reproduces
+:func:`~repro.graph.simulate_stream_consumption` bit for bit (this is
+asserted by the cross-backend serving contract tests).  With dynamic
+batching, a dispatch of ``k`` same-tenant requests is re-measured at batch
+size ``k``: platform backends amortise their framework overhead, FlowGNN
+(a batch-1 streaming architecture) is indifferent.
+
+Dispatch policies:
+
+* ``round_robin``   — requests are pinned to replicas in rotation at
+  arrival; each replica drains its own queue FIFO;
+* ``least_loaded``  — requests are pinned at arrival to the replica with
+  the least outstanding work (remaining service + queued service);
+* ``edf``           — SLO-aware earliest-deadline-first: one shared queue,
+  a free replica takes the request with the earliest absolute deadline
+  (ties: higher priority, then arrival order).  Best-effort requests sort
+  after every deadline-carrying one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..api import Backend, InferenceRequest, Measurement, get_backend
+from .arrivals import ServingRequest
+from .report import ServingRecord, ServingReport, assemble_report
+from .workload import Workload
+
+__all__ = [
+    "DispatchPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "EarliestDeadlinePolicy",
+    "POLICY_NAMES",
+    "get_policy",
+    "register_policy",
+    "TenantService",
+    "Cluster",
+]
+
+
+# ---------------------------------------------------------------------------
+# Service model: what one replica spends on one request
+# ---------------------------------------------------------------------------
+class TenantService:
+    """Cycle-accurate service-time oracle for one tenant on one backend.
+
+    The base profile is measured once via ``backend.measure`` (falling back
+    to ``run`` for third-party backends without it); batch-size variants are
+    measured lazily and cached, so dynamic batching only pays for the batch
+    sizes that actually occur.  Replicas are identical hardware and share
+    one ``TenantService``.
+    """
+
+    def __init__(self, workload: Workload, backend: Backend) -> None:
+        self.workload = workload
+        self._backend = backend
+        self.resolved = workload.request.resolve()
+        self._by_batch: Dict[int, Measurement] = {}
+        self._base = self._measure(workload.request)
+        self._by_batch[workload.request.batch_size] = self._base
+
+    def _measure(self, request: InferenceRequest) -> Measurement:
+        measure = getattr(self._backend, "measure", None)
+        if measure is not None:
+            return measure(request)
+        report = self._backend.run(request)
+        return Measurement(
+            latencies_s=report.per_graph_latency_ms * 1e-3,
+            energies_j=report.per_graph_energy_mj * 1e-3,
+            one_time_overhead_s=report.one_time_overhead_ms * 1e-3,
+            extras=dict(report.extras),
+        )
+
+    @property
+    def base(self) -> Measurement:
+        return self._base
+
+    @property
+    def base_batch_size(self) -> int:
+        """The workload's declared batch size (what ``run_stream`` assumes)."""
+        return self.workload.request.batch_size
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.resolved.graphs)
+
+    def measurement(self, batch_size: int = 1) -> Measurement:
+        """The backend's profile when requests are batched ``batch_size`` deep."""
+        cached = self._by_batch.get(batch_size)
+        if cached is None:
+            variant = InferenceRequest(
+                model=self.resolved.model,
+                dataset=self.resolved.graphs,
+                config=self.workload.request.config,
+                batch_size=batch_size,
+            )
+            cached = self._measure(variant)
+            self._by_batch[batch_size] = cached
+        return cached
+
+    def latencies_s(self, batch_size: int = 1) -> np.ndarray:
+        """Per-graph service latencies at ``batch_size``."""
+        return self.measurement(batch_size).latencies_s
+
+    def energies_j(self, batch_size: int = 1) -> np.ndarray:
+        """Per-graph energies at ``batch_size`` (batching amortises overhead)."""
+        return self.measurement(batch_size).energies_j
+
+    def service_s(self, graph_index: int, batch_size: int = 1) -> float:
+        return float(self.latencies_s(batch_size)[graph_index])
+
+    def mean_service_s(self) -> float:
+        return float(self._base.latencies_s.mean()) if self._base.latencies_s.size else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Dispatch policies
+# ---------------------------------------------------------------------------
+@dataclass
+class _QueueItem:
+    """A pending request plus the cluster's dispatch bookkeeping."""
+
+    request: ServingRequest
+    seq: int                        # global arrival order
+    service_s: float                # batch-1 service time (backlog estimates)
+    replica: Optional[int] = None   # pinned replica, None = any
+
+
+class DispatchPolicy(ABC):
+    """Where a request runs and in which order a free replica picks work."""
+
+    name: str = "abstract"
+
+    def reset(self, num_replicas: int) -> None:
+        """Called at the start of every simulation."""
+
+    def assign(self, item: _QueueItem, state: "_SimState") -> Optional[int]:
+        """Replica to pin ``item`` to at arrival; ``None`` leaves it shared."""
+        return None
+
+    @abstractmethod
+    def order_key(self, item: _QueueItem) -> Tuple:
+        """Sort key among a replica's eligible items (ties: arrival order)."""
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Pin requests to replicas in rotation; per-replica FIFO."""
+
+    name = "round_robin"
+
+    def reset(self, num_replicas: int) -> None:
+        self._counter = 0
+        self._num_replicas = num_replicas
+
+    def assign(self, item: _QueueItem, state: "_SimState") -> Optional[int]:
+        replica = self._counter % self._num_replicas
+        self._counter += 1
+        return replica
+
+    def order_key(self, item: _QueueItem) -> Tuple:
+        return ()
+
+
+class LeastLoadedPolicy(DispatchPolicy):
+    """Pin each arrival to the replica with the least outstanding work."""
+
+    name = "least_loaded"
+
+    def assign(self, item: _QueueItem, state: "_SimState") -> Optional[int]:
+        backlog = [
+            max(state.busy_until[r] - state.now, 0.0) + state.queued_work[r]
+            for r in range(len(state.busy_until))
+        ]
+        return int(np.argmin(backlog))
+
+    def order_key(self, item: _QueueItem) -> Tuple:
+        return ()
+
+
+class EarliestDeadlinePolicy(DispatchPolicy):
+    """Shared queue ordered by absolute deadline, then priority (SLO-aware)."""
+
+    name = "edf"
+
+    def order_key(self, item: _QueueItem) -> Tuple:
+        return (item.request.absolute_deadline_s, -item.request.priority)
+
+
+_POLICY_REGISTRY: Dict[str, Callable[[], DispatchPolicy]] = {}
+
+#: Registered policy names, in registration order (stable for CLI choices).
+POLICY_NAMES: List[str] = []
+
+
+def register_policy(name: str, factory: Callable[[], DispatchPolicy]) -> None:
+    """Register a dispatch-policy factory (mirrors ``register_backend``)."""
+    key = name.lower()
+    if key not in _POLICY_REGISTRY:
+        POLICY_NAMES.append(key)
+    _POLICY_REGISTRY[key] = factory
+
+
+def get_policy(name: str) -> DispatchPolicy:
+    key = name.lower()
+    if key not in _POLICY_REGISTRY:
+        raise KeyError(f"unknown policy {name!r}; registered: {POLICY_NAMES}")
+    return _POLICY_REGISTRY[key]()
+
+
+register_policy("round_robin", RoundRobinPolicy)
+register_policy("least_loaded", LeastLoadedPolicy)
+register_policy("edf", EarliestDeadlinePolicy)
+
+
+# ---------------------------------------------------------------------------
+# Event-driven simulation
+# ---------------------------------------------------------------------------
+# Event kinds, in tie-break order at equal timestamps: completions free
+# replicas before the arrivals/timers of the same instant are considered.
+_COMPLETION, _ARRIVAL, _TIMER = 0, 1, 2
+
+
+@dataclass
+class _SimState:
+    """Mutable simulation state shared with policy hooks."""
+
+    busy_until: List[float]
+    queued_work: List[float]
+    now: float = 0.0
+
+
+@dataclass
+class Cluster:
+    """A pool of identical backend replicas serving many tenants.
+
+    Parameters
+    ----------
+    workloads:
+        The tenants (unique names).
+    backend:
+        Registered backend name; every replica is one instance of it.
+    num_replicas:
+        Pool size.
+    policy:
+        Dispatch policy name (``round_robin`` / ``least_loaded`` / ``edf``)
+        or a :class:`DispatchPolicy` instance.
+    max_batch_size / batch_timeout_s:
+        Dynamic batching: a replica groups up to ``max_batch_size``
+        same-tenant requests per dispatch, waiting at most
+        ``batch_timeout_s`` after the oldest request's arrival for the
+        batch to fill.  The defaults (1, 0) disable batching.
+    queue_capacity:
+        Bound on the number of queued requests; arrivals beyond it are
+        dropped (admission control).  ``None`` means unbounded.
+    """
+
+    workloads: Sequence[Workload]
+    backend: str = "flowgnn"
+    num_replicas: int = 1
+    policy: Union[str, DispatchPolicy] = "round_robin"
+    max_batch_size: int = 1
+    batch_timeout_s: float = 0.0
+    queue_capacity: Optional[int] = None
+    services: Dict[str, TenantService] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.workloads = list(self.workloads)
+        if not self.workloads:
+            raise ValueError("Cluster needs at least one workload")
+        names = [w.tenant for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique; got {names}")
+        if self.num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.batch_timeout_s < 0:
+            raise ValueError("batch_timeout_s must be >= 0")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
+        if isinstance(self.policy, str):
+            self.policy = get_policy(self.policy)
+        backend_instance = get_backend(self.backend)
+        self.backend = backend_instance.name
+        self.services = {
+            w.tenant: TenantService(w, backend_instance) for w in self.workloads
+        }
+
+    def with_replicas(
+        self, num_replicas: int, policy: Union[str, DispatchPolicy, None] = None
+    ) -> "Cluster":
+        """A resized/re-policied view sharing the measured tenant services.
+
+        Capacity planning sweeps replica counts; re-measuring the backend per
+        point would dominate the sweep, so the clone reuses this cluster's
+        :class:`TenantService` objects (replicas are identical hardware).
+        """
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        clone = Cluster.__new__(Cluster)
+        clone.__dict__.update(self.__dict__)
+        clone.num_replicas = int(num_replicas)
+        if policy is not None:
+            clone.policy = get_policy(policy) if isinstance(policy, str) else policy
+        return clone
+
+    def mean_service_s(self) -> float:
+        """Mean batch-1 service time across tenants (capacity heuristics)."""
+        means = [service.mean_service_s() for service in self.services.values()]
+        return float(np.mean(means)) if means else 0.0
+
+    # -- simulation -----------------------------------------------------------
+    def serve(
+        self,
+        requests: Sequence[ServingRequest],
+        duration_s: Optional[float] = None,
+    ) -> ServingReport:
+        """Run the event-driven simulation over ``requests``.
+
+        ``duration_s`` only stretches the utilisation horizon (e.g. to the
+        load generator's configured duration); every submitted request is
+        served to completion regardless.
+        """
+        policy = self.policy
+        policy.reset(self.num_replicas)
+        for request in requests:
+            if request.tenant not in self.services:
+                raise ValueError(f"request for unknown tenant {request.tenant!r}")
+        items = [
+            _QueueItem(
+                request=request,
+                seq=seq,
+                service_s=self.services[request.tenant].service_s(
+                    request.graph_index,
+                    batch_size=self.services[request.tenant].base_batch_size,
+                ),
+            )
+            for seq, request in enumerate(
+                sorted(requests, key=lambda r: (r.arrival_s, r.tenant_index, r.index))
+            )
+        ]
+
+        state = _SimState(
+            busy_until=[0.0] * self.num_replicas,
+            queued_work=[0.0] * self.num_replicas,
+        )
+        busy_time = [0.0] * self.num_replicas
+        queue: List[_QueueItem] = []
+        records: List[ServingRecord] = []
+        dropped: List[ServingRequest] = []
+        batch_sizes: List[int] = []
+        trace_times: List[float] = []
+        trace_depths: List[int] = []
+        scheduled_timers: set = set()
+
+        # Heap entries: (time, kind, tiebreak).  Completions at a timestamp
+        # are processed before arrivals/timers at the same timestamp.
+        events: List[Tuple[float, int, int]] = [
+            (item.request.arrival_s, _ARRIVAL, item.seq) for item in items
+        ]
+        heapq.heapify(events)
+
+        while events:
+            now = events[0][0]
+            state.now = now
+            # Drain every event at this instant before dispatching, so a
+            # policy sees simultaneous arrivals together (e.g. EDF must pick
+            # the tightest deadline of a burst, not whichever the heap pops
+            # first).  Completions sort before arrivals/timers within the
+            # instant, freeing replicas for the new work.
+            while events and events[0][0] == now:
+                _, kind, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    item = items[payload]
+                    if (
+                        self.queue_capacity is not None
+                        and len(queue) >= self.queue_capacity
+                    ):
+                        dropped.append(item.request)
+                    else:
+                        item.replica = policy.assign(item, state)
+                        if item.replica is not None:
+                            state.queued_work[item.replica] += item.service_s
+                        queue.append(item)
+                # _COMPLETION frees its replica implicitly (busy_until <= now);
+                # _TIMER just wakes the dispatcher for a held batch.
+            # Sample the queue at its peak — after admissions, before
+            # dispatch drains it — so max_queue_depth is consistent with the
+            # drop count when a bounded queue fills.
+            trace_times.append(now)
+            trace_depths.append(len(queue))
+            self._dispatch(
+                now, state, queue, busy_time, records, batch_sizes,
+                events, scheduled_timers,
+            )
+
+        assert not queue, "simulation ended with requests still queued"
+        return assemble_report(
+            cluster=self,
+            records=records,
+            dropped=dropped,
+            busy_time=busy_time,
+            batch_sizes=batch_sizes,
+            trace_times=np.array(trace_times, dtype=np.float64),
+            trace_depths=np.array(trace_depths, dtype=np.int64),
+            duration_s=duration_s,
+        )
+
+    # -- dispatch -------------------------------------------------------------
+    def _dispatch(
+        self,
+        now: float,
+        state: _SimState,
+        queue: List[_QueueItem],
+        busy_time: List[float],
+        records: List[ServingRecord],
+        batch_sizes: List[int],
+        events: List[Tuple[float, int, int]],
+        scheduled_timers: set,
+    ) -> None:
+        """Start work on every replica that is free at ``now``."""
+        # One policy-order sort per event; per-replica selection filters it.
+        ordered = sorted(
+            queue, key=lambda item: self.policy.order_key(item) + (item.seq,)
+        )
+        taken: set = set()
+        for replica in range(self.num_replicas):
+            if state.busy_until[replica] > now or len(taken) == len(ordered):
+                continue
+            eligible = [
+                item
+                for item in ordered
+                if item.seq not in taken
+                and (item.replica is None or item.replica == replica)
+            ]
+            batch, release_at = self._select_batch(eligible, now)
+            if batch is None:
+                if release_at is not None and release_at not in scheduled_timers:
+                    scheduled_timers.add(release_at)
+                    heapq.heappush(events, (release_at, _TIMER, replica))
+                continue
+            for item in batch:
+                taken.add(item.seq)
+                queue.remove(item)
+                if item.replica is not None:
+                    state.queued_work[item.replica] -= item.service_s
+            tenant = batch[0].request.tenant
+            size = len(batch)
+            # With dynamic batching enabled the dispatch size governs the
+            # measurement; otherwise the workload's declared batch size does
+            # (e.g. "my requests come pre-batched 8 deep"), which is exactly
+            # what run_stream assumes — the single-replica equivalence holds
+            # at any declared batch size.
+            measure_at = (
+                size
+                if self.max_batch_size > 1
+                else self.services[tenant].base_batch_size
+            )
+            measured = self.services[tenant].measurement(batch_size=measure_at)
+            latencies = measured.latencies_s
+            finish = now
+            for item in batch:
+                finish = finish + float(latencies[item.request.graph_index])
+            service_total = finish - now
+            state.busy_until[replica] = finish
+            busy_time[replica] += service_total
+            batch_sizes.append(size)
+            heapq.heappush(events, (finish, _COMPLETION, replica))
+            for item in batch:
+                records.append(
+                    ServingRecord(
+                        request=item.request,
+                        service_s=float(latencies[item.request.graph_index]),
+                        energy_j=float(measured.energies_j[item.request.graph_index]),
+                        start_s=now,
+                        completion_s=finish,
+                        replica=replica,
+                        batch_size=size,
+                    )
+                )
+
+    def _select_batch(
+        self, eligible: List[_QueueItem], now: float
+    ) -> Tuple[Optional[List[_QueueItem]], Optional[float]]:
+        """The batch a free replica should start at ``now``, or when to retry.
+
+        ``eligible`` is the replica's view of the queue, already in policy
+        order.  Walks tenants in that order; the first whose batch is
+        *releasable* (full, or its oldest member has waited out the batching
+        timeout) wins, so a held batch never blocks another tenant's ready
+        work.  Returns ``(batch, None)`` or ``(None, earliest release time)``.
+        """
+        if not eligible:
+            return None, None
+        earliest_release: Optional[float] = None
+        seen_tenants = set()
+        for head in eligible:
+            tenant = head.request.tenant
+            if tenant in seen_tenants:
+                continue
+            seen_tenants.add(tenant)
+            group = [
+                item for item in eligible if item.request.tenant == tenant
+            ][: self.max_batch_size]
+            oldest_arrival = min(item.request.arrival_s for item in group)
+            release_at = oldest_arrival + self.batch_timeout_s
+            if (
+                len(group) >= self.max_batch_size
+                or self.batch_timeout_s == 0.0
+                or now >= release_at
+            ):
+                return group, None
+            if earliest_release is None or release_at < earliest_release:
+                earliest_release = release_at
+        return None, earliest_release

@@ -1,0 +1,307 @@
+"""``ServingReport``: what a multi-tenant serving simulation produced.
+
+The report extends the single-stream :class:`~repro.api.InferenceReport` to
+a cluster: every tenant gets a full ``InferenceReport`` (same accessors —
+``mean/p50/p99_latency_ms``, ``deadline_miss_rate``, ... — with the stream
+statistics describing that tenant's end-to-end experience *inside* the
+cluster), and on top sit the cluster-level aggregates: per-replica and mean
+utilisation, admission drops, dispatch batch sizes, and the queue-depth
+trace over time.  ``to_dict``/``to_json`` nest the per-tenant summaries;
+``to_csv`` emits one row per tenant.
+
+Because a tenant's report is assembled from the same measurement, arrival
+and queue-depth primitives as ``Backend.run_stream``, a single-replica
+no-batching cluster reproduces ``run_stream`` bit for bit — the serving
+layer adds multiplexing, never a different cycle model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..api.report import InferenceReport
+from ..eval.tables import render_csv
+from ..graph import StreamStatistics, queue_depths_at_arrivals
+from .arrivals import ServingRequest
+from .workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .cluster import Cluster
+
+__all__ = ["ServingRecord", "TenantOutcome", "ServingReport", "assemble_report"]
+
+
+@dataclass(frozen=True)
+class ServingRecord:
+    """One completed request: where and when it ran, and what it cost.
+
+    ``service_s`` and ``energy_j`` are measured at the batch size the
+    dispatch actually used, so batching amortisation shows up in both.
+    """
+
+    request: ServingRequest
+    service_s: float
+    energy_j: float
+    start_s: float
+    completion_s: float
+    replica: int
+    batch_size: int
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: queueing + batching delay + service."""
+        return self.completion_s - self.request.arrival_s
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's view of the simulation."""
+
+    workload: Workload
+    report: InferenceReport
+    submitted: int
+    completed: int
+    dropped: int
+
+    def row(self) -> Dict:
+        """Flat per-tenant summary (one CSV/table row)."""
+        report = self.report
+        return {
+            "tenant": self.workload.tenant,
+            "model": report.model,
+            "dataset": report.dataset,
+            "priority": self.workload.priority,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "mean_latency_ms": report.mean_latency_ms,
+            "p50_latency_ms": report.p50_latency_ms,
+            "p99_latency_ms": report.p99_latency_ms,
+            "deadline_miss_rate": report.deadline_miss_rate,
+            "deadline_miss_count": report.deadline_miss_count,
+            "max_queue_depth": report.max_queue_depth,
+            "energy_mj_per_graph": report.energy_mj_per_graph,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Uniform result of one :meth:`Cluster.serve` run."""
+
+    backend: str
+    policy: str
+    num_replicas: int
+    max_batch_size: int
+    batch_timeout_s: float
+    horizon_s: float
+    tenants: Dict[str, TenantOutcome]
+    per_replica_utilisation: np.ndarray
+    batch_sizes: np.ndarray
+    queue_depth_times_s: np.ndarray
+    queue_depth_trace: np.ndarray
+    records: List[ServingRecord] = field(default_factory=list, repr=False)
+    dropped_requests: List[ServingRequest] = field(default_factory=list, repr=False)
+
+    # -- cluster-level accessors ----------------------------------------------
+    @property
+    def tenant_reports(self) -> Dict[str, InferenceReport]:
+        return {name: outcome.report for name, outcome in self.tenants.items()}
+
+    @property
+    def submitted(self) -> int:
+        return sum(outcome.submitted for outcome in self.tenants.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(outcome.completed for outcome in self.tenants.values())
+
+    @property
+    def dropped(self) -> int:
+        return sum(outcome.dropped for outcome in self.tenants.values())
+
+    @property
+    def cluster_utilisation(self) -> float:
+        """Mean busy fraction across replicas over the horizon."""
+        if not self.per_replica_utilisation.size:
+            return 0.0
+        return float(self.per_replica_utilisation.mean())
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Cluster-wide miss rate over every completed request."""
+        total = sum(o.completed for o in self.tenants.values())
+        if not total:
+            return 0.0
+        misses = sum(o.report.deadline_miss_count for o in self.tenants.values())
+        return misses / total
+
+    @property
+    def max_queue_depth(self) -> int:
+        if not self.queue_depth_trace.size:
+            return 0
+        return int(np.max(self.queue_depth_trace))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes.size:
+            return 0.0
+        return float(self.batch_sizes.mean())
+
+    def queue_depth_series(self) -> Dict[str, np.ndarray]:
+        """Cluster queue depth over time (one sample per simulation event)."""
+        return {"time_s": self.queue_depth_times_s, "depth": self.queue_depth_trace}
+
+    # -- export ---------------------------------------------------------------
+    def tenant_rows(self) -> List[Dict]:
+        """One flat summary row per tenant, in workload order."""
+        return [outcome.row() for outcome in self.tenants.values()]
+
+    def to_dict(self) -> Dict:
+        """Nested, JSON-serialisable summary (scalars only)."""
+        return {
+            "backend": self.backend,
+            "policy": self.policy,
+            "replicas": self.num_replicas,
+            "max_batch_size": self.max_batch_size,
+            "batch_timeout_s": self.batch_timeout_s,
+            "horizon_s": self.horizon_s,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "cluster_utilisation": self.cluster_utilisation,
+            "per_replica_utilisation": [
+                float(u) for u in self.per_replica_utilisation
+            ],
+            "max_queue_depth": self.max_queue_depth,
+            "mean_batch_size": self.mean_batch_size,
+            "tenants": {
+                row.pop("tenant"): row for row in (o.row() for o in self.tenants.values())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Per-tenant rows as CSV text; when ``path`` is given, write the file."""
+        text = render_csv(self.tenant_rows())
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.policy} on {self.num_replicas}x {self.backend}: "
+            f"{self.completed}/{self.submitted} served "
+            f"({self.dropped} dropped), miss rate {self.deadline_miss_rate:.1%}, "
+            f"utilisation {self.cluster_utilisation:.1%}, "
+            f"max queue {self.max_queue_depth}"
+        )
+
+
+def assemble_report(
+    cluster: "Cluster",
+    records: Sequence[ServingRecord],
+    dropped: Sequence[ServingRequest],
+    busy_time: Sequence[float],
+    batch_sizes: Sequence[int],
+    trace_times: np.ndarray,
+    trace_depths: np.ndarray,
+    duration_s: Optional[float],
+) -> ServingReport:
+    """Build the :class:`ServingReport` from raw simulation records."""
+    horizon = max(
+        [duration_s or 0.0]
+        + [record.completion_s for record in records]
+        + [request.arrival_s for request in dropped]
+    )
+    utilisation = (
+        np.array(busy_time, dtype=np.float64) / horizon
+        if horizon > 0
+        else np.zeros(len(busy_time))
+    )
+
+    by_tenant: Dict[str, List[ServingRecord]] = {w.tenant: [] for w in cluster.workloads}
+    for record in records:
+        by_tenant[record.request.tenant].append(record)
+    dropped_by_tenant: Dict[str, int] = {w.tenant: 0 for w in cluster.workloads}
+    for request in dropped:
+        dropped_by_tenant[request.tenant] += 1
+
+    tenants: Dict[str, TenantOutcome] = {}
+    for workload in cluster.workloads:
+        tenant_records = sorted(
+            by_tenant[workload.tenant], key=lambda record: record.request.index
+        )
+        service = cluster.services[workload.tenant]
+        arrivals = np.array(
+            [record.request.arrival_s for record in tenant_records], dtype=np.float64
+        )
+        completions = np.array(
+            [record.completion_s for record in tenant_records], dtype=np.float64
+        )
+        service_s = np.array(
+            [record.service_s for record in tenant_records], dtype=np.float64
+        )
+        energies_j = np.array(
+            [record.energy_j for record in tenant_records], dtype=np.float64
+        )
+        statistics = StreamStatistics(
+            per_graph_latency_s=completions - arrivals,
+            completion_times_s=completions,
+            deadline_s=workload.deadline_s,
+            queue_depth_trace=queue_depths_at_arrivals(arrivals, completions),
+        )
+        extras = dict(service.base.extras)
+        extras["serving"] = {
+            "replicas": sorted({record.replica for record in tenant_records}),
+            "mean_batch_size": (
+                float(np.mean([record.batch_size for record in tenant_records]))
+                if tenant_records
+                else 0.0
+            ),
+        }
+        report = InferenceReport(
+            backend=cluster.backend,
+            model=service.resolved.model_name,
+            dataset=service.resolved.dataset_name,
+            batch_size=workload.request.batch_size,
+            config_description=service.resolved.config.describe(),
+            per_graph_latency_ms=service_s * 1e3,
+            per_graph_energy_mj=energies_j * 1e3,
+            one_time_overhead_ms=service.base.one_time_overhead_s * 1e3,
+            stream_statistics=statistics,
+            extras=extras,
+        )
+        dropped_count = dropped_by_tenant[workload.tenant]
+        tenants[workload.tenant] = TenantOutcome(
+            workload=workload,
+            report=report,
+            submitted=len(tenant_records) + dropped_count,
+            completed=len(tenant_records),
+            dropped=dropped_count,
+        )
+
+    policy_name = getattr(cluster.policy, "name", str(cluster.policy))
+    return ServingReport(
+        backend=cluster.backend,
+        policy=policy_name,
+        num_replicas=cluster.num_replicas,
+        max_batch_size=cluster.max_batch_size,
+        batch_timeout_s=cluster.batch_timeout_s,
+        horizon_s=float(horizon),
+        tenants=tenants,
+        per_replica_utilisation=utilisation,
+        batch_sizes=np.array(batch_sizes, dtype=np.int64),
+        queue_depth_times_s=trace_times,
+        queue_depth_trace=trace_depths,
+        records=list(records),
+        dropped_requests=list(dropped),
+    )

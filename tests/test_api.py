@@ -222,6 +222,130 @@ class TestFlowGNNBackend:
 
 
 # ---------------------------------------------------------------------------
+# The serving contract: a trivial cluster IS run_stream
+# ---------------------------------------------------------------------------
+class TestServingContract:
+    """A 1-replica, 1-tenant, no-batching cluster must reproduce
+    ``Backend.run_stream`` bit for bit on every registered backend — the
+    serving layer adds multiplexing, never a different timing model."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    @pytest.mark.parametrize("policy", ["round_robin", "edf"])
+    def test_single_replica_cluster_matches_run_stream_bitwise(
+        self, name, policy, molhiv_request, molhiv_sample
+    ):
+        from repro.serve import Cluster, ConstantArrivals, LoadGenerator, Workload
+
+        reference = get_backend(name).run_stream(molhiv_request)
+        workload = Workload.from_request("tenant", molhiv_request)
+        cluster = Cluster([workload], backend=name, num_replicas=1, policy=policy)
+        requests = LoadGenerator(
+            [workload], ConstantArrivals(molhiv_request.arrival_interval_s), seed=0
+        ).generate(num_requests=len(molhiv_sample))
+        served = cluster.serve(requests).tenants["tenant"].report
+
+        np.testing.assert_array_equal(
+            served.per_graph_latency_ms, reference.per_graph_latency_ms
+        )
+        np.testing.assert_array_equal(
+            served.per_graph_energy_mj, reference.per_graph_energy_mj
+        )
+        assert served.one_time_overhead_ms == reference.one_time_overhead_ms
+        assert served.mean_latency_ms == reference.mean_latency_ms
+        assert served.p50_latency_ms == reference.p50_latency_ms
+        assert served.p99_latency_ms == reference.p99_latency_ms
+        assert served.max_latency_ms == reference.max_latency_ms
+        assert served.throughput_graphs_per_s == reference.throughput_graphs_per_s
+        assert served.energy_mj_per_graph == reference.energy_mj_per_graph
+        assert served.deadline_miss_count == reference.deadline_miss_count
+        assert served.deadline_miss_rate == reference.deadline_miss_rate
+        assert served.max_queue_depth == reference.max_queue_depth
+        np.testing.assert_array_equal(
+            served.stream_statistics.per_graph_latency_s,
+            reference.stream_statistics.per_graph_latency_s,
+        )
+        np.testing.assert_array_equal(
+            served.stream_statistics.completion_times_s,
+            reference.stream_statistics.completion_times_s,
+        )
+        np.testing.assert_array_equal(
+            served.stream_statistics.queue_depth_trace,
+            reference.stream_statistics.queue_depth_trace,
+        )
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_contract_holds_at_declared_batch_sizes_above_one(
+        self, name, molhiv_sample
+    ):
+        """A workload whose request declares batch_size=8 (pre-batched
+        upstream) must also reproduce run_stream bit for bit: the cluster
+        measures at the declared batch size when it is not batching itself."""
+        from repro.serve import Cluster, ConstantArrivals, LoadGenerator, Workload
+
+        request = InferenceRequest(
+            model="GCN",
+            dataset=molhiv_sample,
+            batch_size=8,
+            arrival_interval_s=1e-3,
+            deadline_s=5e-3,
+        )
+        reference = get_backend(name).run_stream(request)
+        workload = Workload.from_request("tenant", request)
+        cluster = Cluster([workload], backend=name, num_replicas=1)
+        requests = LoadGenerator(
+            [workload], ConstantArrivals(1e-3), seed=0
+        ).generate(num_requests=len(molhiv_sample))
+        served = cluster.serve(requests).tenants["tenant"].report
+        assert served.batch_size == 8
+        np.testing.assert_array_equal(
+            served.per_graph_latency_ms, reference.per_graph_latency_ms
+        )
+        np.testing.assert_array_equal(
+            served.per_graph_energy_mj, reference.per_graph_energy_mj
+        )
+        assert served.mean_latency_ms == reference.mean_latency_ms
+        np.testing.assert_array_equal(
+            served.stream_statistics.completion_times_s,
+            reference.stream_statistics.completion_times_s,
+        )
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_burst_cluster_matches_run_stream_without_arrival_rate(
+        self, name, molhiv_sample
+    ):
+        """No arrival interval means a burst at t=0 on both paths."""
+        from repro.serve import Cluster, ConstantArrivals, LoadGenerator, Workload
+
+        request = InferenceRequest(model="GCN", dataset=molhiv_sample)
+        reference = get_backend(name).run_stream(request)
+        workload = Workload.from_request("tenant", request)
+        cluster = Cluster([workload], backend=name, num_replicas=1)
+        requests = LoadGenerator(
+            [workload], ConstantArrivals(0.0), seed=0
+        ).generate(num_requests=len(molhiv_sample))
+        served = cluster.serve(requests).tenants["tenant"].report
+        np.testing.assert_array_equal(
+            served.stream_statistics.completion_times_s,
+            reference.stream_statistics.completion_times_s,
+        )
+        assert served.mean_latency_ms == reference.mean_latency_ms
+        assert served.max_queue_depth == reference.max_queue_depth
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_measure_returns_the_report_numbers(self, name, molhiv_request):
+        """``measure`` exposes exactly what ``run`` reports, in SI units."""
+        measured = get_backend(name).measure(molhiv_request)
+        report = get_backend(name).run(molhiv_request)
+        np.testing.assert_array_equal(
+            measured.latencies_s * 1e3, report.per_graph_latency_ms
+        )
+        np.testing.assert_array_equal(
+            measured.energies_j * 1e3, report.per_graph_energy_mj
+        )
+        assert measured.one_time_overhead_s * 1e3 == report.one_time_overhead_ms
+
+
+# ---------------------------------------------------------------------------
 # Platform backend semantics
 # ---------------------------------------------------------------------------
 class TestPlatformBackends:

@@ -126,3 +126,182 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "table3" in out
         assert "dsp" in out
+
+
+class TestDseErrorPaths:
+    """Error paths of ``repro dse --backend`` (and friends)."""
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--backend", "tpu"])
+
+    def test_unknown_backend_rejected_by_spec(self):
+        from repro.dse import SweepSpec
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            SweepSpec(backend="tpu")
+
+    def test_unknown_model_exits_with_error(self, capsys):
+        assert main(["dse", "--models", "Transformer", "--workers", "0"]) == 2
+        assert "invalid sweep" in capsys.readouterr().err
+
+    def test_invalid_grid_value_exits_with_error(self, capsys):
+        # Zero parallelism units are rejected by ArchitectureConfig, which
+        # SweepSpec surfaces eagerly before any simulation starts.
+        assert main(["dse", "--p-node", "0", "--workers", "0"]) == 2
+        assert "invalid sweep" in capsys.readouterr().err
+
+    def test_infeasible_grid_reports_skips_without_crashing(self, capsys):
+        # Every configuration blows past the Alveo U50: the sweep must
+        # finish cleanly with zero simulated rows and a skip table.
+        code = main(
+            [
+                "dse",
+                "--models", "GCN",
+                "--num-graphs", "2",
+                "--p-node", "64",
+                "--p-edge", "64",
+                "--p-apply", "64",
+                "--p-scatter", "64",
+                "--workers", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "do not fit" in out
+        assert "fastest feasible design" not in out
+
+    def test_unwritable_csv_path_exits_with_error(self, capsys):
+        code = main(
+            [
+                "dse",
+                "--num-graphs", "2",
+                "--p-node", "2", "--p-edge", "4", "--p-apply", "2", "--p-scatter", "4",
+                "--workers", "0",
+                "--csv", "/nonexistent-dir/sweep.csv",
+            ]
+        )
+        assert code == 2
+        assert "cannot write CSV" in capsys.readouterr().err
+
+    def test_platform_backend_ignores_pareto(self, capsys):
+        code = main(
+            ["dse", "--backend", "roofline", "--num-graphs", "2", "--workers", "0", "--pareto"]
+        )
+        assert code == 0
+        assert "only meaningful for the flowgnn backend" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_defaults_parse(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.tenants == 2
+        assert args.replicas == 1
+        assert args.policy == "round_robin"
+        assert args.backend == "flowgnn"
+        assert args.arrival == "poisson"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "lifo"])
+
+    def test_serve_table_output(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--replicas", "2",
+                "--backend", "cpu",
+                "--duration", "0.05",
+                "--num-graphs", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-tenant serving report" in out
+        assert "tenant0" in out and "tenant1" in out
+        assert "utilisation" in out
+
+    def test_serve_json_output_parses(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--replicas", "2",
+                "--policy", "edf",
+                "--backend", "cpu",
+                "--arrival", "bursty",
+                "--duration", "0.05",
+                "--num-graphs", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "edf"
+        assert payload["replicas"] == 2
+        assert payload["submitted"] == payload["completed"] + payload["dropped"]
+        assert set(payload["tenants"]) == {"tenant0", "tenant1"}
+
+    def test_serve_trace_arrivals(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "tenant,arrival_s\n"
+            + "".join(f"tenant{i % 2},{i * 1e-3}\n" for i in range(10))
+        )
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--backend", "cpu",
+                "--arrival", f"trace:{trace}",
+                "--duration", "0.02",
+                "--num-graphs", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 10
+
+    def test_serve_missing_trace_file_exits_with_error(self, capsys):
+        code = main(["serve", "--arrival", "trace:/nonexistent.csv", "--num-graphs", "2"])
+        assert code == 2
+        assert "cannot generate load" in capsys.readouterr().err
+
+    def test_serve_unknown_arrival_exits_with_error(self, capsys):
+        code = main(["serve", "--backend", "cpu", "--arrival", "fractal", "--num-graphs", "2"])
+        assert code == 2
+        assert "unknown arrival process" in capsys.readouterr().err
+
+    def test_serve_bad_tenant_count_exits_with_error(self, capsys):
+        assert main(["serve", "--tenants", "0"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_serve_empty_model_list_exits_with_error(self, capsys):
+        assert main(["serve", "--models", ""]) == 2
+        assert "--models" in capsys.readouterr().err
+        assert main(["serve", "--datasets", ""]) == 2
+        assert "--datasets" in capsys.readouterr().err
+
+    def test_serve_trace_defaults_to_replaying_the_whole_trace(self, tmp_path, capsys):
+        """Regression: a trace longer than the generic 50 ms default horizon
+        used to be silently truncated when --duration was omitted."""
+        trace = tmp_path / "long.csv"
+        trace.write_text(
+            "arrival_s\n" + "".join(f"{i * 0.01}\n" for i in range(100))  # spans 1 s
+        )
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--backend", "cpu",
+                "--arrival", f"trace:{trace}",
+                "--num-graphs", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 100
+        assert payload["horizon_s"] >= 0.99

@@ -30,6 +30,7 @@ def _load_example(name: str):
         "hep_realtime_trigger.py",
         "design_space_exploration.py",
         "custom_gnn_model.py",
+        "capacity_planning.py",
     ],
 )
 def test_example_runs(script, capsys):

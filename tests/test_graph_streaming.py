@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.graph import GraphStream, molecule_like_graph, simulate_stream_consumption
+from repro.graph import (
+    GraphStream,
+    molecule_like_graph,
+    queue_depths_at_arrivals,
+    simulate_stream_consumption,
+)
 
 
 @pytest.fixture
@@ -105,6 +110,76 @@ class TestStreamEdgeCases:
             five_graph_stream, lambda g: 1e-4 * (1 + 1e-6), deadline_s=1e-4
         )
         assert stats.deadline_miss_count() == len(five_graph_stream)
+
+    def test_generator_backed_stream_supports_multiple_consumers(self, rng):
+        """Regression: ``graphs`` built from a generator used to be exhausted
+        by its first consumer, so arrival bookkeeping (``total_nodes``,
+        ``arrival_times``) silently starved every later consumer — exactly
+        what happens when several serving replicas share one stream."""
+        graphs = [molecule_like_graph(10, rng, 4, 2) for _ in range(4)]
+        stream = GraphStream(
+            graphs=(g for g in graphs), arrival_interval_s=1e-3
+        )
+        # Statistics consume nothing...
+        assert len(stream) == 4
+        assert stream.total_nodes() == sum(g.num_nodes for g in graphs)
+        assert stream.arrival_times().shape == (4,)
+        # ...and two independent consumers both see every graph.
+        first = simulate_stream_consumption(stream, lambda g: 1e-5)
+        second = simulate_stream_consumption(stream, lambda g: 1e-5)
+        assert first.per_graph_latency_s.shape == (4,)
+        np.testing.assert_array_equal(
+            first.per_graph_latency_s, second.per_graph_latency_s
+        )
+
+    def test_stream_snapshot_is_immune_to_caller_mutation(self, rng):
+        """Mutating the caller's list after construction must not change
+        what consumers see (the stream is a value, not a view)."""
+        graphs = [molecule_like_graph(10, rng, 4, 2) for _ in range(3)]
+        stream = GraphStream(graphs=graphs, arrival_interval_s=1e-3)
+        graphs.pop()
+        assert len(stream) == 3
+        stats = simulate_stream_consumption(stream, lambda g: 1e-5)
+        assert stats.per_graph_latency_s.shape == (3,)
+
+    def test_queue_depths_helper_matches_simulation(self, five_graph_stream):
+        stats = simulate_stream_consumption(five_graph_stream, lambda g: 2e-3)
+        recomputed = queue_depths_at_arrivals(
+            five_graph_stream.arrival_times(), stats.completion_times_s
+        )
+        np.testing.assert_array_equal(stats.queue_depth_trace, recomputed)
+
+    def test_queue_depths_fast_path_matches_reference_mask(self, rng):
+        """The sorted-arrivals O(n log n) path must agree exactly with the
+        brute-force pending mask, including out-of-order completions (a
+        multi-replica cluster completes requests out of arrival order)."""
+        n = 300
+        arrivals = np.sort(rng.uniform(0, 1.0, size=n))
+        completions = arrivals + rng.uniform(0, 0.3, size=n)  # not sorted
+        fast = queue_depths_at_arrivals(arrivals, completions)
+        reference = np.zeros(n, dtype=np.int64)
+        for i in range(1, n):
+            reference[i] = int(
+                np.sum((arrivals[:i] <= arrivals[i]) & (completions[:i] > arrivals[i]))
+            )
+        np.testing.assert_array_equal(fast, reference)
+        # Unsorted arrivals take the mask path and must also agree.
+        shuffled = rng.permutation(n)
+        np.testing.assert_array_equal(
+            queue_depths_at_arrivals(arrivals[shuffled], completions[shuffled]),
+            np.array(
+                [
+                    int(
+                        np.sum(
+                            (arrivals[shuffled][:i] <= arrivals[shuffled][i])
+                            & (completions[shuffled][:i] > arrivals[shuffled][i])
+                        )
+                    )
+                    for i in range(n)
+                ],
+                dtype=np.int64,
+            ),
+        )
 
     def test_zero_arrival_interval_is_a_burst(self, rng):
         graphs = [molecule_like_graph(10, rng, 4, 2) for _ in range(4)]

@@ -1,0 +1,161 @@
+"""Property-based (seeded randomized) invariant tests for :mod:`repro.serve`.
+
+Each test draws a random serving scenario — tenants, deadlines, priorities,
+arrival process, policy, batching, replica count, admission bound — from a
+seeded generator and checks invariants that must hold for *any* scenario:
+
+* conservation: every submitted request is either completed or dropped;
+* sanity of the latency distribution: non-negative end-to-end latencies,
+  each at least its request's service time, and p50 <= p99 <= max;
+* utilisation bounded by 1 on every replica;
+* full determinism: the same seed yields a bit-identical ``ServingReport``.
+
+The seed matrix below is what CI runs; no external property-testing
+dependency is used (plain ``numpy`` generators keep the suite seeded and
+reproducible everywhere).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import molecule_like_graph
+from repro.serve import (
+    Cluster,
+    ConstantArrivals,
+    LoadGenerator,
+    OnOffArrivals,
+    PoissonArrivals,
+    Workload,
+)
+
+# The CI seed matrix: every invariant is checked under each of these.
+SEEDS = [0, 1, 2]
+
+_MODELS = ["GCN", "GIN", "GAT"]
+_POLICIES = ["round_robin", "least_loaded", "edf"]
+_BACKENDS = ["cpu", "gpu", "roofline"]  # analytical: fast enough to randomise
+
+
+def _random_scenario(seed: int):
+    """A random but fully seeded (cluster, request list, duration) triple."""
+    rng = np.random.default_rng(seed)
+    num_tenants = int(rng.integers(1, 4))
+    workloads = []
+    for i in range(num_tenants):
+        graphs = [
+            molecule_like_graph(int(rng.integers(8, 24)), rng, 6, 3)
+            for _ in range(int(rng.integers(2, 5)))
+        ]
+        workloads.append(
+            Workload(
+                tenant=f"tenant{i}",
+                model=str(rng.choice(_MODELS)),
+                dataset=graphs,
+                deadline_s=(
+                    float(rng.uniform(1e-3, 20e-3)) if rng.random() < 0.7 else None
+                ),
+                priority=int(rng.integers(0, 3)),
+                share=float(rng.uniform(0.5, 3.0)),
+            )
+        )
+    cluster = Cluster(
+        workloads,
+        backend=str(rng.choice(_BACKENDS)),
+        num_replicas=int(rng.integers(1, 4)),
+        policy=str(rng.choice(_POLICIES)),
+        max_batch_size=int(rng.integers(1, 4)),
+        batch_timeout_s=float(rng.choice([0.0, 1e-3])),
+        queue_capacity=(int(rng.integers(3, 8)) if rng.random() < 0.3 else None),
+    )
+    rate = float(rng.uniform(0.3, 1.4)) * cluster.num_replicas / cluster.mean_service_s()
+    duration = 50 * cluster.mean_service_s()
+    kind = rng.choice(["poisson", "bursty", "constant"])
+    if kind == "poisson":
+        generator = LoadGenerator.poisson(workloads, rate, seed=seed)
+    elif kind == "bursty":
+        generator = LoadGenerator.bursty(workloads, rate, seed=seed)
+    else:
+        generator = LoadGenerator.constant(workloads, rate, seed=seed)
+    return cluster, generator.generate(duration_s=duration), duration
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_conservation_submitted_equals_completed_plus_dropped(seed):
+    cluster, requests, duration = _random_scenario(seed)
+    report = cluster.serve(requests, duration_s=duration)
+    assert report.submitted == len(requests)
+    assert report.submitted == report.completed + report.dropped
+    for outcome in report.tenants.values():
+        assert outcome.submitted == outcome.completed + outcome.dropped
+        assert outcome.completed == outcome.report.num_graphs
+    assert len(report.records) == report.completed
+    assert len(report.dropped_requests) == report.dropped
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_latencies_nonnegative_and_percentiles_ordered(seed):
+    cluster, requests, duration = _random_scenario(seed)
+    report = cluster.serve(requests, duration_s=duration)
+    for record in report.records:
+        assert record.service_s > 0
+        # End-to-end latency includes queueing/batching delay: never less
+        # than the service time (up to float noise in the subtraction).
+        assert record.latency_s >= record.service_s * (1 - 1e-9)
+    for outcome in report.tenants.values():
+        stats = outcome.report.stream_statistics
+        if stats is None or not stats.per_graph_latency_s.size:
+            continue
+        assert np.all(stats.per_graph_latency_s >= 0)
+        p50 = outcome.report.p50_latency_ms
+        p99 = outcome.report.p99_latency_ms
+        assert p50 <= p99 <= outcome.report.max_latency_ms
+        assert 0.0 <= outcome.report.deadline_miss_rate <= 1.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_utilisation_bounded_by_one(seed):
+    cluster, requests, duration = _random_scenario(seed)
+    report = cluster.serve(requests, duration_s=duration)
+    assert report.per_replica_utilisation.shape == (cluster.num_replicas,)
+    assert np.all(report.per_replica_utilisation >= 0.0)
+    assert np.all(report.per_replica_utilisation <= 1.0 + 1e-9)
+    assert 0.0 <= report.cluster_utilisation <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_identical_seeds_yield_bit_identical_reports(seed):
+    cluster_a, requests_a, duration = _random_scenario(seed)
+    cluster_b, requests_b, _ = _random_scenario(seed)
+    assert requests_a == requests_b
+    report_a = cluster_a.serve(requests_a, duration_s=duration)
+    report_b = cluster_b.serve(requests_b, duration_s=duration)
+    assert report_a.to_json() == report_b.to_json()
+    assert json.loads(report_a.to_json()) == report_a.to_dict()
+    np.testing.assert_array_equal(
+        report_a.per_replica_utilisation, report_b.per_replica_utilisation
+    )
+    np.testing.assert_array_equal(report_a.queue_depth_trace, report_b.queue_depth_trace)
+    for name in report_a.tenants:
+        a = report_a.tenants[name].report
+        b = report_b.tenants[name].report
+        np.testing.assert_array_equal(a.per_graph_latency_ms, b.per_graph_latency_ms)
+        if a.stream_statistics is not None:
+            np.testing.assert_array_equal(
+                a.stream_statistics.completion_times_s,
+                b.stream_statistics.completion_times_s,
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_queue_trace_and_batch_sizes_within_bounds(seed):
+    cluster, requests, duration = _random_scenario(seed)
+    report = cluster.serve(requests, duration_s=duration)
+    assert np.all(report.queue_depth_trace >= 0)
+    if cluster.queue_capacity is not None:
+        assert report.max_queue_depth <= cluster.queue_capacity
+    if report.batch_sizes.size:
+        assert report.batch_sizes.min() >= 1
+        assert report.batch_sizes.max() <= cluster.max_batch_size
+        assert int(report.batch_sizes.sum()) == report.completed
