@@ -1,0 +1,120 @@
+"""Benchmark-regression gate: compare a pytest-benchmark JSON to a baseline.
+
+Usage::
+
+    python benchmarks/compare_to_baseline.py CURRENT.json BASELINE.json \
+        [--tolerance 0.25]
+
+The CI ``bench`` job runs the benchmark suites with ``--benchmark-json``,
+uploads the resulting ``BENCH_*.json`` artifacts (the fuzzbench-style
+trajectory of every change's performance), and fails the build when any
+benchmark regresses by more than ``--tolerance`` (default 25%) against the
+committed baseline in ``benchmarks/baselines/``.
+
+Two comparison modes, chosen per benchmark:
+
+* benchmarks that record a ``speedup`` in ``extra_info`` (the DSE-engine and
+  serving-dispatcher contract benchmarks) are gated on that **ratio** — a
+  machine-independent number, so the gate is meaningful even though the
+  baseline was recorded on different hardware.  A benchmark may additionally
+  declare ``extra_info["gate_floor"]``: a hardware-independent cap on the
+  demanded floor, so a baseline recorded on a fast machine never requires
+  more of a slower runner than the declared floor (a reverted optimisation
+  collapses to ~1x and trips either bound);
+* all other benchmarks are gated on mean wall-clock time, which is only
+  comparable on similar runners — keep those out of the baseline unless the
+  CI fleet is homogeneous.
+
+A benchmark present in the baseline but missing from the current run fails
+the gate (a silently-skipped benchmark is a regression in coverage).  To
+refresh baselines after an intentional change, run the suite several times
+and commit the most *conservative* run (lowest speedups) into
+``benchmarks/baselines/`` — the gate should trip on real regressions (a
+reverted optimisation collapses the ratio to ~1x), not on scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def _by_name(payload: Dict) -> Dict[str, Dict]:
+    return {bench["fullname"]: bench for bench in payload.get("benchmarks", [])}
+
+
+def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
+    """Print a verdict per baseline benchmark; return the number of failures."""
+    current_by_name = _by_name(current)
+    baseline_by_name = _by_name(baseline)
+    for name in sorted(set(current_by_name) - set(baseline_by_name)):
+        print(
+            f"warn {name}: no committed baseline — NOT gated "
+            f"(refresh benchmarks/baselines/ to cover it)"
+        )
+    failures = 0
+    for name, base in sorted(baseline_by_name.items()):
+        got = current_by_name.get(name)
+        if got is None:
+            print(f"FAIL {name}: benchmark missing from the current run")
+            failures += 1
+            continue
+        base_speedup = base.get("extra_info", {}).get("speedup")
+        got_speedup = got.get("extra_info", {}).get("speedup")
+        if base_speedup is not None and got_speedup is not None:
+            floor = base_speedup * (1.0 - tolerance)
+            # A benchmark may declare a hardware-independent gate_floor that
+            # caps the relative band: a baseline recorded on fast hardware
+            # then cannot demand more than the declared floor from a slower
+            # runner, while a revert (speedup ~1x) still trips either bound.
+            cap = base.get("extra_info", {}).get("gate_floor")
+            if cap is not None:
+                floor = min(floor, cap)
+            verdict = "ok" if got_speedup >= floor else "FAIL"
+            print(
+                f"{verdict} {name}: speedup {got_speedup:.2f}x vs baseline "
+                f"{base_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+            if verdict == "FAIL":
+                failures += 1
+        else:
+            base_mean = base["stats"]["mean"]
+            got_mean = got["stats"]["mean"]
+            ceiling = base_mean * (1.0 + tolerance)
+            verdict = "ok" if got_mean <= ceiling else "FAIL"
+            print(
+                f"{verdict} {name}: mean {got_mean * 1e3:.2f}ms vs baseline "
+                f"{base_mean * 1e3:.2f}ms (ceiling {ceiling * 1e3:.2f}ms)"
+            )
+            if verdict == "FAIL":
+                failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    failures = compare(current, baseline, args.tolerance)
+    if failures:
+        print(f"\n{failures} benchmark(s) regressed beyond {args.tolerance:.0%}")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

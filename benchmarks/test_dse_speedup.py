@@ -48,6 +48,12 @@ def test_dse_engine_bit_identical_and_5x_faster(benchmark):
         engine_elapsed = min(engine_elapsed, SweepRunner(spec, workers=0).run().elapsed_s)
 
     speedup = naive_elapsed / engine_elapsed
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    # Hardware-independent cap for the CI gate's demanded floor, matching
+    # the SPEEDUP_FLOOR contract this test asserts: the gate never demands
+    # more of a slower runner than the test itself does.
+    benchmark.extra_info["gate_floor"] = SPEEDUP_FLOOR
+    benchmark.extra_info["naive_s"] = round(naive_elapsed, 4)
     print(
         f"\nnaive loop: {naive_elapsed:.3f}s | engine: {engine_elapsed:.3f}s "
         f"| speedup: {speedup:.1f}x | cache: {engine.cache_info}"

@@ -4,19 +4,39 @@ The serving question behind the paper's real-time claim: a trigger tenant
 (HEP jets, tight deadline) and a molecule-screening tenant share a pool of
 FlowGNN replicas, traffic arrives in bursts, and the operator must pick the
 smallest pool whose p99 end-to-end latency stays inside every tenant's
-deadline.  The sweep reuses one measured cluster (``with_replicas``) so only
-the event-driven simulation reruns per pool size.
+deadline.
+
+This used to be a hand-rolled loop over ``Cluster.with_replicas``; the plan
+engine's :func:`repro.plan.min_replicas_for_slo` solver now answers it in
+one call — same measured cluster, same request sequence, same criterion —
+and the example double-checks that claim by re-running the original loop
+and asserting both agree on the replica count.
 
 Run with:  python examples/capacity_planning.py
 """
 
 from __future__ import annotations
 
+from repro.plan import min_replicas_for_slo
 from repro.serve import Cluster, LoadGenerator, Workload
 
 TARGET_RATE_RPS = 30_000     # total offered load across tenants
 DURATION_S = 0.05            # simulated traffic horizon
 MAX_REPLICAS = 8
+
+
+def hand_rolled_answer(base: Cluster, requests) -> int:
+    """The pre-solver loop, kept verbatim as the cross-check oracle."""
+    answer = None
+    for replicas in range(1, MAX_REPLICAS + 1):
+        report = base.with_replicas(replicas).serve(requests, duration_s=DURATION_S)
+        within_slo = all(
+            outcome.report.p99_latency_ms * 1e-3 <= outcome.workload.deadline_s
+            for outcome in report.tenants.values()
+        )
+        if within_slo and answer is None:
+            answer = replicas
+    return answer
 
 
 def main() -> None:
@@ -26,7 +46,7 @@ def main() -> None:
         Workload("screening", model="GCN", dataset="MolHIV", num_graphs=4, seed=2,
                  deadline_s=2e-3),
     ]
-    # Measure the backend once; resized views share the service profiles.
+    # Measure the backend once; the solver's resized views share the profiles.
     base = Cluster(tenants, backend="flowgnn", num_replicas=1, policy="edf")
     load = LoadGenerator.bursty(tenants, TARGET_RATE_RPS, seed=0)
     requests = load.generate(duration_s=DURATION_S)
@@ -35,31 +55,33 @@ def main() -> None:
     print(f"SLOs: trigger p99 < {tenants[0].deadline_s * 1e6:.0f} us, "
           f"screening p99 < {tenants[1].deadline_s * 1e6:.0f} us\n")
 
-    answer = None
-    for replicas in range(1, MAX_REPLICAS + 1):
-        report = base.with_replicas(replicas).serve(requests, duration_s=DURATION_S)
-        within_slo = all(
-            outcome.report.p99_latency_ms * 1e-3 <= outcome.workload.deadline_s
-            for outcome in report.tenants.values()
-        )
+    plan = min_replicas_for_slo(
+        base, requests, max_replicas=MAX_REPLICAS, duration_s=DURATION_S
+    )
+    for evaluation, report in zip(plan.evaluations, plan.reports.values()):
         trigger = report.tenants["trigger"].report
         screening = report.tenants["screening"].report
-        print(f"{replicas} replica(s): trigger p99 {trigger.p99_latency_ms * 1e3:7.1f} us "
+        marker = "  <-- meets every SLO" if evaluation["replicas"] == plan.replicas else ""
+        print(f"{evaluation['replicas']} replica(s): "
+              f"trigger p99 {trigger.p99_latency_ms * 1e3:7.1f} us "
               f"(miss {trigger.deadline_miss_rate:5.1%})  "
               f"screening p99 {screening.p99_latency_ms * 1e3:7.1f} us "
               f"(miss {screening.deadline_miss_rate:5.1%})  "
-              f"utilisation {report.cluster_utilisation:5.1%}"
-              f"{'  <-- meets every SLO' if within_slo and answer is None else ''}")
-        if within_slo and answer is None:
-            answer = replicas
+              f"utilisation {report.cluster_utilisation:5.1%}{marker}")
 
     print()
-    if answer is None:
+    if not plan.feasible:
         print(f"no pool of up to {MAX_REPLICAS} replicas meets the SLOs — "
               f"lower the rate or loosen the deadlines")
     else:
-        print(f"answer: {answer} FlowGNN replica(s) hold p99 inside every "
+        print(f"answer: {plan.replicas} FlowGNN replica(s) hold p99 inside every "
               f"tenant's deadline at {TARGET_RATE_RPS:,} req/s")
+
+    # The solver must agree with the loop it replaced, replica for replica.
+    assert plan.replicas == hand_rolled_answer(base, requests), (
+        "min_replicas_for_slo disagrees with the hand-rolled capacity loop"
+    )
+    print("(cross-check: the solver matches the hand-rolled replica-count loop)")
 
 
 if __name__ == "__main__":

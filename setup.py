@@ -9,11 +9,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="flowgnn-repro",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Cycle-level reproduction of FlowGNN (HPCA 2023): a dataflow "
         "architecture for real-time GNN inference, with a parallel "
-        "design-space exploration engine and a multi-tenant serving simulator"
+        "design-space exploration engine, a multi-tenant serving simulator "
+        "and a serving-scenario sweep engine for capacity planning"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -43,8 +43,9 @@ from .api import (
 from .eval import run_experiment, run_all_experiments
 from .dse import SweepRunner, SweepSpec
 from .serve import Cluster, LoadGenerator, ServingReport, Workload
+from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Graph",
@@ -72,5 +73,9 @@ __all__ = [
     "LoadGenerator",
     "ServingReport",
     "Workload",
+    "PlanRunner",
+    "PlanSpec",
+    "TenantMix",
+    "min_replicas_for_slo",
     "__version__",
 ]

@@ -38,10 +38,13 @@ from .backends import (
     get_backend,
     register_backend,
 )
+from .measure import MeasurementCache, measurement_key
 from .report import InferenceReport
 from .request import InferenceRequest, ResolvedRequest
 
 __all__ = [
+    "MeasurementCache",
+    "measurement_key",
     "BACKEND_NAMES",
     "Backend",
     "CPUBackend",

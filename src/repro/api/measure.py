@@ -1,0 +1,103 @@
+"""Process-safe sharing of ``Backend.measure`` profiles across simulations.
+
+A serving-scenario sweep (:mod:`repro.plan`) evaluates hundreds of cluster
+configurations over the same handful of tenants.  The expensive part of each
+evaluation is not the event-driven simulation — it is the backend
+measurement pass behind :class:`~repro.serve.TenantService`.  The profile a
+measurement produces depends only on ``(backend, model, dataset sizing,
+config, batch size)``, never on replicas, dispatch policy or arrival
+process, so one profile can back every scenario of a sweep.
+
+:class:`MeasurementCache` keys profiles on exactly that tuple (via
+:meth:`InferenceRequest.signature`).  Process safety comes from the
+fork-once/read-mostly discipline the DSE engine already uses: the parent
+pre-measures every profile a sweep can need, the snapshot is shipped to each
+worker once through the pool initializer, and workers only ever *read* it —
+a miss (possible only for requests built around unnamed model/dataset
+instances, which have no stable cross-process signature) falls back to a
+local measurement without touching shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from .backends import Measurement
+from .request import InferenceRequest
+
+__all__ = ["MeasurementCache", "measurement_key"]
+
+
+def measurement_key(
+    backend_name: str, request: InferenceRequest, batch_size: int
+) -> Optional[Tuple]:
+    """Stable cross-process cache key, or ``None`` when one cannot exist.
+
+    Requests carrying model or dataset *instances* (rather than registry
+    names) have no process-independent identity, so they are uncacheable —
+    callers treat ``None`` as "measure locally".
+    """
+    try:
+        signature = request.signature()
+    except ValueError:
+        return None
+    return (str(backend_name), signature, int(batch_size))
+
+
+class MeasurementCache:
+    """A keyed store of :class:`Measurement` profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Optional pre-measured profiles (e.g. the parent process's snapshot),
+        keyed by :func:`measurement_key`.
+    """
+
+    def __init__(self, profiles: Optional[Mapping[Tuple, Measurement]] = None) -> None:
+        self._profiles: Dict[Tuple, Measurement] = dict(profiles or {})
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._profiles
+
+    def snapshot(self) -> Dict[Tuple, Measurement]:
+        """A picklable copy of the profiles (the worker-initializer payload)."""
+        return dict(self._profiles)
+
+    def get_or_measure(
+        self,
+        backend_name: str,
+        request: InferenceRequest,
+        batch_size: int,
+        compute: Callable[[], Measurement],
+    ) -> Measurement:
+        """The cached profile for ``(backend, request, batch_size)``.
+
+        On a miss, ``compute()`` produces the profile, which is stored when
+        the request has a stable signature.
+        """
+        key = measurement_key(backend_name, request, batch_size)
+        if key is not None:
+            cached = self._profiles.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        measurement = compute()
+        if key is not None:
+            self._profiles[key] = measurement
+        return measurement
+
+    def info(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._profiles),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+        }

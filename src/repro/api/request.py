@@ -17,7 +17,7 @@ every backend.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 from typing import Iterable, List, Mapping, Optional, Union
 
 from ..arch.config import ArchitectureConfig
@@ -167,6 +167,31 @@ class InferenceRequest:
             f"got {type(config).__name__}"
         )
 
+    # -- identity -------------------------------------------------------------
+    def signature(self) -> tuple:
+        """A stable, hashable, cross-process identity for measurement caching.
+
+        Covers everything a ``Backend.measure`` profile depends on: the model
+        and dataset *names*, the dataset sizing hints, the normalised
+        architecture config and the batch size.  Requests built around model
+        or dataset instances have no process-independent identity and raise
+        ``ValueError`` — callers fall back to measuring locally.
+        """
+        if not isinstance(self.model, str):
+            raise ValueError("signature requires a registry model name, not an instance")
+        if not isinstance(self.dataset, str):
+            raise ValueError("signature requires a registry dataset name, not an instance")
+        return (
+            self.model,
+            self.dataset,
+            self.num_graphs,
+            self.scale,
+            self.seed,
+            astuple(self.config),
+            self.batch_size,
+            self.functional,  # functional runs carry outputs in the profile
+        )
+
     # -- resolution -----------------------------------------------------------
     def resolve(self) -> ResolvedRequest:
         """Resolve names to concrete objects (loads the dataset, builds the model).
@@ -226,7 +251,12 @@ class InferenceRequest:
                 )
         if graphs:
             name = graphs[0].name or "graphs"
-            return graphs, name if len(graphs) == 1 else "graphs", graphs[0].node_feature_dim, graphs[0].edge_feature_dim
+            return (
+                graphs,
+                name if len(graphs) == 1 else "graphs",
+                graphs[0].node_feature_dim,
+                graphs[0].edge_feature_dim,
+            )
         return graphs, "graphs", None, None
 
     def describe(self) -> str:

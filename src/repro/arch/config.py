@@ -17,7 +17,7 @@ units, 300 MHz clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 __all__ = [

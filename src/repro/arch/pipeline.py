@@ -27,7 +27,6 @@ then transform) used by anisotropic models such as GAT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ module adds everything around it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import ceil
 from typing import Callable, Dict, List, Optional
 

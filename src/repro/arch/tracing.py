@@ -9,9 +9,8 @@ plot: busy/idle cycle totals per unit class and overall utilisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
-import numpy as np
 
 from .pipeline import LayerTiming
 from .simulator import SimulationResult

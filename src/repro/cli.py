@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows without writing any Python:
+Six subcommands cover the common workflows without writing any Python:
 
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``simulate``    — run one model on one dataset on a chosen inference
@@ -13,7 +13,12 @@ Five subcommands cover the common workflows without writing any Python:
   extraction, CSV export, and baseline-platform sweeps via ``--backend``;
 * ``serve``       — multi-tenant serving simulation (:mod:`repro.serve`):
   many request streams multiplexed over a pool of backend replicas with a
-  chosen dispatch policy and arrival process.
+  chosen dispatch policy and arrival process;
+* ``plan``        — serving-scenario sweep (:mod:`repro.plan`): grids over
+  replicas x policy x batching x queue capacity x arrival process, run in
+  parallel workers sharing one measurement per (backend, model, dataset,
+  batch size), with cost/Pareto extraction, CSV/JSON export and a
+  ``--solve`` mode answering "how many replicas hold every SLO?".
 """
 
 from __future__ import annotations
@@ -23,13 +28,15 @@ import json
 import sys
 from typing import List, Optional
 
-from .api import BACKEND_NAMES, InferenceRequest, get_backend
+from .api import BACKEND_NAMES, InferenceRequest, MeasurementCache, get_backend
 from .arch import ALVEO_U50
 from .datasets import DATASET_NAMES, load_dataset
 from .dse import SweepRunner, SweepSpec
 from .eval import EXPERIMENT_NAMES, render_dict_table, run_experiment
 from .nn import MODEL_NAMES
-from .serve import POLICY_NAMES, Cluster, LoadGenerator, Workload
+from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
+from .plan.runner import build_generator
+from .serve import POLICY_NAMES, Cluster, Workload
 
 __all__ = ["build_parser", "main"]
 
@@ -51,6 +58,21 @@ def _int_list(text: str) -> List[int]:
 
 def _str_list(text: str) -> List[str]:
     return [part for part in text.split(",") if part]
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _capacity_list(text: str) -> List[Optional[int]]:
+    """Comma list of queue capacities; ``none``/``inf`` means unbounded."""
+    values: List[Optional[int]] = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        values.append(None if part in ("none", "inf", "unbounded") else int(part))
+    return values
 
 
 def _add_parallelism_flags(parser: argparse.ArgumentParser, grid: bool = False) -> None:
@@ -245,6 +267,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the ServingReport as JSON instead of tables",
     )
 
+    plan = subparsers.add_parser(
+        "plan",
+        help="serving-scenario sweep: grids over replicas/policy/batching/"
+        "queue/arrival, in parallel workers sharing measurements",
+    )
+    plan.add_argument("--tenants", type=int, default=2, help="number of tenants in the mix")
+    plan.add_argument(
+        "--models",
+        type=_str_list,
+        default=["GIN", "GCN"],
+        help="comma-separated model names, cycled across tenants",
+    )
+    plan.add_argument(
+        "--datasets",
+        type=_str_list,
+        default=["MolHIV"],
+        help="comma-separated dataset names, cycled across tenants",
+    )
+    plan.add_argument(
+        "--num-graphs", type=int, default=6, help="distinct graphs per tenant's request pool"
+    )
+    plan.add_argument(
+        "--deadline-us",
+        type=float,
+        default=None,
+        help="per-request deadline in microseconds "
+        "(default: 4x the measured mean service time)",
+    )
+    plan.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="flowgnn",
+        help="backend every replica instantiates",
+    )
+    plan.add_argument(
+        "--replicas",
+        type=_int_list,
+        default=[1, 2, 4],
+        help="replica-count grid, e.g. 1,2,4,8",
+    )
+    plan.add_argument(
+        "--policies",
+        type=_str_list,
+        default=["round_robin", "edf"],
+        help=f"dispatch-policy grid from: {', '.join(POLICY_NAMES)}",
+    )
+    plan.add_argument(
+        "--max-batch",
+        type=_int_list,
+        default=[1],
+        help="dynamic-batching batch-size-cap grid, e.g. 1,4",
+    )
+    plan.add_argument(
+        "--batch-timeout-us",
+        type=_float_list,
+        default=[0.0],
+        help="dynamic-batching timeout grid in microseconds, e.g. 0,200",
+    )
+    plan.add_argument(
+        "--queue-capacity",
+        type=_capacity_list,
+        default=[None],
+        help="queue-capacity grid; 'none' means unbounded, e.g. none,64",
+    )
+    plan.add_argument(
+        "--arrivals",
+        type=_str_list,
+        default=["poisson"],
+        help="arrival-process grid: poisson | bursty | constant | trace:PATH",
+    )
+    plan.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="total request rate (req/s) split by tenant share "
+        "(default: utilisation x max(replicas) / measured service time)",
+    )
+    plan.add_argument(
+        "--utilisation",
+        type=float,
+        default=0.7,
+        help="target utilisation used when deriving the default rate",
+    )
+    plan.add_argument(
+        "--duration", type=float, default=0.05, help="traffic horizon per scenario (s)"
+    )
+    plan.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    plan.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers (default: CPU count; 0 runs in-process)",
+    )
+    plan.add_argument(
+        "--pareto",
+        action="store_true",
+        help="print the replica-time / p99 / miss-rate Pareto frontier",
+    )
+    plan.add_argument(
+        "--solve",
+        action="store_true",
+        help="also solve min-replicas-for-SLO under the first grid point's "
+        "policy/arrival/batching, searching up to max(--replicas)",
+    )
+    plan.add_argument("--csv", metavar="PATH", default=None, help="write scenario rows as CSV")
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="print the sweep (and solver, with --solve) as JSON",
+    )
+
     return parser
 
 
@@ -435,23 +568,31 @@ def _run_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tenant_dicts(args: argparse.Namespace) -> tuple:
+    """Declarative tenant specs from the shared serve/plan CLI flags.
+
+    One mapping for both subcommands — ``repro serve`` and ``repro plan``
+    must build identical mixes for identical arguments, so a sweep row can
+    be cross-checked against the equivalent single ``serve`` run.
+    """
+    return tuple(
+        {
+            "tenant": f"tenant{i}",
+            "model": args.models[i % len(args.models)],
+            "dataset": args.datasets[i % len(args.datasets)],
+            "num_graphs": args.num_graphs,
+            "seed": args.seed + i,
+            "deadline_s": (
+                args.deadline_us * 1e-6 if args.deadline_us is not None else None
+            ),
+        }
+        for i in range(args.tenants)
+    )
+
+
 def _build_serve_workloads(args: argparse.Namespace) -> List[Workload]:
     """One workload per tenant, cycling models/datasets across the list."""
-    workloads = []
-    for i in range(args.tenants):
-        workloads.append(
-            Workload(
-                tenant=f"tenant{i}",
-                model=args.models[i % len(args.models)],
-                dataset=args.datasets[i % len(args.datasets)],
-                num_graphs=args.num_graphs,
-                seed=args.seed + i,
-                deadline_s=(
-                    args.deadline_us * 1e-6 if args.deadline_us is not None else None
-                ),
-            )
-        )
-    return workloads
+    return [Workload(**tenant) for tenant in _tenant_dicts(args)]
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -493,21 +634,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     if duration is None and not is_trace:
         duration = 0.05
     try:
-        if is_trace:
-            generator = LoadGenerator.trace(workloads, args.arrival[len("trace:"):], seed=args.seed)
-        elif args.arrival == "poisson":
-            generator = LoadGenerator.poisson(workloads, rate, seed=args.seed)
-        elif args.arrival == "bursty":
-            generator = LoadGenerator.bursty(workloads, rate, seed=args.seed)
-        elif args.arrival == "constant":
-            generator = LoadGenerator.constant(workloads, rate, seed=args.seed)
-        else:
-            print(
-                f"unknown arrival process {args.arrival!r}; "
-                "use poisson, bursty, constant or trace:PATH",
-                file=sys.stderr,
-            )
-            return 2
+        generator = build_generator(workloads, args.arrival, rate, seed=args.seed)
         requests = generator.generate(duration_s=duration)
     except (OSError, ValueError) as error:
         print(f"cannot generate load: {error}", file=sys.stderr)
@@ -537,6 +664,138 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_plan(args: argparse.Namespace) -> int:
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+    if not args.models or not args.datasets:
+        print("--models and --datasets need at least one name", file=sys.stderr)
+        return 2
+
+    cache = MeasurementCache()
+    try:
+        tenants = _tenant_dicts(args)
+        if args.deadline_us is None:
+            # Derive the default deadline from the measured service time (the
+            # probe's measurements land in the cache the sweep reuses).
+            probe = Cluster(
+                [Workload(**tenant) for tenant in tenants],
+                backend=args.backend,
+                num_replicas=1,
+                measurement_cache=cache,
+            )
+            derived = 4.0 * probe.mean_service_s()
+            tenants = tuple({**tenant, "deadline_s": derived} for tenant in tenants)
+        spec = PlanSpec(
+            mixes=[TenantMix("mix", tenants)],
+            backend=args.backend,
+            replicas=args.replicas,
+            policies=args.policies,
+            max_batch_sizes=args.max_batch,
+            batch_timeouts_s=[t * 1e-6 for t in args.batch_timeout_us],
+            queue_capacities=args.queue_capacity,
+            arrivals=args.arrivals,
+            rate_rps=args.rate,
+            utilisation=args.utilisation,
+            duration_s=args.duration,
+            seed=args.seed,
+        )
+    except (ValueError, KeyError) as error:
+        print(f"invalid plan sweep: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        result = PlanRunner(spec, workers=args.workers, cache=cache).run()
+    except (OSError, ValueError) as error:
+        print(f"plan sweep failed: {error}", file=sys.stderr)
+        return 2
+
+    solution = None
+    if args.solve:
+        workloads = spec.mixes[0].workloads()
+        cluster = Cluster(
+            workloads,
+            backend=spec.backend,
+            num_replicas=1,
+            policy=spec.policies[0],
+            max_batch_size=spec.max_batch_sizes[0],
+            batch_timeout_s=spec.batch_timeouts_s[0],
+            queue_capacity=spec.queue_capacities[0],
+            measurement_cache=cache,
+        )
+        requests = build_generator(
+            workloads, spec.arrivals[0], result.rates[spec.mixes[0].name], spec.seed
+        ).generate(duration_s=spec.duration_s)
+        solution = min_replicas_for_slo(
+            cluster,
+            requests,
+            max_replicas=max(spec.replicas),
+            duration_s=spec.duration_s,
+        )
+
+    if args.json:
+        payload = result.to_dict()
+        if solution is not None:
+            payload["solver"] = {
+                "replicas": solution.replicas,
+                "max_replicas": solution.max_replicas,
+                "feasible": solution.feasible,
+                "evaluations": solution.evaluations,
+            }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(spec.describe())
+        print()
+        print(result.render(title="serving-scenario sweep (one row per scenario)"))
+        cheapest = result.cheapest_feasible()
+        print()
+        if cheapest is None:
+            print(
+                "no scenario holds every tenant's SLO — add replicas, relax "
+                "deadlines or lower the rate"
+            )
+        else:
+            print(
+                f"cheapest feasible scenario: #{cheapest['scenario']} "
+                f"({cheapest['replicas']}x {cheapest['policy']}, "
+                f"{cheapest['arrival']} arrivals, "
+                f"batch<= {cheapest['max_batch_size']}, "
+                f"{cheapest['replica_seconds']:.3f} replica-seconds)"
+            )
+        if args.pareto:
+            print()
+            print(
+                render_dict_table(
+                    result.pareto(),
+                    title="Pareto frontier (replica-time / worst p99 / miss rate)",
+                )
+            )
+        if solution is not None:
+            print()
+            print(render_dict_table(solution.evaluations, title="min-replicas-for-SLO search"))
+            print(solution.summary())
+        cache_info = result.cache_info
+        print(
+            f"\n{result.num_scenarios} scenarios in {result.elapsed_s:.2f}s; "
+            f"measurement cache: {cache_info.get('entries', 0)} profiles, "
+            f"{cache_info.get('misses', 0)} measured"
+        )
+
+    if args.csv:
+        try:
+            result.to_csv(args.csv)
+        except OSError as error:
+            print(f"cannot write CSV to {args.csv}: {error}", file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"wrote {result.num_scenarios} rows to {args.csv}")
+
+    if args.solve and solution is not None and not solution.feasible:
+        print(solution.summary(), file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -551,6 +810,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_dse(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "plan":
+        return _run_plan(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph import Graph, powerlaw_cluster_graph
+from ..graph import powerlaw_cluster_graph
 from .base import GraphDataset
 
 __all__ = [

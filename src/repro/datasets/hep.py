@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph import Graph, knn_point_cloud_graph
+from ..graph import knn_point_cloud_graph
 from .base import GraphDataset
 
 __all__ = ["make_hep_like", "HEP_REFERENCE", "HEP_KNN_K"]

@@ -40,7 +40,7 @@ from .cache import ScheduleCache
 from .pareto import DEFAULT_OBJECTIVES, pareto_frontier
 from .spec import SweepSpec, _config_knobs
 
-__all__ = ["SweepResult", "SweepRunner", "naive_sweep"]
+__all__ = ["SweepResult", "SweepRunner", "naive_sweep", "contiguous_chunks"]
 
 
 # ---------------------------------------------------------------------------
@@ -177,8 +177,14 @@ def _evaluate_chunk(
     return rows, (cache.info() if cache is not None else None)
 
 
-def _contiguous_chunks(items: List, count: int) -> List[List]:
-    """Split ``items`` into at most ``count`` contiguous, near-equal chunks."""
+def contiguous_chunks(items: List, count: int) -> List[List]:
+    """Split ``items`` into at most ``count`` contiguous, near-equal chunks.
+
+    Contiguity is what keeps parallel sweeps deterministic: every chunk
+    preserves enumeration order, so reassembling chunk results in order
+    reproduces the serial result exactly.  Shared by the DSE engine and the
+    serving-scenario plan engine.
+    """
     count = max(min(count, len(items)), 1)
     size, remainder = divmod(len(items), count)
     chunks: List[List] = []
@@ -368,7 +374,7 @@ class SweepRunner:
             chunk_rows, info = _evaluate_chunk(configs)
             return chunk_rows, [info] if info else []
 
-        chunks = _contiguous_chunks(configs, self.workers)
+        chunks = contiguous_chunks(configs, self.workers)
         with multiprocessing.Pool(
             processes=len(chunks), initializer=_init_worker, initargs=init_args
         ) as pool:

@@ -36,7 +36,6 @@ from ..arch import (
     estimate_resources,
 )
 from ..baselines import (
-    AWBGCN_PUBLISHED,
     DEFAULT_BATCH_SIZES,
     FLOWGNN_TABLE8_PUBLISHED,
     IGCN_PUBLISHED,
@@ -45,7 +44,6 @@ from ..baselines import (
     igcn_model,
 )
 from ..datasets import (
-    REDDIT_REFERENCE,
     TABLE4_REFERENCE,
     load_dataset,
 )

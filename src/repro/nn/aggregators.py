@@ -19,7 +19,7 @@ pattern the MP units implement in hardware with running partial aggregates.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -14,7 +14,6 @@ from typing import Optional
 
 import numpy as np
 
-from ...graph import Graph
 from ..layers import MLP, Linear, relu
 from .base import GNNLayer, GNNModel, LayerSpec
 

@@ -1,0 +1,62 @@
+"""Serving-scenario sweep engine: capacity planning over cluster grids.
+
+PR 3's serving simulator answers *"what happens under this one
+configuration?"*; this package answers the question the paper's real-time
+claims actually raise — **how many replicas, which dispatch policy and what
+batching window hold every tenant's SLO at the cheapest cost?** — by
+sweeping grids over replicas x policy x batching x queue capacity x arrival
+process x tenant mix in parallel worker processes::
+
+    from repro.plan import PlanRunner, PlanSpec, TenantMix
+
+    spec = PlanSpec(
+        mixes=[TenantMix("prod", (
+            {"tenant": "trigger", "model": "GIN", "dataset": "HEP",
+             "num_graphs": 4, "deadline_s": 500e-6, "priority": 1, "share": 2.0},
+            {"tenant": "screening", "model": "GCN", "dataset": "MolHIV",
+             "num_graphs": 4, "deadline_s": 2e-3},
+        ))],
+        backend="flowgnn",
+        replicas=(1, 2, 4, 8),
+        policies=("round_robin", "edf"),
+        arrivals=("poisson", "bursty"),
+    )
+    result = PlanRunner(spec, workers=8).run()
+    print(result.render())
+    print(result.pareto())             # cost vs p99 vs miss-rate frontier
+    print(result.cheapest_feasible())  # the answer
+
+* :class:`PlanSpec` / :class:`TenantMix` / :class:`Scenario` — declarative,
+  eagerly validated sweep descriptions with deterministic enumeration;
+* :class:`PlanRunner` / :class:`PlanResult` — parallel execution sharing
+  one ``Backend.measure`` profile per (backend, model, dataset, batch size)
+  across the whole sweep via :class:`~repro.api.MeasurementCache`, with
+  CSV/JSON export, Pareto extraction and feasibility filtering.  Output is
+  byte-identical for any worker count;
+* :func:`min_replicas_for_slo` / :class:`CapacityPlan` — the solver that
+  replaces hand-rolled replica-count loops;
+* the cost model (:func:`scenario_cost`, :data:`PLAN_OBJECTIVES`) charging
+  replica-time and measured energy.
+
+The CLI front-end is ``python -m repro plan``.
+"""
+
+from .cost import PLAN_OBJECTIVES, meets_slo, scenario_cost, scenario_row
+from .runner import PlanResult, PlanRunner
+from .solver import CapacityPlan, min_replicas_for_slo
+from .spec import ARRIVAL_NAMES, PlanSpec, Scenario, TenantMix
+
+__all__ = [
+    "ARRIVAL_NAMES",
+    "CapacityPlan",
+    "PLAN_OBJECTIVES",
+    "PlanResult",
+    "PlanRunner",
+    "PlanSpec",
+    "Scenario",
+    "TenantMix",
+    "meets_slo",
+    "min_replicas_for_slo",
+    "scenario_cost",
+    "scenario_row",
+]

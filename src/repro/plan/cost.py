@@ -1,0 +1,108 @@
+"""The cost model and row flattening for serving-scenario sweeps.
+
+A capacity planner trades two currencies against the SLOs: **replica-time**
+(how much hardware the scenario rents over the horizon) and **energy** (what
+the requests themselves burn, straight from the per-request measurements the
+simulation already carries).  :func:`scenario_row` flattens one
+:class:`~repro.serve.ServingReport` plus its :class:`~repro.plan.Scenario`
+coordinates into a single dict row — the unit of every export, Pareto
+extraction and regression gate downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..serve.report import ServingReport
+from .spec import Scenario
+
+__all__ = ["scenario_cost", "scenario_row", "PLAN_OBJECTIVES", "meets_slo"]
+
+#: Default Pareto objectives, all minimised: hardware cost against the two
+#: SLO currencies (tail latency and deadline misses).
+PLAN_OBJECTIVES: Tuple[str, ...] = (
+    "replica_seconds",
+    "worst_p99_latency_ms",
+    "deadline_miss_rate",
+)
+
+
+def scenario_cost(report: ServingReport, duration_s: Optional[float] = None) -> Dict:
+    """The cost side of one scenario: replica-time and energy.
+
+    ``replica_seconds`` charges every replica for the full horizon (rented
+    hardware does not stop costing when idle); ``energy_j`` sums the
+    measured per-request energies over all completed requests.
+    """
+    horizon = duration_s if duration_s is not None else report.horizon_s
+    energy_mj = sum(
+        float(outcome.report.per_graph_energy_mj.sum())
+        for outcome in report.tenants.values()
+    )
+    return {
+        "replica_seconds": report.num_replicas * float(horizon),
+        "energy_j": energy_mj * 1e-3,
+    }
+
+
+def meets_slo(report: ServingReport, require_no_drops: bool = True) -> bool:
+    """Whether every tenant's p99 sits inside its deadline.
+
+    Best-effort tenants (no deadline) always pass; with
+    ``require_no_drops`` (the default) any admission-control drop fails the
+    scenario — a dropped request never completes, so it would otherwise
+    vanish from the percentile entirely.
+    """
+    if require_no_drops and report.dropped > 0:
+        return False
+    for outcome in report.tenants.values():
+        deadline = outcome.workload.deadline_s
+        if deadline is None:
+            continue
+        if outcome.report.p99_latency_ms * 1e-3 > deadline:
+            return False
+    return True
+
+
+def scenario_row(
+    scenario: Scenario,
+    report: ServingReport,
+    duration_s: Optional[float] = None,
+    rate_rps: Optional[float] = None,
+) -> Dict:
+    """Flatten one scenario evaluation into a single export row."""
+    worst_p99 = max(
+        (outcome.report.p99_latency_ms for outcome in report.tenants.values()),
+        default=0.0,
+    )
+    # Worst p99/deadline ratio across deadline-carrying tenants: < 1 means
+    # every SLO holds with margin, None (JSON null) means nobody declared a
+    # deadline — not NaN, which json.dumps would emit as invalid strict JSON.
+    ratios = [
+        outcome.report.p99_latency_ms * 1e-3 / outcome.workload.deadline_s
+        for outcome in report.tenants.values()
+        if outcome.workload.deadline_s is not None
+    ]
+    row = {
+        "scenario": scenario.index,
+        "mix": scenario.mix,
+        "arrival": scenario.arrival,
+        "replicas": scenario.num_replicas,
+        "policy": scenario.policy,
+        "max_batch_size": scenario.max_batch_size,
+        "batch_timeout_us": scenario.batch_timeout_s * 1e6,
+        "queue_capacity": scenario.queue_capacity,
+        "rate_rps": rate_rps,
+        "submitted": report.submitted,
+        "completed": report.completed,
+        "dropped": report.dropped,
+        "deadline_miss_rate": report.deadline_miss_rate,
+        "worst_p99_latency_ms": worst_p99,
+        "worst_p99_over_deadline": max(ratios) if ratios else None,
+        "slo_ok": meets_slo(report),
+        "cluster_utilisation": report.cluster_utilisation,
+        "max_queue_depth": report.max_queue_depth,
+        "mean_batch_size": report.mean_batch_size,
+    }
+    row.update(scenario_cost(report, duration_s))
+    return row

@@ -1,0 +1,314 @@
+"""Plan-sweep execution: shared measurement, worker fan-out, result assembly.
+
+:class:`PlanRunner` generalises the DSE engine's fan-out discipline
+(:class:`~repro.dse.SweepRunner`) to serving scenarios:
+
+1. the parent process **pre-measures** every backend profile any scenario
+   can need — one :meth:`Backend.measure` per (backend, model, dataset,
+   batch size), covering batch sizes 1..max(max_batch_sizes grid) — into a
+   :class:`~repro.api.MeasurementCache`;
+2. scenarios are split into contiguous chunks
+   (:func:`~repro.dse.runner.contiguous_chunks`) and fanned out over
+   ``multiprocessing`` workers; each worker receives the cache snapshot
+   once through the pool initializer, so **no scenario ever re-measures**;
+3. each worker rebuilds its mix's :class:`~repro.serve.Cluster` once,
+   derives every grid point from it via :meth:`Cluster.with_options`
+   (sharing the measured tenant services), replays the seeded load and
+   runs the event-driven simulation.
+
+Determinism: scenario enumeration order is fixed, chunks are contiguous,
+load generation is seeded per (mix, arrival) and the simulation itself is
+deterministic — so a 1-worker and an 8-worker sweep produce **byte
+identical** CSV/JSON exports (pinned by ``tests/test_plan.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..api import MeasurementCache
+from ..dse.pareto import pareto_frontier
+from ..dse.runner import contiguous_chunks
+from ..eval.tables import render_csv, render_dict_table
+from ..serve import Cluster, LoadGenerator, Workload
+from .cost import PLAN_OBJECTIVES, scenario_row
+from .spec import PlanSpec, Scenario
+
+__all__ = ["PlanResult", "PlanRunner", "build_generator"]
+
+
+# ---------------------------------------------------------------------------
+# Result container
+# ---------------------------------------------------------------------------
+@dataclass
+class PlanResult:
+    """Outcome of one plan sweep: one row per scenario, in scenario order."""
+
+    spec: PlanSpec
+    rows: List[Dict]
+    rates: Dict[str, float] = field(default_factory=dict)
+    cache_info: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.rows)
+
+    def column(self, key: str) -> List:
+        return [row[key] for row in self.rows]
+
+    def find(self, **criteria) -> List[Dict]:
+        """Rows whose values match every ``key=value`` criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def feasible(self) -> List[Dict]:
+        """Rows whose scenario held every tenant's SLO (no drops)."""
+        return [row for row in self.rows if row["slo_ok"]]
+
+    def cheapest_feasible(self) -> Optional[Dict]:
+        """The feasible row with the least replica-time (ties: energy, order)."""
+        feasible = self.feasible()
+        if not feasible:
+            return None
+        return min(
+            feasible, key=lambda row: (row["replica_seconds"], row["energy_j"])
+        )
+
+    def pareto(self, objectives: Sequence[str] = PLAN_OBJECTIVES) -> List[Dict]:
+        """Non-dominated rows under ``objectives`` (all minimised)."""
+        return pareto_frontier(self.rows, objectives)
+
+    def render(self, title: str = "serving-scenario sweep") -> str:
+        """Aligned text table of every scenario."""
+        return render_dict_table(self.rows, title=title)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Rows as CSV text; when ``path`` is given, also write the file."""
+        text = render_csv(self.rows)
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_dict(self) -> Dict:
+        """Nested, JSON-serialisable summary of the whole sweep."""
+        return {
+            "backend": self.spec.backend,
+            "duration_s": self.spec.duration_s,
+            "seed": self.spec.seed,
+            "num_scenarios": self.num_scenarios,
+            "rates_rps": dict(self.rates),
+            "scenarios": [dict(row) for row in self.rows],
+            "pareto": [row["scenario"] for row in self.pareto()],
+            "cheapest_feasible": (
+                self.cheapest_feasible() or {}
+            ).get("scenario"),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process state
+# ---------------------------------------------------------------------------
+# Installed once per pool worker by ``_init_worker``: the spec, the shared
+# measurement-cache snapshot and the per-mix rates are pickled once per
+# worker instead of once per scenario; clusters and request sequences are
+# memoised lazily per (mix) / (mix, arrival).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(spec: PlanSpec, profiles: Dict, rates: Dict[str, float]) -> None:
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["cache"] = MeasurementCache(profiles)
+    _WORKER_STATE["rates"] = rates
+    _WORKER_STATE["clusters"] = {}
+    _WORKER_STATE["requests"] = {}
+
+
+def _mix_cluster(mix_name: str) -> Tuple[Cluster, List[Workload]]:
+    """The worker's memoised 1-replica base cluster for ``mix_name``."""
+    clusters: Dict = _WORKER_STATE["clusters"]
+    cached = clusters.get(mix_name)
+    if cached is None:
+        spec: PlanSpec = _WORKER_STATE["spec"]
+        workloads = spec.mix_by_name(mix_name).workloads()
+        cluster = Cluster(
+            workloads,
+            backend=spec.backend,
+            num_replicas=1,
+            measurement_cache=_WORKER_STATE["cache"],
+        )
+        cached = (cluster, workloads)
+        clusters[mix_name] = cached
+    return cached
+
+
+def build_generator(
+    workloads: List[Workload], arrival: str, rate_rps: float, seed: int
+) -> LoadGenerator:
+    """The :class:`LoadGenerator` for one arrival-process name.
+
+    ``arrival`` is one of :data:`~repro.plan.ARRIVAL_NAMES` or
+    ``trace:PATH``.  This is the single name→process mapping shared by plan
+    sweeps, the CLI solve path and ``repro serve``, so every front-end
+    offers identical load for the same arguments.
+    """
+    if arrival.startswith("trace:"):
+        return LoadGenerator.trace(workloads, arrival[len("trace:"):], seed=seed)
+    if arrival == "poisson":
+        return LoadGenerator.poisson(workloads, rate_rps, seed=seed)
+    if arrival == "bursty":
+        return LoadGenerator.bursty(workloads, rate_rps, seed=seed)
+    if arrival == "constant":
+        return LoadGenerator.constant(workloads, rate_rps, seed=seed)
+    raise ValueError(
+        f"unknown arrival process {arrival!r}; "
+        "use poisson, bursty, constant or trace:PATH"
+    )
+
+
+def _mix_requests(mix_name: str, arrival: str):
+    """The worker's memoised request sequence for one (mix, arrival) cell."""
+    requests: Dict = _WORKER_STATE["requests"]
+    key = (mix_name, arrival)
+    cached = requests.get(key)
+    if cached is None:
+        spec: PlanSpec = _WORKER_STATE["spec"]
+        _, workloads = _mix_cluster(mix_name)
+        generator = build_generator(
+            workloads, arrival, _WORKER_STATE["rates"][mix_name], spec.seed
+        )
+        cached = generator.generate(duration_s=spec.duration_s)
+        requests[key] = cached
+    return cached
+
+
+def _evaluate_scenario(scenario: Scenario) -> Dict:
+    spec: PlanSpec = _WORKER_STATE["spec"]
+    base, _ = _mix_cluster(scenario.mix)
+    cluster = base.with_options(
+        num_replicas=scenario.num_replicas,
+        policy=scenario.policy,
+        max_batch_size=scenario.max_batch_size,
+        batch_timeout_s=scenario.batch_timeout_s,
+        queue_capacity=scenario.queue_capacity,
+    )
+    requests = _mix_requests(scenario.mix, scenario.arrival)
+    report = cluster.serve(requests, duration_s=spec.duration_s)
+    return scenario_row(
+        scenario,
+        report,
+        duration_s=spec.duration_s,
+        rate_rps=_WORKER_STATE["rates"][scenario.mix],
+    )
+
+
+def _evaluate_chunk(scenarios: List[Scenario]) -> List[Dict]:
+    return [_evaluate_scenario(scenario) for scenario in scenarios]
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+class PlanRunner:
+    """Executes a :class:`PlanSpec` and assembles a :class:`PlanResult`.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run.
+    workers:
+        ``multiprocessing`` worker count.  ``None`` uses ``os.cpu_count()``;
+        values below 2 run in-process (still through the shared cache).
+    cache:
+        Optional pre-populated :class:`~repro.api.MeasurementCache` to
+        extend instead of starting empty — e.g. the CLI probes the backend
+        once to derive default deadlines and hands the cache over so those
+        measurements are not repeated.
+    """
+
+    def __init__(
+        self,
+        spec: PlanSpec,
+        workers: Optional[int] = None,
+        cache: Optional[MeasurementCache] = None,
+    ) -> None:
+        self.spec = spec
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = int(workers)
+        self.cache = cache if cache is not None else MeasurementCache()
+
+    # -- parent-side preparation ----------------------------------------------
+    def _premeasure(self) -> Tuple[MeasurementCache, Dict[str, float]]:
+        """Measure every profile the sweep can need, once, in the parent.
+
+        A dispatch can measure any batch size from 1 up to the largest
+        ``max_batch_size`` of the grid (plus each workload's declared batch
+        size, covered by the base profile), so that closed set is measured
+        eagerly — workers then run entirely from cache.  Also derives the
+        per-mix offered rate when the spec leaves it to the measured
+        capacity.
+        """
+        spec = self.spec
+        cache = self.cache
+        rates: Dict[str, float] = {}
+        batching = max(spec.max_batch_sizes) > 1
+        extra_batches = range(1, max(spec.max_batch_sizes) + 1) if batching else ()
+        for mix in spec.mixes:
+            cluster = Cluster(
+                mix.workloads(),
+                backend=spec.backend,
+                num_replicas=1,
+                measurement_cache=cache,
+            )
+            for service in cluster.services.values():
+                for batch_size in extra_batches:
+                    service.measurement(batch_size)
+            if spec.rate_rps is not None:
+                rates[mix.name] = float(spec.rate_rps)
+            else:
+                mean_service = cluster.mean_service_s()
+                rates[mix.name] = (
+                    spec.utilisation * max(spec.replicas) / mean_service
+                )
+        return cache, rates
+
+    def run(self) -> PlanResult:
+        """Evaluate every scenario of the sweep."""
+        started = time.perf_counter()
+        spec = self.spec
+        cache, rates = self._premeasure()
+        scenarios = list(spec.scenarios())
+
+        if self.workers < 2 or len(scenarios) < 2:
+            _init_worker(spec, cache.snapshot(), rates)
+            rows = _evaluate_chunk(scenarios)
+        else:
+            chunks = contiguous_chunks(scenarios, self.workers)
+            with multiprocessing.Pool(
+                processes=len(chunks),
+                initializer=_init_worker,
+                initargs=(spec, cache.snapshot(), rates),
+            ) as pool:
+                outcomes = pool.map(_evaluate_chunk, chunks)
+            rows = [row for chunk_rows in outcomes for row in chunk_rows]
+
+        return PlanResult(
+            spec=spec,
+            rows=rows,
+            rates=rates,
+            cache_info=cache.info(),
+            elapsed_s=time.perf_counter() - started,
+        )

@@ -1,0 +1,109 @@
+"""``min_replicas_for_slo``: the capacity-planning question, answered.
+
+Replaces the hand-rolled loop ``examples/capacity_planning.py`` used to
+carry: given a measured cluster and an offered request sequence, find the
+smallest replica pool whose p99 end-to-end latency sits inside every
+tenant's deadline.  The search walks pool sizes in ascending order over
+:meth:`Cluster.with_replicas` views — one backend measurement for the whole
+search, only the event-driven simulation reruns per pool size — and keeps
+every evaluation, so callers can print the full table the example used to
+produce by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..serve.arrivals import ServingRequest
+from ..serve.cluster import Cluster
+from ..serve.report import ServingReport
+from .cost import meets_slo
+
+__all__ = ["CapacityPlan", "min_replicas_for_slo"]
+
+
+@dataclass
+class CapacityPlan:
+    """The solver's answer plus the full evaluation trail."""
+
+    replicas: Optional[int]             # smallest feasible pool; None = infeasible
+    max_replicas: int                   # the search bound that was explored
+    evaluations: List[Dict] = field(default_factory=list)
+    reports: Dict[int, ServingReport] = field(default_factory=dict, repr=False)
+
+    @property
+    def feasible(self) -> bool:
+        return self.replicas is not None
+
+    @property
+    def report(self) -> Optional[ServingReport]:
+        """The serving report of the chosen pool size (None when infeasible)."""
+        if self.replicas is None:
+            return None
+        return self.reports[self.replicas]
+
+    def summary(self) -> str:
+        if self.replicas is None:
+            return (
+                f"infeasible: no pool of up to {self.max_replicas} replica(s) "
+                f"holds every tenant's SLO"
+            )
+        return f"{self.replicas} replica(s) hold p99 inside every tenant's deadline"
+
+
+def min_replicas_for_slo(
+    cluster: Cluster,
+    requests: Sequence[ServingRequest],
+    max_replicas: int = 8,
+    duration_s: Optional[float] = None,
+    require_no_drops: bool = True,
+    stop_at_first: bool = False,
+) -> CapacityPlan:
+    """The smallest replica pool that serves ``requests`` within every SLO.
+
+    Parameters
+    ----------
+    cluster:
+        A measured cluster (any replica count — the search resizes views of
+        it via :meth:`Cluster.with_replicas`, sharing the measurements).
+    requests:
+        The offered load, e.g. ``LoadGenerator.bursty(...).generate(...)``.
+    max_replicas:
+        Upper bound of the search.  If no pool up to this size is feasible
+        the plan comes back with ``replicas=None`` — queueing need not be
+        monotone in pool size under every policy, so the solver never
+        extrapolates beyond what it simulated.
+    duration_s:
+        Traffic horizon, forwarded to :meth:`Cluster.serve`.
+    require_no_drops:
+        Treat any admission-control drop as an SLO violation (default).
+    stop_at_first:
+        Stop simulating once the first feasible pool is found.  The default
+        keeps evaluating up to ``max_replicas`` so the evaluation trail is
+        complete (what the capacity-planning example prints).
+    """
+    if max_replicas < 1:
+        raise ValueError("max_replicas must be >= 1")
+    plan = CapacityPlan(replicas=None, max_replicas=max_replicas)
+    for num_replicas in range(1, max_replicas + 1):
+        report = cluster.with_replicas(num_replicas).serve(
+            requests, duration_s=duration_s
+        )
+        ok = meets_slo(report, require_no_drops=require_no_drops)
+        plan.reports[num_replicas] = report
+        evaluation = {
+            "replicas": num_replicas,
+            "slo_ok": ok,
+            "cluster_utilisation": report.cluster_utilisation,
+            "dropped": report.dropped,
+        }
+        for name, outcome in report.tenants.items():
+            evaluation[f"p99_ms_{name}"] = outcome.report.p99_latency_ms
+            evaluation[f"miss_rate_{name}"] = outcome.report.deadline_miss_rate
+        plan.evaluations.append(evaluation)
+        if ok and plan.replicas is None:
+            plan.replicas = num_replicas
+            if stop_at_first:
+                break
+    return plan

@@ -1,0 +1,237 @@
+"""Declarative serving-scenario sweep specifications.
+
+A :class:`PlanSpec` describes a capacity-planning sweep without running it:
+one or more named :class:`TenantMix` es (each a list of
+:class:`~repro.serve.Workload` keyword dicts — declarative so the spec
+pickles cheaply to worker processes) crossed with grids over **replicas x
+dispatch policy x dynamic batching (max batch size, timeout) x queue
+capacity x arrival process**.  ``scenarios()`` enumerates the cartesian
+product as :class:`Scenario` objects in a deterministic order (nested
+for-loops in field order, mix outermost), which is what makes a sweep's
+CSV/JSON output byte-identical no matter how many workers evaluate it.
+
+Validation is eager, mirroring :class:`~repro.dse.SweepSpec`: a typo'd
+policy name, an unknown backend, an empty grid or an invalid tenant spec
+fails when the spec is constructed, before any simulation starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Optional, Tuple
+
+from ..api.backends import BACKEND_NAMES
+from ..serve.cluster import POLICY_NAMES
+from ..serve.workload import Workload
+
+__all__ = ["TenantMix", "Scenario", "PlanSpec", "ARRIVAL_NAMES"]
+
+#: Arrival-process conveniences a scenario can name (plus ``trace:PATH``).
+ARRIVAL_NAMES: Tuple[str, ...] = ("poisson", "bursty", "constant")
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """A named set of tenants, declaratively.
+
+    ``tenants`` holds keyword dicts for :class:`~repro.serve.Workload` (one
+    per tenant) rather than built workloads: dicts of names and scalars
+    pickle to worker processes without dragging resolved models or datasets
+    along.  Construction validates every tenant eagerly by building the
+    workloads once.
+    """
+
+    name: str
+    tenants: Tuple[Mapping, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("mix name must be a non-empty string")
+        object.__setattr__(
+            self, "tenants", tuple(dict(tenant) for tenant in self.tenants)
+        )
+        if not self.tenants:
+            raise ValueError(f"mix {self.name!r} needs at least one tenant")
+        self.workloads()  # eager validation via Workload/InferenceRequest
+
+    def workloads(self) -> List[Workload]:
+        """Fresh :class:`Workload` objects for this mix (cheap to build)."""
+        return [Workload(**tenant) for tenant in self.tenants]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid point of a plan sweep: a full cluster + traffic configuration."""
+
+    index: int
+    mix: str
+    arrival: str
+    num_replicas: int
+    policy: str
+    max_batch_size: int
+    batch_timeout_s: float
+    queue_capacity: Optional[int]
+
+    def describe(self) -> str:
+        capacity = "inf" if self.queue_capacity is None else str(self.queue_capacity)
+        return (
+            f"{self.mix}/{self.arrival}: {self.num_replicas}x {self.policy}, "
+            f"batch<= {self.max_batch_size}/{self.batch_timeout_s * 1e6:.0f}us, "
+            f"queue {capacity}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """Declarative description of one serving-scenario sweep.
+
+    Attributes
+    ----------
+    mixes:
+        The tenant mixes to plan for (unique names).
+    backend:
+        Registered inference backend every replica instantiates.
+    replicas / policies / max_batch_sizes / batch_timeouts_s /
+    queue_capacities / arrivals:
+        The grids.  ``queue_capacities`` entries may be ``None``
+        (unbounded); ``arrivals`` entries are ``poisson`` / ``bursty`` /
+        ``constant`` or ``trace:PATH``.
+    rate_rps:
+        Total offered request rate, split across a mix's tenants by their
+        ``share``.  ``None`` derives one rate per mix from the measured
+        service time: ``utilisation x max(replicas) / mean_service_s`` — a
+        load that stresses the largest pool of the sweep at the target
+        utilisation, held constant across the grid so scenarios stay
+        comparable.
+    utilisation:
+        Target utilisation used when deriving the rate.
+    duration_s:
+        Simulated traffic horizon per scenario.
+    seed:
+        Load-generator master seed (scenarios are bit-reproducible).
+    """
+
+    mixes: Tuple[TenantMix, ...]
+    backend: str = "flowgnn"
+    replicas: Tuple[int, ...] = (1, 2, 4)
+    policies: Tuple[str, ...] = ("round_robin", "edf")
+    max_batch_sizes: Tuple[int, ...] = (1,)
+    batch_timeouts_s: Tuple[float, ...] = (0.0,)
+    queue_capacities: Tuple[Optional[int], ...] = (None,)
+    arrivals: Tuple[str, ...] = ("poisson",)
+    rate_rps: Optional[float] = None
+    utilisation: float = 0.7
+    duration_s: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mixes", tuple(self.mixes))
+        for name in (
+            "replicas",
+            "policies",
+            "max_batch_sizes",
+            "batch_timeouts_s",
+            "queue_capacities",
+            "arrivals",
+        ):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if not self.mixes:
+            raise ValueError("PlanSpec needs at least one tenant mix")
+        names = [mix.name for mix in self.mixes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"mix names must be unique; got {names}")
+        object.__setattr__(self, "backend", str(self.backend).lower())
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; registered: {BACKEND_NAMES}"
+            )
+        for grid_name in (
+            "replicas",
+            "policies",
+            "max_batch_sizes",
+            "batch_timeouts_s",
+            "queue_capacities",
+            "arrivals",
+        ):
+            if not getattr(self, grid_name):
+                raise ValueError(f"grid {grid_name!r} is empty")
+        if any(count < 1 for count in self.replicas):
+            raise ValueError("every replicas value must be >= 1")
+        for policy in self.policies:
+            if policy not in POLICY_NAMES:
+                raise ValueError(
+                    f"unknown policy {policy!r}; registered: {POLICY_NAMES}"
+                )
+        if any(size < 1 for size in self.max_batch_sizes):
+            raise ValueError("every max_batch_size must be >= 1")
+        if any(timeout < 0 for timeout in self.batch_timeouts_s):
+            raise ValueError("every batch timeout must be >= 0")
+        if any(
+            capacity is not None and capacity < 1
+            for capacity in self.queue_capacities
+        ):
+            raise ValueError("queue capacities must be >= 1 or None (unbounded)")
+        for arrival in self.arrivals:
+            if arrival not in ARRIVAL_NAMES and not arrival.startswith("trace:"):
+                raise ValueError(
+                    f"unknown arrival process {arrival!r}; "
+                    f"use one of {ARRIVAL_NAMES} or trace:PATH"
+                )
+        if self.rate_rps is not None and not self.rate_rps > 0:
+            raise ValueError("rate_rps must be positive (or None to derive it)")
+        if not 0 < self.utilisation <= 2.0:
+            raise ValueError("utilisation must be in (0, 2]")
+        if not self.duration_s > 0:
+            raise ValueError("duration_s must be positive")
+
+    # -- enumeration ----------------------------------------------------------
+    def scenarios(self) -> Iterator[Scenario]:
+        """Every grid point, in deterministic nested-loop order."""
+        index = 0
+        for mix in self.mixes:
+            for arrival in self.arrivals:
+                for num_replicas in self.replicas:
+                    for policy in self.policies:
+                        for max_batch_size in self.max_batch_sizes:
+                            for batch_timeout_s in self.batch_timeouts_s:
+                                for queue_capacity in self.queue_capacities:
+                                    yield Scenario(
+                                        index=index,
+                                        mix=mix.name,
+                                        arrival=arrival,
+                                        num_replicas=num_replicas,
+                                        policy=policy,
+                                        max_batch_size=max_batch_size,
+                                        batch_timeout_s=batch_timeout_s,
+                                        queue_capacity=queue_capacity,
+                                    )
+                                    index += 1
+
+    def num_scenarios(self) -> int:
+        return (
+            len(self.mixes)
+            * len(self.arrivals)
+            * len(self.replicas)
+            * len(self.policies)
+            * len(self.max_batch_sizes)
+            * len(self.batch_timeouts_s)
+            * len(self.queue_capacities)
+        )
+
+    def mix_by_name(self, name: str) -> TenantMix:
+        for mix in self.mixes:
+            if mix.name == name:
+                return mix
+        raise KeyError(f"no tenant mix named {name!r}")
+
+    def describe(self) -> str:
+        return (
+            f"PlanSpec(backend={self.backend!r}, "
+            f"mixes={[mix.name for mix in self.mixes]}, "
+            f"arrivals={list(self.arrivals)}, replicas={list(self.replicas)}, "
+            f"policies={list(self.policies)}, "
+            f"max_batch={list(self.max_batch_sizes)}, "
+            f"timeouts_us={[round(t * 1e6, 1) for t in self.batch_timeouts_s]}, "
+            f"queues={list(self.queue_capacities)}, "
+            f"{self.num_scenarios()} scenarios)"
+        )

@@ -55,6 +55,7 @@ from .cluster import (
     get_policy,
     register_policy,
 )
+from .reference import reference_serve
 from .report import ServingRecord, ServingReport, TenantOutcome
 from .workload import Workload
 
@@ -79,4 +80,5 @@ __all__ = [
     "ServingRecord",
     "ServingReport",
     "TenantOutcome",
+    "reference_serve",
 ]

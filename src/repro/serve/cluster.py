@@ -31,14 +31,13 @@ Dispatch policies:
 from __future__ import annotations
 
 import heapq
-import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..api import Backend, InferenceRequest, Measurement, get_backend
+from ..api import Backend, InferenceRequest, Measurement, MeasurementCache, get_backend
 from .arrivals import ServingRequest
 from .report import ServingRecord, ServingReport, assemble_report
 from .workload import Workload
@@ -67,15 +66,35 @@ class TenantService:
     measured lazily and cached, so dynamic batching only pays for the batch
     sizes that actually occur.  Replicas are identical hardware and share
     one ``TenantService``.
+
+    A :class:`~repro.api.MeasurementCache` can back the lazy measurements;
+    the serving-scenario sweep engine (:mod:`repro.plan`) pre-measures every
+    profile a sweep can need into one cache and ships it to the worker
+    processes, so no scenario ever re-measures the backend.
     """
 
-    def __init__(self, workload: Workload, backend: Backend) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        backend: Backend,
+        cache: Optional[MeasurementCache] = None,
+    ) -> None:
         self.workload = workload
         self._backend = backend
+        self._cache = cache
         self.resolved = workload.request.resolve()
         self._by_batch: Dict[int, Measurement] = {}
-        self._base = self._measure(workload.request)
-        self._by_batch[workload.request.batch_size] = self._base
+        self._base = self.measurement(workload.request.batch_size)
+
+    def _request_at(self, batch_size: int) -> InferenceRequest:
+        if batch_size == self.workload.request.batch_size:
+            return self.workload.request
+        return InferenceRequest(
+            model=self.resolved.model,
+            dataset=self.resolved.graphs,
+            config=self.workload.request.config,
+            batch_size=batch_size,
+        )
 
     def _measure(self, request: InferenceRequest) -> Measurement:
         measure = getattr(self._backend, "measure", None)
@@ -87,6 +106,16 @@ class TenantService:
             energies_j=report.per_graph_energy_mj * 1e-3,
             one_time_overhead_s=report.one_time_overhead_ms * 1e-3,
             extras=dict(report.extras),
+        )
+
+    def _measure_profile(self, batch_size: int) -> Measurement:
+        if self._cache is None:
+            return self._measure(self._request_at(batch_size))
+        return self._cache.get_or_measure(
+            self._backend.name,
+            self.workload.request,
+            batch_size,
+            lambda: self._measure(self._request_at(batch_size)),
         )
 
     @property
@@ -106,13 +135,7 @@ class TenantService:
         """The backend's profile when requests are batched ``batch_size`` deep."""
         cached = self._by_batch.get(batch_size)
         if cached is None:
-            variant = InferenceRequest(
-                model=self.resolved.model,
-                dataset=self.resolved.graphs,
-                config=self.workload.request.config,
-                batch_size=batch_size,
-            )
-            cached = self._measure(variant)
+            cached = self._measure_profile(batch_size)
             self._by_batch[batch_size] = cached
         return cached
 
@@ -158,7 +181,15 @@ class DispatchPolicy(ABC):
 
     @abstractmethod
     def order_key(self, item: _QueueItem) -> Tuple:
-        """Sort key among a replica's eligible items (ties: arrival order)."""
+        """Sort key among a replica's eligible items (ties: arrival order).
+
+        The key must be **stable while the request waits**: the dispatcher
+        computes it once at admission and keeps the pending queue in
+        key-ordered heaps, so a key that depends on simulation time (e.g.
+        ageing priorities) would be frozen at its arrival value.  Every
+        built-in policy (deadline, priority, sequence) satisfies this; a
+        registered custom policy must too.
+        """
 
 
 class RoundRobinPolicy(DispatchPolicy):
@@ -211,7 +242,11 @@ POLICY_NAMES: List[str] = []
 
 
 def register_policy(name: str, factory: Callable[[], DispatchPolicy]) -> None:
-    """Register a dispatch-policy factory (mirrors ``register_backend``)."""
+    """Register a dispatch-policy factory (mirrors ``register_backend``).
+
+    The policy's ``order_key`` must be stable for a waiting request (see
+    :meth:`DispatchPolicy.order_key`): keys are computed once at admission.
+    """
     key = name.lower()
     if key not in _POLICY_REGISTRY:
         POLICY_NAMES.append(key)
@@ -270,6 +305,10 @@ class Cluster:
     queue_capacity:
         Bound on the number of queued requests; arrivals beyond it are
         dropped (admission control).  ``None`` means unbounded.
+    measurement_cache:
+        Optional :class:`~repro.api.MeasurementCache` backing the tenant
+        services.  The serving-scenario sweep engine pre-measures every
+        profile into one cache so no scenario re-measures the backend.
     """
 
     workloads: Sequence[Workload]
@@ -279,6 +318,7 @@ class Cluster:
     max_batch_size: int = 1
     batch_timeout_s: float = 0.0
     queue_capacity: Optional[int] = None
+    measurement_cache: Optional[MeasurementCache] = None
     services: Dict[str, TenantService] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -301,7 +341,8 @@ class Cluster:
         backend_instance = get_backend(self.backend)
         self.backend = backend_instance.name
         self.services = {
-            w.tenant: TenantService(w, backend_instance) for w in self.workloads
+            w.tenant: TenantService(w, backend_instance, cache=self.measurement_cache)
+            for w in self.workloads
         }
 
     def with_replicas(
@@ -313,13 +354,45 @@ class Cluster:
         point would dominate the sweep, so the clone reuses this cluster's
         :class:`TenantService` objects (replicas are identical hardware).
         """
-        if num_replicas < 1:
-            raise ValueError("num_replicas must be >= 1")
+        return self.with_options(num_replicas=num_replicas, policy=policy)
+
+    def with_options(
+        self,
+        num_replicas: Optional[int] = None,
+        policy: Union[str, DispatchPolicy, None] = None,
+        max_batch_size: Optional[int] = None,
+        batch_timeout_s: Optional[float] = None,
+        queue_capacity: Union[int, None, object] = ...,
+    ) -> "Cluster":
+        """A re-configured view of this cluster sharing its measured services.
+
+        Any combination of pool size, dispatch policy, batching knobs and
+        queue capacity can be overridden; everything else (tenants, backend,
+        measured :class:`TenantService` profiles) is shared with ``self``.
+        This is the primitive the serving-scenario sweep engine builds every
+        grid point from without re-measuring.  ``queue_capacity`` uses ``...``
+        as its "keep current" default because ``None`` means unbounded.
+        """
         clone = Cluster.__new__(Cluster)
         clone.__dict__.update(self.__dict__)
-        clone.num_replicas = int(num_replicas)
+        if num_replicas is not None:
+            if num_replicas < 1:
+                raise ValueError("num_replicas must be >= 1")
+            clone.num_replicas = int(num_replicas)
         if policy is not None:
             clone.policy = get_policy(policy) if isinstance(policy, str) else policy
+        if max_batch_size is not None:
+            if max_batch_size < 1:
+                raise ValueError("max_batch_size must be >= 1")
+            clone.max_batch_size = int(max_batch_size)
+        if batch_timeout_s is not None:
+            if batch_timeout_s < 0:
+                raise ValueError("batch_timeout_s must be >= 0")
+            clone.batch_timeout_s = float(batch_timeout_s)
+        if queue_capacity is not ...:
+            if queue_capacity is not None and queue_capacity < 1:
+                raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
+            clone.queue_capacity = queue_capacity
         return clone
 
     def mean_service_s(self) -> float:
@@ -338,6 +411,18 @@ class Cluster:
         ``duration_s`` only stretches the utilisation horizon (e.g. to the
         load generator's configured duration); every submitted request is
         served to completion regardless.
+
+        The dispatcher keeps the pending requests in policy-ordered heaps —
+        one *lane* per replica for pinned requests plus one shared lane —
+        instead of re-sorting the whole queue at every event like the
+        reference implementation
+        (:func:`repro.serve.reference.reference_serve`).  Without dynamic
+        batching a dispatch is a heap pop, O(log n); with batching the
+        selection scans (and pushes back) only as far as the batching
+        decision requires, which degrades toward the reference's full walk
+        only when no batch is releasable.  The two are bit-identical; the
+        contract test and ``benchmarks/test_serve_speedup.py`` hold them
+        together.
         """
         policy = self.policy
         policy.reset(self.num_replicas)
@@ -363,7 +448,14 @@ class Cluster:
             queued_work=[0.0] * self.num_replicas,
         )
         busy_time = [0.0] * self.num_replicas
-        queue: List[_QueueItem] = []
+        # Policy-ordered lanes.  An entry is (order_key + (seq,), seq); keys
+        # are computed once at admission, which requires policy order keys to
+        # be stable while a request waits (true of every built-in policy).
+        lanes = _Lanes(
+            shared=[],
+            per_replica=[[] for _ in range(self.num_replicas)],
+            pending=0,
+        )
         records: List[ServingRecord] = []
         dropped: List[ServingRequest] = []
         batch_sizes: List[int] = []
@@ -392,27 +484,27 @@ class Cluster:
                     item = items[payload]
                     if (
                         self.queue_capacity is not None
-                        and len(queue) >= self.queue_capacity
+                        and lanes.pending >= self.queue_capacity
                     ):
                         dropped.append(item.request)
                     else:
                         item.replica = policy.assign(item, state)
                         if item.replica is not None:
                             state.queued_work[item.replica] += item.service_s
-                        queue.append(item)
+                        lanes.admit(item, policy.order_key(item) + (item.seq,))
                 # _COMPLETION frees its replica implicitly (busy_until <= now);
                 # _TIMER just wakes the dispatcher for a held batch.
             # Sample the queue at its peak — after admissions, before
             # dispatch drains it — so max_queue_depth is consistent with the
             # drop count when a bounded queue fills.
             trace_times.append(now)
-            trace_depths.append(len(queue))
+            trace_depths.append(lanes.pending)
             self._dispatch(
-                now, state, queue, busy_time, records, batch_sizes,
+                now, state, lanes, items, busy_time, records, batch_sizes,
                 events, scheduled_timers,
             )
 
-        assert not queue, "simulation ended with requests still queued"
+        assert lanes.pending == 0, "simulation ended with requests still queued"
         return assemble_report(
             cluster=self,
             records=records,
@@ -429,7 +521,8 @@ class Cluster:
         self,
         now: float,
         state: _SimState,
-        queue: List[_QueueItem],
+        lanes: "_Lanes",
+        items: List[_QueueItem],
         busy_time: List[float],
         records: List[ServingRecord],
         batch_sizes: List[int],
@@ -437,29 +530,26 @@ class Cluster:
         scheduled_timers: set,
     ) -> None:
         """Start work on every replica that is free at ``now``."""
-        # One policy-order sort per event; per-replica selection filters it.
-        ordered = sorted(
-            queue, key=lambda item: self.policy.order_key(item) + (item.seq,)
-        )
-        taken: set = set()
         for replica in range(self.num_replicas):
-            if state.busy_until[replica] > now or len(taken) == len(ordered):
+            if state.busy_until[replica] > now or lanes.pending == 0:
                 continue
-            eligible = [
-                item
-                for item in ordered
-                if item.seq not in taken
-                and (item.replica is None or item.replica == replica)
-            ]
-            batch, release_at = self._select_batch(eligible, now)
+            if self.max_batch_size == 1:
+                # No batching: the head of the merged lanes is the batch,
+                # unconditionally releasable.  O(log n).
+                popped = lanes.pop_next(replica)
+                if popped is None:
+                    continue
+                batch: Optional[List[_QueueItem]] = [items[popped[0][1]]]
+                release_at: Optional[float] = None
+            else:
+                batch, release_at = self._select_batch(lanes, replica, items, now)
             if batch is None:
                 if release_at is not None and release_at not in scheduled_timers:
                     scheduled_timers.add(release_at)
                     heapq.heappush(events, (release_at, _TIMER, replica))
                 continue
+            lanes.pending -= len(batch)
             for item in batch:
-                taken.add(item.seq)
-                queue.remove(item)
                 if item.replica is not None:
                     state.queued_work[item.replica] -= item.service_s
             tenant = batch[0].request.tenant
@@ -498,36 +588,117 @@ class Cluster:
                 )
 
     def _select_batch(
-        self, eligible: List[_QueueItem], now: float
+        self, lanes: "_Lanes", replica: int, items: List[_QueueItem], now: float
     ) -> Tuple[Optional[List[_QueueItem]], Optional[float]]:
         """The batch a free replica should start at ``now``, or when to retry.
 
-        ``eligible`` is the replica's view of the queue, already in policy
-        order.  Walks tenants in that order; the first whose batch is
-        *releasable* (full, or its oldest member has waited out the batching
-        timeout) wins, so a held batch never blocks another tenant's ready
-        work.  Returns ``(batch, None)`` or ``(None, earliest release time)``.
+        Scans the replica's merged lanes in policy order, popping entries
+        into a buffer only as far as the decision requires: tenants are
+        considered in first-appearance order, each owning the first
+        ``max_batch_size`` of its requests, and the first tenant whose batch
+        is *releasable* (full, or its oldest member has waited out the
+        batching timeout) wins — so a held batch never blocks another
+        tenant's ready work.  Everything scanned but not dispatched is
+        pushed back.  Returns ``(batch, None)`` or
+        ``(None, earliest release time)`` exactly like the reference
+        implementation's full-sort walk.
         """
-        if not eligible:
-            return None, None
-        earliest_release: Optional[float] = None
-        seen_tenants = set()
-        for head in eligible:
-            tenant = head.request.tenant
-            if tenant in seen_tenants:
+        max_batch = self.max_batch_size
+        timeout = self.batch_timeout_s
+        scanned: List[Tuple[Tuple, List]] = []   # (entry, source lane)
+        order: List[str] = []                    # tenants, first-appearance order
+        groups: Dict[str, List[_QueueItem]] = {}
+        exhausted = False
+        while True:
+            winner: Optional[str] = None
+            undecided = False
+            for tenant in order:
+                group = groups[tenant]
+                if len(group) < max_batch and not exhausted:
+                    # This tenant's batch may still grow; its releasability
+                    # (and exact membership) is not yet decided, and no later
+                    # tenant may be dispatched over it.
+                    undecided = True
+                    break
+                oldest = min(item.request.arrival_s for item in group)
+                if (
+                    len(group) >= max_batch
+                    or timeout == 0.0
+                    or now >= oldest + timeout
+                ):
+                    winner = tenant
+                    break
+            if winner is not None:
+                batch = groups[winner]
+                chosen = {item.seq for item in batch}
+                for entry, lane in scanned:
+                    if entry[1] not in chosen:
+                        heapq.heappush(lane, entry)
+                return batch, None
+            if exhausted and not undecided:
+                if not order:
+                    return None, None
+                earliest: Optional[float] = None
+                for tenant in order:
+                    release = (
+                        min(item.request.arrival_s for item in groups[tenant])
+                        + timeout
+                    )
+                    if earliest is None or release < earliest:
+                        earliest = release
+                for entry, lane in scanned:
+                    heapq.heappush(lane, entry)
+                return None, earliest
+            popped = lanes.pop_next(replica)
+            if popped is None:
+                exhausted = True
                 continue
-            seen_tenants.add(tenant)
-            group = [
-                item for item in eligible if item.request.tenant == tenant
-            ][: self.max_batch_size]
-            oldest_arrival = min(item.request.arrival_s for item in group)
-            release_at = oldest_arrival + self.batch_timeout_s
-            if (
-                len(group) >= self.max_batch_size
-                or self.batch_timeout_s == 0.0
-                or now >= release_at
-            ):
-                return group, None
-            if earliest_release is None or release_at < earliest_release:
-                earliest_release = release_at
-        return None, earliest_release
+            entry, lane = popped
+            scanned.append((entry, lane))
+            item = items[entry[1]]
+            tenant = item.request.tenant
+            group = groups.get(tenant)
+            if group is None:
+                order.append(tenant)
+                groups[tenant] = group = []
+            if len(group) < max_batch:
+                group.append(item)
+
+
+@dataclass
+class _Lanes:
+    """Policy-ordered heaps of pending requests: one per replica + shared.
+
+    A pinned request lives in its replica's lane; unpinned requests share
+    one lane every replica merges with its own.  ``pending`` counts queued
+    requests across all lanes (the admission-control bound and queue-depth
+    trace read it).
+    """
+
+    shared: List[Tuple[Tuple, int]]
+    per_replica: List[List[Tuple[Tuple, int]]]
+    pending: int = 0
+
+    def admit(self, item: _QueueItem, key: Tuple) -> None:
+        lane = self.shared if item.replica is None else self.per_replica[item.replica]
+        heapq.heappush(lane, (key, item.seq))
+        self.pending += 1
+
+    def pop_next(self, replica: int) -> Optional[Tuple[Tuple[Tuple, int], List]]:
+        """Pop the policy-first entry among this replica's two lanes.
+
+        Returns ``(entry, source_lane)`` so scanned-but-undispatched entries
+        can be pushed back, or ``None`` when both lanes are empty.  Does not
+        touch ``pending``: the caller owns the dispatch accounting.
+        """
+        own = self.per_replica[replica]
+        shared = self.shared
+        if own and shared:
+            lane = own if own[0] < shared[0] else shared
+        elif own:
+            lane = own
+        elif shared:
+            lane = shared
+        else:
+            return None
+        return heapq.heappop(lane), lane

@@ -1,0 +1,258 @@
+"""The pre-optimisation serving loop, kept as the correctness baseline.
+
+:func:`reference_serve` is the event-driven simulation exactly as it shipped
+before the heap-lane dispatcher: one full policy-order sort of the queue per
+event instant, linear ``list.remove`` on dispatch.  It is O(n^2 log n) on a
+deep queue and exists for the same reason :func:`repro.dse.naive_sweep`
+does — so benchmarks and tests can assert the optimised
+:meth:`Cluster.serve` is **bit-identical** (same :class:`ServingReport`,
+record for record) while being several times faster
+(``benchmarks/test_serve_speedup.py``).
+
+Do not "fix" or optimise this module: its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .arrivals import ServingRequest
+from .cluster import _ARRIVAL, _COMPLETION, _TIMER, _QueueItem, _SimState
+from .report import ServingRecord, ServingReport, assemble_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import Cluster
+
+__all__ = ["reference_serve", "assert_reports_identical"]
+
+
+def assert_reports_identical(candidate: ServingReport, reference: ServingReport) -> None:
+    """Assert two serving reports are bit-identical, field by field.
+
+    "Bit-identical" means exactly that: every record, every per-tenant
+    latency/energy array, the utilisation vector, the queue-depth trace and
+    the JSON serialisation must match with ``==`` / ``array_equal`` — no
+    tolerances.  This is the contract the optimised dispatcher owes the
+    reference implementation.
+    """
+    assert candidate.to_json() == reference.to_json()
+    assert candidate.records == reference.records
+    assert candidate.dropped_requests == reference.dropped_requests
+    assert np.array_equal(
+        candidate.per_replica_utilisation, reference.per_replica_utilisation
+    )
+    assert np.array_equal(candidate.batch_sizes, reference.batch_sizes)
+    assert np.array_equal(candidate.queue_depth_times_s, reference.queue_depth_times_s)
+    assert np.array_equal(candidate.queue_depth_trace, reference.queue_depth_trace)
+    assert candidate.horizon_s == reference.horizon_s
+    assert set(candidate.tenants) == set(reference.tenants)
+    for tenant, outcome in candidate.tenants.items():
+        expected = reference.tenants[tenant]
+        assert (outcome.submitted, outcome.completed, outcome.dropped) == (
+            expected.submitted,
+            expected.completed,
+            expected.dropped,
+        )
+        report, expected_report = outcome.report, expected.report
+        assert np.array_equal(
+            report.per_graph_latency_ms, expected_report.per_graph_latency_ms
+        )
+        assert np.array_equal(
+            report.per_graph_energy_mj, expected_report.per_graph_energy_mj
+        )
+        assert np.array_equal(
+            report.stream_statistics.per_graph_latency_s,
+            expected_report.stream_statistics.per_graph_latency_s,
+        )
+        assert np.array_equal(
+            report.stream_statistics.completion_times_s,
+            expected_report.stream_statistics.completion_times_s,
+        )
+        assert np.array_equal(
+            report.stream_statistics.queue_depth_trace,
+            expected_report.stream_statistics.queue_depth_trace,
+        )
+        assert report.extras == expected_report.extras
+
+
+def reference_serve(
+    cluster: "Cluster",
+    requests: Sequence[ServingRequest],
+    duration_s: Optional[float] = None,
+) -> ServingReport:
+    """Run the pre-optimisation simulation loop on ``cluster``.
+
+    Accepts the same arguments as :meth:`Cluster.serve` and must produce a
+    bit-identical report.
+    """
+    policy = cluster.policy
+    policy.reset(cluster.num_replicas)
+    for request in requests:
+        if request.tenant not in cluster.services:
+            raise ValueError(f"request for unknown tenant {request.tenant!r}")
+    items = [
+        _QueueItem(
+            request=request,
+            seq=seq,
+            service_s=cluster.services[request.tenant].service_s(
+                request.graph_index,
+                batch_size=cluster.services[request.tenant].base_batch_size,
+            ),
+        )
+        for seq, request in enumerate(
+            sorted(requests, key=lambda r: (r.arrival_s, r.tenant_index, r.index))
+        )
+    ]
+
+    state = _SimState(
+        busy_until=[0.0] * cluster.num_replicas,
+        queued_work=[0.0] * cluster.num_replicas,
+    )
+    busy_time = [0.0] * cluster.num_replicas
+    queue: List[_QueueItem] = []
+    records: List[ServingRecord] = []
+    dropped: List[ServingRequest] = []
+    batch_sizes: List[int] = []
+    trace_times: List[float] = []
+    trace_depths: List[int] = []
+    scheduled_timers: set = set()
+
+    events: List[Tuple[float, int, int]] = [
+        (item.request.arrival_s, _ARRIVAL, item.seq) for item in items
+    ]
+    heapq.heapify(events)
+
+    while events:
+        now = events[0][0]
+        state.now = now
+        while events and events[0][0] == now:
+            _, kind, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                item = items[payload]
+                if (
+                    cluster.queue_capacity is not None
+                    and len(queue) >= cluster.queue_capacity
+                ):
+                    dropped.append(item.request)
+                else:
+                    item.replica = policy.assign(item, state)
+                    if item.replica is not None:
+                        state.queued_work[item.replica] += item.service_s
+                    queue.append(item)
+        trace_times.append(now)
+        trace_depths.append(len(queue))
+        _dispatch(
+            cluster, now, state, queue, busy_time, records, batch_sizes,
+            events, scheduled_timers,
+        )
+
+    assert not queue, "simulation ended with requests still queued"
+    return assemble_report(
+        cluster=cluster,
+        records=records,
+        dropped=dropped,
+        busy_time=busy_time,
+        batch_sizes=batch_sizes,
+        trace_times=np.array(trace_times, dtype=np.float64),
+        trace_depths=np.array(trace_depths, dtype=np.int64),
+        duration_s=duration_s,
+    )
+
+
+def _dispatch(
+    cluster: "Cluster",
+    now: float,
+    state: _SimState,
+    queue: List[_QueueItem],
+    busy_time: List[float],
+    records: List[ServingRecord],
+    batch_sizes: List[int],
+    events: List[Tuple[float, int, int]],
+    scheduled_timers: set,
+) -> None:
+    """Start work on every replica that is free at ``now`` (full-sort path)."""
+    ordered = sorted(
+        queue, key=lambda item: cluster.policy.order_key(item) + (item.seq,)
+    )
+    taken: set = set()
+    for replica in range(cluster.num_replicas):
+        if state.busy_until[replica] > now or len(taken) == len(ordered):
+            continue
+        eligible = [
+            item
+            for item in ordered
+            if item.seq not in taken
+            and (item.replica is None or item.replica == replica)
+        ]
+        batch, release_at = _select_batch(cluster, eligible, now)
+        if batch is None:
+            if release_at is not None and release_at not in scheduled_timers:
+                scheduled_timers.add(release_at)
+                heapq.heappush(events, (release_at, _TIMER, replica))
+            continue
+        for item in batch:
+            taken.add(item.seq)
+            queue.remove(item)
+            if item.replica is not None:
+                state.queued_work[item.replica] -= item.service_s
+        tenant = batch[0].request.tenant
+        size = len(batch)
+        measure_at = (
+            size
+            if cluster.max_batch_size > 1
+            else cluster.services[tenant].base_batch_size
+        )
+        measured = cluster.services[tenant].measurement(batch_size=measure_at)
+        latencies = measured.latencies_s
+        finish = now
+        for item in batch:
+            finish = finish + float(latencies[item.request.graph_index])
+        service_total = finish - now
+        state.busy_until[replica] = finish
+        busy_time[replica] += service_total
+        batch_sizes.append(size)
+        heapq.heappush(events, (finish, _COMPLETION, replica))
+        for item in batch:
+            records.append(
+                ServingRecord(
+                    request=item.request,
+                    service_s=float(latencies[item.request.graph_index]),
+                    energy_j=float(measured.energies_j[item.request.graph_index]),
+                    start_s=now,
+                    completion_s=finish,
+                    replica=replica,
+                    batch_size=size,
+                )
+            )
+
+
+def _select_batch(
+    cluster: "Cluster", eligible: List[_QueueItem], now: float
+) -> Tuple[Optional[List[_QueueItem]], Optional[float]]:
+    """The batch a free replica should start at ``now``, or when to retry."""
+    if not eligible:
+        return None, None
+    earliest_release: Optional[float] = None
+    seen_tenants = set()
+    for head in eligible:
+        tenant = head.request.tenant
+        if tenant in seen_tenants:
+            continue
+        seen_tenants.add(tenant)
+        group = [
+            item for item in eligible if item.request.tenant == tenant
+        ][: cluster.max_batch_size]
+        oldest_arrival = min(item.request.arrival_s for item in group)
+        release_at = oldest_arrival + cluster.batch_timeout_s
+        if (
+            len(group) >= cluster.max_batch_size
+            or cluster.batch_timeout_s == 0.0
+            or now >= release_at
+        ):
+            return group, None
+        if earliest_release is None or release_at < earliest_release:
+            earliest_release = release_at
+    return None, earliest_release

@@ -18,8 +18,7 @@ from repro.api import (
     get_backend,
     register_backend,
 )
-from repro.arch import ArchitectureConfig, FlowGNNAccelerator
-from repro.nn import build_model
+from repro.arch import FlowGNNAccelerator
 
 
 @pytest.fixture
@@ -372,3 +371,76 @@ class TestPlatformBackends:
         report = get_backend("cpu").run(request)
         assert report.deadline_miss_rate == 1.0
         assert report.max_queue_depth > 0
+
+
+class TestMeasurementCache:
+    def test_signature_is_stable_and_name_based(self):
+        a = InferenceRequest(model="GIN", dataset="MolHIV", num_graphs=4, seed=3)
+        b = InferenceRequest(model="gin", dataset="molhiv", num_graphs=4, seed=3)
+        assert a.signature() == b.signature()  # names are canonicalised
+        c = InferenceRequest(model="GIN", dataset="MolHIV", num_graphs=5, seed=3)
+        assert a.signature() != c.signature()
+        # A functional run carries functional outputs in its profile, so it
+        # must not share a cache entry with the non-functional variant.
+        d = InferenceRequest(
+            model="GIN", dataset="MolHIV", num_graphs=4, seed=3, functional=True
+        )
+        assert a.signature() != d.signature()
+
+    def test_signature_rejects_instances(self, molhiv_sample):
+        request = InferenceRequest(model="GIN", dataset=molhiv_sample)
+        with pytest.raises(ValueError, match="registry dataset name"):
+            request.signature()
+
+    def test_get_or_measure_hits_after_one_miss(self):
+        from repro.api import MeasurementCache, get_backend
+
+        cache = MeasurementCache()
+        backend = get_backend("cpu")
+        request = InferenceRequest(model="GIN", dataset="MolHIV", num_graphs=3, seed=0)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return backend.measure(request)
+
+        first = cache.get_or_measure("cpu", request, 1, compute)
+        second = cache.get_or_measure("cpu", request, 1, compute)
+        assert len(calls) == 1 and second is first
+        assert cache.info() == {"entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5}
+        # A different batch size is a different profile.
+        cache.get_or_measure("cpu", request, 2, compute)
+        assert len(calls) == 2 and len(cache) == 2
+
+    def test_uncacheable_requests_measure_every_time(self, molhiv_sample):
+        from repro.api import MeasurementCache, get_backend
+
+        cache = MeasurementCache()
+        backend = get_backend("cpu")
+        request = InferenceRequest(model="GIN", dataset=molhiv_sample)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return backend.measure(request)
+
+        cache.get_or_measure("cpu", request, 1, compute)
+        cache.get_or_measure("cpu", request, 1, compute)
+        assert len(calls) == 2 and len(cache) == 0  # no stable key, no entry
+
+    def test_snapshot_round_trips_through_pickle(self):
+        import pickle
+
+        from repro.api import MeasurementCache, get_backend, measurement_key
+
+        cache = MeasurementCache()
+        backend = get_backend("cpu")
+        request = InferenceRequest(model="GCN", dataset="MolHIV", num_graphs=3, seed=1)
+        measured = cache.get_or_measure(
+            "cpu", request, 1, lambda: backend.measure(request)
+        )
+        clone = MeasurementCache(pickle.loads(pickle.dumps(cache.snapshot())))
+        key = measurement_key("cpu", request, 1)
+        assert key in clone
+        restored = clone.get_or_measure("cpu", request, 1, lambda: None)
+        np.testing.assert_array_equal(restored.latencies_s, measured.latencies_s)

@@ -1,10 +1,8 @@
 """Tests for the CPU / GPU / GCN-accelerator baseline models."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (
-    AWBGCN_PUBLISHED,
     CPUBaseline,
     GPUBaseline,
     IGCN_PUBLISHED,

@@ -305,3 +305,121 @@ class TestServeCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["submitted"] == 100
         assert payload["horizon_s"] >= 0.99
+
+
+class TestPlanCommand:
+    _BASE = [
+        "plan",
+        "--backend", "cpu",
+        "--tenants", "2",
+        "--num-graphs", "3",
+        "--duration", "0.02",
+        "--workers", "0",
+    ]
+
+    def test_plan_defaults_parse(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.replicas == [1, 2, 4]
+        assert args.policies == ["round_robin", "edf"]
+        assert args.max_batch == [1]
+        assert args.queue_capacity == [None]
+        assert args.arrivals == ["poisson"]
+
+    def test_queue_capacity_list_parses_none(self):
+        args = build_parser().parse_args(["plan", "--queue-capacity", "none,64"])
+        assert args.queue_capacity == [None, 64]
+
+    def test_plan_table_output(self, capsys):
+        code = main(self._BASE + ["--replicas", "1,2", "--pareto"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving-scenario sweep" in out
+        assert "Pareto frontier" in out
+        assert "measurement cache" in out
+
+    def test_plan_json_round_trip(self, capsys, tmp_path):
+        """--json parses, covers every scenario, and the Pareto set is
+        non-dominated; --csv writes the same rows."""
+        csv_path = tmp_path / "plan.csv"
+        code = main(
+            self._BASE
+            + [
+                "--replicas", "1,2",
+                "--policies", "round_robin,edf",
+                "--arrivals", "poisson,bursty",
+                "--json",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["scenarios"]
+        assert payload["num_scenarios"] == len(rows) == 8
+        assert [row["scenario"] for row in rows] == list(range(8))
+
+        objectives = ("replica_seconds", "worst_p99_latency_ms", "deadline_miss_rate")
+
+        def dominates(a, b):
+            return all(a[k] <= b[k] for k in objectives) and any(
+                a[k] < b[k] for k in objectives
+            )
+
+        frontier = [rows[i] for i in payload["pareto"]]
+        assert frontier
+        for row in frontier:
+            assert not any(
+                dominates(other, row) for other in rows if other is not row
+            )
+
+        csv_lines = csv_path.read_text().strip().splitlines()
+        assert len(csv_lines) == 1 + len(rows)  # header + one line per scenario
+        assert csv_lines[0].startswith("scenario,")
+
+    def test_plan_solve_result_is_feasible(self, capsys):
+        code = main(
+            self._BASE
+            + [
+                "--replicas", "1,2,4",
+                "--deadline-us", "15000",
+                "--rate", "400",
+                "--solve",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        solver = payload["solver"]
+        assert solver["feasible"] is True
+        chosen = solver["replicas"]
+        evaluations = {e["replicas"]: e for e in solver["evaluations"]}
+        assert evaluations[chosen]["slo_ok"] is True
+        # Minimality: every smaller pool fails.
+        assert all(
+            not evaluations[r]["slo_ok"] for r in range(1, chosen)
+        )
+
+    def test_plan_infeasible_slo_exits_nonzero(self, capsys):
+        code = main(
+            self._BASE + ["--replicas", "1,2", "--deadline-us", "0.001", "--solve"]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_plan_empty_grid_exits_with_error(self, capsys):
+        assert main(self._BASE + ["--replicas", ""]) == 2
+        assert "invalid plan sweep" in capsys.readouterr().err
+        assert main(self._BASE + ["--policies", ""]) == 2
+        assert "invalid plan sweep" in capsys.readouterr().err
+
+    def test_plan_bad_policy_and_arrival_exit_with_error(self, capsys):
+        assert main(self._BASE + ["--policies", "lifo"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+        assert main(self._BASE + ["--arrivals", "fractal"]) == 2
+        assert "unknown arrival" in capsys.readouterr().err
+
+    def test_plan_unwritable_csv_exits_with_error(self, capsys, tmp_path):
+        code = main(
+            self._BASE + ["--replicas", "1", "--csv", str(tmp_path / "no" / "dir.csv")]
+        )
+        assert code == 2
+        assert "cannot write CSV" in capsys.readouterr().err

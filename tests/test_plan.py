@@ -1,0 +1,340 @@
+"""Tests for the serving-scenario sweep engine (:mod:`repro.plan`).
+
+Covers the declarative spec (validation, deterministic enumeration), the
+parallel runner (byte-identical CSV/JSON for any worker count, shared
+measurement cache), the cost model, Pareto extraction and the
+min-replicas-for-SLO solver.
+"""
+
+import pytest
+
+from repro.api import CPUBackend
+from repro.plan import (
+    PLAN_OBJECTIVES,
+    PlanRunner,
+    PlanSpec,
+    TenantMix,
+    meets_slo,
+    min_replicas_for_slo,
+)
+from repro.plan.runner import build_generator
+from repro.serve import Cluster, LoadGenerator, Workload
+
+
+def _mix(num_graphs: int = 3) -> TenantMix:
+    return TenantMix(
+        "prod",
+        (
+            {
+                "tenant": "trigger",
+                "model": "GIN",
+                "dataset": "MolHIV",
+                "num_graphs": num_graphs,
+                "seed": 1,
+                "deadline_s": 15e-3,
+                "priority": 1,
+                "share": 2.0,
+            },
+            {
+                "tenant": "screening",
+                "model": "GCN",
+                "dataset": "MolHIV",
+                "num_graphs": num_graphs,
+                "seed": 2,
+                "deadline_s": 25e-3,
+            },
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def small_spec() -> PlanSpec:
+    """48 quick cpu-backend scenarios (the determinism-bar scenario count)."""
+    return PlanSpec(
+        mixes=[_mix()],
+        backend="cpu",
+        replicas=(1, 2, 3),
+        policies=("round_robin", "edf"),
+        max_batch_sizes=(1, 2),
+        queue_capacities=(None, 16),
+        arrivals=("poisson", "bursty"),
+        duration_s=0.02,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec validation and enumeration
+# ---------------------------------------------------------------------------
+class TestPlanSpec:
+    def test_enumeration_is_deterministic_and_indexed(self, small_spec):
+        scenarios = list(small_spec.scenarios())
+        assert len(scenarios) == small_spec.num_scenarios() == 48
+        assert [s.index for s in scenarios] == list(range(48))
+        assert scenarios == list(small_spec.scenarios())
+        # Mix is the outermost loop, capacity the innermost.
+        assert scenarios[0].queue_capacity is None
+        assert scenarios[1].queue_capacity == 16
+        assert scenarios[0].arrival == scenarios[23].arrival == "poisson"
+        assert scenarios[24].arrival == "bursty"
+
+    def test_tenant_mix_validates_eagerly(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            TenantMix("bad", ({"tenant": "t", "model": "Transformer"},))
+        with pytest.raises(ValueError, match="at least one tenant"):
+            TenantMix("empty", ())
+        with pytest.raises(ValueError, match="non-empty"):
+            TenantMix("", ({"tenant": "t"},))
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"replicas": ()}, "grid 'replicas' is empty"),
+            ({"policies": ()}, "grid 'policies' is empty"),
+            ({"arrivals": ()}, "grid 'arrivals' is empty"),
+            ({"replicas": (0,)}, "replicas"),
+            ({"policies": ("lifo",)}, "unknown policy"),
+            ({"max_batch_sizes": (0,)}, "max_batch_size"),
+            ({"batch_timeouts_s": (-1.0,)}, "timeout"),
+            ({"queue_capacities": (0,)}, "capacities"),
+            ({"arrivals": ("fractal",)}, "unknown arrival"),
+            ({"backend": "tpu"}, "unknown backend"),
+            ({"rate_rps": 0.0}, "rate_rps"),
+            ({"duration_s": 0.0}, "duration_s"),
+        ],
+    )
+    def test_bad_grids_rejected_eagerly(self, overrides, match):
+        fields = {"mixes": [_mix()], **overrides}
+        with pytest.raises(ValueError, match=match):
+            PlanSpec(**fields)
+
+    def test_duplicate_mix_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            PlanSpec(mixes=[_mix(), _mix()])
+
+    def test_no_mixes_rejected(self):
+        with pytest.raises(ValueError, match="at least one tenant mix"):
+            PlanSpec(mixes=[])
+
+
+# ---------------------------------------------------------------------------
+# Runner: determinism, caching, result accessors
+# ---------------------------------------------------------------------------
+class TestPlanRunner:
+    @pytest.fixture(scope="class")
+    def serial_result(self, small_spec):
+        return PlanRunner(small_spec, workers=1).run()
+
+    def test_worker_counts_produce_byte_identical_output(
+        self, small_spec, serial_result
+    ):
+        """The acceptance bar: 1 vs 8 workers over 48 scenarios, byte-equal."""
+        fanned = PlanRunner(small_spec, workers=8).run()
+        assert serial_result.to_csv() == fanned.to_csv()
+        assert serial_result.to_json() == fanned.to_json()
+
+    def test_rows_cover_every_scenario_in_order(self, small_spec, serial_result):
+        assert serial_result.num_scenarios == small_spec.num_scenarios()
+        assert serial_result.column("scenario") == list(range(48))
+
+    def test_no_scenario_remeasures(self, small_spec, monkeypatch):
+        """Every profile comes from the parent's pre-measurement pass."""
+        calls = []
+        original = CPUBackend.measure
+
+        def counting(self, request):
+            calls.append(request.batch_size)
+            return original(self, request)
+
+        monkeypatch.setattr(CPUBackend, "measure", counting)
+        result = PlanRunner(small_spec, workers=0).run()
+        # 2 tenants x batch sizes {1, 2}: four measurements for 48 scenarios.
+        assert len(calls) == 4
+        assert result.cache_info["entries"] == 4
+        assert result.cache_info["misses"] == 4
+
+    def test_pareto_rows_are_mutually_non_dominated(self, serial_result):
+        frontier = serial_result.pareto()
+        assert frontier, "sweep produced an empty Pareto frontier"
+
+        def dominates(a, b):
+            keys = PLAN_OBJECTIVES
+            return all(a[k] <= b[k] for k in keys) and any(a[k] < b[k] for k in keys)
+
+        for row in frontier:
+            assert not any(
+                dominates(other, row) for other in serial_result.rows if other is not row
+            )
+
+    def test_cheapest_feasible_is_feasible_and_cheapest(self, serial_result):
+        cheapest = serial_result.cheapest_feasible()
+        if cheapest is None:
+            pytest.skip("no feasible scenario under the derived rate")
+        assert cheapest["slo_ok"]
+        assert all(
+            cheapest["replica_seconds"] <= row["replica_seconds"]
+            for row in serial_result.feasible()
+        )
+
+    def test_cost_model_charges_replicas_for_the_horizon(self, serial_result):
+        for row in serial_result.rows:
+            assert row["replica_seconds"] == pytest.approx(
+                row["replicas"] * serial_result.spec.duration_s
+            )
+            assert row["energy_j"] > 0
+
+    def test_explicit_rate_overrides_derivation(self):
+        spec = PlanSpec(
+            mixes=[_mix()],
+            backend="cpu",
+            replicas=(1,),
+            policies=("edf",),
+            rate_rps=1234.5,
+            duration_s=0.01,
+        )
+        result = PlanRunner(spec, workers=0).run()
+        assert result.rates["prod"] == 1234.5
+        assert all(row["rate_rps"] == 1234.5 for row in result.rows)
+
+    def test_best_effort_only_mix_emits_strict_json(self):
+        """Regression: a mix with no deadlines used to put NaN in the JSON."""
+        import json
+
+        mix = TenantMix(
+            "besteffort",
+            ({"tenant": "t", "model": "GIN", "dataset": "MolHIV", "num_graphs": 3,
+              "seed": 1},),
+        )
+        spec = PlanSpec(
+            mixes=[mix], backend="cpu", replicas=(1,), policies=("edf",),
+            rate_rps=200.0, duration_s=0.01,
+        )
+        result = PlanRunner(spec, workers=0).run()
+        payload = json.loads(result.to_json())  # json.loads default rejects nothing,
+        row = payload["scenarios"][0]
+        assert row["worst_p99_over_deadline"] is None
+        assert "NaN" not in result.to_json()  # strict parsers must accept it
+
+    def test_trace_arrivals_sweep(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "tenant,arrival_s\n"
+            + "".join(
+                f"{name},{i * 1e-3}\n"
+                for i, name in enumerate(["trigger", "screening"] * 5)
+            )
+        )
+        spec = PlanSpec(
+            mixes=[_mix()],
+            backend="cpu",
+            replicas=(1, 2),
+            policies=("edf",),
+            arrivals=(f"trace:{trace}",),
+            duration_s=0.02,
+        )
+        result = PlanRunner(spec, workers=0).run()
+        assert result.num_scenarios == 2
+        assert all(row["submitted"] == 10 for row in result.rows)
+
+
+# ---------------------------------------------------------------------------
+# Solver
+# ---------------------------------------------------------------------------
+class TestMinReplicasForSLO:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        # Deadlines sized for the cpu backend (~4 ms service time): loose
+        # enough to be reachable, tight enough that one replica fails under
+        # the 1.4x-overload bursty traffic.
+        workloads = [
+            Workload("trigger", model="GIN", dataset="MolHIV", num_graphs=3,
+                     seed=1, deadline_s=12e-3, priority=1, share=2.0),
+            Workload("screening", model="GCN", dataset="MolHIV", num_graphs=3,
+                     seed=2, deadline_s=20e-3),
+        ]
+        cluster = Cluster(workloads, backend="cpu", num_replicas=1, policy="edf")
+        rate = 1.4 / cluster.mean_service_s()
+        requests = LoadGenerator.bursty(workloads, rate, seed=0).generate(
+            duration_s=0.05
+        )
+        return cluster, requests
+
+    def test_solution_is_feasible_and_minimal(self, scenario):
+        cluster, requests = scenario
+        plan = min_replicas_for_slo(cluster, requests, max_replicas=8, duration_s=0.05)
+        assert plan.feasible
+        # The chosen pool really holds every SLO...
+        assert meets_slo(plan.report)
+        # ...and every smaller pool really does not.
+        for smaller in range(1, plan.replicas):
+            report = cluster.with_replicas(smaller).serve(requests, duration_s=0.05)
+            assert not meets_slo(report)
+        # The evaluation trail covers the whole search space by default.
+        assert [e["replicas"] for e in plan.evaluations] == list(range(1, 9))
+
+    def test_matches_the_hand_rolled_loop(self, scenario):
+        """The solver replaces examples/capacity_planning.py's loop exactly."""
+        cluster, requests = scenario
+        answer = None
+        for replicas in range(1, 9):
+            report = cluster.with_replicas(replicas).serve(requests, duration_s=0.05)
+            within = all(
+                outcome.report.p99_latency_ms * 1e-3 <= outcome.workload.deadline_s
+                for outcome in report.tenants.values()
+            )
+            if within and answer is None:
+                answer = replicas
+        plan = min_replicas_for_slo(cluster, requests, max_replicas=8, duration_s=0.05)
+        assert plan.replicas == answer
+
+    def test_infeasible_slo_reports_none(self, scenario):
+        cluster, requests = scenario
+        tight = [
+            Workload(
+                tenant=w.tenant,
+                model=w.model,
+                dataset=w.dataset,
+                num_graphs=w.num_graphs,
+                seed=w.seed,
+                deadline_s=1e-9,  # nothing can meet a nanosecond deadline
+                priority=w.priority,
+                share=w.share,
+            )
+            for w in cluster.workloads
+        ]
+        impossible = Cluster(tight, backend="cpu", num_replicas=1, policy="edf")
+        plan = min_replicas_for_slo(impossible, requests, max_replicas=3)
+        assert not plan.feasible
+        assert plan.replicas is None and plan.report is None
+        assert "infeasible" in plan.summary()
+        assert len(plan.evaluations) == 3
+
+    def test_stop_at_first_shortens_the_trail(self, scenario):
+        cluster, requests = scenario
+        plan = min_replicas_for_slo(
+            cluster, requests, max_replicas=8, duration_s=0.05, stop_at_first=True
+        )
+        assert plan.feasible
+        assert plan.evaluations[-1]["replicas"] == plan.replicas
+
+    def test_bad_bounds_rejected(self, scenario):
+        cluster, requests = scenario
+        with pytest.raises(ValueError, match="max_replicas"):
+            min_replicas_for_slo(cluster, requests, max_replicas=0)
+
+
+# ---------------------------------------------------------------------------
+# build_generator
+# ---------------------------------------------------------------------------
+class TestBuildGenerator:
+    def test_names_map_to_processes(self):
+        workloads = _mix().workloads()
+        for name in ("poisson", "bursty", "constant"):
+            generator = build_generator(workloads, name, 1000.0, seed=0)
+            requests = generator.generate(duration_s=0.01)
+            assert all(r.arrival_s < 0.01 for r in requests)
+
+    def test_same_seed_same_requests(self):
+        workloads = _mix().workloads()
+        a = build_generator(workloads, "poisson", 2000.0, seed=5).generate(duration_s=0.01)
+        b = build_generator(workloads, "poisson", 2000.0, seed=5).generate(duration_s=0.01)
+        assert a == b

@@ -19,7 +19,9 @@ from repro.serve import (
     TraceArrivals,
     Workload,
     get_policy,
+    reference_serve,
 )
+from repro.serve.reference import assert_reports_identical
 
 
 @pytest.fixture
@@ -383,6 +385,39 @@ class TestClusterMechanics:
         assert clone.policy.name == "edf"
         assert cpu_cluster.num_replicas == 2  # original untouched
 
+    def test_with_options_overrides_every_knob(self, cpu_cluster):
+        clone = cpu_cluster.with_options(
+            num_replicas=3,
+            policy="edf",
+            max_batch_size=4,
+            batch_timeout_s=1e-4,
+            queue_capacity=8,
+        )
+        assert clone.services is cpu_cluster.services
+        assert (clone.num_replicas, clone.max_batch_size) == (3, 4)
+        assert clone.batch_timeout_s == 1e-4
+        assert clone.queue_capacity == 8
+        assert clone.policy.name == "edf"
+        # Ellipsis keeps the current capacity; None means unbounded.
+        assert clone.with_options(num_replicas=1).queue_capacity == 8
+        assert clone.with_options(queue_capacity=None).queue_capacity is None
+        # Original untouched throughout.
+        assert cpu_cluster.queue_capacity is None
+        assert cpu_cluster.max_batch_size == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_replicas": 0},
+            {"max_batch_size": 0},
+            {"batch_timeout_s": -1.0},
+            {"queue_capacity": 0},
+        ],
+    )
+    def test_with_options_validates_overrides(self, cpu_cluster, kwargs):
+        with pytest.raises(ValueError):
+            cpu_cluster.with_options(**kwargs)
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -461,3 +496,45 @@ class TestServingReport:
         assert series["time_s"].shape == series["depth"].shape
         assert np.all(np.diff(series["time_s"]) >= 0)
         assert report.max_queue_depth == int(series["depth"].max())
+
+
+# ---------------------------------------------------------------------------
+# Optimised dispatcher vs the reference implementation
+# ---------------------------------------------------------------------------
+class TestReferenceContract:
+    """The heap-lane dispatcher must match ``reference_serve`` bit for bit."""
+
+    @pytest.mark.parametrize("policy", ["round_robin", "least_loaded", "edf"])
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {},
+            {"num_replicas": 3},
+            {"max_batch_size": 4},
+            {"max_batch_size": 4, "batch_timeout_s": 2e-4},
+            {"max_batch_size": 3, "batch_timeout_s": 5e-5, "queue_capacity": 12},
+        ],
+    )
+    def test_bit_identical_reports(self, two_tenants, policy, options):
+        cluster = Cluster(
+            two_tenants, backend="cpu", num_replicas=2, policy=policy
+        ).with_options(**options)
+        rate = 1.3 * cluster.num_replicas / cluster.mean_service_s()
+        requests = LoadGenerator.bursty(two_tenants, rate, seed=7).generate(
+            num_requests=120
+        )
+        assert_reports_identical(
+            cluster.serve(requests, duration_s=0.05),
+            reference_serve(cluster, requests, duration_s=0.05),
+        )
+
+    def test_bit_identical_under_overload(self, two_tenants):
+        """A deep queue exercises the heap lanes far from the FIFO case."""
+        cluster = Cluster(two_tenants, backend="cpu", num_replicas=1, policy="edf")
+        rate = 2.5 / cluster.mean_service_s()
+        requests = LoadGenerator.poisson(two_tenants, rate, seed=3).generate(
+            num_requests=250
+        )
+        fast = cluster.serve(requests)
+        assert fast.max_queue_depth > 20  # the scenario must actually queue
+        assert_reports_identical(fast, reference_serve(cluster, requests))

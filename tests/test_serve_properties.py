@@ -23,10 +23,7 @@ import pytest
 from repro.graph import molecule_like_graph
 from repro.serve import (
     Cluster,
-    ConstantArrivals,
     LoadGenerator,
-    OnOffArrivals,
-    PoissonArrivals,
     Workload,
 )
 
