@@ -13,7 +13,11 @@ for Real-Time Workload-Agnostic Graph Neural Network Inference* (HPCA 2023):
   ``InferenceRequest`` → ``InferenceReport`` across flowgnn/cpu/gpu/roofline;
 * :mod:`repro.serve`     — the multi-tenant serving simulator: load
   generation, replicated backend pools, dispatch policies, dynamic batching;
-* :mod:`repro.eval`      — the experiment harness reproducing every table and figure;
+* :mod:`repro.engine`    — the shared execution engine: the declarative
+  ``Job`` protocol, the pooled ``Engine`` and the ``ResultTable`` base class
+  that every sweep/experiment result subclasses;
+* :mod:`repro.eval`      — the experiment harness reproducing every table and
+  figure, each as an engine job, with a parallel suite runner;
 * :mod:`repro.dse`       — the parallel design-space exploration engine with
   schedule caching (sweeps, Pareto frontiers, CSV export).
 
@@ -40,12 +44,13 @@ from .api import (
     get_backend,
     register_backend,
 )
+from .engine import Engine, Job, ResultTable
 from .eval import run_experiment, run_all_experiments
 from .dse import SweepRunner, SweepSpec
 from .serve import Cluster, LoadGenerator, ServingReport, Workload
 from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Graph",
@@ -65,6 +70,9 @@ __all__ = [
     "PipelineStrategy",
     "CPUBaseline",
     "GPUBaseline",
+    "Engine",
+    "Job",
+    "ResultTable",
     "run_experiment",
     "run_all_experiments",
     "SweepRunner",

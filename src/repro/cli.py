@@ -2,7 +2,9 @@
 
 Six subcommands cover the common workflows without writing any Python:
 
-* ``experiments`` — regenerate the paper's tables and figures;
+* ``experiments`` — regenerate the paper's tables and figures, fanning the
+  experiments' work items out over ``--workers`` engine processes, with
+  ``--csv DIR``/``--json`` machine-readable export;
 * ``simulate``    — run one model on one dataset on a chosen inference
   backend (``--backend flowgnn|cpu|gpu|roofline``) and report latency,
   throughput and energy via the unified :mod:`repro.api` layer; ``--json``
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -32,7 +35,7 @@ from .api import BACKEND_NAMES, InferenceRequest, MeasurementCache, get_backend
 from .arch import ALVEO_U50
 from .datasets import DATASET_NAMES, load_dataset
 from .dse import SweepRunner, SweepSpec
-from .eval import EXPERIMENT_NAMES, render_dict_table, run_experiment
+from .eval import EXPERIMENT_NAMES, render_dict_table, run_all_experiments
 from .nn import MODEL_NAMES
 from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
 from .plan.runner import build_generator
@@ -75,6 +78,25 @@ def _capacity_list(text: str) -> List[Optional[int]]:
     return values
 
 
+def _add_progress_flag(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--progress`` flag (experiments, dse, plan)."""
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream completed/total counts to stderr as the engine evaluates "
+        "(off by default so stdout stays clean for --csv/--json)",
+    )
+
+
+def _progress_printer(label: str):
+    """A ``(completed, total)`` engine callback printing to stderr."""
+
+    def callback(completed: int, total: int) -> None:
+        print(f"{label}: {completed}/{total}", file=sys.stderr, flush=True)
+
+    return callback
+
+
 def _add_parallelism_flags(parser: argparse.ArgumentParser, grid: bool = False) -> None:
     """Install the four parallelism knobs as scalars (simulate) or grids (dse)."""
     for dest, scalar_flag, grid_flag, paper_name, scalar_default, grid_default in _PARALLELISM_KNOBS:
@@ -112,6 +134,26 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--full", action="store_true", help="use full-size synthetic datasets"
     )
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers fanning experiment work items out "
+        "(default: CPU count; 0 runs in-process)",
+    )
+    experiments.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows as DIR/<name>.csv",
+    )
+    experiments.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object mapping experiment name to its payload "
+        "instead of text tables",
+    )
+    _add_progress_flag(experiments)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate one model on one dataset on a chosen backend"
@@ -186,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the latency/DSP/BRAM/power Pareto frontier",
     )
     dse.add_argument("--csv", metavar="PATH", default=None, help="write the sweep rows as CSV")
+    _add_progress_flag(dse)
 
     serve = subparsers.add_parser(
         "serve",
@@ -377,16 +420,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the sweep (and solver, with --solve) as JSON",
     )
+    _add_progress_flag(plan)
 
     return parser
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
     names = args.names or EXPERIMENT_NAMES
-    for name in names:
-        result = run_experiment(name, fast=not args.full)
-        print(result.render())
-        print()
+    unknown = [name for name in names if name not in EXPERIMENT_NAMES]
+    if unknown:
+        # Validated up front so a KeyError raised *inside* an experiment is
+        # never mistaken for a bad selection.
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(EXPERIMENT_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    progress = _progress_printer("experiments") if args.progress else None
+    results = run_all_experiments(
+        fast=not args.full, names=names, workers=args.workers, progress=progress
+    )
+
+    if args.json:
+        payload = {name: results[name].to_dict() for name in names}
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        for name in names:
+            print(results[name].render())
+            print()
+
+    if args.csv:
+        try:
+            os.makedirs(args.csv, exist_ok=True)
+            for name in names:
+                results[name].to_csv(os.path.join(args.csv, f"{name}.csv"))
+        except OSError as error:
+            print(f"cannot write CSVs to {args.csv}: {error}", file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"wrote {len(names)} CSV files to {args.csv}")
     return 0
 
 
@@ -520,7 +593,9 @@ def _run_dse(args: argparse.Namespace) -> int:
         print(f"invalid sweep: {error}", file=sys.stderr)
         return 2
     print(spec.describe())
-    result = SweepRunner(spec, workers=args.workers).run()
+    result = SweepRunner(spec, workers=args.workers).run(
+        progress=_progress_printer("dse") if args.progress else None
+    )
     print(result.render(title="design-space sweep (per-graph latency, amortised weights)"))
     if result.skipped:
         print()
@@ -705,7 +780,9 @@ def _run_plan(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        result = PlanRunner(spec, workers=args.workers, cache=cache).run()
+        result = PlanRunner(spec, workers=args.workers, cache=cache).run(
+            progress=_progress_printer("plan") if args.progress else None
+        )
     except (OSError, ValueError) as error:
         print(f"plan sweep failed: {error}", file=sys.stderr)
         return 2

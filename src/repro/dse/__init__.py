@@ -24,7 +24,7 @@ The engine produces *bit-identical* cycle counts to the naive per-point loop
 from .cache import ScheduleCache, graph_signature, schedule_cache_key
 from .fastpath import fast_schedule_layer
 from .pareto import pareto_frontier
-from .runner import SweepResult, SweepRunner, naive_sweep
+from .runner import PlatformSweepJob, SweepJob, SweepResult, SweepRunner, naive_sweep
 from .spec import SweepPoint, SweepSpec
 
 __all__ = [
@@ -33,6 +33,8 @@ __all__ = [
     "schedule_cache_key",
     "fast_schedule_layer",
     "pareto_frontier",
+    "PlatformSweepJob",
+    "SweepJob",
     "SweepPoint",
     "SweepRunner",
     "SweepResult",

@@ -1,4 +1,4 @@
-"""Sweep execution: feasibility filtering, worker fan-out, result assembly.
+"""Sweep execution: feasibility filtering, engine fan-out, result assembly.
 
 :class:`SweepRunner` evaluates every point of a :class:`~repro.dse.SweepSpec`
 and returns a :class:`SweepResult`.  The pipeline per (model, dataset) group:
@@ -6,9 +6,10 @@ and returns a :class:`SweepResult`.  The pipeline per (model, dataset) group:
 1. load the dataset and build the model once;
 2. pre-filter configurations whose estimated resources do not fit the spec's
    target board (they are reported as ``skipped`` rows, not simulated);
-3. evaluate the surviving configurations, either in-process or fanned out
-   over ``multiprocessing`` workers, with every worker memoising layer
-   schedules in a :class:`~repro.dse.ScheduleCache`.
+3. wrap the surviving configurations in a :class:`SweepJob` and hand it to
+   the shared :class:`~repro.engine.Engine`, which evaluates them either
+   in-process or fanned out over ``multiprocessing`` workers, with every
+   worker memoising layer schedules in a :class:`~repro.dse.ScheduleCache`.
 
 Latency aggregation goes through
 :class:`~repro.arch.accelerator.StreamResult`, so engine rows are
@@ -20,11 +21,9 @@ never from a different cycle model.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..arch.accelerator import FlowGNNAccelerator, StreamResult
 from ..arch.config import ArchitectureConfig
@@ -32,23 +31,34 @@ from ..arch.energy import estimate_energy
 from ..arch.resources import estimate_resources
 from ..arch.simulator import simulate_inference, weight_loading_cycles
 from ..datasets import load_dataset
-from ..eval.tables import render_csv, render_dict_table
+from ..engine import Engine, Job, ProgressCallback, ResultTable, contiguous_chunks
 from ..graph import Graph
 from ..nn import build_model
 from ..nn.models.base import GNNModel
 from .cache import ScheduleCache
-from .pareto import DEFAULT_OBJECTIVES, pareto_frontier
+from .pareto import DEFAULT_OBJECTIVES
 from .spec import SweepSpec, _config_knobs
 
-__all__ = ["SweepResult", "SweepRunner", "naive_sweep", "contiguous_chunks"]
+__all__ = [
+    "SweepResult",
+    "SweepRunner",
+    "SweepJob",
+    "PlatformSweepJob",
+    "naive_sweep",
+    "contiguous_chunks",
+]
 
 
 # ---------------------------------------------------------------------------
 # Result container
 # ---------------------------------------------------------------------------
 @dataclass
-class SweepResult:
-    """Outcome of one sweep: one row per simulated point, plus bookkeeping."""
+class SweepResult(ResultTable):
+    """Outcome of one sweep: one row per simulated point, plus bookkeeping.
+
+    ``column`` / ``find`` / ``best`` / ``pareto`` / ``render`` / ``to_csv``
+    / ``to_dict`` / ``to_json`` come from :class:`~repro.engine.ResultTable`.
+    """
 
     spec: SweepSpec
     rows: List[Dict]
@@ -56,42 +66,28 @@ class SweepResult:
     cache_info: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
+    OBJECTIVES = DEFAULT_OBJECTIVES
+    DEFAULT_METRIC = "latency_ms"
+    DEFAULT_TITLE = "design-space sweep"
+
     @property
     def num_points(self) -> int:
         return len(self.rows)
 
-    def column(self, key: str) -> List:
-        return [row[key] for row in self.rows]
+    def to_dict(self) -> Dict:
+        """Nested, JSON-serialisable summary of the whole sweep.
 
-    def find(self, **criteria) -> List[Dict]:
-        """Rows whose values match every ``key=value`` criterion."""
-        return [
-            row
-            for row in self.rows
-            if all(row.get(key) == value for key, value in criteria.items())
-        ]
-
-    def best(self, metric: str = "latency_ms") -> Dict:
-        """The row minimising ``metric`` (ties: first in sweep order)."""
-        if not self.rows:
-            raise ValueError("sweep produced no rows")
-        return min(self.rows, key=lambda row: row[metric])
-
-    def pareto(self, objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> List[Dict]:
-        """Non-dominated rows under ``objectives`` (all minimised)."""
-        return pareto_frontier(self.rows, objectives)
-
-    def render(self, title: str = "design-space sweep") -> str:
-        """Aligned text table of every simulated point."""
-        return render_dict_table(self.rows, title=title)
-
-    def to_csv(self, path: Optional[str] = None) -> str:
-        """Rows as CSV text; when ``path`` is given, also write the file."""
-        text = render_csv(self.rows)
-        if path is not None:
-            with open(path, "w", newline="") as handle:
-                handle.write(text)
-        return text
+        Deliberately excludes timing and cache statistics so that 1-worker
+        and N-worker runs of the same spec serialise identically.
+        """
+        return {
+            "backend": self.spec.backend,
+            "models": list(self.spec.models),
+            "datasets": list(self.spec.datasets),
+            "num_points": self.num_points,
+            "rows": [dict(row) for row in self.rows],
+            "skipped": [dict(row) for row in self.skipped],
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -101,7 +97,7 @@ def _evaluate_config(
     model: GNNModel,
     model_name: str,
     dataset_name: str,
-    graphs: Sequence[Graph],
+    graphs: List[Graph],
     config: ArchitectureConfig,
     cache: Optional[ScheduleCache],
 ) -> Dict:
@@ -138,62 +134,92 @@ def _evaluate_config(
     return row
 
 
-# Worker-process state, installed once per pool by ``_init_worker`` so that
-# the model and graphs are pickled once per worker instead of once per task.
-_WORKER_STATE: Dict[str, object] = {}
+# ---------------------------------------------------------------------------
+# Engine jobs
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepJob(Job):
+    """One (model, dataset) group of a FlowGNN sweep as an engine job.
 
-
-def _init_worker(
-    model: GNNModel,
-    model_name: str,
-    dataset_name: str,
-    graphs: List[Graph],
-    use_cache: bool,
-    use_fast_path: bool,
-) -> None:
-    _WORKER_STATE["model"] = model
-    _WORKER_STATE["model_name"] = model_name
-    _WORKER_STATE["dataset_name"] = dataset_name
-    _WORKER_STATE["graphs"] = graphs
-    _WORKER_STATE["use_cache"] = use_cache
-    _WORKER_STATE["use_fast_path"] = use_fast_path
-
-
-def _evaluate_chunk(
-    configs: List[ArchitectureConfig],
-) -> Tuple[List[Dict], Optional[Dict[str, float]]]:
-    """Evaluate a contiguous chunk of configurations with a shared cache."""
-    model = _WORKER_STATE["model"]
-    model_name = _WORKER_STATE["model_name"]
-    dataset_name = _WORKER_STATE["dataset_name"]
-    graphs = _WORKER_STATE["graphs"]
-    cache: Optional[ScheduleCache] = None
-    if _WORKER_STATE["use_cache"]:
-        cache = ScheduleCache(use_fast_path=bool(_WORKER_STATE["use_fast_path"]))
-    rows = [
-        _evaluate_config(model, model_name, dataset_name, graphs, config, cache)
-        for config in configs
-    ]
-    return rows, (cache.info() if cache is not None else None)
-
-
-def contiguous_chunks(items: List, count: int) -> List[List]:
-    """Split ``items`` into at most ``count`` contiguous, near-equal chunks.
-
-    Contiguity is what keeps parallel sweeps deterministic: every chunk
-    preserves enumeration order, so reassembling chunk results in order
-    reproduces the serial result exactly.  Shared by the DSE engine and the
-    serving-scenario plan engine.
+    The model and graphs are job fields, so the engine pickles them once per
+    worker; each worker builds its own :class:`ScheduleCache` in ``setup``
+    and reports its hit statistics through ``collect``.
     """
-    count = max(min(count, len(items)), 1)
-    size, remainder = divmod(len(items), count)
-    chunks: List[List] = []
-    start = 0
-    for i in range(count):
-        stop = start + size + (1 if i < remainder else 0)
-        chunks.append(items[start:stop])
-        start = stop
-    return chunks
+
+    model: GNNModel
+    model_name: str
+    dataset_name: str
+    graphs: List[Graph]
+    configs: List[ArchitectureConfig]
+    use_cache: bool = True
+    use_fast_path: bool = True
+
+    def enumerate(self) -> List[ArchitectureConfig]:
+        return self.configs
+
+    def setup(self, context) -> None:
+        self._cache = (
+            ScheduleCache(use_fast_path=self.use_fast_path) if self.use_cache else None
+        )
+
+    def evaluate(self, config: ArchitectureConfig) -> Dict:
+        return _evaluate_config(
+            self.model,
+            self.model_name,
+            self.dataset_name,
+            self.graphs,
+            config,
+            self._cache,
+        )
+
+    def collect(self) -> Optional[Dict[str, float]]:
+        return self._cache.info() if self._cache is not None else None
+
+
+@dataclass
+class PlatformSweepJob(Job):
+    """A platform-backend sweep (cpu/gpu/roofline) as an engine job.
+
+    Platform baselines have no architecture knobs, so the config grid
+    collapses: one :class:`~repro.api.InferenceReport` per (model, dataset)
+    pair, obtained through the backend registry inside each worker.
+    """
+
+    spec: SweepSpec
+
+    def enumerate(self) -> List[Tuple[str, str]]:
+        return [
+            (model, dataset)
+            for model in self.spec.models
+            for dataset in self.spec.datasets
+        ]
+
+    def setup(self, context) -> None:
+        from ..api import get_backend
+
+        self._backend = get_backend(self.spec.backend)
+
+    def evaluate(self, item: Tuple[str, str]) -> Dict:
+        from ..api import InferenceRequest
+
+        model_name, dataset_name = item
+        request = InferenceRequest(
+            model=model_name,
+            dataset=dataset_name,
+            config=self.spec.base_config,
+            **self.spec.dataset_load_kwargs(dataset_name),
+        )
+        report = self._backend.run(request)
+        return {
+            "model": model_name,
+            "dataset": dataset_name,
+            "backend": report.backend,
+            "platform": report.extras.get("platform", report.backend),
+            "latency_ms": report.mean_latency_ms,
+            "p99_latency_ms": report.p99_latency_ms,
+            "throughput_graphs_per_s": report.throughput_graphs_per_s,
+            "energy_mj_per_graph": report.energy_mj_per_graph,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -225,47 +251,40 @@ class SweepRunner:
         use_fast_path: bool = True,
     ) -> None:
         self.spec = spec
-        if workers is None:
-            workers = os.cpu_count() or 1
-        self.workers = int(workers)
+        self.engine = Engine(workers=workers)
+        self.workers = self.engine.workers
         self.use_cache = use_cache
         self.use_fast_path = use_fast_path
 
-    def run(self) -> SweepResult:
-        """Evaluate every feasible sweep point."""
-        if self.spec.backend != "flowgnn":
-            return self._run_platform_backend()
-        started = time.perf_counter()
-        rows: List[Dict] = []
-        skipped: List[Dict] = []
-        cache_totals = {"entries": 0, "hits": 0, "misses": 0}
+    def run(self, progress: Optional[ProgressCallback] = None) -> SweepResult:
+        """Evaluate every feasible sweep point.
 
-        configs = list(self.spec.configs())
-        datasets = {}  # loaded once per dataset, reused across models
-        for model_name in self.spec.models:
-            for dataset_name in self.spec.datasets:
-                if dataset_name not in datasets:
-                    datasets[dataset_name] = load_dataset(
-                        dataset_name, **self.spec.dataset_load_kwargs(dataset_name)
-                    )
-                dataset = datasets[dataset_name]
-                graphs = list(dataset)
-                model = build_model(
-                    model_name,
-                    input_dim=dataset.node_feature_dim,
-                    edge_input_dim=dataset.edge_feature_dim,
-                    seed=0,
-                )
-                feasible = self._prefilter(
-                    model, model_name, dataset_name, configs, skipped
-                )
-                group_rows, group_cache = self._run_group(
-                    model, model_name, dataset_name, graphs, feasible
-                )
-                rows.extend(group_rows)
-                for info in group_cache:
-                    for key in cache_totals:
-                        cache_totals[key] += int(info.get(key, 0))
+        ``progress`` (optional) receives ``(completed, total)`` counts as
+        simulated points stream back from the engine.
+        """
+        if self.spec.backend != "flowgnn":
+            return self._run_platform_backend(progress)
+        started = time.perf_counter()
+        skipped: List[Dict] = []
+        jobs = self._build_group_jobs(skipped)
+
+        rows: List[Dict] = []
+        cache_totals = {"entries": 0, "hits": 0, "misses": 0}
+        total = sum(len(job.configs) for job in jobs)
+        completed = 0
+        for job in jobs:
+            group_progress = None
+            if progress is not None:
+
+                def group_progress(done, _total, _offset=completed):
+                    progress(_offset + done, total)
+
+            run = self.engine.run(job, progress=group_progress)
+            rows.extend(run.rows)
+            completed += len(job.configs)
+            for info in run.infos:
+                for key in cache_totals:
+                    cache_totals[key] += int(info.get(key, 0))
 
         lookups = cache_totals["hits"] + cache_totals["misses"]
         cache_info = dict(cache_totals)
@@ -281,42 +300,48 @@ class SweepRunner:
         )
 
     # -- internals ------------------------------------------------------------
-    def _run_platform_backend(self) -> SweepResult:
-        """Sweep a platform backend (cpu/gpu/roofline) via the inference API.
-
-        Platform baselines have no architecture knobs, so the config grid
-        collapses: one :class:`~repro.api.InferenceReport` per
-        (model, dataset) pair, obtained through the backend registry.
-        """
-        from ..api import InferenceRequest, get_backend
-
-        started = time.perf_counter()
-        backend = get_backend(self.spec.backend)
-        rows: List[Dict] = []
+    def _build_group_jobs(self, skipped: List[Dict]) -> List[SweepJob]:
+        """One :class:`SweepJob` per (model, dataset) pair, prefiltered."""
+        configs = list(self.spec.configs())
+        jobs: List[SweepJob] = []
+        datasets = {}  # loaded once per dataset, reused across models
         for model_name in self.spec.models:
             for dataset_name in self.spec.datasets:
-                request = InferenceRequest(
-                    model=model_name,
-                    dataset=dataset_name,
-                    config=self.spec.base_config,
-                    **self.spec.dataset_load_kwargs(dataset_name),
+                if dataset_name not in datasets:
+                    datasets[dataset_name] = load_dataset(
+                        dataset_name, **self.spec.dataset_load_kwargs(dataset_name)
+                    )
+                dataset = datasets[dataset_name]
+                model = build_model(
+                    model_name,
+                    input_dim=dataset.node_feature_dim,
+                    edge_input_dim=dataset.edge_feature_dim,
+                    seed=0,
                 )
-                report = backend.run(request)
-                rows.append(
-                    {
-                        "model": model_name,
-                        "dataset": dataset_name,
-                        "backend": report.backend,
-                        "platform": report.extras.get("platform", report.backend),
-                        "latency_ms": report.mean_latency_ms,
-                        "p99_latency_ms": report.p99_latency_ms,
-                        "throughput_graphs_per_s": report.throughput_graphs_per_s,
-                        "energy_mj_per_graph": report.energy_mj_per_graph,
-                    }
+                feasible = self._prefilter(
+                    model, model_name, dataset_name, configs, skipped
                 )
+                jobs.append(
+                    SweepJob(
+                        model=model,
+                        model_name=model_name,
+                        dataset_name=dataset_name,
+                        graphs=list(dataset),
+                        configs=feasible,
+                        use_cache=self.use_cache,
+                        use_fast_path=self.use_fast_path,
+                    )
+                )
+        return jobs
+
+    def _run_platform_backend(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> SweepResult:
+        started = time.perf_counter()
+        run = self.engine.run(PlatformSweepJob(spec=self.spec), progress=progress)
         return SweepResult(
             spec=self.spec,
-            rows=rows,
+            rows=run.rows,
             skipped=[],
             cache_info={},
             elapsed_s=time.perf_counter() - started,
@@ -350,42 +375,6 @@ class SweepRunner:
                 row["reason"] = f"exceeds {board.name}: {over}"
                 skipped.append(row)
         return feasible
-
-    def _run_group(
-        self,
-        model: GNNModel,
-        model_name: str,
-        dataset_name: str,
-        graphs: List[Graph],
-        configs: List[ArchitectureConfig],
-    ) -> Tuple[List[Dict], List[Dict[str, float]]]:
-        if not configs:
-            return [], []
-        init_args = (
-            model,
-            model_name,
-            dataset_name,
-            graphs,
-            self.use_cache,
-            self.use_fast_path,
-        )
-        if self.workers < 2 or len(configs) < 2:
-            _init_worker(*init_args)
-            chunk_rows, info = _evaluate_chunk(configs)
-            return chunk_rows, [info] if info else []
-
-        chunks = contiguous_chunks(configs, self.workers)
-        with multiprocessing.Pool(
-            processes=len(chunks), initializer=_init_worker, initargs=init_args
-        ) as pool:
-            outcomes = pool.map(_evaluate_chunk, chunks)
-        rows: List[Dict] = []
-        infos: List[Dict[str, float]] = []
-        for chunk_rows, info in outcomes:
-            rows.extend(chunk_rows)
-            if info:
-                infos.append(info)
-        return rows, infos
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,27 @@
+"""Deterministic work splitting for parallel fan-out."""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["contiguous_chunks"]
+
+
+def contiguous_chunks(items: List, count: int) -> List[List]:
+    """Split ``items`` into at most ``count`` contiguous, near-equal chunks.
+
+    Contiguity is what keeps parallel runs deterministic: every chunk
+    preserves enumeration order, so reassembling chunk results in order
+    reproduces the serial result exactly.  Sizes differ by at most one, no
+    chunk is empty (except for the single ``[[]]`` chunk of an empty input),
+    and ``count`` values outside ``[1, len(items)]`` are clamped.
+    """
+    count = max(min(count, len(items)), 1)
+    size, remainder = divmod(len(items), count)
+    chunks: List[List] = []
+    start = 0
+    for i in range(count):
+        stop = start + size + (1 if i < remainder else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks

@@ -1,0 +1,168 @@
+"""The engine: one pool/chunking/worker-init implementation for every job.
+
+:class:`Engine` executes any :class:`~repro.engine.Job` with the fan-out
+discipline the dse and plan runners independently evolved, now in one place:
+
+* the job and its prepared context are pickled **once per worker** through
+  the pool initializer, never once per task;
+* work is split with :func:`~repro.engine.contiguous_chunks` and results are
+  drained with ``imap`` (ordered), so rows come back in enumeration order no
+  matter which worker finishes first — a 1-worker and an N-worker run are
+  row-identical by construction;
+* completed counts stream back to an optional ``progress`` callback as each
+  chunk (or each item, for in-process runs) finishes;
+* worker counts below two, or jobs with fewer than two items, run in-process
+  with no pool at all — same code path as a worker, same rows.
+
+``chunk_items`` selects the chunking policy.  The default (one contiguous
+chunk per worker) maximises per-worker cache locality and is right for
+homogeneous items; ``chunk_items=1`` dispatches items one at a time, which
+load-balances wildly uneven items (e.g. whole paper experiments) at the cost
+of more task pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from .chunks import contiguous_chunks
+from .job import Job
+
+__all__ = ["Engine", "EngineRun"]
+
+#: ``progress(completed_items, total_items)`` — invoked from the parent
+#: process only, monotonically, ending at ``(total, total)``.
+ProgressCallback = Callable[[int, int], None]
+
+
+# Worker-process state, installed once per pool worker by ``_init_worker``
+# so the job (and its shared context) crosses the process boundary exactly
+# once per worker instead of once per chunk.
+_WORKER_JOB: Optional[Job] = None
+
+
+def _init_worker(job: Job, context: Any) -> None:
+    global _WORKER_JOB
+    job.setup(context)
+    _WORKER_JOB = job
+
+
+def _evaluate_chunk(items: List) -> Tuple[List, int, Optional[Any]]:
+    rows = [_WORKER_JOB.evaluate(item) for item in items]
+    # The worker id rides along so the parent can keep only each worker's
+    # *latest* report: collect() returns cumulative worker state, and a fast
+    # worker may process several chunks.
+    return rows, os.getpid(), _WORKER_JOB.collect()
+
+
+@dataclass
+class EngineRun:
+    """Outcome of one engine execution: rows in enumeration order."""
+
+    rows: List = field(default_factory=list)
+    infos: List = field(default_factory=list)
+    num_items: int = 0
+    elapsed_s: float = 0.0
+
+
+class Engine:
+    """Runs :class:`~repro.engine.Job` s over a shared worker pool.
+
+    Parameters
+    ----------
+    workers:
+        ``multiprocessing`` worker count.  ``None`` uses ``os.cpu_count()``;
+        values below 2 run in-process (no pool, identical rows).
+    chunk_items:
+        ``None`` (default) splits work into one contiguous chunk per worker;
+        a positive integer dispatches contiguous chunks of that many items,
+        trading task overhead for load balancing of uneven items.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, chunk_items: Optional[int] = None
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = int(workers)
+        if chunk_items is not None and int(chunk_items) < 1:
+            raise ValueError("chunk_items must be a positive integer or None")
+        self.chunk_items = None if chunk_items is None else int(chunk_items)
+
+    def run(self, job: Job, progress: Optional[ProgressCallback] = None) -> EngineRun:
+        """Evaluate every item of ``job``; rows come back in item order."""
+        started = time.perf_counter()
+        items = list(job.enumerate())
+        if not items:
+            return EngineRun(elapsed_s=time.perf_counter() - started)
+        context = job.prepare()
+        if self.workers < 2 or len(items) < 2:
+            rows, infos = self._run_in_process(job, context, items, progress)
+        else:
+            rows, infos = self._run_pool(job, context, items, progress)
+        return EngineRun(
+            rows=rows,
+            infos=infos,
+            num_items=len(items),
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # -- execution paths ------------------------------------------------------
+    def _run_in_process(
+        self,
+        job: Job,
+        context: Any,
+        items: List,
+        progress: Optional[ProgressCallback],
+    ) -> Tuple[List, List]:
+        job.setup(context)
+        rows = []
+        for index, item in enumerate(items):
+            rows.append(job.evaluate(item))
+            if progress is not None:
+                progress(index + 1, len(items))
+        info = job.collect()
+        return rows, ([info] if info is not None else [])
+
+    def _run_pool(
+        self,
+        job: Job,
+        context: Any,
+        items: List,
+        progress: Optional[ProgressCallback],
+    ) -> Tuple[List, List]:
+        if self.chunk_items is None:
+            chunks = contiguous_chunks(items, self.workers)
+        else:
+            chunks = [
+                items[start : start + self.chunk_items]
+                for start in range(0, len(items), self.chunk_items)
+            ]
+        rows: List = []
+        info_by_worker: dict = {}
+        completed = 0
+        with multiprocessing.Pool(
+            processes=min(self.workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(job, context),
+        ) as pool:
+            # imap (ordered) rather than map: chunk results arrive as they
+            # complete, which is what lets progress stream incrementally,
+            # but are yielded in submission order, which is what keeps the
+            # assembled rows deterministic.
+            for chunk_rows, worker_id, info in pool.imap(_evaluate_chunk, chunks):
+                rows.extend(chunk_rows)
+                if info is not None:
+                    # collect() reports cumulative worker state; keep only
+                    # the latest report per worker so statistics aggregate
+                    # without double counting when one worker runs several
+                    # chunks.
+                    info_by_worker[worker_id] = info
+                completed += len(chunk_rows)
+                if progress is not None:
+                    progress(completed, len(items))
+        return rows, list(info_by_worker.values())

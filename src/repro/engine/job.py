@@ -1,0 +1,63 @@
+"""The declarative work protocol the :class:`~repro.engine.Engine` executes.
+
+A :class:`Job` says *what* to compute — the engine owns *how*: pool setup,
+chunking, context shipping, progress and result assembly.  Implementations
+must be picklable (they are shipped to every worker once, through the pool
+initializer), which in practice means fields of names and scalars rather
+than resolved models or backends; heavyweight state belongs in
+:meth:`Job.setup`, which runs after unpickling inside each worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["Job"]
+
+
+class Job:
+    """One declarative unit of engine work.
+
+    Lifecycle, in order:
+
+    1. ``enumerate()`` — parent process, once: the full, deterministically
+       ordered list of work items.  Item order *is* row order.
+    2. ``prepare()`` — parent process, once: shared context every worker
+       needs (e.g. a pre-measured cache snapshot).  Must be picklable.
+    3. ``setup(context)`` — once per worker process (and once in-process for
+       serial runs), after the job is unpickled: install worker-local state
+       such as caches or memo dictionaries.
+    4. ``evaluate(item)`` — once per work item: produce that item's row.
+       Rows are opaque to the engine; dicts are conventional but anything
+       picklable works.
+    5. ``collect()`` — after each completed chunk, on the worker that ran
+       it: cumulative worker-side statistics (e.g. cache hit rates) for the
+       parent to aggregate.  The engine keeps only each worker's latest
+       report, so returning the worker's running totals is correct even
+       when one worker processes several chunks.  Return ``None`` (the
+       default) to report nothing.
+
+    Determinism contract: ``evaluate`` must be a pure function of the item
+    plus state installed by ``setup`` — never of *which* worker runs it or
+    of evaluation order.  Jobs honouring this produce identical rows for
+    any worker count, which is what the repo's byte-identity tests pin.
+    """
+
+    def enumerate(self) -> Sequence[Any]:
+        """The ordered work items.  Called once, in the parent."""
+        raise NotImplementedError
+
+    def prepare(self) -> Any:
+        """Shared, picklable context computed once in the parent."""
+        return None
+
+    def setup(self, context: Any) -> None:
+        """Install worker-local state.  Runs once per worker."""
+
+    def evaluate(self, item: Any) -> Any:
+        """Produce the row for one work item."""
+        raise NotImplementedError
+
+    def collect(self) -> Optional[Any]:
+        """Worker-side statistics for one completed chunk, or ``None``."""
+        return None

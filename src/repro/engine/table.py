@@ -1,0 +1,116 @@
+"""The shared result-table surface behind every sweep and experiment result.
+
+``SweepResult`` (dse), ``PlanResult`` (plan) and ``ExperimentResult`` (eval)
+used to re-implement column extraction, row filtering, rendering and export
+independently — and inconsistently (``SweepResult`` had no JSON export at
+all).  :class:`ResultTable` is the one implementation they all subclass:
+anything with a ``rows`` attribute of primitive-valued dicts gets the full
+``column`` / ``find`` / ``best`` / ``pareto`` / ``render`` / ``to_csv`` /
+``to_dict`` / ``to_json`` set, and a regression test pins that the three
+tables expose exactly this shared surface.
+
+Rendering helpers are imported lazily so this module (and the whole
+:mod:`repro.engine` package) stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """Base class for row-oriented results.
+
+    Subclasses (typically dataclasses) declare a ``rows`` attribute holding
+    a list of dicts of primitive values, and may override:
+
+    * ``OBJECTIVES`` — default minimisation objectives for :meth:`pareto`;
+    * ``DEFAULT_TITLE`` — the title :meth:`render` uses when none is given;
+    * :meth:`to_dict` — the JSON payload (the base implementation exports
+      the rows plus the row count).
+    """
+
+    rows: List[Dict]
+
+    #: Default objectives for :meth:`pareto`; empty means the caller must
+    #: pass objectives explicitly.
+    OBJECTIVES: Sequence[str] = ()
+
+    #: Default metric for :meth:`best`; ``None`` means the caller must pass
+    #: a metric explicitly.
+    DEFAULT_METRIC: Optional[str] = None
+
+    #: Title :meth:`render` falls back to.
+    DEFAULT_TITLE: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def column(self, key: str) -> List:
+        """Extract one column across all rows."""
+        return [row[key] for row in self.rows]
+
+    def find(self, **criteria) -> List[Dict]:
+        """Rows whose values match every ``key=value`` criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def best(self, metric: Optional[str] = None) -> Dict:
+        """The row minimising ``metric`` (ties: first in row order)."""
+        if metric is None:
+            metric = self.DEFAULT_METRIC
+        if metric is None:
+            raise ValueError(
+                f"{type(self).__name__} declares no default metric; "
+                "pass best(metric=...) explicitly"
+            )
+        if not self.rows:
+            raise ValueError(f"{type(self).__name__} has no rows")
+        return min(self.rows, key=lambda row: row[metric])
+
+    def pareto(self, objectives: Optional[Sequence[str]] = None) -> List[Dict]:
+        """Non-dominated rows under ``objectives`` (all minimised)."""
+        from ..dse.pareto import pareto_frontier
+
+        if objectives is None:
+            objectives = self.OBJECTIVES
+        if not objectives:
+            raise ValueError(
+                f"{type(self).__name__} declares no default objectives; "
+                "pass pareto(objectives=...) explicitly"
+            )
+        return pareto_frontier(self.rows, objectives)
+
+    def render(self, title: str = "") -> str:
+        """Aligned text table of every row."""
+        from ..eval.tables import render_dict_table
+
+        return render_dict_table(self.rows, title=title or self.DEFAULT_TITLE)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Rows as CSV text; when ``path`` is given, also write the file."""
+        from ..eval.tables import render_csv
+
+        text = render_csv(self.rows)
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable payload; subclasses add their own metadata."""
+        return {"num_rows": self.num_rows, "rows": [dict(row) for row in self.rows]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """:meth:`to_dict` as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -1,10 +1,29 @@
-"""Experiment implementations: one per table and figure in the paper.
+"""Experiment implementations: one engine job per table and figure.
 
-Every function returns an :class:`ExperimentResult` whose ``rows`` are plain
-dictionaries (so they can be asserted on in tests, rendered as text tables in
-benchmarks, and dumped into ``EXPERIMENTS.md``).  Each experiment accepts a
-``fast`` flag: ``True`` (default) uses subsampled synthetic datasets sized
-for CI; ``False`` uses the full synthetic dataset sizes.
+Every experiment is an :class:`ExperimentJob` — a declarative
+:class:`~repro.engine.Job` that enumerates fine-grained work items (one
+model, one dataset, one ablation point, ...), evaluates each item into row
+fragments, and assembles the fragments into an :class:`ExperimentResult`.
+Because experiments are jobs, the harness (:mod:`repro.eval.harness`) can
+run one serially *or* fan the items of many experiments out over one shared
+worker pool — ``run_all_experiments(workers=8)`` load-balances all eleven
+paper artifacts across processes and still produces rows identical to a
+serial run (pinned by ``tests/test_experiments.py``).
+
+Workers share an :class:`ExperimentContext`: a per-process memo of loaded
+datasets, built models and measured :class:`~repro.api.InferenceReport` s,
+keyed by construction recipe.  Any two experiments that ask for the same
+(backend, model build, dataset load, batch size, config) measurement get
+one measurement — the harness-level analogue of the plan engine's shared
+``MeasurementCache``.
+
+The module-level ``run_table*`` / ``run_fig*`` functions are thin wrappers
+that run the corresponding job through a serial engine; their signatures
+and their output are unchanged from the pre-engine harness.
+
+Each experiment accepts a ``fast`` flag: ``True`` (default) uses subsampled
+synthetic datasets sized for CI; ``False`` uses the full synthetic dataset
+sizes.
 
 The mapping to the paper:
 
@@ -26,7 +45,7 @@ The mapping to the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api import InferenceRequest, get_backend
 from ..arch import (
@@ -48,12 +67,20 @@ from ..datasets import (
     load_dataset,
 )
 from ..dse import SweepRunner, SweepSpec
-from ..graph import Graph, imbalance_table
+from ..engine import Engine, Job, ResultTable
+from ..graph import imbalance_table
 from ..nn import MODEL_NAMES, build_model
 from .metrics import geometric_mean, speedup
 from .tables import render_dict_table
 
-__all__ = ["ExperimentResult", "EXPERIMENT_NAMES"] + [
+__all__ = [
+    "ExperimentResult",
+    "ExperimentContext",
+    "ExperimentJob",
+    "EXPERIMENT_NAMES",
+    "experiment_context",
+    "run_experiment_job",
+] + [
     "run_table3_resources",
     "run_table4_datasets",
     "run_table5_hep_latency",
@@ -68,8 +95,13 @@ __all__ = ["ExperimentResult", "EXPERIMENT_NAMES"] + [
 
 
 @dataclass
-class ExperimentResult:
-    """Structured output of one experiment."""
+class ExperimentResult(ResultTable):
+    """Structured output of one experiment.
+
+    ``column`` / ``find`` / ``to_csv`` / ``to_json`` (and friends) come
+    from :class:`~repro.engine.ResultTable`, so experiment tables export
+    exactly like sweep results.
+    """
 
     name: str
     description: str
@@ -83,9 +115,14 @@ class ExperimentResult:
             parts.append(f"note: {note}")
         return "\n".join(parts)
 
-    def column(self, key: str) -> List:
-        """Extract one column across all rows."""
-        return [row[key] for row in self.rows]
+    def to_dict(self) -> Dict:
+        """JSON-serialisable payload of the experiment."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
 
 EXPERIMENT_NAMES = [
@@ -104,120 +141,266 @@ EXPERIMENT_NAMES = [
 
 
 # ---------------------------------------------------------------------------
-# Shared helpers
+# Shared per-process context: datasets, models, measured reports
 # ---------------------------------------------------------------------------
-def _dataset_sample(name: str, fast: bool, fast_graphs: int, full_graphs: int, scale: Optional[float] = None):
-    """Load a dataset sized for the requested fidelity level."""
-    if name in ("Cora", "CiteSeer", "PubMed", "Reddit"):
-        return load_dataset(name, scale=scale)
-    return load_dataset(name, num_graphs=fast_graphs if fast else full_graphs)
+def _spec(name: str, **kwargs) -> Tuple:
+    """A hashable construction recipe: ``(name, sorted kwargs)``.
+
+    Used as the memo key for datasets (``load_dataset`` arguments) and
+    models (``build_model`` arguments).  Two call sites share a cache entry
+    exactly when they would have constructed the same object, so the memo
+    can never change a result — only skip recomputing it.
+    """
+    return (name, tuple(sorted(kwargs.items())))
 
 
-def _build_models_for_dataset(dataset, seed: int = 0) -> Dict[str, object]:
-    """Build all six paper models for one dataset's feature dimensions."""
-    return {
-        name: build_model(
-            name,
-            input_dim=dataset.node_feature_dim,
-            edge_input_dim=dataset.edge_feature_dim,
-            seed=seed,
+class ExperimentContext:
+    """Per-process memo of datasets, models and inference reports.
+
+    This is the "shared measurement profile" store of the experiment
+    harness: every dataset load, model build and backend measurement is
+    keyed by its construction recipe (:func:`_spec` tuples plus batch size
+    and config), so the worker that evaluates both the Fig. 7 GPU sweep and
+    the Fig. 9 GPU reference measures their common point once.  All entries
+    are deterministic functions of their key, which is what keeps serial
+    and parallel harness runs row-identical.
+    """
+
+    def __init__(self) -> None:
+        self._datasets: Dict[Tuple, object] = {}
+        self._graphs: Dict[Tuple, List] = {}
+        self._models: Dict[Tuple, object] = {}
+        self._reports: Dict[Tuple, object] = {}
+        self.report_hits = 0
+        self.report_misses = 0
+
+    def dataset(self, dataset_spec: Tuple):
+        """The memoised dataset for one ``load_dataset`` recipe."""
+        cached = self._datasets.get(dataset_spec)
+        if cached is None:
+            name, kwargs = dataset_spec
+            cached = load_dataset(name, **dict(kwargs))
+            self._datasets[dataset_spec] = cached
+        return cached
+
+    def graphs(self, dataset_spec: Tuple) -> List:
+        """The memoised graph list of one dataset recipe."""
+        cached = self._graphs.get(dataset_spec)
+        if cached is None:
+            cached = list(self.dataset(dataset_spec))
+            self._graphs[dataset_spec] = cached
+        return cached
+
+    def model(self, model_spec: Tuple):
+        """The memoised model for one ``build_model`` recipe."""
+        cached = self._models.get(model_spec)
+        if cached is None:
+            name, kwargs = model_spec
+            cached = build_model(name, **dict(kwargs))
+            self._models[model_spec] = cached
+        return cached
+
+    def report(
+        self,
+        backend: str,
+        model_spec: Tuple,
+        dataset_spec: Tuple,
+        batch_size: int = 1,
+        config: Optional[ArchitectureConfig] = None,
+        first_graph_only: bool = False,
+    ):
+        """One measured :class:`~repro.api.InferenceReport`, memoised.
+
+        This is how every comparison column in the experiment tables is
+        produced, whatever the platform.  ``first_graph_only`` measures just
+        the first graph of the dataset (single-graph node-classification
+        experiments).
+        """
+        key = (backend, model_spec, dataset_spec, int(batch_size), config, first_graph_only)
+        cached = self._reports.get(key)
+        if cached is not None:
+            self.report_hits += 1
+            return cached
+        self.report_misses += 1
+        graphs = self.graphs(dataset_spec)
+        if first_graph_only:
+            graphs = graphs[:1]
+        request = InferenceRequest(
+            model=self.model(model_spec),
+            dataset=list(graphs),
+            batch_size=batch_size,
+            config=config,
         )
-        for name in MODEL_NAMES
-    }
+        cached = get_backend(backend).run(request)
+        self._reports[key] = cached
+        return cached
+
+    def info(self) -> Dict[str, int]:
+        """Memo statistics (reports are the expensive entries)."""
+        return {
+            "datasets": len(self._datasets),
+            "models": len(self._models),
+            "reports": len(self._reports),
+            "report_hits": self.report_hits,
+            "report_misses": self.report_misses,
+        }
 
 
-def _report(
-    backend: str,
-    model,
-    graphs: Sequence[Graph],
-    batch_size: int = 1,
-    config: Optional[ArchitectureConfig] = None,
-):
-    """One :class:`~repro.api.InferenceReport` — how every comparison column
-    in the experiment tables is produced, whatever the platform."""
-    request = InferenceRequest(
-        model=model, dataset=list(graphs), batch_size=batch_size, config=config
-    )
-    return get_backend(backend).run(request)
+_CONTEXT: Optional[ExperimentContext] = None
 
 
-def _flowgnn_mean_latency_ms(model, graphs: Sequence[Graph], config: Optional[ArchitectureConfig] = None) -> float:
-    return _report("flowgnn", model, graphs, config=config).mean_latency_ms
+def experiment_context() -> ExperimentContext:
+    """The process-local shared context (created on first use)."""
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = ExperimentContext()
+    return _CONTEXT
+
+
+def reset_experiment_context() -> ExperimentContext:
+    """A fresh context; called by job ``setup`` so every engine run starts
+    cold (a forked worker must not inherit the parent's warm memo, or
+    benchmarks comparing serial and parallel runs would be meaningless)."""
+    global _CONTEXT
+    _CONTEXT = ExperimentContext()
+    return _CONTEXT
+
+
+# ---------------------------------------------------------------------------
+# Job base
+# ---------------------------------------------------------------------------
+@dataclass
+class ExperimentJob(Job):
+    """Base class for one paper table/figure as an engine job.
+
+    Subclasses set ``name``/``description`` class attributes and implement
+    ``enumerate``/``evaluate``; ``assemble(rows)`` turns the evaluated rows
+    (in item order) into the final :class:`ExperimentResult` and is where
+    cross-item columns (geometric means, cumulative speedups) live.  Jobs
+    carry only names and scalars, so they pickle to workers cheaply.
+    """
+
+    fast: bool = True
+
+    name = ""
+    description = ""
+
+    def setup(self, context) -> None:
+        reset_experiment_context()
+
+    def collect(self) -> Optional[Dict[str, int]]:
+        return experiment_context().info()
+
+    def notes(self, rows: List[Dict]) -> List[str]:
+        """Experiment notes; may inspect the assembled rows."""
+        return []
+
+    def assemble(self, rows: List) -> ExperimentResult:
+        """Combine evaluated rows (in item order) into the result."""
+        return ExperimentResult(
+            name=self.name,
+            description=self.description,
+            rows=list(rows),
+            notes=self.notes(rows),
+        )
+
+
+def run_experiment_job(job: ExperimentJob) -> ExperimentResult:
+    """Run one experiment job serially (the single-experiment front door)."""
+    run = Engine(workers=0).run(job)
+    return job.assemble(run.rows)
 
 
 # ---------------------------------------------------------------------------
 # Table III — FPGA resource usage
 # ---------------------------------------------------------------------------
-def run_table3_resources(fast: bool = True) -> ExperimentResult:
+@dataclass
+class Table3Job(ExperimentJob):
     """Estimate DSP/LUT/FF/BRAM per model and compare to Table III."""
-    config = ArchitectureConfig()
-    rows: List[Dict] = []
-    for name in ["GIN", "GCN", "PNA", "GAT", "DGN"]:
-        model = build_model(name, input_dim=9, edge_input_dim=3)
-        estimate = estimate_resources(model, config)
-        reference = TABLE3_REFERENCE.get(name, {})
-        rows.append(
-            {
-                "model": name,
-                "dsp": estimate.dsp,
-                "lut": estimate.lut,
-                "ff": estimate.ff,
-                "bram": estimate.bram,
-                "paper_dsp": reference.get("dsp"),
-                "paper_lut": reference.get("lut"),
-                "paper_ff": reference.get("ff"),
-                "paper_bram": reference.get("bram"),
-            }
-        )
-    return ExperimentResult(
-        name="table3",
-        description="FPGA resource usage per model kernel (Alveo U50, 300 MHz)",
-        rows=rows,
-        notes=[
+
+    name = "table3"
+    description = "FPGA resource usage per model kernel (Alveo U50, 300 MHz)"
+
+    def enumerate(self) -> List[str]:
+        return ["GIN", "GCN", "PNA", "GAT", "DGN"]
+
+    def evaluate(self, model_name: str) -> Dict:
+        context = experiment_context()
+        model = context.model(_spec(model_name, input_dim=9, edge_input_dim=3))
+        estimate = estimate_resources(model, ArchitectureConfig())
+        reference = TABLE3_REFERENCE.get(model_name, {})
+        return {
+            "model": model_name,
+            "dsp": estimate.dsp,
+            "lut": estimate.lut,
+            "ff": estimate.ff,
+            "bram": estimate.bram,
+            "paper_dsp": reference.get("dsp"),
+            "paper_lut": reference.get("lut"),
+            "paper_ff": reference.get("ff"),
+            "paper_bram": reference.get("bram"),
+        }
+
+    def notes(self, rows: List[Dict]) -> List[str]:
+        return [
             "Resources come from an analytical estimator; the paper reports "
             "post-place-and-route Vivado numbers."
-        ],
-    )
+        ]
+
+
+def run_table3_resources(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Table3Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
 # Table IV — dataset statistics
 # ---------------------------------------------------------------------------
-def run_table4_datasets(fast: bool = True) -> ExperimentResult:
+@dataclass
+class Table4Job(ExperimentJob):
     """Generate every dataset and compare its statistics to Table IV."""
-    rows: List[Dict] = []
-    for name, reference in TABLE4_REFERENCE.items():
-        if name == "Reddit":
-            dataset = load_dataset(name, scale=0.005 if fast else 0.01)
-        elif name == "PubMed":
-            dataset = load_dataset(name, scale=0.25 if fast else 1.0)
-        elif name in ("Cora", "CiteSeer"):
-            dataset = load_dataset(name, scale=0.5 if fast else 1.0)
-        else:
-            dataset = load_dataset(name, num_graphs=128 if fast else 2048)
+
+    name = "table4"
+    description = "Dataset statistics (synthetic, matched to Table IV)"
+
+    def enumerate(self) -> List[str]:
+        return list(TABLE4_REFERENCE)
+
+    def _load_kwargs(self, dataset_name: str) -> Dict:
+        fast = self.fast
+        if dataset_name == "Reddit":
+            return {"scale": 0.005 if fast else 0.01}
+        if dataset_name == "PubMed":
+            return {"scale": 0.25 if fast else 1.0}
+        if dataset_name in ("Cora", "CiteSeer"):
+            return {"scale": 0.5 if fast else 1.0}
+        return {"num_graphs": 128 if fast else 2048}
+
+    def evaluate(self, dataset_name: str) -> Dict:
+        context = experiment_context()
+        dataset = context.dataset(_spec(dataset_name, **self._load_kwargs(dataset_name)))
         stats = dataset.statistics()
-        rows.append(
-            {
-                "dataset": name,
-                "graphs_generated": stats.num_graphs,
-                "mean_nodes": round(stats.mean_nodes, 1),
-                "mean_edges": round(stats.mean_edges, 1),
-                "edge_features": stats.has_edge_features,
-                "paper_graphs": int(reference["graphs"]),
-                "paper_nodes": reference["nodes"],
-                "paper_edges": reference["edges"],
-                "paper_edge_features": bool(reference["edge_features"]),
-            }
-        )
-    return ExperimentResult(
-        name="table4",
-        description="Dataset statistics (synthetic, matched to Table IV)",
-        rows=rows,
-        notes=[
+        reference = TABLE4_REFERENCE[dataset_name]
+        return {
+            "dataset": dataset_name,
+            "graphs_generated": stats.num_graphs,
+            "mean_nodes": round(stats.mean_nodes, 1),
+            "mean_edges": round(stats.mean_edges, 1),
+            "edge_features": stats.has_edge_features,
+            "paper_graphs": int(reference["graphs"]),
+            "paper_nodes": reference["nodes"],
+            "paper_edges": reference["edges"],
+            "paper_edge_features": bool(reference["edge_features"]),
+        }
+
+    def notes(self, rows: List[Dict]) -> List[str]:
+        return [
             "Multi-graph datasets are subsampled and single-graph datasets may be "
             "scaled down in fast mode; the per-graph statistics are what is matched.",
-        ],
-    )
+        ]
+
+
+def run_table4_datasets(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Table4Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
@@ -233,36 +416,52 @@ TABLE5_REFERENCE_MS = {
 }
 
 
-def run_table5_hep_latency(fast: bool = True, num_graphs: Optional[int] = None) -> ExperimentResult:
+@dataclass
+class Table5Job(ExperimentJob):
     """Batch-1 latency of all six models on the HEP dataset (Table V)."""
-    dataset = load_dataset("HEP", num_graphs=num_graphs or (16 if fast else 256))
-    graphs = list(dataset)
-    models = _build_models_for_dataset(dataset)
 
-    rows: List[Dict] = []
-    for name, model in models.items():
-        cpu_ms = _report("cpu", model, graphs).mean_latency_ms
-        gpu_ms = _report("gpu", model, graphs).mean_latency_ms
-        flowgnn_ms = _report("flowgnn", model, graphs).mean_latency_ms
-        reference = TABLE5_REFERENCE_MS[name]
-        rows.append(
-            {
-                "model": name,
-                "cpu_ms": round(cpu_ms, 4),
-                "gpu_ms": round(gpu_ms, 4),
-                "flowgnn_ms": round(flowgnn_ms, 4),
-                "speedup_vs_cpu": round(speedup(cpu_ms, flowgnn_ms), 1),
-                "speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 1),
-                "paper_cpu_ms": reference["cpu"],
-                "paper_gpu_ms": reference["gpu"],
-                "paper_flowgnn_ms": reference["flowgnn"],
-            }
+    num_graphs: Optional[int] = None
+
+    name = "table5"
+    description = "On-board batch-1 latency (ms) on the HEP dataset"
+
+    def _dataset_spec(self) -> Tuple:
+        return _spec("HEP", num_graphs=self.num_graphs or (16 if self.fast else 256))
+
+    def enumerate(self) -> List[str]:
+        return list(MODEL_NAMES)
+
+    def evaluate(self, model_name: str) -> Dict:
+        context = experiment_context()
+        dataset_spec = self._dataset_spec()
+        dataset = context.dataset(dataset_spec)
+        model_spec = _spec(
+            model_name,
+            input_dim=dataset.node_feature_dim,
+            edge_input_dim=dataset.edge_feature_dim,
+            seed=0,
         )
-    return ExperimentResult(
-        name="table5",
-        description="On-board batch-1 latency (ms) on the HEP dataset",
-        rows=rows,
-    )
+        cpu_ms = context.report("cpu", model_spec, dataset_spec).mean_latency_ms
+        gpu_ms = context.report("gpu", model_spec, dataset_spec).mean_latency_ms
+        flowgnn_ms = context.report("flowgnn", model_spec, dataset_spec).mean_latency_ms
+        reference = TABLE5_REFERENCE_MS[model_name]
+        return {
+            "model": model_name,
+            "cpu_ms": round(cpu_ms, 4),
+            "gpu_ms": round(gpu_ms, 4),
+            "flowgnn_ms": round(flowgnn_ms, 4),
+            "speedup_vs_cpu": round(speedup(cpu_ms, flowgnn_ms), 1),
+            "speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 1),
+            "paper_cpu_ms": reference["cpu"],
+            "paper_gpu_ms": reference["gpu"],
+            "paper_flowgnn_ms": reference["flowgnn"],
+        }
+
+
+def run_table5_hep_latency(
+    fast: bool = True, num_graphs: Optional[int] = None
+) -> ExperimentResult:
+    return run_experiment_job(Table5Job(fast=fast, num_graphs=num_graphs))
 
 
 # ---------------------------------------------------------------------------
@@ -278,35 +477,46 @@ TABLE6_REFERENCE = {
 }
 
 
-def run_table6_energy(fast: bool = True) -> ExperimentResult:
+@dataclass
+class Table6Job(ExperimentJob):
     """Energy efficiency (graphs/kJ) at batch 1 on MolHIV (Table VI)."""
-    dataset = load_dataset("MolHIV", num_graphs=16 if fast else 256)
-    graphs = list(dataset)
-    models = _build_models_for_dataset(dataset)
 
-    rows: List[Dict] = []
-    for name, model in models.items():
-        cpu_eff = _report("cpu", model, graphs).graphs_per_kilojoule
-        gpu_eff = _report("gpu", model, graphs).graphs_per_kilojoule
-        flowgnn_eff = _report("flowgnn", model, graphs).graphs_per_kilojoule
-        reference = TABLE6_REFERENCE[name]
-        rows.append(
-            {
-                "model": name,
-                "cpu_graphs_per_kj": cpu_eff,
-                "gpu_graphs_per_kj": gpu_eff,
-                "flowgnn_graphs_per_kj": flowgnn_eff,
-                "gain_vs_gpu": round(flowgnn_eff / gpu_eff, 1) if gpu_eff else None,
-                "paper_cpu": reference["cpu"],
-                "paper_gpu": reference["gpu"],
-                "paper_flowgnn": reference["flowgnn"],
-            }
+    name = "table6"
+    description = "Energy efficiency (graphs/kJ) at batch 1 on MolHIV"
+
+    def enumerate(self) -> List[str]:
+        return list(MODEL_NAMES)
+
+    def evaluate(self, model_name: str) -> Dict:
+        context = experiment_context()
+        dataset_spec = _spec("MolHIV", num_graphs=16 if self.fast else 256)
+        dataset = context.dataset(dataset_spec)
+        model_spec = _spec(
+            model_name,
+            input_dim=dataset.node_feature_dim,
+            edge_input_dim=dataset.edge_feature_dim,
+            seed=0,
         )
-    return ExperimentResult(
-        name="table6",
-        description="Energy efficiency (graphs/kJ) at batch 1 on MolHIV",
-        rows=rows,
-    )
+        cpu_eff = context.report("cpu", model_spec, dataset_spec).graphs_per_kilojoule
+        gpu_eff = context.report("gpu", model_spec, dataset_spec).graphs_per_kilojoule
+        flowgnn_eff = context.report(
+            "flowgnn", model_spec, dataset_spec
+        ).graphs_per_kilojoule
+        reference = TABLE6_REFERENCE[model_name]
+        return {
+            "model": model_name,
+            "cpu_graphs_per_kj": cpu_eff,
+            "gpu_graphs_per_kj": gpu_eff,
+            "flowgnn_graphs_per_kj": flowgnn_eff,
+            "gain_vs_gpu": round(flowgnn_eff / gpu_eff, 1) if gpu_eff else None,
+            "paper_cpu": reference["cpu"],
+            "paper_gpu": reference["gpu"],
+            "paper_flowgnn": reference["flowgnn"],
+        }
+
+
+def run_table6_energy(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Table6Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
@@ -324,265 +534,496 @@ TABLE7_REFERENCE_PERCENT = {
 }
 
 
-def run_table7_imbalance(fast: bool = True) -> ExperimentResult:
-    """MP-unit workload imbalance across datasets and P_edge (Table VII)."""
-    dataset_names = ["MolHIV", "MolPCBA", "HEP", "Cora", "CiteSeer"]
-    if not fast:
-        dataset_names += ["PubMed", "Reddit"]
-    datasets = {}
-    for name in dataset_names:
-        if name in ("Cora", "CiteSeer", "PubMed"):
-            datasets[name] = list(load_dataset(name, scale=0.5 if fast else 1.0))
-        elif name == "Reddit":
-            datasets[name] = list(load_dataset(name, scale=0.01))
-        else:
-            datasets[name] = list(load_dataset(name, num_graphs=64 if fast else 512))
+@dataclass
+class Table7Job(ExperimentJob):
+    """MP-unit workload imbalance across datasets and P_edge (Table VII).
 
-    table = imbalance_table(datasets, TABLE7_P_EDGE_VALUES)
-    rows: List[Dict] = []
-    for p_edge, per_dataset in table.items():
-        row: Dict = {"p_edge": p_edge}
-        for name, value in per_dataset.items():
-            row[f"{name}_pct"] = round(100.0 * value, 2)
-            reference = TABLE7_REFERENCE_PERCENT.get(p_edge, {}).get(name)
-            row[f"{name}_paper_pct"] = reference
-        rows.append(row)
-    return ExperimentResult(
-        name="table7",
-        description="MP workload imbalance (%) for varying P_edge",
-        rows=rows,
-        notes=["Imbalance = (max - min) edges per MP unit, as % of total edges."],
-    )
+    Items are datasets (the unit of load), each evaluating the imbalance
+    column for every ``P_edge``; ``assemble`` transposes the columns into
+    the paper's one-row-per-``P_edge`` layout.
+    """
+
+    name = "table7"
+    description = "MP workload imbalance (%) for varying P_edge"
+
+    def enumerate(self) -> List[str]:
+        names = ["MolHIV", "MolPCBA", "HEP", "Cora", "CiteSeer"]
+        if not self.fast:
+            names += ["PubMed", "Reddit"]
+        return names
+
+    def _load_kwargs(self, dataset_name: str) -> Dict:
+        fast = self.fast
+        if dataset_name in ("Cora", "CiteSeer", "PubMed"):
+            return {"scale": 0.5 if fast else 1.0}
+        if dataset_name == "Reddit":
+            return {"scale": 0.01}
+        return {"num_graphs": 64 if fast else 512}
+
+    def evaluate(self, dataset_name: str) -> Tuple[str, Dict[int, float]]:
+        context = experiment_context()
+        graphs = context.graphs(_spec(dataset_name, **self._load_kwargs(dataset_name)))
+        table = imbalance_table({dataset_name: graphs}, TABLE7_P_EDGE_VALUES)
+        return dataset_name, {
+            p_edge: per_dataset[dataset_name] for p_edge, per_dataset in table.items()
+        }
+
+    def assemble(self, rows: List) -> ExperimentResult:
+        columns = list(rows)  # (dataset_name, {p_edge: imbalance}) in item order
+        table_rows: List[Dict] = []
+        for p_edge in TABLE7_P_EDGE_VALUES:
+            row: Dict = {"p_edge": p_edge}
+            for dataset_name, column in columns:
+                row[f"{dataset_name}_pct"] = round(100.0 * column[p_edge], 2)
+                reference = TABLE7_REFERENCE_PERCENT.get(p_edge, {}).get(dataset_name)
+                row[f"{dataset_name}_paper_pct"] = reference
+            table_rows.append(row)
+        return ExperimentResult(
+            name=self.name,
+            description=self.description,
+            rows=table_rows,
+            notes=["Imbalance = (max - min) edges per MP unit, as % of total edges."],
+        )
+
+
+def run_table7_imbalance(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Table7Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
 # Table VIII — comparison against I-GCN and AWB-GCN
 # ---------------------------------------------------------------------------
-def run_table8_gcn_accelerators(fast: bool = True) -> ExperimentResult:
+# The Table VIII kernel is specialised for a 2-layer, dim-16 GCN: with the
+# embedding only 16 wide, the lanes cover the full vector (P_apply =
+# P_scatter = 16) and the DSP budget affords more units.  The graph is
+# resident (single-graph node classification), so feature streaming is
+# not part of the measured latency.
+_TABLE8_CONFIG = ArchitectureConfig(
+    num_nt_units=8,
+    num_mp_units=16,
+    apply_parallelism=16,
+    scatter_parallelism=16,
+    edge_overhead_cycles=1,
+    nt_overhead_cycles=1,
+    include_graph_loading=False,
+    include_weight_loading=False,
+)
+
+_TABLE8_FLOWGNN_DSPS = 747  # reported by the paper for the Table VIII GCN kernel
+
+
+@dataclass
+class Table8Job(ExperimentJob):
     """DSP-normalised comparison with I-GCN / AWB-GCN on citation graphs."""
-    igcn = igcn_model()
-    awb = awbgcn_model()
-    # The Table VIII kernel is specialised for a 2-layer, dim-16 GCN: with the
-    # embedding only 16 wide, the lanes cover the full vector (P_apply =
-    # P_scatter = 16) and the DSP budget affords more units.  The graph is
-    # resident (single-graph node classification), so feature streaming is
-    # not part of the measured latency.
-    config = ArchitectureConfig(
-        num_nt_units=8,
-        num_mp_units=16,
-        apply_parallelism=16,
-        scatter_parallelism=16,
-        edge_overhead_cycles=1,
-        nt_overhead_cycles=1,
-        include_graph_loading=False,
-        include_weight_loading=False,
-    )
-    flowgnn_dsps = 747  # reported by the paper for the Table VIII GCN kernel
 
-    dataset_specs = [
-        ("Cora", dict(scale=0.5 if fast else 1.0)),
-        ("CiteSeer", dict(scale=0.5 if fast else 1.0)),
-        ("PubMed", dict(scale=0.1 if fast else 0.5)),
-        ("Reddit", dict(scale=0.003 if fast else 0.01)),
-    ]
+    name = "table8"
+    description = "DSP-normalised comparison with I-GCN and AWB-GCN (2-layer GCN, dim 16)"
 
-    rows: List[Dict] = []
-    for name, kwargs in dataset_specs.items() if isinstance(dataset_specs, dict) else dataset_specs:
-        dataset = load_dataset(name, **kwargs)
-        graph = dataset[0]
-        reference_nodes = TABLE4_REFERENCE[name]["nodes"]
-        reference_edges = TABLE4_REFERENCE[name]["edges"]
+    def enumerate(self) -> List[Tuple[str, Tuple]]:
+        fast = self.fast
+        return [
+            ("Cora", (("scale", 0.5 if fast else 1.0),)),
+            ("CiteSeer", (("scale", 0.5 if fast else 1.0),)),
+            ("PubMed", (("scale", 0.1 if fast else 0.5),)),
+            ("Reddit", (("scale", 0.003 if fast else 0.01),)),
+        ]
+
+    def evaluate(self, item: Tuple[str, Tuple]) -> Dict:
+        dataset_name, load_kwargs = item
+        context = experiment_context()
+        dataset_spec = _spec(dataset_name, **dict(load_kwargs))
+        dataset = context.dataset(dataset_spec)
+        graph = context.graphs(dataset_spec)[0]
+        reference_nodes = TABLE4_REFERENCE[dataset_name]["nodes"]
+        reference_edges = TABLE4_REFERENCE[dataset_name]["edges"]
         # Table VIII uses a 2-layer, dim-16 GCN with no edge embeddings.
-        model = build_model(
+        model_spec = _spec(
             "GCN", input_dim=dataset.node_feature_dim, num_layers=2, hidden_dim=16
         )
-        simulated = _report("flowgnn", model, [graph], config=config)
+        simulated = context.report(
+            "flowgnn",
+            model_spec,
+            dataset_spec,
+            config=_TABLE8_CONFIG,
+            first_graph_only=True,
+        )
         # Extrapolate from the scaled synthetic graph to the real dataset size
         # (2-layer GCN latency is dominated by edge traversal).
         edge_scale = max(reference_edges / max(graph.num_edges, 1), 1.0)
         node_scale = max(reference_nodes / max(graph.num_nodes, 1), 1.0)
         flowgnn_us = simulated.mean_latency_ms * 1e3 * max(edge_scale, node_scale)
-        flowgnn_norm = dsp_normalised_latency(flowgnn_us, flowgnn_dsps)
+        flowgnn_norm = dsp_normalised_latency(flowgnn_us, _TABLE8_FLOWGNN_DSPS)
 
-        igcn_norm = dsp_normalised_latency(igcn.latency_us(name), igcn.dsps)
-        awb_norm = dsp_normalised_latency(awb.latency_us(name), awb.dsps)
-        rows.append(
-            {
-                "dataset": name,
-                "flowgnn_us": round(flowgnn_us, 2),
-                "flowgnn_norm_us": round(flowgnn_norm, 3),
-                "igcn_us": igcn.latency_us(name),
-                "igcn_norm_us": round(igcn_norm, 3),
-                "awbgcn_us": awb.latency_us(name),
-                "awbgcn_norm_us": round(awb_norm, 3),
-                "speedup_vs_igcn": round(igcn_norm / flowgnn_norm, 2) if flowgnn_norm else None,
-                "speedup_vs_awbgcn": round(awb_norm / flowgnn_norm, 2) if flowgnn_norm else None,
-                "paper_flowgnn_norm_us": dsp_normalised_latency(
-                    FLOWGNN_TABLE8_PUBLISHED[name].latency_us, flowgnn_dsps
+        igcn = igcn_model()
+        awb = awbgcn_model()
+        igcn_norm = dsp_normalised_latency(igcn.latency_us(dataset_name), igcn.dsps)
+        awb_norm = dsp_normalised_latency(awb.latency_us(dataset_name), awb.dsps)
+        return {
+            "dataset": dataset_name,
+            "flowgnn_us": round(flowgnn_us, 2),
+            "flowgnn_norm_us": round(flowgnn_norm, 3),
+            "igcn_us": igcn.latency_us(dataset_name),
+            "igcn_norm_us": round(igcn_norm, 3),
+            "awbgcn_us": awb.latency_us(dataset_name),
+            "awbgcn_norm_us": round(awb_norm, 3),
+            "speedup_vs_igcn": round(igcn_norm / flowgnn_norm, 2) if flowgnn_norm else None,
+            "speedup_vs_awbgcn": round(awb_norm / flowgnn_norm, 2) if flowgnn_norm else None,
+            "paper_flowgnn_norm_us": dsp_normalised_latency(
+                FLOWGNN_TABLE8_PUBLISHED[dataset_name].latency_us, _TABLE8_FLOWGNN_DSPS
+            ),
+            "paper_speedup_vs_igcn": round(
+                IGCN_PUBLISHED[dataset_name].latency_us
+                / dsp_normalised_latency(
+                    FLOWGNN_TABLE8_PUBLISHED[dataset_name].latency_us,
+                    _TABLE8_FLOWGNN_DSPS,
                 ),
-                "paper_speedup_vs_igcn": round(
-                    IGCN_PUBLISHED[name].latency_us
-                    / dsp_normalised_latency(
-                        FLOWGNN_TABLE8_PUBLISHED[name].latency_us, flowgnn_dsps
-                    ),
-                    2,
-                ),
-            }
+                2,
+            ),
+        }
+
+    def notes(self, rows: List[Dict]) -> List[str]:
+        mean_speedup = geometric_mean(
+            [row["speedup_vs_igcn"] for row in rows if row["speedup_vs_igcn"]]
         )
-    mean_speedup = geometric_mean(
-        [row["speedup_vs_igcn"] for row in rows if row["speedup_vs_igcn"]]
-    )
-    return ExperimentResult(
-        name="table8",
-        description="DSP-normalised comparison with I-GCN and AWB-GCN (2-layer GCN, dim 16)",
-        rows=rows,
-        notes=[
+        return [
             f"geometric-mean speedup over I-GCN (normalised): {mean_speedup:.2f}x",
             "I-GCN / AWB-GCN numbers are the published Table VIII values; FlowGNN "
             "latency is simulated on scaled synthetic graphs and extrapolated to "
             "the real node/edge counts.",
-        ],
-    )
+        ]
+
+
+def run_table8_gcn_accelerators(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Table8Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
 # Fig. 7 — latency vs. GPU batch size (MolHIV, MolPCBA)
 # ---------------------------------------------------------------------------
-def run_fig7_latency_sweep(
-    dataset_name: str = "MolHIV",
-    fast: bool = True,
-    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
-) -> ExperimentResult:
+@dataclass
+class Fig7Job(ExperimentJob):
     """Per-model latency of CPU (bs 1), GPU (bs sweep) and FlowGNN (Fig. 7).
 
-    The FlowGNN column is produced by the :mod:`repro.dse` engine: one sweep
-    over all six models at the deployed configuration, with layer schedules
-    memoised across models and graphs.
+    One item per model; each item's FlowGNN column is produced by the
+    :mod:`repro.dse` engine (a one-model sweep at the deployed
+    configuration, layer schedules memoised across graphs).
     """
-    num_graphs = 24 if fast else 256
-    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
-    graphs = list(dataset)
-    models = _build_models_for_dataset(dataset)
 
-    # scale=1.0 keeps the sweep's own (deterministic, seed-pinned) dataset
-    # load identical to the `dataset` loaded above for the CPU/GPU columns,
-    # including for single-graph datasets where `num_graphs` is ignored —
-    # all three columns must be measured on the same graphs.
-    flowgnn_spec = SweepSpec(
-        models=tuple(MODEL_NAMES),
-        datasets=(dataset_name,),
-        num_graphs=num_graphs,
-        scale=1.0,
-        board=None,
-    )
-    flowgnn_sweep = SweepRunner(flowgnn_spec, workers=0).run()
-    flowgnn_by_model = {row["model"]: row["latency_ms"] for row in flowgnn_sweep.rows}
+    dataset_name: str = "MolHIV"
+    batch_sizes: Tuple[int, ...] = DEFAULT_BATCH_SIZES
 
-    rows: List[Dict] = []
-    for name, model in models.items():
-        cpu_ms = _report("cpu", model, graphs).mean_latency_ms
-        flowgnn_ms = flowgnn_by_model[name]
+    name = "fig7"
+    description = "Latency per graph vs. GPU batch size"
+
+    def __post_init__(self) -> None:
+        self.name = f"fig7_{self.dataset_name.lower()}"
+        self.description = (
+            f"Latency per graph vs. GPU batch size on {self.dataset_name}"
+        )
+
+    def _num_graphs(self) -> int:
+        return 24 if self.fast else 256
+
+    def enumerate(self) -> List[str]:
+        return list(MODEL_NAMES)
+
+    def evaluate(self, model_name: str) -> List[Dict]:
+        context = experiment_context()
+        num_graphs = self._num_graphs()
+        dataset_spec = _spec(self.dataset_name, num_graphs=num_graphs)
+        dataset = context.dataset(dataset_spec)
+        model_spec = _spec(
+            model_name,
+            input_dim=dataset.node_feature_dim,
+            edge_input_dim=dataset.edge_feature_dim,
+            seed=0,
+        )
+        cpu_ms = context.report("cpu", model_spec, dataset_spec).mean_latency_ms
+
+        # scale=1.0 keeps the sweep's own (deterministic, seed-pinned) dataset
+        # load identical to the `dataset` loaded above for the CPU/GPU columns,
+        # including for single-graph datasets where `num_graphs` is ignored —
+        # all three columns must be measured on the same graphs.
+        flowgnn_spec = SweepSpec(
+            models=(model_name,),
+            datasets=(self.dataset_name,),
+            num_graphs=num_graphs,
+            scale=1.0,
+            board=None,
+        )
+        flowgnn_ms = SweepRunner(flowgnn_spec, workers=0).run().rows[0]["latency_ms"]
+
+        rows: List[Dict] = []
         # One GPU report per batch size: the Fig. 7 x-axis.
-        sweep = {
-            int(batch): _report("gpu", model, graphs, batch_size=int(batch)).mean_latency_ms
-            for batch in batch_sizes
-        }
-        for batch, gpu_ms in sweep.items():
+        for batch in self.batch_sizes:
+            gpu_ms = context.report(
+                "gpu", model_spec, dataset_spec, batch_size=int(batch)
+            ).mean_latency_ms
             rows.append(
                 {
-                    "model": name,
-                    "batch_size": batch,
+                    "model": model_name,
+                    "batch_size": int(batch),
                     "cpu_ms_bs1": round(cpu_ms, 4),
                     "gpu_ms": round(gpu_ms, 4),
                     "flowgnn_ms": round(flowgnn_ms, 4),
                     "flowgnn_speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 2),
                 }
             )
-    return ExperimentResult(
-        name=f"fig7_{dataset_name.lower()}",
-        description=f"Latency per graph vs. GPU batch size on {dataset_name}",
-        rows=rows,
+        return rows
+
+    def assemble(self, rows: List) -> ExperimentResult:
+        flattened = [row for model_rows in rows for row in model_rows]
+        return ExperimentResult(
+            name=self.name,
+            description=self.description,
+            rows=flattened,
+            notes=self.notes(flattened),
+        )
+
+
+def run_fig7_latency_sweep(
+    dataset_name: str = "MolHIV",
+    fast: bool = True,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+) -> ExperimentResult:
+    return run_experiment_job(
+        Fig7Job(fast=fast, dataset_name=dataset_name, batch_sizes=tuple(batch_sizes))
     )
 
 
 # ---------------------------------------------------------------------------
 # Fig. 8 — Cora and CiteSeer latency
 # ---------------------------------------------------------------------------
-def run_fig8_citation(fast: bool = True) -> ExperimentResult:
+# Node classification on a resident graph: weights are pre-loaded, so the
+# FlowGNN number excludes the one-time weight stream (matching the
+# historical single-`run` measurement).
+_FIG8_FLOWGNN_CONFIG = ArchitectureConfig(include_weight_loading=False)
+
+
+@dataclass
+class Fig8Job(ExperimentJob):
     """Per-model latency on the Cora and CiteSeer single graphs (Fig. 8)."""
-    # Node classification on a resident graph: weights are pre-loaded, so the
-    # FlowGNN number excludes the one-time weight stream (matching the
-    # historical single-`run` measurement).
-    flowgnn_config = ArchitectureConfig(include_weight_loading=False)
-    rows: List[Dict] = []
-    for dataset_name in ("Cora", "CiteSeer"):
-        dataset = load_dataset(dataset_name, scale=0.3 if fast else 1.0)
-        graph = dataset[0]
-        models = _build_models_for_dataset(dataset)
-        for name, model in models.items():
-            cpu_ms = _report("cpu", model, [graph]).mean_latency_ms
-            gpu_ms = _report("gpu", model, [graph]).mean_latency_ms
-            flowgnn_ms = _report("flowgnn", model, [graph], config=flowgnn_config).mean_latency_ms
-            rows.append(
-                {
-                    "dataset": dataset_name,
-                    "model": name,
-                    "cpu_ms": round(cpu_ms, 3),
-                    "gpu_ms": round(gpu_ms, 3),
-                    "flowgnn_ms": round(flowgnn_ms, 3),
-                    "speedup_vs_cpu": round(speedup(cpu_ms, flowgnn_ms), 1),
-                    "speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 1),
-                }
-            )
-    return ExperimentResult(
-        name="fig8",
-        description="Latency on single citation graphs (batch size 1)",
-        rows=rows,
-        notes=["Fast mode scales the citation graphs to 30% of their real node count."],
-    )
+
+    name = "fig8"
+    description = "Latency on single citation graphs (batch size 1)"
+
+    def enumerate(self) -> List[Tuple[str, str]]:
+        return [
+            (dataset_name, model_name)
+            for dataset_name in ("Cora", "CiteSeer")
+            for model_name in MODEL_NAMES
+        ]
+
+    def evaluate(self, item: Tuple[str, str]) -> Dict:
+        dataset_name, model_name = item
+        context = experiment_context()
+        dataset_spec = _spec(dataset_name, scale=0.3 if self.fast else 1.0)
+        dataset = context.dataset(dataset_spec)
+        model_spec = _spec(
+            model_name,
+            input_dim=dataset.node_feature_dim,
+            edge_input_dim=dataset.edge_feature_dim,
+            seed=0,
+        )
+        cpu_ms = context.report(
+            "cpu", model_spec, dataset_spec, first_graph_only=True
+        ).mean_latency_ms
+        gpu_ms = context.report(
+            "gpu", model_spec, dataset_spec, first_graph_only=True
+        ).mean_latency_ms
+        flowgnn_ms = context.report(
+            "flowgnn",
+            model_spec,
+            dataset_spec,
+            config=_FIG8_FLOWGNN_CONFIG,
+            first_graph_only=True,
+        ).mean_latency_ms
+        return {
+            "dataset": dataset_name,
+            "model": model_name,
+            "cpu_ms": round(cpu_ms, 3),
+            "gpu_ms": round(gpu_ms, 3),
+            "flowgnn_ms": round(flowgnn_ms, 3),
+            "speedup_vs_cpu": round(speedup(cpu_ms, flowgnn_ms), 1),
+            "speedup_vs_gpu": round(speedup(gpu_ms, flowgnn_ms), 1),
+        }
+
+    def notes(self, rows: List[Dict]) -> List[str]:
+        return ["Fast mode scales the citation graphs to 30% of their real node count."]
+
+
+def run_fig8_citation(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Fig8Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
 # Fig. 9 — pipelining ablation
 # ---------------------------------------------------------------------------
-def run_fig9_ablation(fast: bool = True) -> ExperimentResult:
-    """Incremental speedups of the pipeline strategies (Fig. 9), GCN on MolHIV."""
-    dataset = load_dataset("MolHIV", num_graphs=24 if fast else 256)
-    graphs = list(dataset)
-    model = build_model("GCN", input_dim=dataset.node_feature_dim)
-    gpu_ms = _report("gpu", model, graphs).mean_latency_ms
+@dataclass
+class Fig9Job(ExperimentJob):
+    """Incremental speedups of the pipeline strategies (Fig. 9), GCN on MolHIV.
 
-    rows: List[Dict] = []
-    reference_ms: Optional[float] = None
-    previous_ms: Optional[float] = None
-    for config_name, config in ablation_configs().items():
-        flowgnn_ms = _flowgnn_mean_latency_ms(model, graphs, config)
-        if reference_ms is None:
-            reference_ms = flowgnn_ms
-        rows.append(
-            {
-                "configuration": config_name,
-                "latency_ms": round(flowgnn_ms, 4),
-                "speedup_vs_non_pipeline": round(reference_ms / flowgnn_ms, 2),
-                "speedup_vs_previous": round(previous_ms / flowgnn_ms, 2) if previous_ms else 1.0,
-                "speedup_vs_gpu_bs1": round(gpu_ms / flowgnn_ms, 2),
-            }
+    Items are the GPU reference plus one item per ablation configuration;
+    the cumulative speedup columns (vs. non-pipeline, vs. the previous
+    strategy) are computed in ``assemble`` from the measured latencies.
+    """
+
+    name = "fig9"
+    description = "Pipelining ablation: GCN on MolHIV, speedup over the non-pipelined design"
+
+    _GPU_ITEM = "gpu_bs1"
+
+    def _dataset_spec(self) -> Tuple:
+        return _spec("MolHIV", num_graphs=24 if self.fast else 256)
+
+    def _model_spec(self) -> Tuple:
+        dataset = experiment_context().dataset(self._dataset_spec())
+        return _spec("GCN", input_dim=dataset.node_feature_dim)
+
+    def enumerate(self) -> List[str]:
+        return [self._GPU_ITEM] + list(ablation_configs())
+
+    def evaluate(self, item: str) -> Tuple[str, float]:
+        context = experiment_context()
+        if item == self._GPU_ITEM:
+            report = context.report("gpu", self._model_spec(), self._dataset_spec())
+        else:
+            report = context.report(
+                "flowgnn",
+                self._model_spec(),
+                self._dataset_spec(),
+                config=ablation_configs()[item],
+            )
+        return item, report.mean_latency_ms
+
+    def assemble(self, rows: List) -> ExperimentResult:
+        latencies = dict(rows)
+        gpu_ms = latencies.pop(self._GPU_ITEM)
+        table_rows: List[Dict] = []
+        reference_ms: Optional[float] = None
+        previous_ms: Optional[float] = None
+        for config_name in ablation_configs():
+            flowgnn_ms = latencies[config_name]
+            if reference_ms is None:
+                reference_ms = flowgnn_ms
+            table_rows.append(
+                {
+                    "configuration": config_name,
+                    "latency_ms": round(flowgnn_ms, 4),
+                    "speedup_vs_non_pipeline": round(reference_ms / flowgnn_ms, 2),
+                    "speedup_vs_previous": round(previous_ms / flowgnn_ms, 2) if previous_ms else 1.0,
+                    "speedup_vs_gpu_bs1": round(gpu_ms / flowgnn_ms, 2),
+                }
+            )
+            previous_ms = flowgnn_ms
+        return ExperimentResult(
+            name=self.name,
+            description=self.description,
+            rows=table_rows,
+            notes=[
+                "Paper reference speedups over non-pipeline: fixed 1.66x, baseline dataflow "
+                "2.29x, FlowGNN-1-1 3.32x, FlowGNN-1-2 4.92x, FlowGNN-2-2 5.20x.",
+            ],
         )
-        previous_ms = flowgnn_ms
-    return ExperimentResult(
-        name="fig9",
-        description="Pipelining ablation: GCN on MolHIV, speedup over the non-pipelined design",
-        rows=rows,
-        notes=[
-            "Paper reference speedups over non-pipeline: fixed 1.66x, baseline dataflow "
-            "2.29x, FlowGNN-1-1 3.32x, FlowGNN-1-2 4.92x, FlowGNN-2-2 5.20x.",
-        ],
-    )
+
+
+def run_fig9_ablation(fast: bool = True) -> ExperimentResult:
+    return run_experiment_job(Fig9Job(fast=fast))
 
 
 # ---------------------------------------------------------------------------
 # Fig. 10 — design-space exploration over the four parallelism factors
 # ---------------------------------------------------------------------------
+@dataclass
+class Fig10Job(ExperimentJob):
+    """Speedup of every (P_node, P_edge, P_apply, P_scatter) combination (Fig. 10).
+
+    A single-item job: the grid itself runs on the :mod:`repro.dse` engine
+    (one declarative sweep whose layer schedules are memoised across the
+    grid), so re-chunking the points here would only fragment that cache.
+    ``workers`` fans the underlying sweep out (0 keeps it in-process, the
+    right setting when the job itself runs inside a harness worker).
+    """
+
+    node_values: Tuple[int, ...] = (1, 2, 4)
+    edge_values: Tuple[int, ...] = (1, 2, 4)
+    apply_values: Tuple[int, ...] = (1, 2, 4)
+    scatter_values: Tuple[int, ...] = (1, 2, 4, 8)
+    workers: int = 0
+
+    name = "fig10"
+    description = "Design-space exploration over P_node, P_edge, P_apply, P_scatter (GCN, MolHIV)"
+
+    def enumerate(self) -> List[str]:
+        return ["grid"]
+
+    def evaluate(self, item: str) -> Dict:
+        num_graphs = 12 if self.fast else 128
+        spec = SweepSpec.parallelism_grid(
+            models=("GCN",),
+            datasets=("MolHIV",),
+            node_values=self.node_values,
+            edge_values=self.edge_values,
+            apply_values=self.apply_values,
+            scatter_values=self.scatter_values,
+            num_graphs=num_graphs,
+            board=None,  # Fig. 10 shows the whole grid, fitting the U50 or not
+        )
+        sweep = SweepRunner(spec, workers=self.workers).run()
+
+        # The all-ones design is the figure's reference point.  It is usually in
+        # the grid; when a caller sweeps ranges excluding 1 it is evaluated as a
+        # one-point sweep (cache-cheap, identical numbers).
+        baseline_rows = sweep.find(p_node=1, p_edge=1, p_apply=1, p_scatter=1)
+        if baseline_rows:
+            baseline_ms = baseline_rows[0]["latency_ms"]
+        else:
+            baseline_spec = SweepSpec(
+                models=("GCN",),
+                datasets=("MolHIV",),
+                base_config=ArchitectureConfig(
+                    num_nt_units=1, num_mp_units=1, apply_parallelism=1, scatter_parallelism=1
+                ),
+                num_graphs=num_graphs,
+                board=None,
+            )
+            baseline_ms = SweepRunner(baseline_spec, workers=0).run().rows[0]["latency_ms"]
+
+        rows: List[Dict] = []
+        for row in sweep.rows:
+            latency_ms = row["latency_ms"]
+            rows.append(
+                {
+                    "p_node": row["p_node"],
+                    "p_edge": row["p_edge"],
+                    "p_apply": row["p_apply"],
+                    "p_scatter": row["p_scatter"],
+                    "latency_ms": round(latency_ms, 4),
+                    "speedup_vs_all_ones": round(baseline_ms / latency_ms, 3),
+                }
+            )
+        best = max(rows, key=lambda row: row["speedup_vs_all_ones"])
+        cache = sweep.cache_info
+        notes = [
+            f"best configuration: P_node={best['p_node']}, P_edge={best['p_edge']}, "
+            f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
+            f"({best['speedup_vs_all_ones']}x)",
+            "Paper reports a best speedup of 5.76x at P_edge=4, P_node=2, P_apply=4, P_scatter=8.",
+            f"swept {sweep.num_points} points in {sweep.elapsed_s:.2f}s via repro.dse "
+            f"(schedule cache hit rate {cache.get('hit_rate', 0.0):.0%}).",
+        ]
+        return {"rows": rows, "notes": notes}
+
+    def assemble(self, rows: List) -> ExperimentResult:
+        (payload,) = rows
+        return ExperimentResult(
+            name=self.name,
+            description=self.description,
+            rows=payload["rows"],
+            notes=payload["notes"],
+        )
+
+
 def run_fig10_dse(
     fast: bool = True,
     node_values: Sequence[int] = (1, 2, 4),
@@ -591,69 +1032,13 @@ def run_fig10_dse(
     scatter_values: Sequence[int] = (1, 2, 4, 8),
     workers: int = 0,
 ) -> ExperimentResult:
-    """Speedup of every (P_node, P_edge, P_apply, P_scatter) combination (Fig. 10).
-
-    Runs on the :mod:`repro.dse` engine: one declarative sweep whose layer
-    schedules are memoised across the grid (a GCN's five identical layers
-    schedule once per graph per configuration) — bit-identical to, and
-    several times faster than, the historical per-point loop.  ``workers``
-    fans the grid out over that many processes (0 keeps it in-process).
-    """
-    spec = SweepSpec.parallelism_grid(
-        models=("GCN",),
-        datasets=("MolHIV",),
-        node_values=node_values,
-        edge_values=edge_values,
-        apply_values=apply_values,
-        scatter_values=scatter_values,
-        num_graphs=12 if fast else 128,
-        board=None,  # Fig. 10 shows the whole grid, fitting the U50 or not
-    )
-    sweep = SweepRunner(spec, workers=workers).run()
-
-    # The all-ones design is the figure's reference point.  It is usually in
-    # the grid; when a caller sweeps ranges excluding 1 it is evaluated as a
-    # one-point sweep (cache-cheap, identical numbers).
-    baseline_rows = sweep.find(p_node=1, p_edge=1, p_apply=1, p_scatter=1)
-    if baseline_rows:
-        baseline_ms = baseline_rows[0]["latency_ms"]
-    else:
-        baseline_spec = SweepSpec(
-            models=("GCN",),
-            datasets=("MolHIV",),
-            base_config=ArchitectureConfig(
-                num_nt_units=1, num_mp_units=1, apply_parallelism=1, scatter_parallelism=1
-            ),
-            num_graphs=12 if fast else 128,
-            board=None,
+    return run_experiment_job(
+        Fig10Job(
+            fast=fast,
+            node_values=tuple(node_values),
+            edge_values=tuple(edge_values),
+            apply_values=tuple(apply_values),
+            scatter_values=tuple(scatter_values),
+            workers=workers,
         )
-        baseline_ms = SweepRunner(baseline_spec, workers=0).run().rows[0]["latency_ms"]
-
-    rows: List[Dict] = []
-    for row in sweep.rows:
-        latency_ms = row["latency_ms"]
-        rows.append(
-            {
-                "p_node": row["p_node"],
-                "p_edge": row["p_edge"],
-                "p_apply": row["p_apply"],
-                "p_scatter": row["p_scatter"],
-                "latency_ms": round(latency_ms, 4),
-                "speedup_vs_all_ones": round(baseline_ms / latency_ms, 3),
-            }
-        )
-    best = max(rows, key=lambda row: row["speedup_vs_all_ones"])
-    cache = sweep.cache_info
-    return ExperimentResult(
-        name="fig10",
-        description="Design-space exploration over P_node, P_edge, P_apply, P_scatter (GCN, MolHIV)",
-        rows=rows,
-        notes=[
-            f"best configuration: P_node={best['p_node']}, P_edge={best['p_edge']}, "
-            f"P_apply={best['p_apply']}, P_scatter={best['p_scatter']} "
-            f"({best['speedup_vs_all_ones']}x)",
-            "Paper reports a best speedup of 5.76x at P_edge=4, P_node=2, P_apply=4, P_scatter=8.",
-            f"swept {sweep.num_points} points in {sweep.elapsed_s:.2f}s via repro.dse "
-            f"(schedule cache hit rate {cache.get('hit_rate', 0.0):.0%}).",
-        ],
     )

@@ -42,7 +42,7 @@ The CLI front-end is ``python -m repro plan``.
 """
 
 from .cost import PLAN_OBJECTIVES, meets_slo, scenario_cost, scenario_row
-from .runner import PlanResult, PlanRunner
+from .runner import PlanJob, PlanResult, PlanRunner
 from .solver import CapacityPlan, min_replicas_for_slo
 from .spec import ARRIVAL_NAMES, PlanSpec, Scenario, TenantMix
 
@@ -50,6 +50,7 @@ __all__ = [
     "ARRIVAL_NAMES",
     "CapacityPlan",
     "PLAN_OBJECTIVES",
+    "PlanJob",
     "PlanResult",
     "PlanRunner",
     "PlanSpec",

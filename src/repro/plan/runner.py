@@ -1,53 +1,53 @@
-"""Plan-sweep execution: shared measurement, worker fan-out, result assembly.
+"""Plan-sweep execution: shared measurement, engine fan-out, result assembly.
 
-:class:`PlanRunner` generalises the DSE engine's fan-out discipline
-(:class:`~repro.dse.SweepRunner`) to serving scenarios:
+:class:`PlanRunner` runs serving scenarios on the shared execution engine
+(:class:`~repro.engine.Engine`), the same fan-out discipline behind
+:class:`~repro.dse.SweepRunner`:
 
 1. the parent process **pre-measures** every backend profile any scenario
    can need — one :meth:`Backend.measure` per (backend, model, dataset,
    batch size), covering batch sizes 1..max(max_batch_sizes grid) — into a
    :class:`~repro.api.MeasurementCache`;
-2. scenarios are split into contiguous chunks
-   (:func:`~repro.dse.runner.contiguous_chunks`) and fanned out over
-   ``multiprocessing`` workers; each worker receives the cache snapshot
-   once through the pool initializer, so **no scenario ever re-measures**;
+2. scenarios become a :class:`PlanJob`; the engine splits them into
+   contiguous chunks over ``multiprocessing`` workers and ships each worker
+   the job (snapshot included) once through the pool initializer, so **no
+   scenario ever re-measures**;
 3. each worker rebuilds its mix's :class:`~repro.serve.Cluster` once,
    derives every grid point from it via :meth:`Cluster.with_options`
    (sharing the measured tenant services), replays the seeded load and
    runs the event-driven simulation.
 
-Determinism: scenario enumeration order is fixed, chunks are contiguous,
-load generation is seeded per (mix, arrival) and the simulation itself is
-deterministic — so a 1-worker and an 8-worker sweep produce **byte
+Determinism: scenario enumeration order is fixed, the engine's chunks are
+contiguous, load generation is seeded per (mix, arrival) and the simulation
+itself is deterministic — so a 1-worker and an 8-worker sweep produce **byte
 identical** CSV/JSON exports (pinned by ``tests/test_plan.py``).
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..api import MeasurementCache
-from ..dse.pareto import pareto_frontier
-from ..dse.runner import contiguous_chunks
-from ..eval.tables import render_csv, render_dict_table
+from ..engine import Engine, Job, ProgressCallback, ResultTable
 from ..serve import Cluster, LoadGenerator, Workload
 from .cost import PLAN_OBJECTIVES, scenario_row
 from .spec import PlanSpec, Scenario
 
-__all__ = ["PlanResult", "PlanRunner", "build_generator"]
+__all__ = ["PlanResult", "PlanRunner", "PlanJob", "build_generator"]
 
 
 # ---------------------------------------------------------------------------
 # Result container
 # ---------------------------------------------------------------------------
 @dataclass
-class PlanResult:
-    """Outcome of one plan sweep: one row per scenario, in scenario order."""
+class PlanResult(ResultTable):
+    """Outcome of one plan sweep: one row per scenario, in scenario order.
+
+    ``column`` / ``find`` / ``best`` / ``pareto`` / ``render`` / ``to_csv``
+    / ``to_json`` come from :class:`~repro.engine.ResultTable`.
+    """
 
     spec: PlanSpec
     rows: List[Dict]
@@ -55,20 +55,12 @@ class PlanResult:
     cache_info: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
+    OBJECTIVES = PLAN_OBJECTIVES
+    DEFAULT_TITLE = "serving-scenario sweep"
+
     @property
     def num_scenarios(self) -> int:
         return len(self.rows)
-
-    def column(self, key: str) -> List:
-        return [row[key] for row in self.rows]
-
-    def find(self, **criteria) -> List[Dict]:
-        """Rows whose values match every ``key=value`` criterion."""
-        return [
-            row
-            for row in self.rows
-            if all(row.get(key) == value for key, value in criteria.items())
-        ]
 
     def feasible(self) -> List[Dict]:
         """Rows whose scenario held every tenant's SLO (no drops)."""
@@ -82,22 +74,6 @@ class PlanResult:
         return min(
             feasible, key=lambda row: (row["replica_seconds"], row["energy_j"])
         )
-
-    def pareto(self, objectives: Sequence[str] = PLAN_OBJECTIVES) -> List[Dict]:
-        """Non-dominated rows under ``objectives`` (all minimised)."""
-        return pareto_frontier(self.rows, objectives)
-
-    def render(self, title: str = "serving-scenario sweep") -> str:
-        """Aligned text table of every scenario."""
-        return render_dict_table(self.rows, title=title)
-
-    def to_csv(self, path: Optional[str] = None) -> str:
-        """Rows as CSV text; when ``path`` is given, also write the file."""
-        text = render_csv(self.rows)
-        if path is not None:
-            with open(path, "w", newline="") as handle:
-                handle.write(text)
-        return text
 
     def to_dict(self) -> Dict:
         """Nested, JSON-serialisable summary of the whole sweep."""
@@ -114,46 +90,10 @@ class PlanResult:
             ).get("scenario"),
         }
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, default=str)
-
 
 # ---------------------------------------------------------------------------
-# Worker-process state
+# Load generation (shared by sweeps, the CLI solve path and ``repro serve``)
 # ---------------------------------------------------------------------------
-# Installed once per pool worker by ``_init_worker``: the spec, the shared
-# measurement-cache snapshot and the per-mix rates are pickled once per
-# worker instead of once per scenario; clusters and request sequences are
-# memoised lazily per (mix) / (mix, arrival).
-_WORKER_STATE: Dict[str, object] = {}
-
-
-def _init_worker(spec: PlanSpec, profiles: Dict, rates: Dict[str, float]) -> None:
-    _WORKER_STATE["spec"] = spec
-    _WORKER_STATE["cache"] = MeasurementCache(profiles)
-    _WORKER_STATE["rates"] = rates
-    _WORKER_STATE["clusters"] = {}
-    _WORKER_STATE["requests"] = {}
-
-
-def _mix_cluster(mix_name: str) -> Tuple[Cluster, List[Workload]]:
-    """The worker's memoised 1-replica base cluster for ``mix_name``."""
-    clusters: Dict = _WORKER_STATE["clusters"]
-    cached = clusters.get(mix_name)
-    if cached is None:
-        spec: PlanSpec = _WORKER_STATE["spec"]
-        workloads = spec.mix_by_name(mix_name).workloads()
-        cluster = Cluster(
-            workloads,
-            backend=spec.backend,
-            num_replicas=1,
-            measurement_cache=_WORKER_STATE["cache"],
-        )
-        cached = (cluster, workloads)
-        clusters[mix_name] = cached
-    return cached
-
-
 def build_generator(
     workloads: List[Workload], arrival: str, rate_rps: float, seed: int
 ) -> LoadGenerator:
@@ -178,44 +118,78 @@ def build_generator(
     )
 
 
-def _mix_requests(mix_name: str, arrival: str):
-    """The worker's memoised request sequence for one (mix, arrival) cell."""
-    requests: Dict = _WORKER_STATE["requests"]
-    key = (mix_name, arrival)
-    cached = requests.get(key)
-    if cached is None:
-        spec: PlanSpec = _WORKER_STATE["spec"]
-        _, workloads = _mix_cluster(mix_name)
-        generator = build_generator(
-            workloads, arrival, _WORKER_STATE["rates"][mix_name], spec.seed
+# ---------------------------------------------------------------------------
+# Engine job
+# ---------------------------------------------------------------------------
+@dataclass
+class PlanJob(Job):
+    """A full plan sweep as an engine job.
+
+    The spec, per-mix rates and the parent's pre-measured profile snapshot
+    are job fields, so the engine pickles them to each worker exactly once
+    through the pool initializer.  Each worker rebuilds clusters and
+    request sequences lazily and memoises them per (mix) / (mix, arrival),
+    so a worker evaluating a contiguous run of scenarios reuses both.
+    """
+
+    spec: PlanSpec
+    rates: Dict[str, float]
+    profiles: Dict = field(default_factory=dict)
+
+    def enumerate(self) -> List[Scenario]:
+        return list(self.spec.scenarios())
+
+    def setup(self, context) -> None:
+        self._cache = MeasurementCache(self.profiles)
+        self._clusters: Dict[str, Tuple[Cluster, List[Workload]]] = {}
+        self._requests: Dict[Tuple[str, str], List] = {}
+
+    def evaluate(self, scenario: Scenario) -> Dict:
+        base, _ = self._mix_cluster(scenario.mix)
+        cluster = base.with_options(
+            num_replicas=scenario.num_replicas,
+            policy=scenario.policy,
+            max_batch_size=scenario.max_batch_size,
+            batch_timeout_s=scenario.batch_timeout_s,
+            queue_capacity=scenario.queue_capacity,
         )
-        cached = generator.generate(duration_s=spec.duration_s)
-        requests[key] = cached
-    return cached
+        requests = self._mix_requests(scenario.mix, scenario.arrival)
+        report = cluster.serve(requests, duration_s=self.spec.duration_s)
+        return scenario_row(
+            scenario,
+            report,
+            duration_s=self.spec.duration_s,
+            rate_rps=self.rates[scenario.mix],
+        )
 
+    # -- worker-side memoisation ----------------------------------------------
+    def _mix_cluster(self, mix_name: str) -> Tuple[Cluster, List[Workload]]:
+        """The worker's memoised 1-replica base cluster for ``mix_name``."""
+        cached = self._clusters.get(mix_name)
+        if cached is None:
+            workloads = self.spec.mix_by_name(mix_name).workloads()
+            cluster = Cluster(
+                workloads,
+                backend=self.spec.backend,
+                num_replicas=1,
+                measurement_cache=self._cache,
+            )
+            cached = (cluster, workloads)
+            self._clusters[mix_name] = cached
+        return cached
 
-def _evaluate_scenario(scenario: Scenario) -> Dict:
-    spec: PlanSpec = _WORKER_STATE["spec"]
-    base, _ = _mix_cluster(scenario.mix)
-    cluster = base.with_options(
-        num_replicas=scenario.num_replicas,
-        policy=scenario.policy,
-        max_batch_size=scenario.max_batch_size,
-        batch_timeout_s=scenario.batch_timeout_s,
-        queue_capacity=scenario.queue_capacity,
-    )
-    requests = _mix_requests(scenario.mix, scenario.arrival)
-    report = cluster.serve(requests, duration_s=spec.duration_s)
-    return scenario_row(
-        scenario,
-        report,
-        duration_s=spec.duration_s,
-        rate_rps=_WORKER_STATE["rates"][scenario.mix],
-    )
-
-
-def _evaluate_chunk(scenarios: List[Scenario]) -> List[Dict]:
-    return [_evaluate_scenario(scenario) for scenario in scenarios]
+    def _mix_requests(self, mix_name: str, arrival: str):
+        """The worker's memoised request sequence for one (mix, arrival) cell."""
+        key = (mix_name, arrival)
+        cached = self._requests.get(key)
+        if cached is None:
+            _, workloads = self._mix_cluster(mix_name)
+            generator = build_generator(
+                workloads, arrival, self.rates[mix_name], self.spec.seed
+            )
+            cached = generator.generate(duration_s=self.spec.duration_s)
+            self._requests[key] = cached
+        return cached
 
 
 # ---------------------------------------------------------------------------
@@ -245,9 +219,8 @@ class PlanRunner:
         cache: Optional[MeasurementCache] = None,
     ) -> None:
         self.spec = spec
-        if workers is None:
-            workers = os.cpu_count() or 1
-        self.workers = int(workers)
+        self.engine = Engine(workers=workers)
+        self.workers = self.engine.workers
         self.cache = cache if cache is not None else MeasurementCache()
 
     # -- parent-side preparation ----------------------------------------------
@@ -285,29 +258,19 @@ class PlanRunner:
                 )
         return cache, rates
 
-    def run(self) -> PlanResult:
-        """Evaluate every scenario of the sweep."""
+    def run(self, progress: Optional[ProgressCallback] = None) -> PlanResult:
+        """Evaluate every scenario of the sweep.
+
+        ``progress`` (optional) receives ``(completed, total)`` scenario
+        counts as results stream back from the engine.
+        """
         started = time.perf_counter()
-        spec = self.spec
         cache, rates = self._premeasure()
-        scenarios = list(spec.scenarios())
-
-        if self.workers < 2 or len(scenarios) < 2:
-            _init_worker(spec, cache.snapshot(), rates)
-            rows = _evaluate_chunk(scenarios)
-        else:
-            chunks = contiguous_chunks(scenarios, self.workers)
-            with multiprocessing.Pool(
-                processes=len(chunks),
-                initializer=_init_worker,
-                initargs=(spec, cache.snapshot(), rates),
-            ) as pool:
-                outcomes = pool.map(_evaluate_chunk, chunks)
-            rows = [row for chunk_rows in outcomes for row in chunk_rows]
-
+        job = PlanJob(spec=self.spec, rates=rates, profiles=cache.snapshot())
+        run = self.engine.run(job, progress=progress)
         return PlanResult(
-            spec=spec,
-            rows=rows,
+            spec=self.spec,
+            rows=run.rows,
             rates=rates,
             cache_info=cache.info(),
             elapsed_s=time.perf_counter() - started,

@@ -423,3 +423,81 @@ class TestPlanCommand:
         )
         assert code == 2
         assert "cannot write CSV" in capsys.readouterr().err
+
+
+class TestExperimentsCommand:
+    """The engine-backed ``repro experiments`` front-end."""
+
+    def test_new_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiments", "table3", "--workers", "4", "--json", "--progress"]
+        )
+        assert args.names == ["table3"]
+        assert args.workers == 4 and args.json and args.progress
+        assert build_parser().parse_args(["experiments"]).workers is None
+
+    def test_json_output_parses(self, capsys):
+        assert main(["experiments", "table3", "fig9", "--workers", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload) == ["table3", "fig9"]
+        assert payload["table3"]["rows"][0]["model"] == "GIN"
+        assert payload["fig9"]["notes"]
+
+    def test_csv_directory_export(self, capsys, tmp_path):
+        out_dir = tmp_path / "csvs"
+        code = main(
+            ["experiments", "table3", "--workers", "0", "--csv", str(out_dir)]
+        )
+        assert code == 0
+        text = (out_dir / "table3.csv").read_text()
+        assert text.splitlines()[0].startswith("model,dsp,lut")
+        assert "wrote 1 CSV files" in capsys.readouterr().out
+
+    def test_progress_goes_to_stderr_not_stdout(self, capsys):
+        assert main(["experiments", "table3", "--workers", "0", "--progress", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "experiments: 5/5" in captured.err
+        json.loads(captured.out)  # stdout stays pure JSON
+
+    def test_unknown_experiment_exits_with_error(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unwritable_csv_dir_exits_with_error(self, capsys, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not directory")
+        code = main(["experiments", "table3", "--workers", "0", "--csv", str(blocker)])
+        assert code == 2
+        assert "cannot write CSVs" in capsys.readouterr().err
+
+
+class TestProgressFlag:
+    """``--progress`` streams engine counts on dse and plan too."""
+
+    def test_dse_progress_on_stderr(self, capsys):
+        code = main(
+            [
+                "dse", "--models", "GCN", "--datasets", "MolHIV",
+                "--num-graphs", "4", "--p-node", "1,2", "--p-edge", "1",
+                "--p-apply", "2", "--p-scatter", "4", "--workers", "0",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "dse: 2/2" in captured.err
+        assert "dse:" not in captured.out
+
+    def test_plan_progress_on_stderr(self, capsys):
+        code = main(
+            [
+                "plan", "--backend", "cpu", "--tenants", "1", "--num-graphs", "3",
+                "--replicas", "1,2", "--policies", "round_robin",
+                "--arrivals", "poisson", "--duration", "0.02",
+                "--workers", "0", "--progress", "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "plan: 2/2" in captured.err
+        json.loads(captured.out)

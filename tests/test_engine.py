@@ -1,0 +1,297 @@
+"""Tests for the shared execution engine (:mod:`repro.engine`).
+
+Covers the chunking primitive (coverage/order/degenerate-count properties),
+the engine's determinism contract (identical rows for any worker count and
+chunking policy, streaming progress), the shared :class:`ResultTable`
+surface that ``SweepResult`` / ``PlanResult`` / ``ExperimentResult`` all
+inherit (the API-parity regression test), and pinned pre-refactor fixtures
+proving the rewired dse and plan runners produce output identical to the
+pre-engine code.
+"""
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.dse import SweepResult, SweepRunner, SweepSpec
+from repro.engine import Engine, EngineRun, Job, ResultTable, contiguous_chunks
+from repro.eval import ExperimentResult
+from repro.plan import PlanResult, PlanRunner, PlanSpec, TenantMix
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture_text(name: str) -> str:
+    with open(os.path.join(FIXTURES, name)) as handle:
+        return handle.read()
+
+
+# ---------------------------------------------------------------------------
+# contiguous_chunks: the determinism-bearing primitive
+# ---------------------------------------------------------------------------
+class TestContiguousChunks:
+    @pytest.mark.parametrize("length", range(0, 14))
+    @pytest.mark.parametrize("count", [-3, 0, 1, 2, 3, 5, 7, 13, 14, 100])
+    def test_coverage_and_order(self, length, count):
+        """Concatenating the chunks reproduces the input exactly."""
+        items = list(range(length))
+        chunks = contiguous_chunks(items, count)
+        assert [item for chunk in chunks for item in chunk] == items
+
+    @pytest.mark.parametrize("length", range(1, 14))
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 13, 14, 100])
+    def test_no_empty_chunks_and_near_equal_sizes(self, length, count):
+        chunks = contiguous_chunks(list(range(length)), count)
+        sizes = [len(chunk) for chunk in chunks]
+        assert all(size > 0 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("length", range(0, 14))
+    @pytest.mark.parametrize("count", [-3, 0, 1, 2, 3, 5, 13, 14, 100])
+    def test_chunk_count_is_clamped(self, length, count):
+        """At most ``count`` chunks, never more chunks than items, never 0."""
+        chunks = contiguous_chunks(list(range(length)), count)
+        assert len(chunks) == max(min(count, length), 1)
+
+    def test_empty_input_yields_single_empty_chunk(self):
+        assert contiguous_chunks([], 8) == [[]]
+
+    def test_oversized_worker_count_degenerates_to_singletons(self):
+        assert contiguous_chunks([1, 2, 3], 100) == [[1], [2], [3]]
+
+
+# ---------------------------------------------------------------------------
+# Engine: determinism, context injection, progress streaming
+# ---------------------------------------------------------------------------
+@dataclass
+class SquaresJob(Job):
+    """Toy job exercising the whole protocol: context, setup, collect."""
+
+    count: int = 12
+    offset: int = 100
+
+    def enumerate(self) -> List[int]:
+        return list(range(self.count))
+
+    def prepare(self) -> int:
+        return self.offset  # parent-computed context, shipped to workers
+
+    def setup(self, context: int) -> None:
+        self._offset = context
+        self._evaluated = 0
+
+    def evaluate(self, item: int) -> dict:
+        self._evaluated += 1
+        return {"item": item, "value": self._offset + item * item}
+
+    def collect(self) -> dict:
+        return {"evaluated": self._evaluated}
+
+
+class TestEngine:
+    def test_rows_identical_for_any_worker_count(self):
+        serial = Engine(workers=0).run(SquaresJob())
+        for workers in (1, 2, 5, 50):
+            fanned = Engine(workers=workers).run(SquaresJob())
+            assert fanned.rows == serial.rows
+        assert [row["item"] for row in serial.rows] == list(range(12))
+
+    def test_chunk_items_policy_preserves_row_order(self):
+        serial = Engine(workers=0).run(SquaresJob())
+        for chunk_items in (1, 2, 7, 100):
+            fanned = Engine(workers=3, chunk_items=chunk_items).run(SquaresJob())
+            assert fanned.rows == serial.rows
+
+    def test_context_reaches_every_worker(self):
+        run = Engine(workers=2).run(SquaresJob(count=6, offset=1000))
+        assert [row["value"] for row in run.rows] == [1000 + i * i for i in range(6)]
+
+    def test_progress_streams_monotonically_to_completion(self):
+        seen = []
+        Engine(workers=0).run(SquaresJob(count=5), progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(i, 5) for i in range(1, 6)]
+
+    def test_progress_from_pool_ends_at_total(self):
+        seen = []
+        Engine(workers=2).run(SquaresJob(count=8), progress=lambda d, t: seen.append((d, t)))
+        assert seen[-1] == (8, 8)
+        assert all(a[0] < b[0] for a, b in zip(seen, seen[1:]))
+
+    def test_collect_aggregates_once_per_worker(self):
+        serial = Engine(workers=0).run(SquaresJob(count=6))
+        assert serial.infos == [{"evaluated": 6}]
+        # Each worker's *latest* cumulative report is kept, so the totals
+        # cover every item exactly once however chunks land on workers.
+        fanned = Engine(workers=3, chunk_items=1).run(SquaresJob(count=6))
+        assert sum(info["evaluated"] for info in fanned.infos) == 6
+
+    def test_empty_job_short_circuits(self):
+        run = Engine(workers=4).run(SquaresJob(count=0))
+        assert run == EngineRun(rows=[], infos=[], num_items=0, elapsed_s=run.elapsed_s)
+
+    def test_single_item_runs_in_process(self):
+        run = Engine(workers=8).run(SquaresJob(count=1))
+        assert run.rows == [{"item": 0, "value": 100}]
+        assert run.infos == [{"evaluated": 1}]
+
+    def test_invalid_chunk_items_rejected(self):
+        with pytest.raises(ValueError, match="chunk_items"):
+            Engine(workers=2, chunk_items=0)
+
+
+# ---------------------------------------------------------------------------
+# ResultTable: the shared surface (API-parity regression test)
+# ---------------------------------------------------------------------------
+#: The method surface every result table must expose — ``SweepResult``
+#: historically lacked ``to_dict``/``to_json`` while ``PlanResult`` had
+#: them; the shared base class closes that gap permanently.
+SHARED_TABLE_METHODS = (
+    "column",
+    "find",
+    "best",
+    "pareto",
+    "render",
+    "to_csv",
+    "to_dict",
+    "to_json",
+)
+
+
+class TestResultTableSurface:
+    @pytest.mark.parametrize("table_cls", [SweepResult, PlanResult, ExperimentResult])
+    def test_every_table_exposes_the_full_shared_surface(self, table_cls):
+        assert issubclass(table_cls, ResultTable)
+        for method in SHARED_TABLE_METHODS:
+            assert callable(getattr(table_cls, method)), (
+                f"{table_cls.__name__}.{method} missing from the shared surface"
+            )
+
+    def test_experiment_result_exports_like_a_table(self, tmp_path):
+        result = ExperimentResult(
+            name="demo",
+            description="shared-surface demo",
+            rows=[{"model": "GCN", "latency_ms": 2.0}, {"model": "GIN", "latency_ms": 1.0}],
+        )
+        assert result.column("model") == ["GCN", "GIN"]
+        assert result.find(model="GIN") == [{"model": "GIN", "latency_ms": 1.0}]
+        assert result.best("latency_ms")["model"] == "GIN"
+        payload = json.loads(result.to_json())
+        assert payload["name"] == "demo" and len(payload["rows"]) == 2
+        path = tmp_path / "demo.csv"
+        text = result.to_csv(str(path))
+        assert path.read_text() == text
+        assert text.splitlines()[0] == "model,latency_ms"
+
+    def test_pareto_without_objectives_needs_a_declared_default(self):
+        result = ExperimentResult(name="x", description="y", rows=[{"a": 1}])
+        with pytest.raises(ValueError, match="objectives"):
+            result.pareto()
+        assert result.pareto(objectives=["a"]) == [{"a": 1}]
+
+    def test_best_without_metric_needs_a_declared_default(self):
+        """Only SweepResult declares a default metric; the base refuses to
+        guess one (table3 rows, for example, have no latency column)."""
+        result = ExperimentResult(name="x", description="y", rows=[{"a": 2}, {"a": 1}])
+        with pytest.raises(ValueError, match="metric"):
+            result.best()
+        assert result.best("a") == {"a": 1}
+        assert SweepResult.DEFAULT_METRIC == "latency_ms"
+
+
+# ---------------------------------------------------------------------------
+# Pinned pre-refactor fixtures: the rewired runners are output-identical
+# ---------------------------------------------------------------------------
+def _fixture_sweep_spec() -> SweepSpec:
+    return SweepSpec.parallelism_grid(
+        models=("GCN", "GIN"),
+        datasets=("MolHIV",),
+        node_values=(1, 2),
+        edge_values=(1, 4),
+        apply_values=(2,),
+        scatter_values=(4,),
+        num_graphs=6,
+        board=None,
+    )
+
+
+def _fixture_plan_spec() -> PlanSpec:
+    mix = TenantMix(
+        "prod",
+        (
+            {
+                "tenant": "trigger",
+                "model": "GIN",
+                "dataset": "MolHIV",
+                "num_graphs": 3,
+                "seed": 1,
+                "deadline_s": 15e-3,
+                "priority": 1,
+                "share": 2.0,
+            },
+            {
+                "tenant": "screening",
+                "model": "GCN",
+                "dataset": "MolHIV",
+                "num_graphs": 3,
+                "seed": 2,
+                "deadline_s": 25e-3,
+            },
+        ),
+    )
+    return PlanSpec(
+        mixes=[mix],
+        backend="cpu",
+        replicas=(1, 2),
+        policies=("round_robin", "edf"),
+        max_batch_sizes=(1, 2),
+        arrivals=("poisson",),
+        duration_s=0.02,
+        seed=0,
+    )
+
+
+class TestPinnedPreRefactorFixtures:
+    """The engine redesign must not move a single byte of sweep output.
+
+    The fixtures under ``tests/fixtures/`` were generated by the
+    pre-engine ``SweepRunner``/``PlanRunner`` implementations (PR 5 seed
+    state) and are compared verbatim.
+    """
+
+    @pytest.fixture(scope="class")
+    def sweep_result(self) -> SweepResult:
+        return SweepRunner(_fixture_sweep_spec(), workers=0).run()
+
+    @pytest.fixture(scope="class")
+    def plan_result(self) -> PlanResult:
+        return PlanRunner(_fixture_plan_spec(), workers=1).run()
+
+    def test_dse_csv_identical_to_pre_refactor(self, sweep_result):
+        assert sweep_result.to_csv() == _fixture_text("dse_sweep.csv")
+
+    def test_dse_worker_fanout_identical_to_pre_refactor(self):
+        fanned = SweepRunner(_fixture_sweep_spec(), workers=2).run()
+        assert fanned.to_csv() == _fixture_text("dse_sweep.csv")
+
+    def test_sweep_result_json_round_trips(self, sweep_result):
+        """The API-parity fix: SweepResult now exports JSON like PlanResult."""
+        payload = json.loads(sweep_result.to_json())
+        assert payload["backend"] == "flowgnn"
+        assert payload["num_points"] == len(sweep_result.rows)
+        assert payload["rows"] == json.loads(json.dumps(sweep_result.rows))
+        # Worker count must not leak into the serialised payload.
+        fanned = SweepRunner(_fixture_sweep_spec(), workers=2).run()
+        assert fanned.to_json() == sweep_result.to_json()
+
+    def test_plan_csv_identical_to_pre_refactor(self, plan_result):
+        assert plan_result.to_csv() == _fixture_text("plan_sweep.csv")
+
+    def test_plan_json_identical_to_pre_refactor(self, plan_result):
+        assert plan_result.to_json() == _fixture_text("plan_sweep.json")
+
+    def test_plan_worker_fanout_identical_to_pre_refactor(self):
+        fanned = PlanRunner(_fixture_plan_spec(), workers=4).run()
+        assert fanned.to_json() == _fixture_text("plan_sweep.json")

@@ -221,3 +221,92 @@ class TestRunAll:
 
         report = render_report(results)
         assert "table3" in report and "fig9" in report
+
+
+class TestHarnessOnEngine:
+    """The experiment harness runs on the shared engine: identity guarantees.
+
+    ``tests/fixtures/experiments_fast_rows.json`` was generated by the
+    pre-engine serial harness (PR 5 seed state); every fast-mode experiment
+    must still produce exactly those rows, serially and fanned out.
+    """
+
+    @pytest.fixture(scope="class")
+    def pinned_rows(self):
+        import json
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "fixtures", "experiments_fast_rows.json"
+        )
+        with open(path) as handle:
+            return json.load(handle)
+
+    @pytest.fixture(scope="class")
+    def serial_results(self):
+        return run_all_experiments(fast=True, workers=1)
+
+    @staticmethod
+    def _normalised_rows(results):
+        import json
+
+        return {
+            name: json.loads(json.dumps(result.rows, default=str))
+            for name, result in results.items()
+        }
+
+    def test_every_fast_experiment_identical_to_pre_refactor(
+        self, serial_results, pinned_rows
+    ):
+        normalised = self._normalised_rows(serial_results)
+        assert set(normalised) == set(pinned_rows)
+        for name, rows in pinned_rows.items():
+            assert normalised[name] == rows, f"{name} rows drifted from seed output"
+
+    def test_one_vs_eight_workers_row_identical(self, serial_results):
+        """The acceptance bar: the fanned-out harness changes nothing."""
+        fanned = run_all_experiments(fast=True, workers=8)
+        assert self._normalised_rows(fanned) == self._normalised_rows(serial_results)
+        assert list(fanned) == list(serial_results)
+
+    def test_progress_streams_completed_counts(self):
+        seen = []
+        run_all_experiments(
+            fast=True,
+            names=["table3", "fig9"],
+            workers=0,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        # table3 has five items, fig9 has the GPU point plus six ablations.
+        assert seen[0] == (1, 12) and seen[-1] == (12, 12)
+        assert [done for done, _ in seen] == list(range(1, 13))
+
+    def test_unknown_name_rejected_with_known_list(self):
+        with pytest.raises(KeyError, match="table99"):
+            run_all_experiments(fast=True, names=["table99"])
+
+    def test_shared_context_reuses_loads_and_measurements(self):
+        """One worker context serves every experiment it touches.
+
+        fig7 (MolHIV) and fig9 load the same 24-graph MolHIV recipe: the
+        second experiment must reuse the first's dataset, and re-measuring
+        an already-measured point must be a report-cache hit.
+        """
+        from repro.eval import experiment_context
+        from repro.eval.experiments import Fig7Job, Fig9Job, reset_experiment_context
+
+        reset_experiment_context()
+        fig7 = Fig7Job(fast=True, dataset_name="MolHIV")
+        fig7.evaluate("GCN")
+        assert experiment_context().info()["datasets"] == 1
+        fig9 = Fig9Job(fast=True)
+        for item in fig9.enumerate():
+            fig9.evaluate(item)
+        info = experiment_context().info()
+        assert info["datasets"] == 1, "fig9 must reuse fig7's MolHIV load"
+        assert info["report_misses"] >= 7  # fig9's own measurements still run
+        # An already-measured point is served from the shared profile store.
+        hits_before = experiment_context().report_hits
+        fig9.evaluate(fig9.enumerate()[0])
+        assert experiment_context().report_hits == hits_before + 1
+        reset_experiment_context()
