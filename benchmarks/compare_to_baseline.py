@@ -25,6 +25,14 @@ Two comparison modes, chosen per benchmark:
   comparable on similar runners — keep those out of the baseline unless the
   CI fleet is homogeneous.
 
+Parallelism benchmarks additionally record ``extra_info["cpus"]``: their
+speedup is a function of the runner's core count, so a multiprocessing
+ratio recorded on an 8-core baseline machine says nothing about a 1-core
+runner (and vice versa — a 1-core baseline's ~0.7x "speedup" would let any
+regression through on real hardware).  When both sides record ``cpus`` and
+they disagree, the benchmark is **skipped with a warning** instead of
+silently gated on an apples-to-oranges ratio.
+
 A benchmark present in the baseline but missing from the current run fails
 the gate (a silently-skipped benchmark is a regression in coverage).  To
 refresh baselines after an intentional change, run the suite several times
@@ -60,6 +68,15 @@ def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
         if got is None:
             print(f"FAIL {name}: benchmark missing from the current run")
             failures += 1
+            continue
+        base_cpus = base.get("extra_info", {}).get("cpus")
+        got_cpus = got.get("extra_info", {}).get("cpus")
+        if base_cpus is not None and got_cpus != base_cpus:
+            print(
+                f"warn {name}: baseline recorded on {base_cpus} cpu(s), this "
+                f"runner has {got_cpus} — core-count-dependent benchmark NOT "
+                f"gated (re-record benchmarks/baselines/ on a matching runner)"
+            )
             continue
         base_speedup = base.get("extra_info", {}).get("speedup")
         got_speedup = got.get("extra_info", {}).get("speedup")

@@ -1,0 +1,116 @@
+"""Scale gate: a million-request, 100-tenant trace served in bounded memory.
+
+The tentpole contract of sketch-mode serving (``Cluster.serve_stream``) is
+that report state is O(tenants + replicas): per-tenant latency sketches,
+fixed-bucket histograms and scalar accumulators, never the per-request
+record list the exact oracle keeps.  This benchmark replays a large
+Poisson trace through the streaming pipeline and pins that contract:
+
+* **bounded memory** — ``sketch_nbytes`` of the full-scale report equals,
+  byte for byte, the report of a 1%-sized run of the same scenario (the
+  sketch footprint is fixed at construction, so any growth with request
+  count is a leak of per-request state);
+* **conservation** — every submitted request is completed or dropped, per
+  tenant and in aggregate;
+* **observability** — wall clock, throughput, peak RSS
+  (``resource.getrusage``), report footprint and core count are recorded
+  in ``extra_info`` for the CI trajectory artifacts.
+
+The request count is environment-overridable: ``REPRO_SCALE_REQUESTS``
+(total across tenants, default 1,000,000 so the suite stays affordable
+when collected with the tier-1 tests; the CI bench job and the committed
+``benchmarks/baselines/BENCH_serve_scale.json`` baseline use 10,000,000 —
+the full headline replay).  The wall-clock gate in
+``compare_to_baseline.py`` only applies between runners with the same
+core count (the baseline records ``extra_info["cpus"]``); the memory and
+conservation assertions gate every run regardless.
+"""
+
+import os
+import resource
+import time
+
+from repro.serve import Cluster, LoadGenerator, Workload, sketch_nbytes
+
+NUM_TENANTS = 100
+TOTAL_REQUESTS = int(os.environ.get("REPRO_SCALE_REQUESTS", "1000000"))
+PER_TENANT = max(TOTAL_REQUESTS // NUM_TENANTS, 100)
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _scale_scenario():
+    """100 tenants with mixed models, deadlines, priorities and shares."""
+    tenants = [
+        Workload(
+            f"tenant{i:03d}",
+            model=("GIN" if i % 2 else "GCN"),
+            dataset="MolHIV",
+            num_graphs=4,
+            seed=i,
+            deadline_s=(2e-3 if i % 3 else None),
+            priority=i % 3,
+            share=1.0 + (i % 5) * 0.5,
+        )
+        for i in range(NUM_TENANTS)
+    ]
+    cluster = Cluster(tenants, backend="cpu", num_replicas=8)
+    # ~90% of pool capacity: heavily loaded but stable, so queues form and
+    # drain and the latency distribution has both fast and queued modes.
+    rate = 0.9 * cluster.num_replicas / cluster.mean_service_s()
+    generator = LoadGenerator.poisson(tenants, rate, seed=0)
+    return cluster, generator
+
+
+def test_streaming_serve_million_requests_bounded_memory(benchmark):
+    cluster, generator = _scale_scenario()
+
+    # Reference point for the memory gate: the same scenario at 1% of the
+    # size.  Sketch state has a fixed footprint, so the full-scale report
+    # must not be a single byte larger.
+    small = cluster.serve_stream(generator, num_requests=max(PER_TENANT // 100, 10))
+    small_nbytes = sketch_nbytes(small)
+
+    started = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: cluster.serve_stream(generator, num_requests=PER_TENANT),
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - started
+
+    total = PER_TENANT * NUM_TENANTS
+    assert report.mode == "sketch"
+    assert report.submitted == total
+    assert report.submitted == report.completed + report.dropped
+    assert len(report.tenants) == NUM_TENANTS
+    for outcome in report.tenants.values():
+        assert outcome.submitted == outcome.completed + outcome.dropped
+        assert outcome.report.p50_latency_ms <= outcome.report.p99_latency_ms
+        assert outcome.report.p99_latency_ms <= outcome.report.max_latency_ms
+
+    report_nbytes = sketch_nbytes(report)
+    assert report_nbytes == small_nbytes, (
+        f"report state grew with request count: {report_nbytes} bytes at "
+        f"{total} requests vs {small_nbytes} at 1% scale — per-request "
+        f"state is leaking into the sketch report"
+    )
+
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    benchmark.extra_info["requests"] = total
+    benchmark.extra_info["tenants"] = NUM_TENANTS
+    benchmark.extra_info["wall_s"] = round(elapsed, 3)
+    benchmark.extra_info["requests_per_s"] = round(total / elapsed)
+    benchmark.extra_info["peak_rss_mb"] = round(peak_rss_mb, 1)
+    benchmark.extra_info["report_nbytes"] = report_nbytes
+    benchmark.extra_info["cpus"] = _available_cpus()
+    print(
+        f"\n{total:,} requests / {NUM_TENANTS} tenants: {elapsed:.2f}s "
+        f"({total / elapsed:,.0f} req/s) | report {report_nbytes / 1024:.0f} KiB "
+        f"| peak RSS {peak_rss_mb:.0f} MiB"
+    )

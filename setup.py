@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="flowgnn-repro",
-    version="1.4.0",
+    version="1.6.0",
     description=(
         "Cycle-level reproduction of FlowGNN (HPCA 2023): a dataflow "
         "architecture for real-time GNN inference, with a parallel "

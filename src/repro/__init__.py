@@ -50,7 +50,7 @@ from .dse import SweepRunner, SweepSpec
 from .serve import Cluster, LoadGenerator, ServingReport, Workload
 from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Graph",

@@ -110,6 +110,16 @@ class InferenceReport:
         return float(self.per_graph_energy_mj.mean())
 
     @property
+    def total_energy_mj(self) -> float:
+        """Total energy across all graphs in millijoules.
+
+        Mode-agnostic counterpart shared with
+        :class:`~repro.serve.SketchTenantReport`, so cost models sum energy
+        without touching the per-graph array.
+        """
+        return float(self.per_graph_energy_mj.sum())
+
+    @property
     def graphs_per_kilojoule(self) -> float:
         """The paper's efficiency metric, averaged per graph like Table VI."""
         if not self.num_graphs:

@@ -305,6 +305,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0, help="load-generator seed")
     serve.add_argument(
+        "--num-requests",
+        type=int,
+        default=None,
+        help="generate exactly this many requests per tenant instead of "
+        "(or combined with) a --duration horizon",
+    )
+    serve_mode = serve.add_mutually_exclusive_group()
+    serve_mode.add_argument(
+        "--exact",
+        dest="mode",
+        action="store_const",
+        const="exact",
+        help="array-backed report (the oracle; the default)",
+    )
+    serve_mode.add_argument(
+        "--sketch",
+        dest="mode",
+        action="store_const",
+        const="sketch",
+        help="streaming simulation with O(tenants+replicas) report memory: "
+        "lazy load generation + online accumulators (counts, drops and "
+        "utilisation exact; percentiles within the sketches' documented "
+        "error) — use for millions of requests",
+    )
+    serve.set_defaults(mode="exact")
+    serve.add_argument(
         "--json",
         action="store_true",
         help="print the ServingReport as JSON instead of tables",
@@ -397,6 +423,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=0.05, help="traffic horizon per scenario (s)"
     )
     plan.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    plan.add_argument(
+        "--sketch",
+        dest="mode",
+        action="store_const",
+        const="sketch",
+        default="exact",
+        help="evaluate scenarios with the streaming (sketch-mode) simulator "
+        "instead of exact array-backed reports — same counts/drops/"
+        "utilisation, percentile estimates, far less memory per scenario",
+    )
     plan.add_argument(
         "--workers",
         type=int,
@@ -704,18 +740,27 @@ def _run_serve(args: argparse.Namespace) -> int:
             workload.deadline_s = 4.0 * mean_service
 
     # Trace replay with no explicit horizon runs the whole recorded trace
-    # (generate() with no bounds); everything else defaults to 50 ms.
+    # (generate() with no bounds); everything else defaults to 50 ms unless
+    # the scenario is sized by an explicit per-tenant request count.
     duration = args.duration
-    if duration is None and not is_trace:
+    if duration is None and not is_trace and args.num_requests is None:
         duration = 0.05
     try:
         generator = build_generator(workloads, args.arrival, rate, seed=args.seed)
-        requests = generator.generate(duration_s=duration)
+        if args.mode == "sketch":
+            # Streaming end to end: arrivals are generated lazily and folded
+            # into O(tenants + replicas) accumulators, never materialised.
+            report = cluster.serve_stream(
+                generator, duration_s=duration, num_requests=args.num_requests
+            )
+        else:
+            requests = generator.generate(
+                duration_s=duration, num_requests=args.num_requests
+            )
+            report = cluster.serve(requests, duration_s=duration)
     except (OSError, ValueError) as error:
         print(f"cannot generate load: {error}", file=sys.stderr)
         return 2
-
-    report = cluster.serve(requests, duration_s=duration)
 
     if args.json:
         print(report.to_json())
@@ -726,9 +771,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     )
     horizon_s = duration if duration is not None else report.horizon_s
     print(
-        f"serving {len(requests)} requests from {args.tenants} tenants over "
+        f"serving {report.submitted} requests from {args.tenants} tenants over "
         f"{args.replicas}x {report.backend} ({offered}, "
-        f"{horizon_s * 1e3:.0f} ms horizon)"
+        f"{horizon_s * 1e3:.0f} ms horizon, {report.mode} mode)"
     )
     print()
     print(render_dict_table(report.tenant_rows(), title=f"per-tenant serving report ({report.policy})"))
@@ -774,6 +819,7 @@ def _run_plan(args: argparse.Namespace) -> int:
             utilisation=args.utilisation,
             duration_s=args.duration,
             seed=args.seed,
+            mode=args.mode,
         )
     except (ValueError, KeyError) as error:
         print(f"invalid plan sweep: {error}", file=sys.stderr)

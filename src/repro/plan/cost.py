@@ -35,8 +35,10 @@ def scenario_cost(report: ServingReport, duration_s: Optional[float] = None) -> 
     measured per-request energies over all completed requests.
     """
     horizon = duration_s if duration_s is not None else report.horizon_s
+    # total_energy_mj exists on both the exact InferenceReport and the
+    # streaming SketchTenantReport, so the cost model is mode-agnostic.
     energy_mj = sum(
-        float(outcome.report.per_graph_energy_mj.sum())
+        float(outcome.report.total_energy_mj)
         for outcome in report.tenants.values()
     )
     return {

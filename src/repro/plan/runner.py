@@ -81,6 +81,7 @@ class PlanResult(ResultTable):
             "backend": self.spec.backend,
             "duration_s": self.spec.duration_s,
             "seed": self.spec.seed,
+            "mode": self.spec.mode,
             "num_scenarios": self.num_scenarios,
             "rates_rps": dict(self.rates),
             "scenarios": [dict(row) for row in self.rows],
@@ -143,6 +144,7 @@ class PlanJob(Job):
         self._cache = MeasurementCache(self.profiles)
         self._clusters: Dict[str, Tuple[Cluster, List[Workload]]] = {}
         self._requests: Dict[Tuple[str, str], List] = {}
+        self._generators: Dict[Tuple[str, str], LoadGenerator] = {}
 
     def evaluate(self, scenario: Scenario) -> Dict:
         base, _ = self._mix_cluster(scenario.mix)
@@ -153,8 +155,17 @@ class PlanJob(Job):
             batch_timeout_s=scenario.batch_timeout_s,
             queue_capacity=scenario.queue_capacity,
         )
-        requests = self._mix_requests(scenario.mix, scenario.arrival)
-        report = cluster.serve(requests, duration_s=self.spec.duration_s)
+        if self.spec.mode == "sketch":
+            # Streaming evaluation: no materialised request list at all —
+            # the generator replays the identical seeded arrival sequence
+            # lazily for every grid point that shares the (mix, arrival).
+            generator = self._mix_generator(scenario.mix, scenario.arrival)
+            report = cluster.serve_stream(
+                generator, duration_s=self.spec.duration_s
+            )
+        else:
+            requests = self._mix_requests(scenario.mix, scenario.arrival)
+            report = cluster.serve(requests, duration_s=self.spec.duration_s)
         return scenario_row(
             scenario,
             report,
@@ -178,15 +189,24 @@ class PlanJob(Job):
             self._clusters[mix_name] = cached
         return cached
 
+    def _mix_generator(self, mix_name: str, arrival: str) -> LoadGenerator:
+        """The worker's memoised load generator for one (mix, arrival) cell."""
+        key = (mix_name, arrival)
+        cached = self._generators.get(key)
+        if cached is None:
+            _, workloads = self._mix_cluster(mix_name)
+            cached = build_generator(
+                workloads, arrival, self.rates[mix_name], self.spec.seed
+            )
+            self._generators[key] = cached
+        return cached
+
     def _mix_requests(self, mix_name: str, arrival: str):
         """The worker's memoised request sequence for one (mix, arrival) cell."""
         key = (mix_name, arrival)
         cached = self._requests.get(key)
         if cached is None:
-            _, workloads = self._mix_cluster(mix_name)
-            generator = build_generator(
-                workloads, arrival, self.rates[mix_name], self.spec.seed
-            )
+            generator = self._mix_generator(mix_name, arrival)
             cached = generator.generate(duration_s=self.spec.duration_s)
             self._requests[key] = cached
         return cached

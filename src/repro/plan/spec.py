@@ -109,6 +109,12 @@ class PlanSpec:
         Simulated traffic horizon per scenario.
     seed:
         Load-generator master seed (scenarios are bit-reproducible).
+    mode:
+        ``"exact"`` (array-backed reports, the oracle) or ``"sketch"``
+        (streaming load generation + online accumulators; scenario rows
+        carry percentile estimates within the sketches' documented error
+        but counts/drops/utilisation stay exact).  See
+        :meth:`~repro.serve.Cluster.serve_stream`.
     """
 
     mixes: Tuple[TenantMix, ...]
@@ -123,6 +129,7 @@ class PlanSpec:
     utilisation: float = 0.7
     duration_s: float = 0.05
     seed: int = 0
+    mode: str = "exact"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mixes", tuple(self.mixes))
@@ -183,6 +190,10 @@ class PlanSpec:
             raise ValueError("utilisation must be in (0, 2]")
         if not self.duration_s > 0:
             raise ValueError("duration_s must be positive")
+        if self.mode not in ("exact", "sketch"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; use 'exact' or 'sketch'"
+            )
 
     # -- enumeration ----------------------------------------------------------
     def scenarios(self) -> Iterator[Scenario]:

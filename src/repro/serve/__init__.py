@@ -36,11 +36,13 @@ a one-replica, no-batching cluster reproduces ``run_stream`` bit for bit.
 """
 
 from .arrivals import (
+    STREAM_CHUNK,
     ArrivalProcess,
     ConstantArrivals,
     LoadGenerator,
     OnOffArrivals,
     PoissonArrivals,
+    RequestBlock,
     ServingRequest,
     TraceArrivals,
 )
@@ -56,7 +58,15 @@ from .cluster import (
     register_policy,
 )
 from .reference import reference_serve
-from .report import ServingRecord, ServingReport, TenantOutcome
+from .report import ServingRecord, ServingReport, SketchTenantReport, TenantOutcome
+from .sketches import (
+    LatencySketch,
+    P2Quantile,
+    QuantileSketch,
+    StreamingHistogram,
+    StreamingMoments,
+    sketch_nbytes,
+)
 from .workload import Workload
 
 __all__ = [
@@ -79,6 +89,15 @@ __all__ = [
     "TenantService",
     "ServingRecord",
     "ServingReport",
+    "SketchTenantReport",
     "TenantOutcome",
     "reference_serve",
+    "RequestBlock",
+    "STREAM_CHUNK",
+    "StreamingMoments",
+    "P2Quantile",
+    "QuantileSketch",
+    "StreamingHistogram",
+    "LatencySketch",
+    "sketch_nbytes",
 ]

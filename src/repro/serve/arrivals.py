@@ -17,28 +17,49 @@ Everything is seeded: a ``LoadGenerator`` derives one independent
 ``numpy`` generator per tenant from ``(seed, tenant index)``, so the same
 seed always yields the bit-identical request sequence regardless of how
 many tenants share the cluster.
+
+Two generation modes share that seeding:
+
+* **eager** (:meth:`LoadGenerator.generate`) materialises the full merged
+  list — the historical path, kept as the streaming mode's order oracle;
+* **lazy** (:meth:`LoadGenerator.iter_requests` /
+  :meth:`LoadGenerator.iter_request_blocks`) streams the same sequence
+  without materialising it: every arrival process grows an ``iter_times``
+  that yields timestamp chunks **bit-identical** to ``times()`` (same rng
+  consumption, same cumulative-sum float operations — pinned by the serving
+  property tests), and the per-tenant streams are heap-merged on the same
+  ``(arrival, tenant index, index)`` key the eager sort uses.  Memory is
+  O(tenants x chunk), not O(requests).
 """
 
 from __future__ import annotations
 
 import csv
+import heapq
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .workload import Workload
 
+#: Timestamp-chunk size of the lazy per-tenant streams.  Any value yields
+#: bit-identical sequences (chunked ``Generator`` draws and carried cumsums
+#: reproduce the one-shot floats exactly); this only tunes memory/speed.
+STREAM_CHUNK = 8192
+
 __all__ = [
     "ServingRequest",
+    "RequestBlock",
     "ArrivalProcess",
     "ConstantArrivals",
     "PoissonArrivals",
     "OnOffArrivals",
     "TraceArrivals",
     "LoadGenerator",
+    "STREAM_CHUNK",
 ]
 
 
@@ -60,6 +81,48 @@ class ServingRequest:
         if self.deadline_s is None:
             return math.inf
         return self.arrival_s + self.deadline_s
+
+
+@dataclass(frozen=True)
+class RequestBlock:
+    """A struct-of-arrays slice of the merged request stream.
+
+    Yielded by :meth:`LoadGenerator.iter_request_blocks` for the vectorised
+    serving fast path: entries are in exact ``generate()`` order within the
+    block, and every entry of block ``k`` sorts before every entry of block
+    ``k + 1``.
+    """
+
+    arrival_s: np.ndarray    # float64, sorted
+    tenant_index: np.ndarray  # int64, into LoadGenerator.workloads
+    index: np.ndarray        # int64, per-tenant sequence numbers
+    graph_index: np.ndarray  # int64, into each tenant's graph pool
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.size)
+
+    def requests(self, workloads: Sequence[Workload]) -> List[ServingRequest]:
+        """Materialise the block as :class:`ServingRequest` objects."""
+        out: List[ServingRequest] = []
+        for arrival, ti, idx, gi in zip(
+            self.arrival_s.tolist(),
+            self.tenant_index.tolist(),
+            self.index.tolist(),
+            self.graph_index.tolist(),
+        ):
+            w = workloads[ti]
+            out.append(
+                ServingRequest(
+                    tenant=w.tenant,
+                    tenant_index=ti,
+                    index=idx,
+                    arrival_s=arrival,
+                    graph_index=gi,
+                    deadline_s=w.deadline_s,
+                    priority=w.priority,
+                )
+            )
+        return out
 
 
 def _check_sizing(num_requests: Optional[int], duration_s: Optional[float]) -> None:
@@ -98,6 +161,24 @@ class ArrivalProcess(ABC):
     ) -> np.ndarray:
         """The first ``num_requests`` arrivals and/or those within ``duration_s``."""
 
+    def iter_times(
+        self,
+        num_requests: Optional[int] = None,
+        duration_s: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield the ``times()`` sequence as sorted float64 chunks.
+
+        The concatenation of the yielded chunks must be bit-identical to
+        ``times()`` under the same rng seeding.  This base implementation
+        falls back to one eager chunk — always correct for custom processes
+        but O(n) memory; the built-ins override it with truly streaming
+        generators.
+        """
+        times = self.times(num_requests=num_requests, duration_s=duration_s, rng=rng)
+        if times.size:
+            yield times
+
 
 @dataclass(frozen=True)
 class ConstantArrivals(ArrivalProcess):
@@ -126,6 +207,28 @@ class ConstantArrivals(ArrivalProcess):
             num_requests = int(math.ceil(duration_s / self.interval_s)) + 1
         times = np.arange(num_requests) * float(self.interval_s)
         return _trim(times, num_requests, duration_s)
+
+    def iter_times(self, num_requests=None, duration_s=None, rng=None):
+        _check_sizing(num_requests, duration_s)
+        total = num_requests
+        if total is None:
+            if self.interval_s == 0:
+                raise ValueError(
+                    "a zero-interval burst is unbounded; pass num_requests"
+                )
+            total = int(math.ceil(duration_s / self.interval_s)) + 1
+        interval = float(self.interval_s)
+        for lo in range(0, total, STREAM_CHUNK):
+            hi = min(lo + STREAM_CHUNK, total)
+            # Element i is always the int64 i times the float interval —
+            # the same op ``times()`` applies, so chunking is invisible.
+            chunk = np.arange(lo, hi) * interval
+            if duration_s is not None:
+                chunk = chunk[chunk < duration_s]
+            if chunk.size:
+                yield chunk
+            if chunk.size < hi - lo:
+                return  # horizon crossed; everything later is even larger
 
 
 @dataclass(frozen=True)
@@ -156,6 +259,50 @@ class PoissonArrivals(ArrivalProcess):
                 more = np.cumsum(rng.exponential(mean_gap, size=chunk)) + times[-1]
                 times = np.concatenate([times, more])
         return _trim(times, num_requests, duration_s)
+
+    def iter_times(self, num_requests=None, duration_s=None, rng=None):
+        _check_sizing(num_requests, duration_s)
+        if rng is None:
+            raise ValueError("PoissonArrivals needs an rng (it is stochastic)")
+        mean_gap = 1.0 / self.rate_rps
+        if num_requests is not None:
+            # Bit-identical to the one-shot ``cumsum(exponential(size=n))``:
+            # Generator draws split across calls reproduce the same variates,
+            # and seeding each chunk's cumsum with the previous running total
+            # replays the identical sequential float additions.
+            carry: Optional[float] = None
+            drawn = 0
+            while drawn < num_requests:
+                size = min(STREAM_CHUNK, num_requests - drawn)
+                gaps = rng.exponential(mean_gap, size=size)
+                if carry is None:
+                    chunk = np.cumsum(gaps)
+                else:
+                    chunk = np.cumsum(np.concatenate(([carry], gaps)))[1:]
+                carry = float(chunk[-1])
+                drawn += size
+                if duration_s is not None:
+                    kept = chunk[chunk < duration_s]
+                    if kept.size:
+                        yield kept
+                    if kept.size < chunk.size:
+                        return
+                else:
+                    yield chunk
+        else:
+            # Mirror the ``times()`` chunk loop op-for-op (whole-chunk cumsum
+            # *then* an offset add) so kept values are bit-identical.
+            chunk_size = max(16, int(1.5 * self.rate_rps * duration_s) + 1)
+            last: Optional[float] = None
+            while True:
+                gaps = rng.exponential(mean_gap, size=chunk_size)
+                chunk = np.cumsum(gaps) if last is None else np.cumsum(gaps) + last
+                last = float(chunk[-1])
+                kept = chunk[chunk < duration_s]
+                if kept.size:
+                    yield kept
+                if last >= duration_s:
+                    return
 
 
 @dataclass(frozen=True)
@@ -208,6 +355,35 @@ class OnOffArrivals(ArrivalProcess):
             phase_start += length
             on = not on
         return _trim(np.array(times, dtype=np.float64), num_requests, duration_s)
+
+    def iter_times(self, num_requests=None, duration_s=None, rng=None):
+        _check_sizing(num_requests, duration_s)
+        if rng is None:
+            raise ValueError("OnOffArrivals needs an rng (it is stochastic)")
+        # The eager path is a scalar loop already; this mirrors it draw-for-
+        # draw (phase lengths, then one gap per candidate arrival) while
+        # flushing buffered timestamps every STREAM_CHUNK values.
+        horizon = math.inf if duration_s is None else duration_s
+        target = math.inf if num_requests is None else num_requests
+        buf: List[float] = []
+        emitted = 0
+        phase_start, on = 0.0, True
+        while phase_start < horizon and emitted + len(buf) < target:
+            length = rng.exponential(self.mean_on_s if on else self.mean_off_s)
+            rate = self.on_rate_rps if on else self.off_rate_rps
+            if rate > 0:
+                t = phase_start + rng.exponential(1.0 / rate)
+                while t < phase_start + length and t < horizon and emitted + len(buf) < target:
+                    buf.append(t)
+                    if len(buf) >= STREAM_CHUNK:
+                        emitted += len(buf)
+                        yield np.array(buf, dtype=np.float64)
+                        buf = []
+                    t += rng.exponential(1.0 / rate)
+            phase_start += length
+            on = not on
+        if buf:
+            yield np.array(buf, dtype=np.float64)
 
 
 def _read_trace_csv(
@@ -267,6 +443,25 @@ class TraceArrivals(ArrivalProcess):
         if num_requests is not None or duration_s is not None:
             _check_sizing(num_requests, duration_s)
         return _trim(np.array(self.timestamps, dtype=np.float64), num_requests, duration_s)
+
+    def iter_times(self, num_requests=None, duration_s=None, rng=None):
+        if num_requests is not None or duration_s is not None:
+            _check_sizing(num_requests, duration_s)
+        emitted = 0
+        for lo in range(0, len(self.timestamps), STREAM_CHUNK):
+            chunk = np.array(self.timestamps[lo : lo + STREAM_CHUNK], dtype=np.float64)
+            full = chunk.size
+            if duration_s is not None:
+                chunk = chunk[chunk < duration_s]
+            done = chunk.size < full
+            if num_requests is not None and emitted + chunk.size >= num_requests:
+                chunk = chunk[: num_requests - emitted]
+                done = True
+            emitted += chunk.size
+            if chunk.size:
+                yield chunk
+            if done:
+                return
 
 
 class LoadGenerator:
@@ -348,6 +543,136 @@ class LoadGenerator:
                 )
         requests.sort(key=lambda r: (r.arrival_s, r.tenant_index, r.index))
         return requests
+
+    # -- lazy streaming: same sequence, O(tenants x chunk) memory -------------
+    def _tenant_stream(
+        self,
+        tenant_index: int,
+        workload: Workload,
+        duration_s: Optional[float],
+        num_requests: Optional[int],
+    ) -> Iterator[ServingRequest]:
+        process = self._arrivals[workload.tenant]
+        pool = workload.num_pool_graphs
+        i = 0
+        for chunk in process.iter_times(
+            num_requests=num_requests,
+            duration_s=duration_s,
+            rng=self.rng_for(tenant_index),
+        ):
+            for arrival in chunk.tolist():
+                yield ServingRequest(
+                    tenant=workload.tenant,
+                    tenant_index=tenant_index,
+                    index=i,
+                    arrival_s=arrival,
+                    graph_index=i % pool,
+                    deadline_s=workload.deadline_s,
+                    priority=workload.priority,
+                )
+                i += 1
+
+    def iter_requests(
+        self,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+    ) -> Iterator[ServingRequest]:
+        """Lazily yield exactly the :meth:`generate` sequence, in order.
+
+        Per-tenant ``iter_times`` streams are heap-merged on the eager sort
+        key ``(arrival_s, tenant_index, index)``; because the key is unique
+        the merged order is bit-identical to ``generate()`` while holding
+        only O(tenants x chunk) timestamps in memory.
+        """
+        streams = [
+            self._tenant_stream(i, w, duration_s, num_requests)
+            for i, w in enumerate(self.workloads)
+        ]
+        return heapq.merge(
+            *streams, key=lambda r: (r.arrival_s, r.tenant_index, r.index)
+        )
+
+    def iter_request_blocks(
+        self,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+    ) -> Iterator[RequestBlock]:
+        """The merged stream as numpy :class:`RequestBlock` slices.
+
+        Block boundaries respect the global order: the window boundary is the
+        smallest buffered-last timestamp over the non-exhausted tenants, each
+        tenant is refilled until its buffer passes the boundary, and every
+        buffered entry at or below it is emitted after an
+        ``(arrival, tenant, index)`` lexsort.  That makes each block complete
+        (no later entry can sort into it) and the concatenation bit-identical
+        to :meth:`generate`.
+        """
+        num_tenants = len(self.workloads)
+        pools = np.array([w.num_pool_graphs for w in self.workloads], dtype=np.int64)
+        iters = [
+            self._arrivals[w.tenant].iter_times(
+                num_requests=num_requests,
+                duration_s=duration_s,
+                rng=self.rng_for(i),
+            )
+            for i, w in enumerate(self.workloads)
+        ]
+        bufs: List[np.ndarray] = [np.empty(0, dtype=np.float64) for _ in range(num_tenants)]
+        first = [0] * num_tenants  # per-tenant index of bufs[i][0]
+        exhausted = [False] * num_tenants
+
+        def refill(i: int) -> None:
+            try:
+                chunk = next(iters[i])
+            except StopIteration:
+                exhausted[i] = True
+                return
+            bufs[i] = chunk if not bufs[i].size else np.concatenate([bufs[i], chunk])
+
+        while True:
+            for i in range(num_tenants):
+                while not exhausted[i] and not bufs[i].size:
+                    refill(i)
+            active = [i for i in range(num_tenants) if not exhausted[i]]
+            if not any(b.size for b in bufs):
+                return
+            if active:
+                boundary = min(float(bufs[i][-1]) for i in active)
+                for i in active:
+                    while not exhausted[i] and bufs[i][-1] <= boundary:
+                        refill(i)
+            else:
+                boundary = math.inf
+            parts_arrival: List[np.ndarray] = []
+            parts_tenant: List[np.ndarray] = []
+            parts_index: List[np.ndarray] = []
+            for i in range(num_tenants):
+                b = bufs[i]
+                if not b.size:
+                    continue
+                cut = (
+                    b.size
+                    if boundary is math.inf
+                    else int(np.searchsorted(b, boundary, side="right"))
+                )
+                if not cut:
+                    continue
+                parts_arrival.append(b[:cut])
+                parts_tenant.append(np.full(cut, i, dtype=np.int64))
+                parts_index.append(np.arange(first[i], first[i] + cut, dtype=np.int64))
+                bufs[i] = b[cut:]
+                first[i] += cut
+            arrival = np.concatenate(parts_arrival)
+            tenant = np.concatenate(parts_tenant)
+            index = np.concatenate(parts_index)
+            order = np.lexsort((index, tenant, arrival))
+            arrival, tenant, index = arrival[order], tenant[order], index[order]
+            yield RequestBlock(
+                arrival_s=arrival,
+                tenant_index=tenant,
+                index=index,
+                graph_index=index % pools[tenant],
+            )
 
     # -- conveniences: split a cluster-wide rate by tenant share --------------
     @staticmethod

@@ -31,16 +31,36 @@ Dispatch policies:
 from __future__ import annotations
 
 import heapq
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..api import Backend, InferenceRequest, Measurement, MeasurementCache, get_backend
 from .arrivals import ServingRequest
-from .report import ServingRecord, ServingReport, assemble_report
+from .report import (
+    ServingRecord,
+    ServingReport,
+    assemble_report,
+    assemble_sketch_report,
+)
+from .sketches import LatencySketch, StreamingHistogram
 from .workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .arrivals import LoadGenerator
 
 __all__ = [
     "DispatchPolicy",
@@ -282,6 +302,140 @@ class _SimState:
     now: float = 0.0
 
 
+class _ExactSink:
+    """Collects full per-request records (the historical, array-backed path)."""
+
+    __slots__ = ("records", "batch_sizes")
+
+    def __init__(self) -> None:
+        self.records: List[ServingRecord] = []
+        self.batch_sizes: List[int] = []
+
+    def on_batch(self, size: int) -> None:
+        self.batch_sizes.append(size)
+
+    def on_record(
+        self,
+        item: _QueueItem,
+        service_s: float,
+        energy_j: float,
+        start_s: float,
+        completion_s: float,
+        replica: int,
+        batch_size: int,
+    ) -> None:
+        self.records.append(
+            ServingRecord(
+                request=item.request,
+                service_s=service_s,
+                energy_j=energy_j,
+                start_s=start_s,
+                completion_s=completion_s,
+                replica=replica,
+                batch_size=batch_size,
+            )
+        )
+
+
+class _SketchSink:
+    """Folds completed requests into online accumulators as they happen.
+
+    The streaming counterpart of :class:`_ExactSink`: per-tenant
+    :class:`~repro.serve.sketches.LatencySketch` objects, two cluster-level
+    histograms, drop counters and the horizon maxima — O(tenants + replicas)
+    memory however many requests stream through.  It also retires finished
+    items from the streaming loop's ``items`` dict, keeping the live set
+    bounded by the queue backlog.
+
+    Per-tenant queue depth mirrors
+    :func:`~repro.graph.queue_depths_at_arrivals` exactly: at each admission
+    the depth is the number of earlier admissions minus the tenant's
+    completions at or before the arrival, read off a min-heap of completion
+    times.  By admission time every such completion has already been
+    dispatched (a completion at ``t`` was dispatched no later than ``t``),
+    so the heap always holds what the exact path's sorted array would.
+    """
+
+    __slots__ = (
+        "items",
+        "sketches",
+        "batch_hist",
+        "queue_hist",
+        "dropped_by_tenant",
+        "dropped_total",
+        "max_completion_s",
+        "max_dropped_arrival_s",
+        "_qd_arrived",
+        "_qd_popped",
+        "_qd_heaps",
+    )
+
+    def __init__(self, cluster: "Cluster", items: Optional[Dict[int, _QueueItem]]) -> None:
+        self.items = items
+        self.sketches = {
+            w.tenant: LatencySketch(deadline_s=w.deadline_s) for w in cluster.workloads
+        }
+        self.batch_hist = StreamingHistogram.integers(cluster.max_batch_size)
+        self.queue_hist = StreamingHistogram.power_of_two()
+        self.dropped_by_tenant = {w.tenant: 0 for w in cluster.workloads}
+        self.dropped_total = 0
+        self.max_completion_s = -math.inf
+        self.max_dropped_arrival_s = -math.inf
+        self._qd_arrived = {w.tenant: 0 for w in cluster.workloads}
+        self._qd_popped = {w.tenant: 0 for w in cluster.workloads}
+        self._qd_heaps: Dict[str, List[float]] = {w.tenant: [] for w in cluster.workloads}
+
+    def on_batch(self, size: int) -> None:
+        self.batch_hist.update(float(size))
+
+    def on_record(
+        self,
+        item: _QueueItem,
+        service_s: float,
+        energy_j: float,
+        start_s: float,
+        completion_s: float,
+        replica: int,
+        batch_size: int,
+    ) -> None:
+        request = item.request
+        self.sketches[request.tenant].observe(
+            latency_s=completion_s - request.arrival_s,
+            service_s=service_s,
+            energy_j=energy_j,
+            replica=replica,
+            batch_size=batch_size,
+        )
+        heapq.heappush(self._qd_heaps[request.tenant], completion_s)
+        if completion_s > self.max_completion_s:
+            self.max_completion_s = completion_s
+        if self.items is not None:
+            del self.items[item.seq]
+
+    def on_admit(self, request: ServingRequest) -> None:
+        """Sample the tenant's queue depth at this (admitted) arrival."""
+        tenant = request.tenant
+        heap = self._qd_heaps[tenant]
+        arrival = request.arrival_s
+        popped = self._qd_popped[tenant]
+        while heap and heap[0] <= arrival:
+            heapq.heappop(heap)
+            popped += 1
+        self._qd_popped[tenant] = popped
+        arrived = self._qd_arrived[tenant]
+        self.sketches[tenant].queue.update(float(arrived - popped))
+        self._qd_arrived[tenant] = arrived + 1
+
+    def on_drop(self, request: ServingRequest) -> None:
+        self.dropped_by_tenant[request.tenant] += 1
+        self.dropped_total += 1
+        if request.arrival_s > self.max_dropped_arrival_s:
+            self.max_dropped_arrival_s = request.arrival_s
+
+    def on_instant_sample(self, depth: int) -> None:
+        self.queue_hist.update(float(depth))
+
+
 @dataclass
 class Cluster:
     """A pool of identical backend replicas serving many tenants.
@@ -405,12 +559,24 @@ class Cluster:
         self,
         requests: Sequence[ServingRequest],
         duration_s: Optional[float] = None,
+        mode: str = "exact",
     ) -> ServingReport:
         """Run the event-driven simulation over ``requests``.
 
         ``duration_s`` only stretches the utilisation horizon (e.g. to the
         load generator's configured duration); every submitted request is
         served to completion regardless.
+
+        ``mode`` selects the aggregation path.  ``"exact"`` (the default and
+        the oracle) stores per-request records and arrays; ``"sketch"``
+        folds every completion into O(tenants + replicas) online
+        accumulators — same event loop, same floats for counts, drops and
+        utilisation, P²-estimated percentiles — and accepts ``requests`` as
+        any iterable already sorted by ``(arrival_s, tenant_index, index)``
+        (what :meth:`LoadGenerator.iter_requests` yields), never holding
+        more than the queued backlog in memory.  For sketch mode straight
+        from a generator — including the vectorised FIFO fast path — see
+        :meth:`serve_stream`.
 
         The dispatcher keeps the pending requests in policy-ordered heaps —
         one *lane* per replica for pinned requests plus one shared lane —
@@ -424,6 +590,10 @@ class Cluster:
         contract test and ``benchmarks/test_serve_speedup.py`` hold them
         together.
         """
+        if mode not in ("exact", "sketch"):
+            raise ValueError(f"mode must be 'exact' or 'sketch', got {mode!r}")
+        if mode == "sketch":
+            return self._serve_sketch(iter(requests), duration_s)
         policy = self.policy
         policy.reset(self.num_replicas)
         for request in requests:
@@ -456,9 +626,8 @@ class Cluster:
             per_replica=[[] for _ in range(self.num_replicas)],
             pending=0,
         )
-        records: List[ServingRecord] = []
+        sink = _ExactSink()
         dropped: List[ServingRequest] = []
-        batch_sizes: List[int] = []
         trace_times: List[float] = []
         trace_depths: List[int] = []
         scheduled_timers: set = set()
@@ -500,19 +669,328 @@ class Cluster:
             trace_times.append(now)
             trace_depths.append(lanes.pending)
             self._dispatch(
-                now, state, lanes, items, busy_time, records, batch_sizes,
-                events, scheduled_timers,
+                now, state, lanes, items, busy_time, sink, events, scheduled_timers
             )
 
         assert lanes.pending == 0, "simulation ended with requests still queued"
         return assemble_report(
             cluster=self,
-            records=records,
+            records=sink.records,
             dropped=dropped,
             busy_time=busy_time,
-            batch_sizes=batch_sizes,
+            batch_sizes=sink.batch_sizes,
             trace_times=np.array(trace_times, dtype=np.float64),
             trace_depths=np.array(trace_depths, dtype=np.int64),
+            duration_s=duration_s,
+        )
+
+    def serve_stream(
+        self,
+        generator: "LoadGenerator",
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        mode: str = "sketch",
+    ) -> ServingReport:
+        """Serve a :class:`LoadGenerator`'s stream without materialising it.
+
+        In sketch mode the request sequence is consumed lazily
+        (:meth:`LoadGenerator.iter_requests`), so a million-request trace
+        costs O(tenants x chunk + backlog) memory end to end.  When the
+        configuration permits — ``round_robin`` dispatch, no batching, an
+        unbounded queue — the simulation runs the vectorised FIFO fast path
+        over :meth:`LoadGenerator.iter_request_blocks` instead of the scalar
+        event loop; both produce the same report (counts, drops and
+        utilisation bit-identical to the exact oracle, percentiles within
+        the sketch tolerance).  ``mode="exact"`` materialises the sequence
+        and runs the array-backed oracle path.
+        """
+        if mode not in ("exact", "sketch"):
+            raise ValueError(f"mode must be 'exact' or 'sketch', got {mode!r}")
+        if mode == "exact":
+            return self.serve(
+                generator.generate(duration_s=duration_s, num_requests=num_requests),
+                duration_s=duration_s,
+            )
+        for workload in generator.workloads:
+            if workload.tenant not in self.services:
+                raise ValueError(
+                    f"load generator tenant {workload.tenant!r} unknown to cluster"
+                )
+        if self._fast_path_eligible():
+            return self._serve_stream_fast(generator, duration_s, num_requests)
+        return self._serve_sketch(
+            generator.iter_requests(duration_s=duration_s, num_requests=num_requests),
+            duration_s,
+        )
+
+    def _fast_path_eligible(self) -> bool:
+        """FIFO-lane vectorisation is valid only when dispatch is pure
+        round-robin pinning (not a subclass overriding ``assign``), batches
+        are single requests (no timers, measurement at the declared batch
+        size) and admission never drops (unbounded queue)."""
+        return (
+            type(self.policy) is RoundRobinPolicy
+            and self.max_batch_size == 1
+            and self.queue_capacity is None
+        )
+
+    def _serve_sketch(
+        self, request_iter: Iterable[ServingRequest], duration_s: Optional[float]
+    ) -> ServingReport:
+        """The event loop with lazy arrivals and online aggregation.
+
+        Identical dispatch semantics to the exact path — same heap, same
+        tie-breaking, same float operations on start/finish/busy times — but
+        arrivals are pulled from ``request_iter`` one ahead of the event
+        heap (the stream is sorted, so one lookahead suffices) and every
+        completion folds into a :class:`_SketchSink` instead of a record
+        list.  Peak memory is the queued backlog, not the request count.
+        """
+        policy = self.policy
+        policy.reset(self.num_replicas)
+        request_iter = iter(request_iter)
+        state = _SimState(
+            busy_until=[0.0] * self.num_replicas,
+            queued_work=[0.0] * self.num_replicas,
+        )
+        busy_time = [0.0] * self.num_replicas
+        lanes = _Lanes(
+            shared=[],
+            per_replica=[[] for _ in range(self.num_replicas)],
+            pending=0,
+        )
+        items: Dict[int, _QueueItem] = {}
+        sink = _SketchSink(self, items)
+        scheduled_timers: set = set()
+        events: List[Tuple[float, int, int]] = []
+        next_seq = 0
+        prev_key: Optional[Tuple[float, int, int]] = None
+
+        def pull() -> None:
+            """Admit the next request of the stream into the event heap."""
+            nonlocal next_seq, prev_key
+            request = next(request_iter, None)
+            if request is None:
+                return
+            if request.tenant not in self.services:
+                raise ValueError(f"request for unknown tenant {request.tenant!r}")
+            key = (request.arrival_s, request.tenant_index, request.index)
+            if prev_key is not None and key < prev_key:
+                raise ValueError(
+                    "sketch-mode serve requires requests sorted by "
+                    "(arrival_s, tenant_index, index); use "
+                    "LoadGenerator.iter_requests or sort the sequence"
+                )
+            prev_key = key
+            service = self.services[request.tenant]
+            items[next_seq] = _QueueItem(
+                request=request,
+                seq=next_seq,
+                service_s=service.service_s(
+                    request.graph_index, batch_size=service.base_batch_size
+                ),
+            )
+            heapq.heappush(events, (request.arrival_s, _ARRIVAL, next_seq))
+            next_seq += 1
+
+        pull()
+        while events:
+            now = events[0][0]
+            state.now = now
+            saw_arrival = False
+            while events and events[0][0] == now:
+                _, kind, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    saw_arrival = True
+                    item = items[payload]
+                    # Keep exactly one future arrival in the heap: if the
+                    # next request shares this timestamp it joins this
+                    # instant's drain, preserving the exact loop's
+                    # simultaneous-arrival semantics.
+                    pull()
+                    if (
+                        self.queue_capacity is not None
+                        and lanes.pending >= self.queue_capacity
+                    ):
+                        sink.on_drop(item.request)
+                        del items[item.seq]
+                    else:
+                        item.replica = policy.assign(item, state)
+                        if item.replica is not None:
+                            state.queued_work[item.replica] += item.service_s
+                        lanes.admit(item, policy.order_key(item) + (item.seq,))
+                        sink.on_admit(item.request)
+            # Exact mode samples the queue at every instant; the maximum is
+            # always attained at an arrival instant (depth only grows at
+            # admissions), so sampling those keeps max_queue_depth identical
+            # while the histogram documents arrival-instant depths only.
+            if saw_arrival:
+                sink.on_instant_sample(lanes.pending)
+            self._dispatch(
+                now, state, lanes, items, busy_time, sink, events, scheduled_timers
+            )
+
+        assert lanes.pending == 0, "simulation ended with requests still queued"
+        assert not items, "streaming loop leaked queue items"
+        return assemble_sketch_report(
+            cluster=self,
+            sketches=sink.sketches,
+            dropped_by_tenant=sink.dropped_by_tenant,
+            busy_time=busy_time,
+            batch_size_hist=sink.batch_hist,
+            queue_depth_hist=sink.queue_hist,
+            max_completion_s=sink.max_completion_s,
+            max_dropped_arrival_s=sink.max_dropped_arrival_s,
+            duration_s=duration_s,
+        )
+
+    def _serve_stream_fast(
+        self,
+        generator: "LoadGenerator",
+        duration_s: Optional[float],
+        num_requests: Optional[int],
+    ) -> ServingReport:
+        """Vectorised FIFO fast path over merged request blocks.
+
+        Under round-robin pinning with no batching and no admission control,
+        the event loop collapses to per-replica FIFO recurrences: request
+        ``k`` (global arrival order) runs on replica ``k % R`` and starts at
+        ``max(arrival, previous finish)``.  Everything else — service/energy
+        lookups, end-to-end latencies, deadline misses, queue depths — is
+        numpy over :meth:`LoadGenerator.iter_request_blocks`.  The start/
+        finish recurrence stays a scalar loop on purpose: it replays the
+        exact event loop's float operations (branch-max, one add per
+        request, one subtract into busy time), keeping utilisation
+        bit-identical to the oracle.
+
+        Queue depths replicate the exact trace's definition.  Cluster level:
+        depth after the admissions of arrival instant ``t`` is
+        ``#{arrivals <= t} - #{starts < t}``, evaluated at the last arrival
+        of each distinct timestamp.  Per tenant:
+        ``i - #{tenant completions <= arrival_i}`` exactly as
+        :func:`~repro.graph.queue_depths_at_arrivals`.  Completions and
+        starts still pending against future arrivals are carried between
+        blocks, so memory is O(tenants x chunk + backlog).
+        """
+        num_replicas = self.num_replicas
+        workloads = list(generator.workloads)
+        num_tenants = len(workloads)
+
+        # Padded per-tenant service/energy lookup tables at the declared
+        # batch size (what a batch-1 dispatch measures at).
+        services = [self.services[w.tenant] for w in workloads]
+        pool_sizes = [service.latencies_s(service.base_batch_size).size for service in services]
+        width = max(pool_sizes) if pool_sizes else 1
+        lat_lut = np.zeros((num_tenants, width), dtype=np.float64)
+        energy_lut = np.zeros((num_tenants, width), dtype=np.float64)
+        deadlines = np.full(num_tenants, np.inf, dtype=np.float64)
+        for t, (workload, service) in enumerate(zip(workloads, services)):
+            base = service.base_batch_size
+            lat_lut[t, : pool_sizes[t]] = service.latencies_s(base)
+            energy_lut[t, : pool_sizes[t]] = service.energies_j(base)
+            if workload.deadline_s is not None:
+                deadlines[t] = workload.deadline_s
+
+        sink = _SketchSink(self, items=None)
+        sketches = [sink.sketches[w.tenant] for w in workloads]
+        busy_time = [0.0] * num_replicas
+        prev_finish = [0.0] * num_replicas
+        replica_offset = 0          # global round-robin counter (mod R)
+        total_arrived = 0           # global arrivals so far (cluster depth)
+        start_carry = np.zeros(0, dtype=np.float64)   # starts > last arrival
+        starts_counted = 0          # starts already < past arrivals
+        qd_carry: List[np.ndarray] = [np.zeros(0, dtype=np.float64) for _ in range(num_tenants)]
+        qd_counted = [0] * num_tenants
+        qd_arrived = [0] * num_tenants
+        served_any = False
+
+        for block in generator.iter_request_blocks(
+            duration_s=duration_s, num_requests=num_requests
+        ):
+            n = len(block)
+            if not n:
+                continue
+            served_any = True
+            arrival = block.arrival_s
+            tenant_idx = block.tenant_index
+            service_s = lat_lut[tenant_idx, block.graph_index]
+            energy_j = energy_lut[tenant_idx, block.graph_index]
+            replica = (replica_offset + np.arange(n, dtype=np.int64)) % num_replicas
+            replica_offset = (replica_offset + n) % num_replicas
+
+            # Per-replica FIFO recurrence — scalar on purpose (see above).
+            starts = np.empty(n, dtype=np.float64)
+            finishes = np.empty(n, dtype=np.float64)
+            for r in range(num_replicas):
+                rows = np.nonzero(replica == r)[0]
+                if not rows.size:
+                    continue
+                prev = prev_finish[r]
+                busy = busy_time[r]
+                start_list: List[float] = []
+                finish_list: List[float] = []
+                for a, s in zip(arrival[rows].tolist(), service_s[rows].tolist()):
+                    start = a if a >= prev else prev
+                    prev = start + s
+                    busy += prev - start
+                    start_list.append(start)
+                    finish_list.append(prev)
+                starts[rows] = start_list
+                finishes[rows] = finish_list
+                prev_finish[r] = prev
+                busy_time[r] = busy
+
+            latency = finishes - arrival
+
+            # Cluster queue depth at each distinct arrival instant.
+            start_pool = np.sort(np.concatenate([start_carry, starts]))
+            before = starts_counted + np.searchsorted(start_pool, arrival, side="left")
+            depths = (total_arrived + np.arange(1, n + 1)) - before
+            last_of_instant = np.empty(n, dtype=bool)
+            last_of_instant[-1] = True
+            np.not_equal(arrival[1:], arrival[:-1], out=last_of_instant[:-1])
+            sink.queue_hist.update_many(depths[last_of_instant].astype(np.float64))
+            consumed = int(np.searchsorted(start_pool, arrival[-1], side="left"))
+            starts_counted += consumed
+            start_carry = start_pool[consumed:]
+            total_arrived += n
+            sink.batch_hist.update_many(np.ones(n))
+
+            # Per-tenant aggregation.
+            for t in np.unique(tenant_idx):
+                rows = np.nonzero(tenant_idx == t)[0]
+                k = rows.size
+                arr_t = arrival[rows]
+                fin_t = finishes[rows]
+                sketches[t].observe_block(
+                    latencies_s=latency[rows],
+                    services_s=service_s[rows],
+                    energies_j=energy_j[rows],
+                    replicas=replica[rows],
+                )
+                # depth_i = i - #{completions <= arrival_i}; completions of
+                # this block's own (and later) requests finish strictly
+                # after their arrivals, so pooling them in is harmless.
+                pool = np.sort(np.concatenate([qd_carry[t], fin_t]))
+                done = qd_counted[t] + np.searchsorted(pool, arr_t, side="right")
+                depth_t = (qd_arrived[t] + np.arange(k)) - done
+                sketches[t].queue.update_many(depth_t.astype(np.float64))
+                consumed_t = int(np.searchsorted(pool, arr_t[-1], side="right"))
+                qd_counted[t] += consumed_t
+                qd_carry[t] = pool[consumed_t:]
+                qd_arrived[t] += k
+
+        if served_any:
+            sink.max_completion_s = max(prev_finish)
+        return assemble_sketch_report(
+            cluster=self,
+            sketches=sink.sketches,
+            dropped_by_tenant=sink.dropped_by_tenant,
+            busy_time=busy_time,
+            batch_size_hist=sink.batch_hist,
+            queue_depth_hist=sink.queue_hist,
+            max_completion_s=sink.max_completion_s,
+            max_dropped_arrival_s=sink.max_dropped_arrival_s,
             duration_s=duration_s,
         )
 
@@ -522,10 +1000,9 @@ class Cluster:
         now: float,
         state: _SimState,
         lanes: "_Lanes",
-        items: List[_QueueItem],
+        items: Union[List[_QueueItem], Dict[int, _QueueItem]],
         busy_time: List[float],
-        records: List[ServingRecord],
-        batch_sizes: List[int],
+        sink: Union[_ExactSink, _SketchSink],
         events: List[Tuple[float, int, int]],
         scheduled_timers: set,
     ) -> None:
@@ -572,19 +1049,17 @@ class Cluster:
             service_total = finish - now
             state.busy_until[replica] = finish
             busy_time[replica] += service_total
-            batch_sizes.append(size)
+            sink.on_batch(size)
             heapq.heappush(events, (finish, _COMPLETION, replica))
             for item in batch:
-                records.append(
-                    ServingRecord(
-                        request=item.request,
-                        service_s=float(latencies[item.request.graph_index]),
-                        energy_j=float(measured.energies_j[item.request.graph_index]),
-                        start_s=now,
-                        completion_s=finish,
-                        replica=replica,
-                        batch_size=size,
-                    )
+                sink.on_record(
+                    item,
+                    service_s=float(latencies[item.request.graph_index]),
+                    energy_j=float(measured.energies_j[item.request.graph_index]),
+                    start_s=now,
+                    completion_s=finish,
+                    replica=replica,
+                    batch_size=size,
                 )
 
     def _select_batch(

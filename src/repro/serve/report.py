@@ -27,12 +27,20 @@ from ..api.report import InferenceReport
 from ..eval.tables import render_csv
 from ..graph import StreamStatistics, queue_depths_at_arrivals
 from .arrivals import ServingRequest
+from .sketches import LatencySketch, StreamingHistogram
 from .workload import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .cluster import Cluster
 
-__all__ = ["ServingRecord", "TenantOutcome", "ServingReport", "assemble_report"]
+__all__ = [
+    "ServingRecord",
+    "TenantOutcome",
+    "SketchTenantReport",
+    "ServingReport",
+    "assemble_report",
+    "assemble_sketch_report",
+]
 
 
 @dataclass(frozen=True)
@@ -58,8 +66,97 @@ class ServingRecord:
 
 
 @dataclass
+class SketchTenantReport:
+    """Sketch-mode stand-in for a tenant's :class:`~repro.api.InferenceReport`.
+
+    Exposes the same scalar accessors :meth:`TenantOutcome.row` and the
+    planners read (``mean/p50/p99/max_latency_ms``, ``deadline_miss_*``,
+    ``max_queue_depth``, ``energy_mj_per_graph``, ``num_graphs``,
+    ``total_energy_mj``) backed by a :class:`~repro.serve.sketches.LatencySketch`
+    instead of per-request arrays, so memory is O(1) in the request count.
+    Counts, means, maxima, misses and energy are exact (modulo summation
+    order across chunks); p50/p99 are P² estimates within the documented
+    sketch tolerance.  There is no ``stream_statistics`` — callers that need
+    raw arrays must run exact mode.
+    """
+
+    backend: str
+    model: str
+    dataset: str
+    batch_size: int
+    config_description: str
+    sketch: LatencySketch
+    one_time_overhead_ms: float = 0.0
+    extras: Dict = field(default_factory=dict)
+
+    # -- sizes ----------------------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        return self.sketch.completed
+
+    # -- latency --------------------------------------------------------------
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean service latency with the one-time cost amortised (exact)."""
+        if not self.num_graphs:
+            return 0.0
+        return float(
+            self.sketch.service.mean * 1e3 + self.one_time_overhead_ms / self.num_graphs
+        )
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.sketch.p50_s() * 1e3
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.sketch.p99_s() * 1e3
+
+    @property
+    def max_latency_ms(self) -> float:
+        return self.sketch.latency.max * 1e3 if self.num_graphs else 0.0
+
+    # -- energy ---------------------------------------------------------------
+    @property
+    def total_energy_mj(self) -> float:
+        return self.sketch.energy_j_total * 1e3
+
+    @property
+    def energy_mj_per_graph(self) -> float:
+        if not self.num_graphs:
+            return 0.0
+        return self.total_energy_mj / self.num_graphs
+
+    # -- deadlines / queueing -------------------------------------------------
+    @property
+    def deadline_miss_count(self) -> int:
+        return self.sketch.deadline_misses
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        if not self.num_graphs:
+            return 0.0
+        return self.sketch.deadline_misses / self.num_graphs
+
+    @property
+    def max_queue_depth(self) -> int:
+        queue = self.sketch.queue
+        return int(queue.max) if queue.count else 0
+
+    @property
+    def stream_statistics(self) -> None:
+        """Sketch mode stores no per-request arrays; always ``None``."""
+        return None
+
+
+@dataclass
 class TenantOutcome:
-    """One tenant's view of the simulation."""
+    """One tenant's view of the simulation.
+
+    ``report`` is a full :class:`~repro.api.InferenceReport` in exact mode
+    and a :class:`SketchTenantReport` (same scalar accessors, O(1) memory)
+    in sketch mode.
+    """
 
     workload: Workload
     report: InferenceReport
@@ -105,6 +202,12 @@ class ServingReport:
     queue_depth_trace: np.ndarray
     records: List[ServingRecord] = field(default_factory=list, repr=False)
     dropped_requests: List[ServingRequest] = field(default_factory=list, repr=False)
+    #: "exact" (array-backed, the oracle) or "sketch" (online accumulators).
+    mode: str = "exact"
+    #: Sketch mode only: cluster queue depth sampled at arrival instants.
+    queue_depth_hist: Optional[StreamingHistogram] = field(default=None, repr=False)
+    #: Sketch mode only: dispatch batch sizes (lossless integer buckets).
+    batch_size_hist: Optional[StreamingHistogram] = field(default=None, repr=False)
 
     # -- cluster-level accessors ----------------------------------------------
     @property
@@ -141,15 +244,23 @@ class ServingReport:
 
     @property
     def max_queue_depth(self) -> int:
-        if not self.queue_depth_trace.size:
-            return 0
-        return int(np.max(self.queue_depth_trace))
+        if self.queue_depth_trace.size:
+            return int(np.max(self.queue_depth_trace))
+        if self.queue_depth_hist is not None and self.queue_depth_hist.count:
+            # The maximum queue depth is always attained at an arrival
+            # instant (depth only grows at admissions), so the sketch-mode
+            # arrival-instant sampling sees the same maximum the exact
+            # every-instant trace records.
+            return int(self.queue_depth_hist.max)
+        return 0
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes.size:
-            return 0.0
-        return float(self.batch_sizes.mean())
+        if self.batch_sizes.size:
+            return float(self.batch_sizes.mean())
+        if self.batch_size_hist is not None and self.batch_size_hist.count:
+            return float(self.batch_size_hist.mean)
+        return 0.0
 
     def queue_depth_series(self) -> Dict[str, np.ndarray]:
         """Cluster queue depth over time (one sample per simulation event)."""
@@ -165,6 +276,7 @@ class ServingReport:
         return {
             "backend": self.backend,
             "policy": self.policy,
+            "mode": self.mode,
             "replicas": self.num_replicas,
             "max_batch_size": self.max_batch_size,
             "batch_timeout_s": self.batch_timeout_s,
@@ -332,4 +444,85 @@ def assemble_report(
         queue_depth_trace=trace_depths,
         records=list(records),
         dropped_requests=list(dropped),
+    )
+
+
+def assemble_sketch_report(
+    cluster: "Cluster",
+    sketches: Dict[str, LatencySketch],
+    dropped_by_tenant: Dict[str, int],
+    busy_time: Sequence[float],
+    batch_size_hist: StreamingHistogram,
+    queue_depth_hist: StreamingHistogram,
+    max_completion_s: float,
+    max_dropped_arrival_s: float,
+    duration_s: Optional[float],
+) -> ServingReport:
+    """Build a sketch-mode :class:`ServingReport` from online accumulators.
+
+    The O(requests) inputs of :func:`assemble_report` are replaced by one
+    :class:`~repro.serve.sketches.LatencySketch` per tenant plus two
+    cluster-level histograms, so the report's memory is O(tenants +
+    replicas).  Horizon and utilisation replicate the exact path's float
+    operations (same max candidates, same division), keeping utilisation
+    bit-identical between modes.
+    """
+    horizon_candidates = [duration_s or 0.0]
+    if max_completion_s > -np.inf:
+        horizon_candidates.append(float(max_completion_s))
+    if max_dropped_arrival_s > -np.inf:
+        horizon_candidates.append(float(max_dropped_arrival_s))
+    horizon = max(horizon_candidates)
+    utilisation = (
+        np.array(busy_time, dtype=np.float64) / horizon
+        if horizon > 0
+        else np.zeros(len(busy_time))
+    )
+
+    tenants: Dict[str, TenantOutcome] = {}
+    for workload in cluster.workloads:
+        sketch = sketches[workload.tenant]
+        service = cluster.services[workload.tenant]
+        extras = dict(service.base.extras)
+        extras["serving"] = {
+            "replicas": sorted(int(r) for r in sketch.replicas),
+            "mean_batch_size": (
+                float(sketch.batch.mean) if sketch.completed else 0.0
+            ),
+        }
+        report = SketchTenantReport(
+            backend=cluster.backend,
+            model=service.resolved.model_name,
+            dataset=service.resolved.dataset_name,
+            batch_size=workload.request.batch_size,
+            config_description=service.resolved.config.describe(),
+            sketch=sketch,
+            one_time_overhead_ms=service.base.one_time_overhead_s * 1e3,
+            extras=extras,
+        )
+        dropped_count = dropped_by_tenant.get(workload.tenant, 0)
+        tenants[workload.tenant] = TenantOutcome(
+            workload=workload,
+            report=report,
+            submitted=sketch.completed + dropped_count,
+            completed=sketch.completed,
+            dropped=dropped_count,
+        )
+
+    policy_name = getattr(cluster.policy, "name", str(cluster.policy))
+    return ServingReport(
+        backend=cluster.backend,
+        policy=policy_name,
+        num_replicas=cluster.num_replicas,
+        max_batch_size=cluster.max_batch_size,
+        batch_timeout_s=cluster.batch_timeout_s,
+        horizon_s=float(horizon),
+        tenants=tenants,
+        per_replica_utilisation=utilisation,
+        batch_sizes=np.zeros(0, dtype=np.int64),
+        queue_depth_times_s=np.zeros(0, dtype=np.float64),
+        queue_depth_trace=np.zeros(0, dtype=np.int64),
+        mode="sketch",
+        queue_depth_hist=queue_depth_hist,
+        batch_size_hist=batch_size_hist,
     )

@@ -111,6 +111,10 @@ class TestPlanSpec:
         with pytest.raises(ValueError, match="unique"):
             PlanSpec(mixes=[_mix(), _mix()])
 
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            PlanSpec(mixes=[_mix()], mode="approximate")
+
     def test_no_mixes_rejected(self):
         with pytest.raises(ValueError, match="at least one tenant mix"):
             PlanSpec(mixes=[])
@@ -234,6 +238,61 @@ class TestPlanRunner:
         result = PlanRunner(spec, workers=0).run()
         assert result.num_scenarios == 2
         assert all(row["submitted"] == 10 for row in result.rows)
+
+
+# ---------------------------------------------------------------------------
+# Streaming (sketch-mode) sweeps
+# ---------------------------------------------------------------------------
+class TestSketchModeSweep:
+    @pytest.fixture(scope="class")
+    def spec_pair(self, small_spec):
+        return small_spec, replace_mode(small_spec, "sketch")
+
+    def test_sketch_rows_match_exact_rows(self, spec_pair):
+        """Scenario rows agree with the exact oracle field by field.
+
+        Counts, drops, utilisation, queue depth and miss rate are exact by
+        construction; energy and batch-size means reassociate float sums;
+        only the percentile-derived columns carry the sketch error band.
+        """
+        exact_spec, sketch_spec = spec_pair
+        exact = PlanRunner(exact_spec, workers=0).run()
+        sketch = PlanRunner(sketch_spec, workers=0).run()
+        assert exact.rates == sketch.rates
+        for exact_row, sketch_row in zip(exact.rows, sketch.rows):
+            for key in (
+                "scenario", "mix", "arrival", "replicas", "policy",
+                "max_batch_size", "queue_capacity", "submitted", "completed",
+                "dropped", "deadline_miss_rate", "max_queue_depth",
+                "replica_seconds",
+            ):
+                assert sketch_row[key] == exact_row[key], key
+            assert sketch_row["cluster_utilisation"] == exact_row["cluster_utilisation"]
+            assert sketch_row["energy_j"] == pytest.approx(
+                exact_row["energy_j"], rel=1e-9
+            )
+            assert sketch_row["mean_batch_size"] == pytest.approx(
+                exact_row["mean_batch_size"], rel=1e-12
+            )
+            if exact_row["worst_p99_latency_ms"]:
+                assert sketch_row["worst_p99_latency_ms"] == pytest.approx(
+                    exact_row["worst_p99_latency_ms"], rel=0.035
+                )
+
+    def test_sketch_sweep_parallelism_is_byte_identical(self, spec_pair):
+        _, sketch_spec = spec_pair
+        serial = PlanRunner(sketch_spec, workers=0).run()
+        fanned = PlanRunner(sketch_spec, workers=4).run()
+        assert serial.to_csv() == fanned.to_csv()
+        assert serial.to_json() == fanned.to_json()
+        assert serial.to_dict()["mode"] == "sketch"
+
+
+def replace_mode(spec: PlanSpec, mode: str) -> PlanSpec:
+    """A copy of ``spec`` with a different evaluation mode."""
+    import dataclasses
+
+    return dataclasses.replace(spec, mode=mode)
 
 
 # ---------------------------------------------------------------------------

@@ -35,8 +35,8 @@ _POLICIES = ["round_robin", "least_loaded", "edf"]
 _BACKENDS = ["cpu", "gpu", "roofline"]  # analytical: fast enough to randomise
 
 
-def _random_scenario(seed: int):
-    """A random but fully seeded (cluster, request list, duration) triple."""
+def _random_generator(seed: int):
+    """A random but fully seeded (cluster, load generator, duration) triple."""
     rng = np.random.default_rng(seed)
     num_tenants = int(rng.integers(1, 4))
     workloads = []
@@ -75,6 +75,12 @@ def _random_scenario(seed: int):
         generator = LoadGenerator.bursty(workloads, rate, seed=seed)
     else:
         generator = LoadGenerator.constant(workloads, rate, seed=seed)
+    return cluster, generator, duration
+
+
+def _random_scenario(seed: int):
+    """A random but fully seeded (cluster, request list, duration) triple."""
+    cluster, generator, duration = _random_generator(seed)
     return cluster, generator.generate(duration_s=duration), duration
 
 
@@ -156,3 +162,54 @@ def test_queue_trace_and_batch_sizes_within_bounds(seed):
         assert report.batch_sizes.min() >= 1
         assert report.batch_sizes.max() <= cluster.max_batch_size
         assert int(report.batch_sizes.sum()) == report.completed
+
+
+# ---------------------------------------------------------------------------
+# Lazy (streaming) load generation vs the eager arrays
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lazy_iter_requests_bit_identical_to_generate(seed):
+    """For any random scenario, the heap-merged lazy stream IS generate()."""
+    _, generator, duration = _random_generator(seed)
+    eager = generator.generate(duration_s=duration)
+    lazy = list(generator.iter_requests(duration_s=duration))
+    assert lazy == eager  # field-exact dataclass equality, order included
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lazy_request_blocks_bit_identical_to_generate(seed):
+    _, generator, duration = _random_generator(seed)
+    eager = generator.generate(duration_s=duration)
+    position = 0
+    for block in generator.iter_request_blocks(duration_s=duration):
+        arrivals = [r.arrival_s for r in eager[position : position + len(block)]]
+        np.testing.assert_array_equal(block.arrival_s, arrivals)
+        np.testing.assert_array_equal(
+            block.tenant_index,
+            [r.tenant_index for r in eager[position : position + len(block)]],
+        )
+        position += len(block)
+    assert position == len(eager)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sketch_mode_conserves_and_is_deterministic(seed):
+    """Sketch-mode invariants under every random scenario.
+
+    Counts are conserved exactly as in exact mode, and two streaming runs of
+    the same seed produce byte-identical JSON (the accumulators are
+    deterministic, not just approximately stable).
+    """
+    cluster, generator, duration = _random_generator(seed)
+    report_a = cluster.serve_stream(generator, duration_s=duration)
+    report_b = cluster.serve_stream(generator, duration_s=duration)
+    exact = cluster.serve(generator.generate(duration_s=duration), duration_s=duration)
+    assert report_a.mode == "sketch"
+    assert report_a.submitted == exact.submitted
+    assert report_a.completed == exact.completed
+    assert report_a.dropped == exact.dropped
+    assert report_a.max_queue_depth == exact.max_queue_depth
+    np.testing.assert_array_equal(
+        report_a.per_replica_utilisation, exact.per_replica_utilisation
+    )
+    assert report_a.to_json() == report_b.to_json()
