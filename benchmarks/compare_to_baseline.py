@@ -3,7 +3,7 @@
 Usage::
 
     python benchmarks/compare_to_baseline.py CURRENT.json BASELINE.json \
-        [--tolerance 0.25]
+        [--tolerance 0.25] [--json-out VERDICTS.json]
 
 The CI ``bench`` job runs the benchmark suites with ``--benchmark-json``,
 uploads the resulting ``BENCH_*.json`` artifacts (the fuzzbench-style
@@ -30,8 +30,14 @@ speedup is a function of the runner's core count, so a multiprocessing
 ratio recorded on an 8-core baseline machine says nothing about a 1-core
 runner (and vice versa — a 1-core baseline's ~0.7x "speedup" would let any
 regression through on real hardware).  When both sides record ``cpus`` and
-they disagree, the benchmark is **skipped with a warning** instead of
-silently gated on an apples-to-oranges ratio.
+they disagree, the relative band is meaningless — but the benchmark can
+still be gated absolutely: if the **current** run declares both
+``gate_floor`` and ``gate_min_cpus`` and this runner has at least
+``gate_min_cpus`` cores, the current speedup is held to the declared floor
+(so the >=2x parallel-harness gate bites on any multicore runner, even when
+the committed baseline had to be recorded on a 1-core container).
+Otherwise the benchmark is **skipped with a warning** instead of silently
+gated on an apples-to-oranges ratio.
 
 A benchmark present in the baseline but missing from the current run fails
 the gate (a silently-skipped benchmark is a regression in coverage).  To
@@ -39,6 +45,11 @@ refresh baselines after an intentional change, run the suite several times
 and commit the most *conservative* run (lowest speedups) into
 ``benchmarks/baselines/`` — the gate should trip on real regressions (a
 reverted optimisation collapses the ratio to ~1x), not on scheduler noise.
+
+``--json-out`` writes the machine-readable per-benchmark verdicts (name,
+verdict, mode, ratio, bound, skipped reason) so CI can ingest gate outcomes
+into the longitudinal results store (``repro.results.ingest``) alongside
+the measurements themselves.
 """
 
 from __future__ import annotations
@@ -46,53 +57,114 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
 def _by_name(payload: Dict) -> Dict[str, Dict]:
     return {bench["fullname"]: bench for bench in payload.get("benchmarks", [])}
 
 
-def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
-    """Print a verdict per baseline benchmark; return the number of failures."""
+def _verdict(
+    name: str,
+    verdict: str,
+    mode: str = None,
+    ratio: float = None,
+    bound: float = None,
+    skipped_reason: str = None,
+) -> Dict:
+    return {
+        "name": name,
+        "verdict": verdict,
+        "mode": mode,
+        "ratio": ratio,
+        "bound": bound,
+        "skipped_reason": skipped_reason,
+    }
+
+
+def compare(current: Dict, baseline: Dict, tolerance: float) -> Tuple[List[Dict], int]:
+    """Print a verdict per baseline benchmark; return (verdicts, failures)."""
     current_by_name = _by_name(current)
     baseline_by_name = _by_name(baseline)
+    verdicts: List[Dict] = []
     for name in sorted(set(current_by_name) - set(baseline_by_name)):
         print(
             f"warn {name}: no committed baseline — NOT gated "
             f"(refresh benchmarks/baselines/ to cover it)"
         )
+        verdicts.append(_verdict(name, "skipped", skipped_reason="no committed baseline"))
     failures = 0
     for name, base in sorted(baseline_by_name.items()):
         got = current_by_name.get(name)
         if got is None:
             print(f"FAIL {name}: benchmark missing from the current run")
+            verdicts.append(
+                _verdict(name, "FAIL", skipped_reason="missing from current run")
+            )
             failures += 1
             continue
-        base_cpus = base.get("extra_info", {}).get("cpus")
-        got_cpus = got.get("extra_info", {}).get("cpus")
+        base_extra = base.get("extra_info", {})
+        got_extra = got.get("extra_info", {})
+        base_cpus = base_extra.get("cpus")
+        got_cpus = got_extra.get("cpus")
+        got_speedup = got_extra.get("speedup")
         if base_cpus is not None and got_cpus != base_cpus:
-            print(
-                f"warn {name}: baseline recorded on {base_cpus} cpu(s), this "
-                f"runner has {got_cpus} — core-count-dependent benchmark NOT "
-                f"gated (re-record benchmarks/baselines/ on a matching runner)"
-            )
+            # The relative band is apples-to-oranges across core counts, but
+            # a declared hardware-independent floor still applies whenever
+            # this runner has the cores the gate was designed for.
+            floor = got_extra.get("gate_floor")
+            min_cpus = got_extra.get("gate_min_cpus")
+            if (
+                floor is not None
+                and min_cpus is not None
+                and got_cpus is not None
+                and got_cpus >= min_cpus
+                and got_speedup is not None
+            ):
+                verdict = "ok" if got_speedup >= floor else "FAIL"
+                print(
+                    f"{verdict} {name}: speedup {got_speedup:.2f}x vs declared "
+                    f"floor {floor:.2f}x (baseline cpus {base_cpus} != runner "
+                    f"{got_cpus}; absolute gate_floor applies on >="
+                    f"{min_cpus} cores)"
+                )
+                verdicts.append(
+                    _verdict(name, verdict, mode="gate_floor", ratio=got_speedup, bound=floor)
+                )
+                if verdict == "FAIL":
+                    failures += 1
+            else:
+                print(
+                    f"warn {name}: baseline recorded on {base_cpus} cpu(s), this "
+                    f"runner has {got_cpus} — core-count-dependent benchmark NOT "
+                    f"gated (re-record benchmarks/baselines/ on a matching runner)"
+                )
+                verdicts.append(
+                    _verdict(
+                        name,
+                        "skipped",
+                        ratio=got_speedup,
+                        skipped_reason=f"cpus mismatch: baseline {base_cpus}, runner {got_cpus}",
+                    )
+                )
             continue
-        base_speedup = base.get("extra_info", {}).get("speedup")
-        got_speedup = got.get("extra_info", {}).get("speedup")
+        base_speedup = base_extra.get("speedup")
         if base_speedup is not None and got_speedup is not None:
             floor = base_speedup * (1.0 - tolerance)
             # A benchmark may declare a hardware-independent gate_floor that
             # caps the relative band: a baseline recorded on fast hardware
             # then cannot demand more than the declared floor from a slower
             # runner, while a revert (speedup ~1x) still trips either bound.
-            cap = base.get("extra_info", {}).get("gate_floor")
+            cap = base_extra.get("gate_floor")
             if cap is not None:
                 floor = min(floor, cap)
             verdict = "ok" if got_speedup >= floor else "FAIL"
             print(
                 f"{verdict} {name}: speedup {got_speedup:.2f}x vs baseline "
                 f"{base_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+            verdicts.append(
+                _verdict(name, verdict, mode="speedup", ratio=got_speedup, bound=floor)
             )
             if verdict == "FAIL":
                 failures += 1
@@ -105,9 +177,12 @@ def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
                 f"{verdict} {name}: mean {got_mean * 1e3:.2f}ms vs baseline "
                 f"{base_mean * 1e3:.2f}ms (ceiling {ceiling * 1e3:.2f}ms)"
             )
+            verdicts.append(
+                _verdict(name, verdict, mode="mean", ratio=got_mean, bound=ceiling)
+            )
             if verdict == "FAIL":
                 failures += 1
-    return failures
+    return verdicts, failures
 
 
 def main(argv=None) -> int:
@@ -120,12 +195,33 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed relative regression (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--json-out",
+        metavar="VERDICTS.json",
+        default=None,
+        help="write machine-readable per-benchmark verdicts (for ingestion "
+        "into the results store via repro.results.ingest)",
+    )
     args = parser.parse_args(argv)
     with open(args.current) as handle:
         current = json.load(handle)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
-    failures = compare(current, baseline, args.tolerance)
+    verdicts, failures = compare(current, baseline, args.tolerance)
+    if args.json_out:
+        payload = {
+            # The current run's own timestamp keys the verdicts, so
+            # re-ingesting the same file is idempotent in the store.
+            "recorded_utc": current.get("datetime"),
+            "current": args.current,
+            "baseline": args.baseline,
+            "tolerance": args.tolerance,
+            "failures": failures,
+            "verdicts": verdicts,
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(verdicts)} verdicts to {args.json_out}")
     if failures:
         print(f"\n{failures} benchmark(s) regressed beyond {args.tolerance:.0%}")
         return 1

@@ -20,9 +20,12 @@ asserted on exactly what is benchmarked.
 
 The committed baseline (``benchmarks/baselines/BENCH_experiments.json``)
 was recorded on a single-core container, where the speedup gate cannot
-bite; refresh it from a multi-core runner (see the refresh workflow in
-``compare_to_baseline.py``) to tighten the trajectory gate.  The in-test
-floor below is what actually gates CI runners.
+bite.  The benchmark therefore also declares ``gate_min_cpus`` alongside
+``gate_floor``: on any runner with at least that many cores,
+``compare_to_baseline.py`` holds the measured speedup to the absolute
+>=2x floor even when the baseline's core count differs, so the gate has
+real regression bite without a multi-core re-record.  The in-test floor
+below additionally gates every CI runner directly.
 """
 
 import json
@@ -36,6 +39,11 @@ PARALLEL_NAMES = [name for name in EXPERIMENT_NAMES if name != "table4"]
 
 #: Hardware-independent cap for the CI gate (see compare_to_baseline.py).
 SPEEDUP_FLOOR = 2.0
+
+#: Core count from which the absolute >=2x floor applies (the ~58 work
+#: items give a ~4x ceiling on four cores; below that Amdahl + pool
+#: overhead dominate).
+GATE_MIN_CPUS = 4
 
 
 def _available_cpus() -> int:
@@ -85,6 +93,7 @@ def test_experiment_harness_parallel_identical_and_2x(benchmark):
     speedup = serial_elapsed / parallel_elapsed
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["gate_floor"] = SPEEDUP_FLOOR
+    benchmark.extra_info["gate_min_cpus"] = GATE_MIN_CPUS
     benchmark.extra_info["cpus"] = cpus
     benchmark.extra_info["serial_s"] = round(serial_elapsed, 4)
     print(
@@ -96,7 +105,7 @@ def test_experiment_harness_parallel_identical_and_2x(benchmark):
     # least four cores; two/three cores still must show real overlap; a
     # single-core container can only verify identity (the pool costs more
     # than it buys there).
-    if cpus >= 4:
+    if cpus >= GATE_MIN_CPUS:
         floor = SPEEDUP_FLOOR
     elif cpus >= 2:
         floor = 1.2

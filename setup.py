@@ -3,21 +3,41 @@
 Kept as a plain ``setup.py`` (no build isolation required) so that
 ``pip install -e .`` works in offline environments that lack the ``wheel``
 package — pip falls back to ``setup.py develop``.
+
+The version is single-sourced from ``repro.__version__`` by parsing the
+assignment out of ``src/repro/__init__.py`` — parsing, not importing, so
+``setup.py`` never needs numpy installed to build a dist.
 """
+
+import os
+import re
 
 from setuptools import find_packages, setup
 
+
+def read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    init_path = os.path.join(here, "src", "repro", "__init__.py")
+    with open(init_path) as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError(f"no __version__ assignment found in {init_path}")
+    return match.group(1)
+
+
 setup(
     name="flowgnn-repro",
-    version="1.6.0",
+    version=read_version(),
     description=(
         "Cycle-level reproduction of FlowGNN (HPCA 2023): a dataflow "
         "architecture for real-time GNN inference, with a parallel "
-        "design-space exploration engine, a multi-tenant serving simulator "
-        "and a serving-scenario sweep engine for capacity planning"
+        "design-space exploration engine, a multi-tenant serving simulator, "
+        "a serving-scenario sweep engine for capacity planning, and a "
+        "longitudinal results store with static HTML reporting"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro.results": ["templates/*.html"]},
     python_requires=">=3.9",
     install_requires=["numpy"],
     entry_points={"console_scripts": ["repro = repro.cli:main"]},

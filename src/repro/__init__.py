@@ -19,7 +19,11 @@ for Real-Time Workload-Agnostic Graph Neural Network Inference* (HPCA 2023):
 * :mod:`repro.eval`      — the experiment harness reproducing every table and
   figure, each as an engine job, with a parallel suite runner;
 * :mod:`repro.dse`       — the parallel design-space exploration engine with
-  schedule caching (sweeps, Pareto frontiers, CSV export).
+  schedule caching (sweeps, Pareto frontiers, CSV export);
+* :mod:`repro.results`   — the longitudinal results store and reporting
+  service: runs recorded with provenance into SQLite (``--record``), CI
+  benchmark artifacts ingested into trajectories, and self-contained static
+  HTML reports with statistical run comparisons (``repro report``).
 
 Quickstart::
 
@@ -49,8 +53,11 @@ from .eval import run_experiment, run_all_experiments
 from .dse import SweepRunner, SweepSpec
 from .serve import Cluster, LoadGenerator, ServingReport, Workload
 from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
+from .results import ResultStore, StoredRun, generate_report
 
-__version__ = "1.6.0"
+#: The single source of truth for the package version — ``setup.py`` parses
+#: this assignment and ``repro --version`` prints it.
+__version__ = "1.7.0"
 
 __all__ = [
     "Graph",
@@ -85,5 +92,8 @@ __all__ = [
     "PlanSpec",
     "TenantMix",
     "min_replicas_for_slo",
+    "ResultStore",
+    "StoredRun",
+    "generate_report",
     "__version__",
 ]

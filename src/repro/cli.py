@@ -20,7 +20,13 @@ Six subcommands cover the common workflows without writing any Python:
   replicas x policy x batching x queue capacity x arrival process, run in
   parallel workers sharing one measurement per (backend, model, dataset,
   batch size), with cost/Pareto extraction, CSV/JSON export and a
-  ``--solve`` mode answering "how many replicas hold every SLO?".
+  ``--solve`` mode answering "how many replicas hold every SLO?";
+* ``runs``        — inspect the longitudinal results store
+  (:mod:`repro.results`) that ``--record`` on dse/serve/plan/experiments
+  populates: ``runs list`` and ``runs show RUN_ID``;
+* ``report``      — generate the self-contained static HTML report from the
+  results store (run histories, benchmark trajectories, Pareto frontiers,
+  and ``--compare RUN_A RUN_B`` statistical run comparisons).
 """
 
 from __future__ import annotations
@@ -29,8 +35,11 @@ import argparse
 import json
 import os
 import sys
+import time
+from contextlib import contextmanager
 from typing import List, Optional
 
+from . import __version__
 from .api import BACKEND_NAMES, InferenceRequest, MeasurementCache, get_backend
 from .arch import ALVEO_U50
 from .datasets import DATASET_NAMES, load_dataset
@@ -39,6 +48,15 @@ from .eval import EXPERIMENT_NAMES, render_dict_table, run_all_experiments
 from .nn import MODEL_NAMES
 from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
 from .plan.runner import build_generator
+from .results import (
+    DEFAULT_DB_PATH,
+    ResultStore,
+    StoreError,
+    compare_runs,
+    config_signature,
+    generate_report,
+    render_comparison_text,
+)
 from .serve import POLICY_NAMES, Cluster, Workload
 
 __all__ = ["build_parser", "main"]
@@ -97,6 +115,58 @@ def _progress_printer(label: str):
     return callback
 
 
+def _add_record_flag(parser: argparse.ArgumentParser) -> None:
+    """Install the uniform ``--record [DB]`` flag (experiments/dse/serve/plan)."""
+    parser.add_argument(
+        "--record",
+        nargs="?",
+        const=DEFAULT_DB_PATH,
+        default=None,
+        metavar="DB",
+        help="record this run (rows + provenance: git SHA, argv, timings) "
+        f"into the results store at DB (default {DEFAULT_DB_PATH}); "
+        "browse it with 'repro runs' and 'repro report'",
+    )
+
+
+#: Namespace keys that select *how* a run executes or is exported, not *what*
+#: it computes — excluded from the recorded config signature so a re-run of
+#: the same workload matches regardless of worker count or output flags.
+_NON_SIGNATURE_KEYS = {"command", "workers", "progress", "json", "csv", "record"}
+
+
+def _signature_from_args(args: argparse.Namespace, **extra) -> str:
+    payload = {
+        key: value
+        for key, value in vars(args).items()
+        if key not in _NON_SIGNATURE_KEYS and not key.startswith("_")
+    }
+    payload.update(extra)
+    return config_signature(payload)
+
+
+@contextmanager
+def _maybe_record(args: argparse.Namespace, kind: str, workers: Optional[int] = None):
+    """Yield a :class:`~repro.results.RunRecorder` when ``--record`` was given.
+
+    Yields ``None`` when recording is off, so call sites wrap their run in
+    one ``with`` block either way.  The run id is announced on stderr —
+    stdout stays clean for ``--json``/``--csv``.
+    """
+    if getattr(args, "record", None) is None:
+        yield None
+        return
+    with ResultStore(args.record) as store:
+        with store.record(
+            kind,
+            _signature_from_args(args),
+            argv=getattr(args, "_argv", None),
+            workers=workers,
+        ) as recorder:
+            yield recorder
+        print(f"recorded run {recorder.run_id} in {store.path}", file=sys.stderr)
+
+
 def _add_parallelism_flags(parser: argparse.ArgumentParser, grid: bool = False) -> None:
     """Install the four parallelism knobs as scalars (simulate) or grids (dse)."""
     for dest, scalar_flag, grid_flag, paper_name, scalar_default, grid_default in _PARALLELISM_KNOBS:
@@ -119,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FlowGNN reproduction: dataflow-architecture GNN inference simulator",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -154,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of text tables",
     )
     _add_progress_flag(experiments)
+    _add_record_flag(experiments)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate one model on one dataset on a chosen backend"
@@ -229,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--csv", metavar="PATH", default=None, help="write the sweep rows as CSV")
     _add_progress_flag(dse)
+    _add_record_flag(dse)
 
     serve = subparsers.add_parser(
         "serve",
@@ -335,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the ServingReport as JSON instead of tables",
     )
+    _add_record_flag(serve)
 
     plan = subparsers.add_parser(
         "plan",
@@ -457,6 +533,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the sweep (and solver, with --solve) as JSON",
     )
     _add_progress_flag(plan)
+    _add_record_flag(plan)
+
+    runs = subparsers.add_parser(
+        "runs", help="inspect the results store that --record populates"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument(
+        "--db", default=DEFAULT_DB_PATH, help=f"store path (default {DEFAULT_DB_PATH})"
+    )
+    runs_list.add_argument("--kind", default=None, help="only runs of this kind")
+    runs_list.add_argument(
+        "--json", action="store_true", help="print run metadata as JSON"
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="show one recorded run (metadata + payload)"
+    )
+    runs_show.add_argument("run_id", help="run id from 'repro runs list'")
+    runs_show.add_argument(
+        "--db", default=DEFAULT_DB_PATH, help=f"store path (default {DEFAULT_DB_PATH})"
+    )
+    runs_show.add_argument(
+        "--json",
+        action="store_true",
+        help="print only the run's recorded payload, verbatim",
+    )
+
+    report = subparsers.add_parser(
+        "report",
+        help="generate the static HTML report (run histories, benchmark "
+        "trajectories, Pareto frontiers, statistical comparisons) from "
+        "the results store",
+    )
+    report.add_argument(
+        "--db", default=DEFAULT_DB_PATH, help=f"store path (default {DEFAULT_DB_PATH})"
+    )
+    report.add_argument(
+        "--out",
+        default=os.path.join("results", "report"),
+        metavar="DIR",
+        help="output directory for index.html (default results/report)",
+    )
+    report.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        default=None,
+        help="append a run-vs-run section: Mann-Whitney U + bootstrap CIs "
+        "on a shared metric, and print the verdict",
+    )
+    report.add_argument(
+        "--metric",
+        default=None,
+        help="row column --compare tests (default: per-kind, e.g. "
+        "latency_ms for dse)",
+    )
+    report.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="significance level for the comparison verdict (default 0.05)",
+    )
 
     return parser
 
@@ -474,9 +612,37 @@ def _run_experiments(args: argparse.Namespace) -> int:
         )
         return 2
     progress = _progress_printer("experiments") if args.progress else None
+    started = time.perf_counter()
     results = run_all_experiments(
         fast=not args.full, names=names, workers=args.workers, progress=progress
     )
+    suite_elapsed = time.perf_counter() - started
+
+    if args.record is not None:
+        # One recorded run per experiment (they are distinct result tables);
+        # each carries the whole suite's wall clock — experiments share one
+        # engine pool, so a per-name split does not exist.
+        try:
+            with ResultStore(args.record) as store:
+                run_ids = []
+                for name in names:
+                    signature = _signature_from_args(args, names=None, experiment=name)
+                    with store.record(
+                        "experiments",
+                        signature,
+                        argv=getattr(args, "_argv", None),
+                        workers=args.workers,
+                    ) as recorder:
+                        recorder.add_table(results[name])
+                        recorder.duration_s = suite_elapsed
+                    run_ids.append(recorder.run_id)
+                print(
+                    f"recorded runs {', '.join(run_ids)} in {store.path}",
+                    file=sys.stderr,
+                )
+        except StoreError as error:
+            print(f"cannot record runs: {error}", file=sys.stderr)
+            return 2
 
     if args.json:
         payload = {name: results[name].to_dict() for name in names}
@@ -629,9 +795,16 @@ def _run_dse(args: argparse.Namespace) -> int:
         print(f"invalid sweep: {error}", file=sys.stderr)
         return 2
     print(spec.describe())
-    result = SweepRunner(spec, workers=args.workers).run(
-        progress=_progress_printer("dse") if args.progress else None
-    )
+    try:
+        with _maybe_record(args, "dse", workers=args.workers) as recorder:
+            result = SweepRunner(spec, workers=args.workers).run(
+                progress=_progress_printer("dse") if args.progress else None
+            )
+            if recorder is not None:
+                recorder.add_table(result)
+    except StoreError as error:
+        print(f"cannot record run: {error}", file=sys.stderr)
+        return 2
     print(result.render(title="design-space sweep (per-graph latency, amortised weights)"))
     if result.skipped:
         print()
@@ -746,18 +919,26 @@ def _run_serve(args: argparse.Namespace) -> int:
     if duration is None and not is_trace and args.num_requests is None:
         duration = 0.05
     try:
-        generator = build_generator(workloads, args.arrival, rate, seed=args.seed)
-        if args.mode == "sketch":
-            # Streaming end to end: arrivals are generated lazily and folded
-            # into O(tenants + replicas) accumulators, never materialised.
-            report = cluster.serve_stream(
-                generator, duration_s=duration, num_requests=args.num_requests
-            )
-        else:
-            requests = generator.generate(
-                duration_s=duration, num_requests=args.num_requests
-            )
-            report = cluster.serve(requests, duration_s=duration)
+        with _maybe_record(args, "serve") as recorder:
+            generator = build_generator(workloads, args.arrival, rate, seed=args.seed)
+            if args.mode == "sketch":
+                # Streaming end to end: arrivals are generated lazily and folded
+                # into O(tenants + replicas) accumulators, never materialised.
+                report = cluster.serve_stream(
+                    generator, duration_s=duration, num_requests=args.num_requests
+                )
+            else:
+                requests = generator.generate(
+                    duration_s=duration, num_requests=args.num_requests
+                )
+                report = cluster.serve(requests, duration_s=duration)
+            if recorder is not None:
+                # ServingReport is not a ResultTable; its per-tenant rows and
+                # its full JSON payload are recorded explicitly.
+                recorder.add_payload(report.tenant_rows(), report.to_json())
+    except StoreError as error:
+        print(f"cannot record run: {error}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as error:
         print(f"cannot generate load: {error}", file=sys.stderr)
         return 2
@@ -826,9 +1007,15 @@ def _run_plan(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        result = PlanRunner(spec, workers=args.workers, cache=cache).run(
-            progress=_progress_printer("plan") if args.progress else None
-        )
+        with _maybe_record(args, "plan", workers=args.workers) as recorder:
+            result = PlanRunner(spec, workers=args.workers, cache=cache).run(
+                progress=_progress_printer("plan") if args.progress else None
+            )
+            if recorder is not None:
+                recorder.add_table(result)
+    except StoreError as error:
+        print(f"cannot record run: {error}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as error:
         print(f"plan sweep failed: {error}", file=sys.stderr)
         return 2
@@ -919,10 +1106,66 @@ def _run_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_runs(args: argparse.Namespace) -> int:
+    try:
+        with ResultStore(args.db, create=False) as store:
+            if args.runs_command == "list":
+                runs = store.runs(kind=args.kind)
+                if args.json:
+                    print(json.dumps([run.meta_row() for run in runs], indent=2))
+                elif not runs:
+                    print(f"no recorded runs in {store.path}")
+                else:
+                    print(
+                        render_dict_table(
+                            [run.meta_row() for run in runs],
+                            title=f"recorded runs in {store.path}",
+                        )
+                    )
+                return 0
+            run = store.load_run(args.run_id)
+            if args.json:
+                print(run.payload)
+                return 0
+            print(render_dict_table([run.meta_row()], title=f"run {run.run_id}"))
+            if run.argv:
+                print(f"argv: {' '.join(run.argv)}")
+            print()
+            print(run.payload)
+            return 0
+    except StoreError as error:
+        print(f"results store error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    compare = tuple(args.compare) if args.compare else None
+    try:
+        with ResultStore(args.db, create=False) as store:
+            path = generate_report(
+                store, args.out, compare=compare, metric=args.metric, alpha=args.alpha
+            )
+            if compare is not None:
+                verdict = compare_runs(
+                    store, compare[0], compare[1], metric=args.metric, alpha=args.alpha
+                )
+                print(render_comparison_text(verdict))
+    except StoreError as error:
+        print(f"results store error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot write report to {args.out}: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The exact invocation, recorded as provenance by --record.
+    args._argv = list(argv) if argv is not None else list(sys.argv[1:])
     if args.command == "experiments":
         return _run_experiments(args)
     if args.command == "simulate":
@@ -935,6 +1178,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "plan":
         return _run_plan(args)
+    if args.command == "runs":
+        return _run_runs(args)
+    if args.command == "report":
+        return _run_report(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,141 @@
+"""Statistical tests for run-vs-run comparisons, stdlib + numpy only.
+
+Modelled on fuzzbench's ``analysis/stat_tests.py``, which judges fuzzer
+pairs with the Mann-Whitney U test; scipy is not a dependency of this repo,
+so the test is implemented directly:
+
+* :func:`mann_whitney_u` — two-sided Mann-Whitney U with average ranks,
+  tie-corrected variance and continuity correction (the same normal
+  approximation ``scipy.stats.mannwhitneyu(use_continuity=True,
+  method="asymptotic")`` uses — adequate for the >=8-point samples reports
+  compare, and exact determinism matters more here than small-sample
+  exactness);
+* :func:`bootstrap_ci` — seeded percentile bootstrap confidence interval
+  for the mean, deterministic for a fixed seed;
+* :func:`compare_samples` — the verdict dict the report renders: descriptive
+  stats per side, the U test, bootstrap CIs, and a significance verdict at
+  the requested alpha.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["MannWhitneyResult", "mann_whitney_u", "bootstrap_ci", "compare_samples"]
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Two-sided Mann-Whitney U outcome for samples ``a`` and ``b``."""
+
+    u_statistic: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks 1..n with ties sharing their average rank (midranks)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=float)
+    # Replace each tie group's ranks with the group's mean rank.
+    sorted_values = values[order]
+    index = 0
+    while index < len(sorted_values):
+        upper = index
+        while upper + 1 < len(sorted_values) and sorted_values[upper + 1] == sorted_values[index]:
+            upper += 1
+        if upper > index:
+            ranks[order[index : upper + 1]] = (index + upper) / 2.0 + 1.0
+        index = upper + 1
+    return ranks
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> MannWhitneyResult:
+    """Two-sided Mann-Whitney U test (normal approximation, tie-corrected)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    combined = np.concatenate([a, b])
+    ranks = _average_ranks(combined)
+    r1 = float(ranks[:n1].sum())
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    u = min(u1, u2)
+
+    n = n1 + n2
+    mean_u = n1 * n2 / 2.0
+    # Tie correction: subtract sum(t^3 - t) over tie groups from the variance.
+    _, counts = np.unique(combined, return_counts=True)
+    tie_term = float(((counts**3) - counts).sum())
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0:
+        # Every value identical on both sides: no evidence of a difference.
+        return MannWhitneyResult(u_statistic=u, p_value=1.0)
+    z = (u - mean_u + 0.5) / math.sqrt(variance)  # continuity correction
+    p_value = min(1.0, math.erfc(-z / math.sqrt(2.0)))  # 2 * Phi(z), z <= 0
+    return MannWhitneyResult(u_statistic=u, p_value=p_value)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Seeded percentile-bootstrap confidence interval for the mean."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("bootstrap_ci needs a non-empty sample")
+    rng = np.random.default_rng(seed)
+    samples = rng.integers(0, len(values), size=(resamples, len(values)))
+    means = values[samples].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return {
+        "mean": float(values.mean()),
+        "ci_low": float(low),
+        "ci_high": float(high),
+        "confidence": confidence,
+    }
+
+
+def compare_samples(
+    a: Sequence[float],
+    b: Sequence[float],
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> Dict:
+    """The full comparison verdict between two metric samples.
+
+    Degenerate samples (a single point on either side) skip the U test —
+    one observation carries no rank information — and report
+    ``significant=None`` (unknown), never a fabricated p-value.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    verdict: Dict = {
+        "n_a": int(len(a)),
+        "n_b": int(len(b)),
+        "a": bootstrap_ci(a, seed=seed),
+        "b": bootstrap_ci(b, seed=seed),
+        "alpha": alpha,
+    }
+    if len(a) >= 2 and len(b) >= 2:
+        test = mann_whitney_u(a, b)
+        verdict["u_statistic"] = test.u_statistic
+        verdict["p_value"] = test.p_value
+        verdict["significant"] = test.significant(alpha)
+    else:
+        verdict["u_statistic"] = None
+        verdict["p_value"] = None
+        verdict["significant"] = None
+    return verdict

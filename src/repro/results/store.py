@@ -1,0 +1,459 @@
+"""The longitudinal results store: every recorded run, in one SQLite file.
+
+Every Job family (dse, plan, serve, experiments) used to emit one-shot
+CSV/JSON that vanished the moment the terminal scrolled.  :class:`ResultStore`
+is the persistence half of the fuzzbench-style experiment service the ROADMAP
+calls for: runs are recorded **with provenance** (UTC timestamp, git SHA and
+dirty flag, repro version, CLI argv, worker count, wall-clock duration, host
+CPU count) and reports are generated offline from the store
+(:mod:`repro.results.report`), never from the live run.
+
+Two tables carry run data:
+
+* ``runs``  — one row per recorded run: provenance plus the run's complete
+  ``to_json()`` payload **verbatim**, so the round trip is lossless by
+  construction (``load_run().payload`` is byte-identical to what the result
+  serialised at record time);
+* ``rows``  — the run's ``ResultTable.rows``, one JSON document per row, so
+  reports and comparisons can query individual columns without parsing the
+  nested payload.
+
+Two more accumulate CI artifacts (:mod:`repro.results.ingest`):
+``benchmarks`` (pytest-benchmark ``BENCH_*.json``) and ``verdicts``
+(regression-gate outcomes from ``benchmarks/compare_to_baseline.py
+--json-out``).
+
+Concurrency: the store opens SQLite in WAL mode with a generous busy
+timeout, and run insertion takes an immediate transaction, so two processes
+recording into the same database interleave safely (run ids stay unique and
+sequential per kind).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import subprocess
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from hashlib import sha256
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "DEFAULT_DB_PATH",
+    "ResultStore",
+    "StoreError",
+    "StoredRun",
+    "RunRecorder",
+    "config_signature",
+]
+
+#: Where ``--record`` (with no argument) and ``repro report`` look by default.
+DEFAULT_DB_PATH = os.path.join("results", "repro.db")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id        TEXT UNIQUE NOT NULL,
+    kind          TEXT NOT NULL,
+    signature     TEXT NOT NULL,
+    timestamp_utc TEXT NOT NULL,
+    git_sha       TEXT,
+    git_dirty     INTEGER,
+    repro_version TEXT NOT NULL,
+    argv          TEXT,
+    workers       INTEGER,
+    duration_s    REAL NOT NULL,
+    host_cpus     INTEGER NOT NULL,
+    num_rows      INTEGER NOT NULL,
+    payload       TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS rows (
+    run_id    TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    row_index INTEGER NOT NULL,
+    payload   TEXT NOT NULL,
+    PRIMARY KEY (run_id, row_index)
+);
+CREATE TABLE IF NOT EXISTS benchmarks (
+    fullname     TEXT NOT NULL,
+    recorded_utc TEXT NOT NULL,
+    commit_sha   TEXT,
+    commit_time  TEXT,
+    mean_s       REAL NOT NULL,
+    stddev_s     REAL,
+    min_s        REAL,
+    max_s        REAL,
+    rounds       INTEGER,
+    speedup      REAL,
+    cpus         INTEGER,
+    gate_floor   REAL,
+    machine      TEXT,
+    source       TEXT,
+    PRIMARY KEY (fullname, recorded_utc)
+);
+CREATE TABLE IF NOT EXISTS verdicts (
+    name           TEXT NOT NULL,
+    recorded_utc   TEXT NOT NULL,
+    verdict        TEXT NOT NULL,
+    mode           TEXT,
+    ratio          REAL,
+    bound          REAL,
+    skipped_reason TEXT,
+    source         TEXT,
+    PRIMARY KEY (name, recorded_utc)
+);
+"""
+
+
+class StoreError(Exception):
+    """A results database is missing, corrupt, or was misused."""
+
+
+def config_signature(payload: Dict) -> str:
+    """A short stable signature for a run's configuration.
+
+    Canonical JSON (sorted keys) hashed with SHA-256, truncated to 12 hex
+    characters — enough to tell two sweeps apart in a run-history table,
+    stable across processes and Python versions.
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def _git_info(cwd: Optional[str] = None) -> tuple:
+    """``(sha, dirty)`` of the enclosing git checkout, or ``(None, None)``."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+def _host_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class StoredRun:
+    """One run loaded back out of the store."""
+
+    run_id: str
+    kind: str
+    signature: str
+    timestamp_utc: str
+    git_sha: Optional[str]
+    git_dirty: Optional[bool]
+    repro_version: str
+    argv: Optional[List[str]]
+    workers: Optional[int]
+    duration_s: float
+    host_cpus: int
+    #: The run's ``ResultTable.rows``, decoded from the ``rows`` table.
+    rows: List[Dict]
+    #: The run's complete ``to_json()`` text, verbatim as recorded.
+    payload: str
+
+    def meta_row(self) -> Dict:
+        """The flat dict the ``repro runs list`` table and reports render."""
+        sha = (self.git_sha or "")[:10]
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "timestamp_utc": self.timestamp_utc,
+            "git": sha + ("+dirty" if self.git_dirty else "") if sha else "?",
+            "version": self.repro_version,
+            "signature": self.signature[:12],
+            "rows": len(self.rows),
+            "workers": self.workers,
+            "duration_s": round(self.duration_s, 3),
+            "host_cpus": self.host_cpus,
+        }
+
+
+@dataclass
+class RunRecorder:
+    """The handle ``ResultStore.record`` yields; callers attach one result.
+
+    Either :meth:`add_table` (anything with ``rows`` and ``to_json()`` —
+    every :class:`~repro.engine.ResultTable`) or :meth:`add_payload`
+    (explicit rows plus serialised payload, used for
+    :class:`~repro.serve.ServingReport` whose per-tenant rows are not a
+    ``rows`` attribute).
+    """
+
+    kind: str
+    signature: str
+    argv: Optional[List[str]] = None
+    workers: Optional[int] = None
+    rows: Optional[List[Dict]] = None
+    payload: Optional[str] = None
+    #: Optional override for the recorded wall-clock duration.  The store
+    #: measures the ``with`` block by default; callers that already timed
+    #: the work elsewhere (the experiments CLI records several results from
+    #: one suite run) set this instead.
+    duration_s: Optional[float] = None
+    #: Set by the store once the context manager commits.
+    run_id: Optional[str] = field(default=None, init=False)
+
+    def add_table(self, table) -> None:
+        self.add_payload([dict(row) for row in table.rows], table.to_json())
+
+    def add_payload(self, rows: List[Dict], payload: str) -> None:
+        if self.payload is not None:
+            raise StoreError("record() already holds a result for this run")
+        self.rows = rows
+        self.payload = payload
+
+
+class ResultStore:
+    """SQLite-backed store of runs, benchmark points and gate verdicts.
+
+    Parameters
+    ----------
+    path:
+        Database file (default ``results/repro.db``).  ``":memory:"`` is
+        accepted for tests.
+    create:
+        When true (the default for recording paths), the parent directory
+        and schema are created as needed.  When false (reporting paths), a
+        missing file raises :class:`StoreError` instead of silently creating
+        an empty database.
+    """
+
+    def __init__(self, path: str = DEFAULT_DB_PATH, create: bool = True) -> None:
+        self.path = path
+        if not create and path != ":memory:" and not os.path.exists(path):
+            raise StoreError(f"no results database at {path!r}; record a run first")
+        if create and path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        try:
+            # Autocommit mode: transactions are managed explicitly (the
+            # recorder's BEGIN IMMEDIATE), never implicitly by the driver.
+            self._connection = sqlite3.connect(path, timeout=30.0, isolation_level=None)
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA busy_timeout=30000")
+            self._connection.execute("PRAGMA foreign_keys=ON")
+            if create:
+                with self._connection:
+                    self._connection.executescript(_SCHEMA)
+            # A probe query surfaces corrupt files and wrong schemas now,
+            # with a uniform error, rather than mid-report.
+            self._connection.execute("SELECT COUNT(*) FROM runs").fetchone()
+        except sqlite3.DatabaseError as error:
+            raise StoreError(f"cannot open results database {path!r}: {error}")
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recording ----------------------------------------------------------
+    @contextmanager
+    def record(
+        self,
+        kind: str,
+        signature: str,
+        argv: Optional[List[str]] = None,
+        workers: Optional[int] = None,
+    ) -> Iterator[RunRecorder]:
+        """Record one run: provenance captured here, result attached by the caller.
+
+        Usage::
+
+            with store.record("dse", signature, argv=sys.argv[1:]) as rec:
+                result = SweepRunner(spec).run()
+                rec.add_table(result)
+            print(rec.run_id)
+
+        The wall-clock duration is the time spent inside the ``with`` block.
+        Nothing is written if the block raises — a crashed run leaves no
+        partial row behind.
+        """
+        recorder = RunRecorder(kind=kind, signature=signature, argv=argv, workers=workers)
+        started = time.perf_counter()
+        yield recorder
+        duration_s = (
+            recorder.duration_s
+            if recorder.duration_s is not None
+            else time.perf_counter() - started
+        )
+        if recorder.payload is None or recorder.rows is None:
+            raise StoreError(
+                "record() block finished without attaching a result "
+                "(call add_table or add_payload on the recorder)"
+            )
+        from .. import __version__
+
+        timestamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        git_sha, git_dirty = _git_info()
+        connection = self._connection
+        # BEGIN IMMEDIATE takes the write lock before reading MAX(id), so
+        # concurrent recorders cannot mint the same run id.
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            next_id = connection.execute(
+                "SELECT COALESCE(MAX(id), 0) + 1 FROM runs"
+            ).fetchone()[0]
+            run_id = f"{kind}-{next_id}"
+            connection.execute(
+                "INSERT INTO runs (run_id, kind, signature, timestamp_utc, git_sha,"
+                " git_dirty, repro_version, argv, workers, duration_s, host_cpus,"
+                " num_rows, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    kind,
+                    signature,
+                    timestamp,
+                    git_sha,
+                    None if git_dirty is None else int(git_dirty),
+                    __version__,
+                    None if argv is None else json.dumps(list(argv)),
+                    workers,
+                    duration_s,
+                    _host_cpus(),
+                    len(recorder.rows),
+                    recorder.payload,
+                ),
+            )
+            connection.executemany(
+                "INSERT INTO rows (run_id, row_index, payload) VALUES (?, ?, ?)",
+                [
+                    (run_id, index, json.dumps(row, default=str))
+                    for index, row in enumerate(recorder.rows)
+                ],
+            )
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        recorder.run_id = run_id
+
+    # -- loading ------------------------------------------------------------
+    def load_run(self, run_id: str) -> StoredRun:
+        """The recorded run, rows decoded, payload verbatim."""
+        cursor = self._connection.execute(
+            "SELECT run_id, kind, signature, timestamp_utc, git_sha, git_dirty,"
+            " repro_version, argv, workers, duration_s, host_cpus, payload"
+            " FROM runs WHERE run_id = ?",
+            (run_id,),
+        )
+        record = cursor.fetchone()
+        if record is None:
+            raise StoreError(f"no run {run_id!r} in {self.path}")
+        rows = [
+            json.loads(payload)
+            for (payload,) in self._connection.execute(
+                "SELECT payload FROM rows WHERE run_id = ? ORDER BY row_index",
+                (run_id,),
+            )
+        ]
+        return StoredRun(
+            run_id=record[0],
+            kind=record[1],
+            signature=record[2],
+            timestamp_utc=record[3],
+            git_sha=record[4],
+            git_dirty=None if record[5] is None else bool(record[5]),
+            repro_version=record[6],
+            argv=None if record[7] is None else json.loads(record[7]),
+            workers=record[8],
+            duration_s=record[9],
+            host_cpus=record[10],
+            rows=rows,
+            payload=record[11],
+        )
+
+    def run_ids(self, kind: Optional[str] = None) -> List[str]:
+        """Recorded run ids in insertion order, optionally one kind only."""
+        if kind is None:
+            cursor = self._connection.execute("SELECT run_id FROM runs ORDER BY id")
+        else:
+            cursor = self._connection.execute(
+                "SELECT run_id FROM runs WHERE kind = ? ORDER BY id", (kind,)
+            )
+        return [run_id for (run_id,) in cursor]
+
+    def kinds(self) -> List[str]:
+        """Distinct run kinds, alphabetical (deterministic report order)."""
+        cursor = self._connection.execute("SELECT DISTINCT kind FROM runs ORDER BY kind")
+        return [kind for (kind,) in cursor]
+
+    def runs(self, kind: Optional[str] = None) -> List[StoredRun]:
+        """Every recorded run (optionally one kind), in insertion order."""
+        return [self.load_run(run_id) for run_id in self.run_ids(kind)]
+
+    # -- CI artifact queries (populated by repro.results.ingest) ------------
+    def benchmark_names(self) -> List[str]:
+        cursor = self._connection.execute(
+            "SELECT DISTINCT fullname FROM benchmarks ORDER BY fullname"
+        )
+        return [name for (name,) in cursor]
+
+    def benchmark_trajectory(self, fullname: str) -> List[Dict]:
+        """One benchmark's points ordered by recording time (the trajectory)."""
+        cursor = self._connection.execute(
+            "SELECT recorded_utc, commit_sha, mean_s, stddev_s, speedup, cpus,"
+            " gate_floor, machine FROM benchmarks WHERE fullname = ?"
+            " ORDER BY recorded_utc",
+            (fullname,),
+        )
+        return [
+            {
+                "recorded_utc": recorded,
+                "commit_sha": commit,
+                "mean_s": mean_s,
+                "stddev_s": stddev_s,
+                "speedup": speedup,
+                "cpus": cpus,
+                "gate_floor": gate_floor,
+                "machine": machine,
+            }
+            for recorded, commit, mean_s, stddev_s, speedup, cpus, gate_floor, machine in cursor
+        ]
+
+    def verdict_rows(self) -> List[Dict]:
+        """Every ingested gate verdict, newest first."""
+        cursor = self._connection.execute(
+            "SELECT recorded_utc, name, verdict, mode, ratio, bound, skipped_reason"
+            " FROM verdicts ORDER BY recorded_utc DESC, name"
+        )
+        return [
+            {
+                "recorded_utc": recorded,
+                "benchmark": name,
+                "verdict": verdict,
+                "mode": mode,
+                "ratio": ratio,
+                "bound": bound,
+                "skipped_reason": reason,
+            }
+            for recorded, name, verdict, mode, ratio, bound, reason in cursor
+        ]

@@ -43,7 +43,16 @@ def test_internal_links_resolve(doc):
 def test_readme_documents_every_subcommand():
     readme = (REPO_ROOT / "README.md").read_text()
     commands = build_parser()._subparsers._group_actions[0].choices
-    assert set(commands) == {"experiments", "simulate", "datasets", "dse", "serve", "plan"}
+    assert set(commands) == {
+        "experiments",
+        "simulate",
+        "datasets",
+        "dse",
+        "serve",
+        "plan",
+        "runs",
+        "report",
+    }
     for name in commands:
         assert f"repro {name}" in readme, f"README does not document `repro {name}`"
 
@@ -56,7 +65,8 @@ class TestCliHelp:
         assert "experiments" in capsys.readouterr().out
 
     @pytest.mark.parametrize(
-        "command", ["experiments", "simulate", "datasets", "dse", "serve", "plan"]
+        "command",
+        ["experiments", "simulate", "datasets", "dse", "serve", "plan", "runs", "report"],
     )
     def test_subcommand_help_exits_zero(self, command, capsys):
         with pytest.raises(SystemExit) as excinfo:
