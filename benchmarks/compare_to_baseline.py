@@ -37,7 +37,11 @@ still be gated absolutely: if the **current** run declares both
 (so the >=2x parallel-harness gate bites on any multicore runner, even when
 the committed baseline had to be recorded on a 1-core container).
 Otherwise the benchmark is **skipped with a warning** instead of silently
-gated on an apples-to-oranges ratio.
+gated on an apples-to-oranges ratio.  The declared floor is a *minimum*
+demand in the matched-cpus mode too: when the runner meets
+``gate_min_cpus``, the demanded floor is ``max(relative band, gate_floor)``
+— a baseline recorded under-provisioned can never water the gate down below
+what the benchmark itself declares.
 
 A benchmark present in the baseline but missing from the current run fails
 the gate (a silently-skipped benchmark is a regression in coverage).  To
@@ -158,6 +162,21 @@ def compare(current: Dict, baseline: Dict, tolerance: float) -> Tuple[List[Dict]
             cap = base_extra.get("gate_floor")
             if cap is not None:
                 floor = min(floor, cap)
+            # For core-count-dependent benchmarks the declared floor is also
+            # a *minimum* demand whenever this runner has the cores the gate
+            # was designed for: a baseline recorded under-provisioned (a
+            # 1-core container reports speedup <1x, making the relative band
+            # toothless) must not let a real regression through on capable
+            # hardware.
+            declared = got_extra.get("gate_floor")
+            min_cpus = got_extra.get("gate_min_cpus")
+            if (
+                declared is not None
+                and min_cpus is not None
+                and got_cpus is not None
+                and got_cpus >= min_cpus
+            ):
+                floor = max(floor, declared)
             verdict = "ok" if got_speedup >= floor else "FAIL"
             print(
                 f"{verdict} {name}: speedup {got_speedup:.2f}x vs baseline "

@@ -57,7 +57,7 @@ from .results import (
     generate_report,
     render_comparison_text,
 )
-from .serve import POLICY_NAMES, Cluster, Workload
+from .serve import POLICY_NAMES, Cluster, FaultSchedule, Workload
 
 __all__ = ["build_parser", "main"]
 
@@ -378,6 +378,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound on queued requests; beyond it arrivals are dropped",
     )
+    serve.add_argument(
+        "--autoscale",
+        metavar="SPEC",
+        default=None,
+        help="dynamic cluster: autoscaler spec, reactive[:k=v,...] or "
+        "predictive[:k=v,...] — common keys min,max,interval,delay,"
+        "hysteresis; e.g. reactive:min=1,max=8,delay=2e-3",
+    )
+    serve.add_argument(
+        "--fault",
+        metavar="SPEC",
+        default=None,
+        help="dynamic cluster: fault schedule, either explicit events "
+        "'fail@0.01:r0;recover@0.02:r0;degrade@0.005:r1x2.5' or a seeded "
+        "crash/recover process 'random:mtbf=0.02,mttr=0.005,seed=1'",
+    )
+    serve.add_argument(
+        "--admission",
+        metavar="SPEC",
+        default=None,
+        help="dynamic cluster: adaptive admission 'queue=N[,headroom=X]' — "
+        "shed arrivals beyond a queue depth, or whose predicted latency "
+        "exceeds X times their deadline budget",
+    )
     serve.add_argument("--seed", type=int, default=0, help="load-generator seed")
     serve.add_argument(
         "--num-requests",
@@ -481,6 +505,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=_str_list,
         default=["poisson"],
         help="arrival-process grid: poisson | bursty | constant | trace:PATH",
+    )
+    # The dynamic grids are repeatable flags rather than comma-separated
+    # lists: autoscaler specs contain commas and fault schedules contain
+    # semicolons, so no in-flag delimiter survives both.
+    plan.add_argument(
+        "--autoscale",
+        metavar="SPEC",
+        action="append",
+        dest="autoscalers",
+        default=None,
+        help="autoscaler grid entry (repeat the flag for a grid; 'none' is "
+        "the static point) — e.g. --autoscale none --autoscale "
+        "reactive:max=8,delay=2e-3",
+    )
+    plan.add_argument(
+        "--fault",
+        metavar="SPEC",
+        action="append",
+        dest="faults",
+        default=None,
+        help="fault-schedule grid entry (repeat the flag for a grid; 'none' "
+        "for no faults) — e.g. --fault none --fault "
+        "random:mtbf=0.02,mttr=0.005",
     )
     plan.add_argument(
         "--rate",
@@ -896,6 +943,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch,
             batch_timeout_s=args.batch_timeout_us * 1e-6,
             queue_capacity=args.queue_capacity,
+            autoscaler=args.autoscale,
+            admission=args.admission,
         )
     except (ValueError, KeyError) as error:
         print(f"invalid serving scenario: {error}", file=sys.stderr)
@@ -918,6 +967,18 @@ def _run_serve(args: argparse.Namespace) -> int:
     duration = args.duration
     if duration is None and not is_trace and args.num_requests is None:
         duration = 0.05
+    if args.fault is not None:
+        # Parsed here, not in the Cluster constructor, because the seeded
+        # 'random:' form needs the traffic horizon to bound its crash draws.
+        try:
+            cluster = cluster.with_options(
+                faults=FaultSchedule.parse(
+                    args.fault, num_replicas=args.replicas, horizon_s=duration
+                )
+            )
+        except ValueError as error:
+            print(f"invalid fault schedule: {error}", file=sys.stderr)
+            return 2
     try:
         with _maybe_record(args, "serve") as recorder:
             generator = build_generator(workloads, args.arrival, rate, seed=args.seed)
@@ -996,6 +1057,14 @@ def _run_plan(args: argparse.Namespace) -> int:
             batch_timeouts_s=[t * 1e-6 for t in args.batch_timeout_us],
             queue_capacities=args.queue_capacity,
             arrivals=args.arrivals,
+            autoscalers=tuple(
+                None if text.lower() == "none" else text
+                for text in (args.autoscalers or ["none"])
+            ),
+            faults=tuple(
+                None if text.lower() == "none" else text
+                for text in (args.faults or ["none"])
+            ),
             rate_rps=args.rate,
             utilisation=args.utilisation,
             duration_s=args.duration,

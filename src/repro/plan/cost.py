@@ -31,10 +31,16 @@ def scenario_cost(report: ServingReport, duration_s: Optional[float] = None) -> 
     """The cost side of one scenario: replica-time and energy.
 
     ``replica_seconds`` charges every replica for the full horizon (rented
-    hardware does not stop costing when idle); ``energy_j`` sums the
+    hardware does not stop costing when idle); a dynamic run instead
+    reports the simulation's measured rented-replica integral, which is
+    exactly what an autoscaler exists to reduce.  ``energy_j`` sums the
     measured per-request energies over all completed requests.
     """
     horizon = duration_s if duration_s is not None else report.horizon_s
+    if report.replica_seconds is not None:
+        replica_seconds = float(report.replica_seconds)
+    else:
+        replica_seconds = report.num_replicas * float(horizon)
     # total_energy_mj exists on both the exact InferenceReport and the
     # streaming SketchTenantReport, so the cost model is mode-agnostic.
     energy_mj = sum(
@@ -42,7 +48,7 @@ def scenario_cost(report: ServingReport, duration_s: Optional[float] = None) -> 
         for outcome in report.tenants.values()
     )
     return {
-        "replica_seconds": report.num_replicas * float(horizon),
+        "replica_seconds": replica_seconds,
         "energy_j": energy_mj * 1e-3,
     }
 
@@ -51,11 +57,12 @@ def meets_slo(report: ServingReport, require_no_drops: bool = True) -> bool:
     """Whether every tenant's p99 sits inside its deadline.
 
     Best-effort tenants (no deadline) always pass; with
-    ``require_no_drops`` (the default) any admission-control drop fails the
-    scenario — a dropped request never completes, so it would otherwise
-    vanish from the percentile entirely.
+    ``require_no_drops`` (the default) any admission-control drop — or any
+    request shed by adaptive admission / lost to a dead cluster — fails the
+    scenario: a lost request never completes, so it would otherwise vanish
+    from the percentile entirely.
     """
-    if require_no_drops and report.dropped > 0:
+    if require_no_drops and (report.dropped > 0 or report.shed > 0):
         return False
     for outcome in report.tenants.values():
         deadline = outcome.workload.deadline_s
@@ -71,8 +78,15 @@ def scenario_row(
     report: ServingReport,
     duration_s: Optional[float] = None,
     rate_rps: Optional[float] = None,
+    dynamic: bool = False,
 ) -> Dict:
-    """Flatten one scenario evaluation into a single export row."""
+    """Flatten one scenario evaluation into a single export row.
+
+    ``dynamic`` widens the schema with the dynamic-cluster columns
+    (autoscaler/fault coordinates, ``shed``, ``peak_replicas``).  It is a
+    property of the *sweep*, not the scenario — CSV headers come from the
+    first row, so every row of one sweep must share one column set.
+    """
     worst_p99 = max(
         (outcome.report.p99_latency_ms for outcome in report.tenants.values()),
         default=0.0,
@@ -106,5 +120,15 @@ def scenario_row(
         "max_queue_depth": report.max_queue_depth,
         "mean_batch_size": report.mean_batch_size,
     }
+    if dynamic:
+        row["autoscale"] = scenario.autoscale
+        row["fault"] = scenario.fault
+        row["shed"] = report.shed
+        row["peak_replicas"] = report.peak_replicas
+        counts = report.event_counts
+        row["scale_events"] = counts.get("scale_up_events", 0) + counts.get(
+            "scale_down_events", 0
+        )
+        row["failures"] = counts.get("failures", 0)
     row.update(scenario_cost(report, duration_s))
     return row

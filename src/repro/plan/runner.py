@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..api import MeasurementCache
 from ..engine import Engine, Job, ProgressCallback, ResultTable
-from ..serve import Cluster, LoadGenerator, Workload
+from ..serve import Cluster, FaultSchedule, LoadGenerator, Workload
 from .cost import PLAN_OBJECTIVES, scenario_row
 from .spec import PlanSpec, Scenario
 
@@ -148,12 +148,27 @@ class PlanJob(Job):
 
     def evaluate(self, scenario: Scenario) -> Dict:
         base, _ = self._mix_cluster(scenario.mix)
+        # Fault strings are parsed here — per scenario — rather than through
+        # ``with_options``, because the ``random:`` form needs the scenario's
+        # pool size and the sweep's horizon to draw its (deterministic,
+        # seeded) crash/recover sequence.  Workers therefore rebuild
+        # identical schedule/autoscaler objects regardless of chunking,
+        # which is what keeps 1-worker and 8-worker sweeps byte-identical.
+        faults = None
+        if scenario.fault is not None:
+            faults = FaultSchedule.parse(
+                scenario.fault,
+                num_replicas=scenario.num_replicas,
+                horizon_s=self.spec.duration_s,
+            )
         cluster = base.with_options(
             num_replicas=scenario.num_replicas,
             policy=scenario.policy,
             max_batch_size=scenario.max_batch_size,
             batch_timeout_s=scenario.batch_timeout_s,
             queue_capacity=scenario.queue_capacity,
+            autoscaler=scenario.autoscale,
+            faults=faults,
         )
         if self.spec.mode == "sketch":
             # Streaming evaluation: no materialised request list at all —
@@ -171,6 +186,7 @@ class PlanJob(Job):
             report,
             duration_s=self.spec.duration_s,
             rate_rps=self.rates[scenario.mix],
+            dynamic=self.spec.has_dynamics,
         )
 
     # -- worker-side memoisation ----------------------------------------------

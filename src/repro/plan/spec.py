@@ -21,7 +21,9 @@ from dataclasses import dataclass
 from typing import Iterator, List, Mapping, Optional, Tuple
 
 from ..api.backends import BACKEND_NAMES
+from ..serve.autoscale import parse_autoscaler
 from ..serve.cluster import POLICY_NAMES
+from ..serve.faults import FaultSchedule
 from ..serve.workload import Workload
 
 __all__ = ["TenantMix", "Scenario", "PlanSpec", "ARRIVAL_NAMES"]
@@ -71,14 +73,23 @@ class Scenario:
     max_batch_size: int
     batch_timeout_s: float
     queue_capacity: Optional[int]
+    #: Autoscaler spec string (``reactive:max=8,...``) or ``None`` (static).
+    autoscale: Optional[str] = None
+    #: Fault-schedule string (``fail@...`` / ``random:...``) or ``None``.
+    fault: Optional[str] = None
 
     def describe(self) -> str:
         capacity = "inf" if self.queue_capacity is None else str(self.queue_capacity)
-        return (
+        text = (
             f"{self.mix}/{self.arrival}: {self.num_replicas}x {self.policy}, "
             f"batch<= {self.max_batch_size}/{self.batch_timeout_s * 1e6:.0f}us, "
             f"queue {capacity}"
         )
+        if self.autoscale is not None:
+            text += f", autoscale {self.autoscale}"
+        if self.fault is not None:
+            text += f", fault {self.fault}"
+        return text
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,16 @@ class PlanSpec:
         The grids.  ``queue_capacities`` entries may be ``None``
         (unbounded); ``arrivals`` entries are ``poisson`` / ``bursty`` /
         ``constant`` or ``trace:PATH``.
+    autoscalers / faults:
+        Dynamic-cluster grids, both defaulting to ``(None,)`` (static).
+        ``autoscalers`` entries are autoscaler spec strings
+        (``reactive:max=8,delay=2e-3`` — see
+        :func:`~repro.serve.parse_autoscaler`) or ``None``; ``faults``
+        entries are fault-schedule strings (``fail@0.01:r0;...`` or
+        ``random:mtbf=...,mttr=...`` — see
+        :meth:`~repro.serve.FaultSchedule.parse`) or ``None``.  Any
+        non-``None`` entry switches the sweep's rows to the dynamic column
+        set (``shed``, ``peak_replicas``, measured ``replica_seconds``).
     rate_rps:
         Total offered request rate, split across a mix's tenants by their
         ``share``.  ``None`` derives one rate per mix from the measured
@@ -125,6 +146,8 @@ class PlanSpec:
     batch_timeouts_s: Tuple[float, ...] = (0.0,)
     queue_capacities: Tuple[Optional[int], ...] = (None,)
     arrivals: Tuple[str, ...] = ("poisson",)
+    autoscalers: Tuple[Optional[str], ...] = (None,)
+    faults: Tuple[Optional[str], ...] = (None,)
     rate_rps: Optional[float] = None
     utilisation: float = 0.7
     duration_s: float = 0.05
@@ -140,6 +163,8 @@ class PlanSpec:
             "batch_timeouts_s",
             "queue_capacities",
             "arrivals",
+            "autoscalers",
+            "faults",
         ):
             object.__setattr__(self, name, tuple(getattr(self, name)))
         if not self.mixes:
@@ -159,6 +184,8 @@ class PlanSpec:
             "batch_timeouts_s",
             "queue_capacities",
             "arrivals",
+            "autoscalers",
+            "faults",
         ):
             if not getattr(self, grid_name):
                 raise ValueError(f"grid {grid_name!r} is empty")
@@ -190,6 +217,19 @@ class PlanSpec:
             raise ValueError("utilisation must be in (0, 2]")
         if not self.duration_s > 0:
             raise ValueError("duration_s must be positive")
+        # Eager dynamic-grid validation: a typo'd autoscaler key or a fault
+        # event naming a replica the *smallest* pool of the sweep lacks
+        # fails at construction, before any simulation starts.
+        for text in self.autoscalers:
+            if text is not None:
+                parse_autoscaler(text)
+        for text in self.faults:
+            if text is not None:
+                FaultSchedule.parse(
+                    text,
+                    num_replicas=min(self.replicas),
+                    horizon_s=self.duration_s,
+                )
         if self.mode not in ("exact", "sketch"):
             raise ValueError(
                 f"unknown mode {self.mode!r}; use 'exact' or 'sketch'"
@@ -206,17 +246,21 @@ class PlanSpec:
                         for max_batch_size in self.max_batch_sizes:
                             for batch_timeout_s in self.batch_timeouts_s:
                                 for queue_capacity in self.queue_capacities:
-                                    yield Scenario(
-                                        index=index,
-                                        mix=mix.name,
-                                        arrival=arrival,
-                                        num_replicas=num_replicas,
-                                        policy=policy,
-                                        max_batch_size=max_batch_size,
-                                        batch_timeout_s=batch_timeout_s,
-                                        queue_capacity=queue_capacity,
-                                    )
-                                    index += 1
+                                    for autoscale in self.autoscalers:
+                                        for fault in self.faults:
+                                            yield Scenario(
+                                                index=index,
+                                                mix=mix.name,
+                                                arrival=arrival,
+                                                num_replicas=num_replicas,
+                                                policy=policy,
+                                                max_batch_size=max_batch_size,
+                                                batch_timeout_s=batch_timeout_s,
+                                                queue_capacity=queue_capacity,
+                                                autoscale=autoscale,
+                                                fault=fault,
+                                            )
+                                            index += 1
 
     def num_scenarios(self) -> int:
         return (
@@ -227,6 +271,20 @@ class PlanSpec:
             * len(self.max_batch_sizes)
             * len(self.batch_timeouts_s)
             * len(self.queue_capacities)
+            * len(self.autoscalers)
+            * len(self.faults)
+        )
+
+    @property
+    def has_dynamics(self) -> bool:
+        """Whether any grid point runs the dynamic (lifecycle-aware) loop.
+
+        Spec-level on purpose: the flag decides the row schema for the
+        *whole* sweep (CSV headers come from the first row), so static and
+        dynamic scenarios in one sweep share one column set.
+        """
+        return any(a is not None for a in self.autoscalers) or any(
+            f is not None for f in self.faults
         )
 
     def mix_by_name(self, name: str) -> TenantMix:
@@ -244,5 +302,11 @@ class PlanSpec:
             f"max_batch={list(self.max_batch_sizes)}, "
             f"timeouts_us={[round(t * 1e6, 1) for t in self.batch_timeouts_s]}, "
             f"queues={list(self.queue_capacities)}, "
-            f"{self.num_scenarios()} scenarios)"
+            + (
+                f"autoscalers={list(self.autoscalers)}, "
+                f"faults={list(self.faults)}, "
+                if self.has_dynamics
+                else ""
+            )
+            + f"{self.num_scenarios()} scenarios)"
         )

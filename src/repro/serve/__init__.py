@@ -28,7 +28,12 @@ single-stream evaluation (:meth:`Backend.run_stream`) to a serving cluster::
   SLO-aware ``edf``) and dynamic batching (``max_batch_size``,
   ``batch_timeout_s``);
 * :class:`ServingReport` — per-tenant :class:`~repro.api.InferenceReport`s
-  plus cluster utilisation, drops, batch sizes and the queue-depth trace.
+  plus cluster utilisation, drops, batch sizes and the queue-depth trace;
+* dynamic clusters — :class:`Autoscaler` policies (reactive / predictive,
+  with provisioning latency and scale-down hysteresis),
+  :class:`FaultSchedule` crash/degrade injection, and
+  :class:`AdmissionControl` load shedding, all replayed bit-identically by
+  the :func:`reference_serve_dynamic` oracle.
 
 Per-replica timing reuses the backends' measurement pass (and therefore the
 FlowGNN schedule cache and :class:`~repro.graph.GraphStream` statistics), so
@@ -57,7 +62,18 @@ from .cluster import (
     get_policy,
     register_policy,
 )
-from .reference import reference_serve
+from .autoscale import (
+    AUTOSCALER_NAMES,
+    AdmissionControl,
+    Autoscaler,
+    AutoscalerMetrics,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    parse_admission,
+    parse_autoscaler,
+)
+from .faults import FAULT_ACTIONS, FaultEvent, FaultSchedule, parse_fault_schedule
+from .reference import reference_serve, reference_serve_dynamic
 from .report import ServingRecord, ServingReport, SketchTenantReport, TenantOutcome
 from .sketches import (
     LatencySketch,
@@ -92,6 +108,19 @@ __all__ = [
     "SketchTenantReport",
     "TenantOutcome",
     "reference_serve",
+    "reference_serve_dynamic",
+    "Autoscaler",
+    "ReactiveAutoscaler",
+    "PredictiveAutoscaler",
+    "AutoscalerMetrics",
+    "AUTOSCALER_NAMES",
+    "parse_autoscaler",
+    "AdmissionControl",
+    "parse_admission",
+    "FaultEvent",
+    "FaultSchedule",
+    "FAULT_ACTIONS",
+    "parse_fault_schedule",
     "RequestBlock",
     "STREAM_CHUNK",
     "StreamingMoments",

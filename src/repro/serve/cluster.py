@@ -33,6 +33,7 @@ from __future__ import annotations
 import heapq
 import math
 from abc import ABC, abstractmethod
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -50,6 +51,14 @@ import numpy as np
 
 from ..api import Backend, InferenceRequest, Measurement, MeasurementCache, get_backend
 from .arrivals import ServingRequest
+from .autoscale import (
+    AdmissionControl,
+    Autoscaler,
+    AutoscalerMetrics,
+    parse_admission,
+    parse_autoscaler,
+)
+from .faults import FaultSchedule
 from .report import (
     ServingRecord,
     ServingReport,
@@ -195,8 +204,22 @@ class DispatchPolicy(ABC):
     def reset(self, num_replicas: int) -> None:
         """Called at the start of every simulation."""
 
+    def rebind(self, num_replicas: int) -> None:
+        """Called when a dynamic simulation grows the pool to ``num_replicas``.
+
+        ``num_replicas`` counts every replica ever created (including dead
+        and draining ones); the dispatchable subset is ``state.live``.  The
+        default is a no-op — the built-in policies read ``state.live``
+        directly, so they need no rebinding state.
+        """
+
     def assign(self, item: _QueueItem, state: "_SimState") -> Optional[int]:
-        """Replica to pin ``item`` to at arrival; ``None`` leaves it shared."""
+        """Replica to pin ``item`` to at arrival; ``None`` leaves it shared.
+
+        Only replicas in ``state.live`` may be returned: the dynamic loop
+        re-routes a dead/draining replica's queue through this hook, and an
+        assignment outside ``live`` would strand the request.
+        """
         return None
 
     @abstractmethod
@@ -221,8 +244,14 @@ class RoundRobinPolicy(DispatchPolicy):
         self._counter = 0
         self._num_replicas = num_replicas
 
+    def rebind(self, num_replicas: int) -> None:
+        self._num_replicas = num_replicas
+
     def assign(self, item: _QueueItem, state: "_SimState") -> Optional[int]:
-        replica = self._counter % self._num_replicas
+        live = state.live
+        if not live:
+            return None
+        replica = live[self._counter % len(live)]
         self._counter += 1
         return replica
 
@@ -236,11 +265,14 @@ class LeastLoadedPolicy(DispatchPolicy):
     name = "least_loaded"
 
     def assign(self, item: _QueueItem, state: "_SimState") -> Optional[int]:
+        live = state.live
+        if not live:
+            return None
         backlog = [
             max(state.busy_until[r] - state.now, 0.0) + state.queued_work[r]
-            for r in range(len(state.busy_until))
+            for r in live
         ]
-        return int(np.argmin(backlog))
+        return int(live[int(np.argmin(backlog))])
 
     def order_key(self, item: _QueueItem) -> Tuple:
         return ()
@@ -289,30 +321,76 @@ register_policy("edf", EarliestDeadlinePolicy)
 # Event-driven simulation
 # ---------------------------------------------------------------------------
 # Event kinds, in tie-break order at equal timestamps: completions free
-# replicas before the arrivals/timers of the same instant are considered.
-_COMPLETION, _ARRIVAL, _TIMER = 0, 1, 2
+# replicas first, then the control plane (faults, recoveries, scale events)
+# reshapes the pool, and only then are the instant's arrivals/timers
+# considered — so a request arriving the same instant a replica dies is
+# never assigned to it.  The static paths only ever use _COMPLETION,
+# _ARRIVAL and _TIMER, whose relative order is unchanged.
+_COMPLETION, _FAIL, _RECOVER, _SCALE, _ARRIVAL, _TIMER = 0, 1, 2, 3, 4, 5
+
+# Replica lifecycle states (dynamic runs; static pools are all-_ACTIVE).
+# provisioning -> active -> draining -> dead, with fail/recover shortcuts
+# and "degraded" = active with a service-time factor != 1.
+_PROVISIONING, _ACTIVE, _DRAINING, _DEAD = 0, 1, 2, 3
+
+
+def _new_event_counts() -> Dict[str, int]:
+    """Zeroed lifecycle counters, in the report's canonical key order."""
+    return {
+        "scale_up_events": 0,
+        "scale_down_events": 0,
+        "replicas_added": 0,
+        "replicas_removed": 0,
+        "failures": 0,
+        "recoveries": 0,
+        "degradations": 0,
+        "restorations": 0,
+    }
 
 
 @dataclass
 class _SimState:
-    """Mutable simulation state shared with policy hooks."""
+    """Mutable simulation state shared with policy hooks.
+
+    ``live`` lists the dispatchable replica ids in ascending order.  Static
+    simulations leave it at the default (every replica); the dynamic loop
+    maintains it as replicas provision, drain, die and recover, and the
+    built-in policies assign over it — so a policy written against ``live``
+    behaves identically on a static pool.
+    """
 
     busy_until: List[float]
     queued_work: List[float]
     now: float = 0.0
+    live: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.live is None:
+            self.live = list(range(len(self.busy_until)))
 
 
 class _ExactSink:
     """Collects full per-request records (the historical, array-backed path)."""
 
-    __slots__ = ("records", "batch_sizes")
+    __slots__ = ("records", "batch_sizes", "dropped", "shed")
 
     def __init__(self) -> None:
         self.records: List[ServingRecord] = []
         self.batch_sizes: List[int] = []
+        self.dropped: List[ServingRequest] = []
+        self.shed: List[ServingRequest] = []
 
     def on_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
+
+    def on_admit(self, request: ServingRequest) -> None:
+        pass
+
+    def on_drop(self, request: ServingRequest) -> None:
+        self.dropped.append(request)
+
+    def on_shed(self, request: ServingRequest) -> None:
+        self.shed.append(request)
 
     def on_record(
         self,
@@ -363,8 +441,11 @@ class _SketchSink:
         "queue_hist",
         "dropped_by_tenant",
         "dropped_total",
+        "shed_by_tenant",
+        "shed_total",
         "max_completion_s",
         "max_dropped_arrival_s",
+        "max_shed_arrival_s",
         "_qd_arrived",
         "_qd_popped",
         "_qd_heaps",
@@ -379,8 +460,11 @@ class _SketchSink:
         self.queue_hist = StreamingHistogram.power_of_two()
         self.dropped_by_tenant = {w.tenant: 0 for w in cluster.workloads}
         self.dropped_total = 0
+        self.shed_by_tenant = {w.tenant: 0 for w in cluster.workloads}
+        self.shed_total = 0
         self.max_completion_s = -math.inf
         self.max_dropped_arrival_s = -math.inf
+        self.max_shed_arrival_s = -math.inf
         self._qd_arrived = {w.tenant: 0 for w in cluster.workloads}
         self._qd_popped = {w.tenant: 0 for w in cluster.workloads}
         self._qd_heaps: Dict[str, List[float]] = {w.tenant: [] for w in cluster.workloads}
@@ -432,6 +516,12 @@ class _SketchSink:
         if request.arrival_s > self.max_dropped_arrival_s:
             self.max_dropped_arrival_s = request.arrival_s
 
+    def on_shed(self, request: ServingRequest) -> None:
+        self.shed_by_tenant[request.tenant] += 1
+        self.shed_total += 1
+        if request.arrival_s > self.max_shed_arrival_s:
+            self.max_shed_arrival_s = request.arrival_s
+
     def on_instant_sample(self, depth: int) -> None:
         self.queue_hist.update(float(depth))
 
@@ -463,6 +553,26 @@ class Cluster:
         Optional :class:`~repro.api.MeasurementCache` backing the tenant
         services.  The serving-scenario sweep engine pre-measures every
         profile into one cache so no scenario re-measures the backend.
+    autoscaler:
+        Optional :class:`~repro.serve.autoscale.Autoscaler` (or its spec
+        string, e.g. ``"reactive:min=1,max=8"``): the replica pool then
+        starts at ``num_replicas`` and is resized at the autoscaler's tick
+        interval, with provisioning latency and scale-down hysteresis.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultSchedule` (or its spec
+        string): deterministic replica crash/recover/degrade events
+        interleaved with the simulation.
+    admission:
+        Optional :class:`~repro.serve.autoscale.AdmissionControl` (or its
+        spec string, e.g. ``"queue=64,headroom=1.5"``): adaptive load
+        shedding applied to every arrival, before the hard
+        ``queue_capacity`` bound.
+
+    Any of ``autoscaler``/``faults``/``admission`` makes the cluster
+    *dynamic*: simulation runs through the dynamic event loop (pinned
+    bit-identical to :func:`repro.serve.reference.reference_serve_dynamic`)
+    and the report gains a replica-count timeline, ``replica_seconds`` and
+    lifecycle event counts.
     """
 
     workloads: Sequence[Workload]
@@ -473,6 +583,9 @@ class Cluster:
     batch_timeout_s: float = 0.0
     queue_capacity: Optional[int] = None
     measurement_cache: Optional[MeasurementCache] = None
+    autoscaler: Union[str, Autoscaler, None] = None
+    faults: Union[str, FaultSchedule, None] = None
+    admission: Union[str, AdmissionControl, None] = None
     services: Dict[str, TenantService] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -490,6 +603,12 @@ class Cluster:
             raise ValueError("batch_timeout_s must be >= 0")
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
+        if isinstance(self.autoscaler, str):
+            self.autoscaler = parse_autoscaler(self.autoscaler)
+        if isinstance(self.faults, str):
+            self.faults = FaultSchedule.parse(self.faults, num_replicas=self.num_replicas)
+        if isinstance(self.admission, str):
+            self.admission = parse_admission(self.admission)
         if isinstance(self.policy, str):
             self.policy = get_policy(self.policy)
         backend_instance = get_backend(self.backend)
@@ -517,15 +636,21 @@ class Cluster:
         max_batch_size: Optional[int] = None,
         batch_timeout_s: Optional[float] = None,
         queue_capacity: Union[int, None, object] = ...,
+        autoscaler: Union[str, Autoscaler, None, object] = ...,
+        faults: Union[str, FaultSchedule, None, object] = ...,
+        admission: Union[str, AdmissionControl, None, object] = ...,
     ) -> "Cluster":
         """A re-configured view of this cluster sharing its measured services.
 
-        Any combination of pool size, dispatch policy, batching knobs and
-        queue capacity can be overridden; everything else (tenants, backend,
-        measured :class:`TenantService` profiles) is shared with ``self``.
-        This is the primitive the serving-scenario sweep engine builds every
-        grid point from without re-measuring.  ``queue_capacity`` uses ``...``
-        as its "keep current" default because ``None`` means unbounded.
+        Any combination of pool size, dispatch policy, batching knobs,
+        queue capacity and the dynamic-cluster knobs (autoscaler, fault
+        schedule, adaptive admission) can be overridden; everything else
+        (tenants, backend, measured :class:`TenantService` profiles) is
+        shared with ``self``.  This is the primitive the serving-scenario
+        sweep engine builds every grid point from without re-measuring.
+        ``queue_capacity``/``autoscaler``/``faults``/``admission`` use
+        ``...`` as their "keep current" default because ``None`` means
+        unbounded/disabled.
         """
         clone = Cluster.__new__(Cluster)
         clone.__dict__.update(self.__dict__)
@@ -547,7 +672,30 @@ class Cluster:
             if queue_capacity is not None and queue_capacity < 1:
                 raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
             clone.queue_capacity = queue_capacity
+        if autoscaler is not ...:
+            clone.autoscaler = (
+                parse_autoscaler(autoscaler) if isinstance(autoscaler, str) else autoscaler
+            )
+        if faults is not ...:
+            clone.faults = (
+                FaultSchedule.parse(faults, num_replicas=clone.num_replicas)
+                if isinstance(faults, str)
+                else faults
+            )
+        if admission is not ...:
+            clone.admission = (
+                parse_admission(admission) if isinstance(admission, str) else admission
+            )
         return clone
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether simulation must run the dynamic (lifecycle-aware) loop."""
+        return (
+            self.autoscaler is not None
+            or self.faults is not None
+            or self.admission is not None
+        )
 
     def mean_service_s(self) -> float:
         """Mean batch-1 service time across tenants (capacity heuristics)."""
@@ -592,6 +740,11 @@ class Cluster:
         """
         if mode not in ("exact", "sketch"):
             raise ValueError(f"mode must be 'exact' or 'sketch', got {mode!r}")
+        if self.dynamic:
+            ordered = sorted(
+                requests, key=lambda r: (r.arrival_s, r.tenant_index, r.index)
+            )
+            return self._serve_dynamic(iter(ordered), duration_s, mode)
         if mode == "sketch":
             return self._serve_sketch(iter(requests), duration_s)
         policy = self.policy
@@ -718,6 +871,12 @@ class Cluster:
                 )
         if self._fast_path_eligible():
             return self._serve_stream_fast(generator, duration_s, num_requests)
+        if self.dynamic:
+            return self._serve_dynamic(
+                generator.iter_requests(duration_s=duration_s, num_requests=num_requests),
+                duration_s,
+                "sketch",
+            )
         return self._serve_sketch(
             generator.iter_requests(duration_s=duration_s, num_requests=num_requests),
             duration_s,
@@ -727,11 +886,13 @@ class Cluster:
         """FIFO-lane vectorisation is valid only when dispatch is pure
         round-robin pinning (not a subclass overriding ``assign``), batches
         are single requests (no timers, measurement at the declared batch
-        size) and admission never drops (unbounded queue)."""
+        size), admission never drops (unbounded queue) and the replica set
+        is static (no autoscaler, faults or adaptive admission)."""
         return (
             type(self.policy) is RoundRobinPolicy
             and self.max_batch_size == 1
             and self.queue_capacity is None
+            and not self.dynamic
         )
 
     def _serve_sketch(
@@ -842,6 +1003,381 @@ class Cluster:
             max_completion_s=sink.max_completion_s,
             max_dropped_arrival_s=sink.max_dropped_arrival_s,
             duration_s=duration_s,
+        )
+
+    def _serve_dynamic(
+        self,
+        request_iter: Iterable[ServingRequest],
+        duration_s: Optional[float],
+        mode: str,
+    ) -> ServingReport:
+        """The event loop with a mutable replica set (the dynamic cluster).
+
+        Extends the static loop with a control plane on the same time-ordered
+        heap: ``_FAIL``/``_RECOVER`` events from the fault schedule,
+        ``_SCALE`` events for autoscaler ticks, provisioning completions and
+        drain retirements.  Replicas carry lifecycle states (provisioning ->
+        active -> draining -> dead, plus degraded service-time factors), the
+        dispatch policy sees the dispatchable subset through ``state.live``,
+        and adaptive admission may shed arrivals before the hard queue bound.
+        Rented-replica time (what a deployment pays for) is integrated online
+        so both modes report ``replica_seconds`` with identical float
+        operations; exact mode keeps the full replica-count timeline, sketch
+        mode folds it into a lossless integer histogram, keeping
+        O(tenants + replicas) memory.
+
+        Crash semantics: records are emitted at dispatch time (and sketches
+        cannot retract an observation), so a replica's in-flight batch
+        completes even when the replica fails mid-batch — a ``fail`` kills
+        the replica's future, not its present.  Queued requests pinned to it
+        are re-routed through the policy.
+
+        Bit-identical to :func:`repro.serve.reference.reference_serve_dynamic`
+        (the full-sort scalar oracle), which the dynamic contract tests pin.
+        """
+        policy = self.policy
+        policy.reset(self.num_replicas)
+        autoscaler = self.autoscaler
+        if autoscaler is not None:
+            autoscaler.reset()
+        admission = self.admission
+        mean_service = self.mean_service_s()
+        request_iter = iter(request_iter)
+        exact = mode == "exact"
+
+        num_initial = self.num_replicas
+        state = _SimState(
+            busy_until=[0.0] * num_initial,
+            queued_work=[0.0] * num_initial,
+        )
+        states = [_ACTIVE] * num_initial
+        factors = [1.0] * num_initial
+        busy_time = [0.0] * num_initial
+        lanes = _Lanes(
+            shared=[],
+            per_replica=[[] for _ in range(num_initial)],
+            pending=0,
+        )
+        items: Dict[int, _QueueItem] = {}
+        if exact:
+            sink: Union[_ExactSink, _SketchSink] = _ExactSink()
+            trace_times: List[float] = []
+            trace_depths: List[int] = []
+            timeline_times: List[float] = [0.0]
+            timeline_counts: List[int] = [num_initial]
+            replica_hist: Optional[StreamingHistogram] = None
+        else:
+            cap = num_initial
+            if autoscaler is not None:
+                cap = max(cap, autoscaler.max_replicas)
+            sink = _SketchSink(self, items)
+            replica_hist = StreamingHistogram.integers(cap)
+            replica_hist.update(float(num_initial))
+        scheduled_timers: set = set()
+        events: List[Tuple[float, int, int]] = []
+        # Control events carry an index into this list; creation order is the
+        # deterministic tie-break among same-instant controls of one kind.
+        controls: List[Tuple[str, int, float]] = []
+        counts = _new_event_counts()
+
+        rented = num_initial          # provisioning + active + draining
+        rented_integral = 0.0         # integral of `rented` dt (cost accounting)
+        last_change_s = 0.0
+        last_scale_up_s = -math.inf
+        arrivals_since = 0            # offered arrivals since the last tick
+        completions_since = 0         # batch completions since the last tick
+        next_seq = 0
+        prev_key: Optional[Tuple[float, int, int]] = None
+
+        def push_control(
+            time_s: float, kind: int, action: str, replica: int, factor: float = 1.0
+        ) -> None:
+            heapq.heappush(events, (time_s, kind, len(controls)))
+            controls.append((action, replica, factor))
+
+        def timeline(now: float, delta: int) -> None:
+            """Account a rented-count change (same float ops as the oracle)."""
+            nonlocal rented, rented_integral, last_change_s
+            rented_integral += rented * (now - last_change_s)
+            last_change_s = now
+            rented += delta
+            if exact:
+                timeline_times.append(now)
+                timeline_counts.append(rented)
+            else:
+                replica_hist.update(float(rented))
+
+        def reroute(replica: int) -> None:
+            """Hand a dead/draining replica's queued items back to the policy."""
+            lane = lanes.per_replica[replica]
+            if not lane:
+                return
+            entries = sorted(lane, key=lambda entry: entry[1])  # seq order
+            del lane[:]
+            for key, seq in entries:
+                item = items[seq]
+                state.queued_work[replica] -= item.service_s
+                item.replica = policy.assign(item, state)
+                if item.replica is not None:
+                    state.queued_work[item.replica] += item.service_s
+                target = (
+                    lanes.shared
+                    if item.replica is None
+                    else lanes.per_replica[item.replica]
+                )
+                heapq.heappush(target, (key, seq))
+
+        def add_replicas(now: float, count: int) -> None:
+            nonlocal last_scale_up_s
+            for _ in range(count):
+                rid = len(states)
+                states.append(_PROVISIONING)
+                factors.append(1.0)
+                state.busy_until.append(0.0)
+                state.queued_work.append(0.0)
+                busy_time.append(0.0)
+                lanes.per_replica.append([])
+                push_control(
+                    now + autoscaler.provision_delay_s, _SCALE, "provision", rid
+                )
+            policy.rebind(len(states))
+            timeline(now, count)
+            counts["scale_up_events"] += 1
+            counts["replicas_added"] += count
+            last_scale_up_s = now
+
+        def remove_replicas(now: float, count: int) -> None:
+            # Cancel still-provisioning replicas first (newest first), then
+            # drain active ones (highest id first): the cheapest capacity to
+            # give back is capacity not yet delivering.
+            victims = sorted(
+                (r for r in range(len(states)) if states[r] == _PROVISIONING),
+                reverse=True,
+            )[:count]
+            remaining = count - len(victims)
+            if remaining:
+                victims.extend(sorted(state.live, reverse=True)[:remaining])
+            for r in victims:
+                if states[r] == _PROVISIONING:
+                    states[r] = _DEAD
+                    timeline(now, -1)
+                else:
+                    states[r] = _DRAINING
+                    state.live.remove(r)
+                    reroute(r)
+                    drain_end = (
+                        state.busy_until[r] if state.busy_until[r] > now else now
+                    )
+                    push_control(drain_end, _SCALE, "retire", r)
+            counts["scale_down_events"] += 1
+            counts["replicas_removed"] += len(victims)
+
+        def handle_control(now: float, action: str, replica: int, factor: float) -> None:
+            nonlocal arrivals_since, completions_since
+            if action == "tick":
+                active = len(state.live)
+                provisioning = sum(1 for s in states if s == _PROVISIONING)
+                busy = sum(1 for r in state.live if state.busy_until[r] > now)
+                metrics = AutoscalerMetrics(
+                    now_s=now,
+                    queue_depth=lanes.pending,
+                    active_replicas=active,
+                    provisioning_replicas=provisioning,
+                    busy_replicas=busy,
+                    arrivals_since_last=arrivals_since,
+                    batch_completions_since_last=completions_since,
+                    interval_s=autoscaler.interval_s,
+                    mean_service_s=mean_service,
+                )
+                arrivals_since = 0
+                completions_since = 0
+                desired = int(autoscaler.desired_replicas(metrics))
+                desired = max(
+                    autoscaler.min_replicas, min(autoscaler.max_replicas, desired)
+                )
+                target = active + provisioning
+                if desired > target:
+                    add_replicas(now, desired - target)
+                elif (
+                    desired < target
+                    and now - last_scale_up_s >= autoscaler.scale_down_hysteresis_s
+                ):
+                    remove_replicas(now, target - desired)
+                # Keep ticking while there is anything left to react to;
+                # min_replicas >= 1 guarantees a scale-up whenever the pool
+                # has emptied with work still queued, so progress is assured.
+                if events or lanes.pending:
+                    push_control(now + autoscaler.interval_s, _SCALE, "tick", -1)
+            elif action == "provision":
+                if states[replica] == _PROVISIONING:
+                    states[replica] = _ACTIVE
+                    insort(state.live, replica)
+            elif action == "retire":
+                if states[replica] == _DRAINING:
+                    states[replica] = _DEAD
+                    timeline(now, -1)
+            elif action == "fail":
+                if replica < len(states) and states[replica] in (_PROVISIONING, _ACTIVE):
+                    was_active = states[replica] == _ACTIVE
+                    states[replica] = _DEAD
+                    if was_active:
+                        state.live.remove(replica)
+                        reroute(replica)
+                    timeline(now, -1)
+                    counts["failures"] += 1
+            elif action == "recover":
+                if replica < len(states) and states[replica] == _DEAD:
+                    states[replica] = _ACTIVE
+                    factors[replica] = 1.0
+                    insort(state.live, replica)
+                    timeline(now, 1)
+                    counts["recoveries"] += 1
+            elif action == "degrade":
+                if replica < len(states) and states[replica] == _ACTIVE:
+                    factors[replica] = factor
+                    counts["degradations"] += 1
+            elif action == "restore":
+                if (
+                    replica < len(states)
+                    and states[replica] == _ACTIVE
+                    and factors[replica] != 1.0
+                ):
+                    factors[replica] = 1.0
+                    counts["restorations"] += 1
+
+        def pull() -> None:
+            """Admit the next request of the stream into the event heap."""
+            nonlocal next_seq, prev_key
+            request = next(request_iter, None)
+            if request is None:
+                return
+            if request.tenant not in self.services:
+                raise ValueError(f"request for unknown tenant {request.tenant!r}")
+            key = (request.arrival_s, request.tenant_index, request.index)
+            if prev_key is not None and key < prev_key:
+                raise ValueError(
+                    "dynamic serve requires requests sorted by "
+                    "(arrival_s, tenant_index, index); use "
+                    "LoadGenerator.iter_requests or sort the sequence"
+                )
+            prev_key = key
+            service = self.services[request.tenant]
+            items[next_seq] = _QueueItem(
+                request=request,
+                seq=next_seq,
+                service_s=service.service_s(
+                    request.graph_index, batch_size=service.base_batch_size
+                ),
+            )
+            heapq.heappush(events, (request.arrival_s, _ARRIVAL, next_seq))
+            next_seq += 1
+
+        if self.faults is not None:
+            for fault in self.faults.events:
+                kind = _FAIL if fault.action in ("fail", "degrade") else _RECOVER
+                push_control(fault.time_s, kind, fault.action, fault.replica, fault.factor)
+        if autoscaler is not None:
+            push_control(autoscaler.interval_s, _SCALE, "tick", -1)
+        pull()
+        while events:
+            now = events[0][0]
+            state.now = now
+            saw_arrival = False
+            while events and events[0][0] == now:
+                _, kind, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    saw_arrival = True
+                    arrivals_since += 1
+                    item = items[payload]
+                    pull()
+                    if admission is not None and admission.should_shed(
+                        item, lanes.pending, state
+                    ):
+                        sink.on_shed(item.request)
+                        del items[item.seq]
+                    elif (
+                        self.queue_capacity is not None
+                        and lanes.pending >= self.queue_capacity
+                    ):
+                        sink.on_drop(item.request)
+                        del items[item.seq]
+                    else:
+                        item.replica = policy.assign(item, state)
+                        if item.replica is not None:
+                            state.queued_work[item.replica] += item.service_s
+                        lanes.admit(item, policy.order_key(item) + (item.seq,))
+                        sink.on_admit(item.request)
+                elif kind == _COMPLETION:
+                    completions_since += 1
+                elif kind == _TIMER:
+                    pass
+                else:
+                    action, target, factor = controls[payload]
+                    handle_control(now, action, target, factor)
+            if exact:
+                trace_times.append(now)
+                trace_depths.append(lanes.pending)
+            elif saw_arrival:
+                sink.on_instant_sample(lanes.pending)
+            self._dispatch(
+                now,
+                state,
+                lanes,
+                items,
+                busy_time,
+                sink,
+                events,
+                scheduled_timers,
+                live=state.live,
+                factors=factors,
+            )
+
+        if lanes.pending:
+            # Unserviceable backlog: every replica is gone and nothing on the
+            # heap will revive one (impossible with an autoscaler, whose
+            # min_replicas >= 1 keeps ticking while work is queued).  Count
+            # the leftovers as shed so conservation still holds.
+            leftover: List[int] = []
+            for lane in [lanes.shared] + lanes.per_replica:
+                leftover.extend(seq for _, seq in lane)
+                del lane[:]
+            for seq in sorted(leftover):
+                sink.on_shed(items.pop(seq).request)
+            lanes.pending = 0
+
+        replica_seconds_state = (rented_integral, last_change_s, rented)
+        if exact:
+            return assemble_report(
+                cluster=self,
+                records=sink.records,
+                dropped=sink.dropped,
+                busy_time=busy_time,
+                batch_sizes=sink.batch_sizes,
+                trace_times=np.array(trace_times, dtype=np.float64),
+                trace_depths=np.array(trace_depths, dtype=np.int64),
+                duration_s=duration_s,
+                shed=sink.shed,
+                replica_count_times_s=np.array(timeline_times, dtype=np.float64),
+                replica_count_trace=np.array(timeline_counts, dtype=np.int64),
+                replica_seconds_state=replica_seconds_state,
+                event_counts=counts,
+            )
+        assert not items, "dynamic streaming loop leaked queue items"
+        return assemble_sketch_report(
+            cluster=self,
+            sketches=sink.sketches,
+            dropped_by_tenant=sink.dropped_by_tenant,
+            busy_time=busy_time,
+            batch_size_hist=sink.batch_hist,
+            queue_depth_hist=sink.queue_hist,
+            max_completion_s=sink.max_completion_s,
+            max_dropped_arrival_s=sink.max_dropped_arrival_s,
+            duration_s=duration_s,
+            shed_by_tenant=sink.shed_by_tenant,
+            max_shed_arrival_s=sink.max_shed_arrival_s,
+            replica_count_hist=replica_hist,
+            replica_seconds_state=replica_seconds_state,
+            event_counts=counts,
         )
 
     def _serve_stream_fast(
@@ -1005,9 +1541,18 @@ class Cluster:
         sink: Union[_ExactSink, _SketchSink],
         events: List[Tuple[float, int, int]],
         scheduled_timers: set,
+        live: Optional[List[int]] = None,
+        factors: Optional[List[float]] = None,
     ) -> None:
-        """Start work on every replica that is free at ``now``."""
-        for replica in range(self.num_replicas):
+        """Start work on every replica that is free at ``now``.
+
+        ``live`` restricts dispatch to the dynamic loop's dispatchable
+        replica ids (default: the full static pool); ``factors`` supplies
+        per-replica service-time multipliers for degraded replicas (default:
+        none, and the static float operations are untouched).
+        """
+        replica_ids = range(self.num_replicas) if live is None else live
+        for replica in replica_ids:
             if state.busy_until[replica] > now or lanes.pending == 0:
                 continue
             if self.max_batch_size == 1:
@@ -1043,18 +1588,30 @@ class Cluster:
             )
             measured = self.services[tenant].measurement(batch_size=measure_at)
             latencies = measured.latencies_s
+            if factors is None:
+                service_each = [
+                    float(latencies[item.request.graph_index]) for item in batch
+                ]
+            else:
+                # A degraded replica stretches service time (energy is the
+                # work done, which does not change).
+                factor = factors[replica]
+                service_each = [
+                    float(latencies[item.request.graph_index]) * factor
+                    for item in batch
+                ]
             finish = now
-            for item in batch:
-                finish = finish + float(latencies[item.request.graph_index])
+            for service_s in service_each:
+                finish = finish + service_s
             service_total = finish - now
             state.busy_until[replica] = finish
             busy_time[replica] += service_total
             sink.on_batch(size)
             heapq.heappush(events, (finish, _COMPLETION, replica))
-            for item in batch:
+            for item, service_s in zip(batch, service_each):
                 sink.on_record(
                     item,
-                    service_s=float(latencies[item.request.graph_index]),
+                    service_s=service_s,
                     energy_j=float(measured.energies_j[item.request.graph_index]),
                     start_s=now,
                     completion_s=finish,

@@ -15,18 +15,35 @@ Do not "fix" or optimise this module: its value is that it never changes.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import math
+from bisect import insort
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .autoscale import AutoscalerMetrics
 from .arrivals import ServingRequest
-from .cluster import _ARRIVAL, _COMPLETION, _TIMER, _QueueItem, _SimState
+from .cluster import (
+    _ACTIVE,
+    _ARRIVAL,
+    _COMPLETION,
+    _DEAD,
+    _DRAINING,
+    _FAIL,
+    _PROVISIONING,
+    _RECOVER,
+    _SCALE,
+    _TIMER,
+    _new_event_counts,
+    _QueueItem,
+    _SimState,
+)
 from .report import ServingRecord, ServingReport, assemble_report
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import Cluster
 
-__all__ = ["reference_serve", "assert_reports_identical"]
+__all__ = ["reference_serve", "reference_serve_dynamic", "assert_reports_identical"]
 
 
 def assert_reports_identical(candidate: ServingReport, reference: ServingReport) -> None:
@@ -41,6 +58,7 @@ def assert_reports_identical(candidate: ServingReport, reference: ServingReport)
     assert candidate.to_json() == reference.to_json()
     assert candidate.records == reference.records
     assert candidate.dropped_requests == reference.dropped_requests
+    assert candidate.shed_requests == reference.shed_requests
     assert np.array_equal(
         candidate.per_replica_utilisation, reference.per_replica_utilisation
     )
@@ -48,13 +66,30 @@ def assert_reports_identical(candidate: ServingReport, reference: ServingReport)
     assert np.array_equal(candidate.queue_depth_times_s, reference.queue_depth_times_s)
     assert np.array_equal(candidate.queue_depth_trace, reference.queue_depth_trace)
     assert candidate.horizon_s == reference.horizon_s
+    assert candidate.replica_seconds == reference.replica_seconds
+    assert candidate.event_counts == reference.event_counts
+    if reference.replica_count_trace is None:
+        assert candidate.replica_count_trace is None
+    else:
+        assert np.array_equal(
+            candidate.replica_count_times_s, reference.replica_count_times_s
+        )
+        assert np.array_equal(
+            candidate.replica_count_trace, reference.replica_count_trace
+        )
     assert set(candidate.tenants) == set(reference.tenants)
     for tenant, outcome in candidate.tenants.items():
         expected = reference.tenants[tenant]
-        assert (outcome.submitted, outcome.completed, outcome.dropped) == (
+        assert (
+            outcome.submitted,
+            outcome.completed,
+            outcome.dropped,
+            outcome.shed,
+        ) == (
             expected.submitted,
             expected.completed,
             expected.dropped,
+            expected.shed,
         )
         report, expected_report = outcome.report, expected.report
         assert np.array_equal(
@@ -160,6 +195,359 @@ def reference_serve(
         trace_depths=np.array(trace_depths, dtype=np.int64),
         duration_s=duration_s,
     )
+
+
+def reference_serve_dynamic(
+    cluster: "Cluster",
+    requests: Sequence[ServingRequest],
+    duration_s: Optional[float] = None,
+) -> ServingReport:
+    """The full-sort scalar oracle for the *dynamic* serving loop.
+
+    Mirrors :meth:`Cluster._serve_dynamic` (exact mode) with the naive data
+    structures of :func:`reference_serve`: a flat queue list re-sorted per
+    instant instead of heap lanes, linear scans instead of incremental
+    bookkeeping.  Every control-plane float expression — the rented-time
+    integral, provisioning completion times, hysteresis comparisons, tick
+    scheduling — is written identically to the optimised loop so the two
+    paths produce bit-identical reports, which the dynamic contract tests
+    pin.  Like :func:`reference_serve`, this function's value is that it is
+    too simple to be wrong; keep it naive.
+    """
+    policy = cluster.policy
+    policy.reset(cluster.num_replicas)
+    autoscaler = cluster.autoscaler
+    if autoscaler is not None:
+        autoscaler.reset()
+    admission = cluster.admission
+    mean_service = cluster.mean_service_s()
+
+    for request in requests:
+        if request.tenant not in cluster.services:
+            raise ValueError(f"request for unknown tenant {request.tenant!r}")
+    items = [
+        _QueueItem(
+            request=request,
+            seq=seq,
+            service_s=cluster.services[request.tenant].service_s(
+                request.graph_index,
+                batch_size=cluster.services[request.tenant].base_batch_size,
+            ),
+        )
+        for seq, request in enumerate(
+            sorted(requests, key=lambda r: (r.arrival_s, r.tenant_index, r.index))
+        )
+    ]
+
+    num_initial = cluster.num_replicas
+    state = _SimState(
+        busy_until=[0.0] * num_initial,
+        queued_work=[0.0] * num_initial,
+    )
+    states = [_ACTIVE] * num_initial
+    factors = [1.0] * num_initial
+    busy_time = [0.0] * num_initial
+    queue: List[_QueueItem] = []
+    records: List[ServingRecord] = []
+    dropped: List[ServingRequest] = []
+    shed: List[ServingRequest] = []
+    batch_sizes: List[int] = []
+    trace_times: List[float] = []
+    trace_depths: List[int] = []
+    timeline_times: List[float] = [0.0]
+    timeline_counts: List[int] = [num_initial]
+    scheduled_timers: set = set()
+    events: List[Tuple[float, int, int]] = [
+        (item.request.arrival_s, _ARRIVAL, item.seq) for item in items
+    ]
+    heapq.heapify(events)
+    controls: List[Tuple[str, int, float]] = []
+    counts = _new_event_counts()
+
+    rented = num_initial
+    rented_integral = 0.0
+    last_change_s = 0.0
+    last_scale_up_s = -math.inf
+    arrivals_since = 0
+    completions_since = 0
+
+    def push_control(
+        time_s: float, kind: int, action: str, replica: int, factor: float = 1.0
+    ) -> None:
+        heapq.heappush(events, (time_s, kind, len(controls)))
+        controls.append((action, replica, factor))
+
+    def timeline(now: float, delta: int) -> None:
+        nonlocal rented, rented_integral, last_change_s
+        rented_integral += rented * (now - last_change_s)
+        last_change_s = now
+        rented += delta
+        timeline_times.append(now)
+        timeline_counts.append(rented)
+
+    def reroute(replica: int) -> None:
+        # The queue list is in admission (seq) order, so this scan visits the
+        # dead replica's items in the same order the optimised loop's
+        # seq-sorted lane drain does.
+        for item in queue:
+            if item.replica != replica:
+                continue
+            state.queued_work[replica] -= item.service_s
+            item.replica = policy.assign(item, state)
+            if item.replica is not None:
+                state.queued_work[item.replica] += item.service_s
+
+    def add_replicas(now: float, count: int) -> None:
+        nonlocal last_scale_up_s
+        for _ in range(count):
+            rid = len(states)
+            states.append(_PROVISIONING)
+            factors.append(1.0)
+            state.busy_until.append(0.0)
+            state.queued_work.append(0.0)
+            busy_time.append(0.0)
+            push_control(now + autoscaler.provision_delay_s, _SCALE, "provision", rid)
+        policy.rebind(len(states))
+        timeline(now, count)
+        counts["scale_up_events"] += 1
+        counts["replicas_added"] += count
+        last_scale_up_s = now
+
+    def remove_replicas(now: float, count: int) -> None:
+        victims = sorted(
+            (r for r in range(len(states)) if states[r] == _PROVISIONING),
+            reverse=True,
+        )[:count]
+        remaining = count - len(victims)
+        if remaining:
+            victims.extend(sorted(state.live, reverse=True)[:remaining])
+        for r in victims:
+            if states[r] == _PROVISIONING:
+                states[r] = _DEAD
+                timeline(now, -1)
+            else:
+                states[r] = _DRAINING
+                state.live.remove(r)
+                reroute(r)
+                drain_end = state.busy_until[r] if state.busy_until[r] > now else now
+                push_control(drain_end, _SCALE, "retire", r)
+        counts["scale_down_events"] += 1
+        counts["replicas_removed"] += len(victims)
+
+    def handle_control(now: float, action: str, replica: int, factor: float) -> None:
+        nonlocal arrivals_since, completions_since
+        if action == "tick":
+            active = len(state.live)
+            provisioning = sum(1 for s in states if s == _PROVISIONING)
+            busy = sum(1 for r in state.live if state.busy_until[r] > now)
+            metrics = AutoscalerMetrics(
+                now_s=now,
+                queue_depth=len(queue),
+                active_replicas=active,
+                provisioning_replicas=provisioning,
+                busy_replicas=busy,
+                arrivals_since_last=arrivals_since,
+                batch_completions_since_last=completions_since,
+                interval_s=autoscaler.interval_s,
+                mean_service_s=mean_service,
+            )
+            arrivals_since = 0
+            completions_since = 0
+            desired = int(autoscaler.desired_replicas(metrics))
+            desired = max(
+                autoscaler.min_replicas, min(autoscaler.max_replicas, desired)
+            )
+            target = active + provisioning
+            if desired > target:
+                add_replicas(now, desired - target)
+            elif (
+                desired < target
+                and now - last_scale_up_s >= autoscaler.scale_down_hysteresis_s
+            ):
+                remove_replicas(now, target - desired)
+            if events or queue:
+                push_control(now + autoscaler.interval_s, _SCALE, "tick", -1)
+        elif action == "provision":
+            if states[replica] == _PROVISIONING:
+                states[replica] = _ACTIVE
+                insort(state.live, replica)
+        elif action == "retire":
+            if states[replica] == _DRAINING:
+                states[replica] = _DEAD
+                timeline(now, -1)
+        elif action == "fail":
+            if replica < len(states) and states[replica] in (_PROVISIONING, _ACTIVE):
+                was_active = states[replica] == _ACTIVE
+                states[replica] = _DEAD
+                if was_active:
+                    state.live.remove(replica)
+                    reroute(replica)
+                timeline(now, -1)
+                counts["failures"] += 1
+        elif action == "recover":
+            if replica < len(states) and states[replica] == _DEAD:
+                states[replica] = _ACTIVE
+                factors[replica] = 1.0
+                insort(state.live, replica)
+                timeline(now, 1)
+                counts["recoveries"] += 1
+        elif action == "degrade":
+            if replica < len(states) and states[replica] == _ACTIVE:
+                factors[replica] = factor
+                counts["degradations"] += 1
+        elif action == "restore":
+            if (
+                replica < len(states)
+                and states[replica] == _ACTIVE
+                and factors[replica] != 1.0
+            ):
+                factors[replica] = 1.0
+                counts["restorations"] += 1
+
+    if cluster.faults is not None:
+        for fault in cluster.faults.events:
+            kind = _FAIL if fault.action in ("fail", "degrade") else _RECOVER
+            push_control(fault.time_s, kind, fault.action, fault.replica, fault.factor)
+    if autoscaler is not None:
+        push_control(autoscaler.interval_s, _SCALE, "tick", -1)
+
+    while events:
+        now = events[0][0]
+        state.now = now
+        while events and events[0][0] == now:
+            _, kind, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                arrivals_since += 1
+                item = items[payload]
+                if admission is not None and admission.should_shed(
+                    item, len(queue), state
+                ):
+                    shed.append(item.request)
+                elif (
+                    cluster.queue_capacity is not None
+                    and len(queue) >= cluster.queue_capacity
+                ):
+                    dropped.append(item.request)
+                else:
+                    item.replica = policy.assign(item, state)
+                    if item.replica is not None:
+                        state.queued_work[item.replica] += item.service_s
+                    queue.append(item)
+            elif kind == _COMPLETION:
+                completions_since += 1
+            elif kind == _TIMER:
+                pass
+            else:
+                action, target, factor = controls[payload]
+                handle_control(now, action, target, factor)
+        trace_times.append(now)
+        trace_depths.append(len(queue))
+        _dispatch_dynamic(
+            cluster, now, state, factors, queue, busy_time, records, batch_sizes,
+            events, scheduled_timers,
+        )
+
+    if queue:
+        # All replicas gone forever: count the stranded backlog as shed so
+        # conservation (submitted = completed + dropped + shed) holds.
+        for item in sorted(queue, key=lambda item: item.seq):
+            shed.append(item.request)
+        del queue[:]
+
+    replica_seconds_state = (rented_integral, last_change_s, rented)
+    return assemble_report(
+        cluster=cluster,
+        records=records,
+        dropped=dropped,
+        busy_time=busy_time,
+        batch_sizes=batch_sizes,
+        trace_times=np.array(trace_times, dtype=np.float64),
+        trace_depths=np.array(trace_depths, dtype=np.int64),
+        duration_s=duration_s,
+        shed=shed,
+        replica_count_times_s=np.array(timeline_times, dtype=np.float64),
+        replica_count_trace=np.array(timeline_counts, dtype=np.int64),
+        replica_seconds_state=replica_seconds_state,
+        event_counts=counts,
+    )
+
+
+def _dispatch_dynamic(
+    cluster: "Cluster",
+    now: float,
+    state: _SimState,
+    factors: List[float],
+    queue: List[_QueueItem],
+    busy_time: List[float],
+    records: List[ServingRecord],
+    batch_sizes: List[int],
+    events: List[Tuple[float, int, int]],
+    scheduled_timers: set,
+) -> None:
+    """The full-sort dispatch walk over the live replica subset.
+
+    Same shape as the static :func:`_dispatch`, but iterating ``state.live``
+    instead of the full pool and stretching service times by the replica's
+    degradation factor — with the multiplication placed exactly as in
+    :meth:`Cluster._dispatch` so the floats match bit for bit.
+    """
+    ordered = sorted(
+        queue, key=lambda item: cluster.policy.order_key(item) + (item.seq,)
+    )
+    taken: set = set()
+    for replica in state.live:
+        if state.busy_until[replica] > now or len(taken) == len(ordered):
+            continue
+        eligible = [
+            item
+            for item in ordered
+            if item.seq not in taken
+            and (item.replica is None or item.replica == replica)
+        ]
+        batch, release_at = _select_batch(cluster, eligible, now)
+        if batch is None:
+            if release_at is not None and release_at not in scheduled_timers:
+                scheduled_timers.add(release_at)
+                heapq.heappush(events, (release_at, _TIMER, replica))
+            continue
+        for item in batch:
+            taken.add(item.seq)
+            queue.remove(item)
+            if item.replica is not None:
+                state.queued_work[item.replica] -= item.service_s
+        tenant = batch[0].request.tenant
+        size = len(batch)
+        measure_at = (
+            size
+            if cluster.max_batch_size > 1
+            else cluster.services[tenant].base_batch_size
+        )
+        measured = cluster.services[tenant].measurement(batch_size=measure_at)
+        latencies = measured.latencies_s
+        factor = factors[replica]
+        service_each = [
+            float(latencies[item.request.graph_index]) * factor for item in batch
+        ]
+        finish = now
+        for service_s in service_each:
+            finish = finish + service_s
+        service_total = finish - now
+        state.busy_until[replica] = finish
+        busy_time[replica] += service_total
+        batch_sizes.append(size)
+        heapq.heappush(events, (finish, _COMPLETION, replica))
+        for item, service_s in zip(batch, service_each):
+            records.append(
+                ServingRecord(
+                    request=item.request,
+                    service_s=service_s,
+                    energy_j=float(measured.energies_j[item.request.graph_index]),
+                    start_s=now,
+                    completion_s=finish,
+                    replica=replica,
+                    batch_size=size,
+                )
+            )
 
 
 def _dispatch(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -163,6 +163,8 @@ class TenantOutcome:
     submitted: int
     completed: int
     dropped: int
+    #: Requests shed by adaptive admission (dynamic clusters only).
+    shed: int = 0
 
     def row(self) -> Dict:
         """Flat per-tenant summary (one CSV/table row)."""
@@ -175,6 +177,7 @@ class TenantOutcome:
             "submitted": self.submitted,
             "completed": self.completed,
             "dropped": self.dropped,
+            "shed": self.shed,
             "mean_latency_ms": report.mean_latency_ms,
             "p50_latency_ms": report.p50_latency_ms,
             "p99_latency_ms": report.p99_latency_ms,
@@ -208,6 +211,19 @@ class ServingReport:
     queue_depth_hist: Optional[StreamingHistogram] = field(default=None, repr=False)
     #: Sketch mode only: dispatch batch sizes (lossless integer buckets).
     batch_size_hist: Optional[StreamingHistogram] = field(default=None, repr=False)
+    #: Requests shed by adaptive admission (exact mode keeps the objects).
+    shed_requests: List[ServingRequest] = field(default_factory=list, repr=False)
+    #: Dynamic runs, exact mode: rented-replica count at every change.
+    replica_count_times_s: Optional[np.ndarray] = field(default=None, repr=False)
+    replica_count_trace: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Dynamic runs, sketch mode: lossless integer histogram of the rented
+    #: replica count (one update per change — fixed buckets, O(1) memory).
+    replica_count_hist: Optional[StreamingHistogram] = field(default=None, repr=False)
+    #: Dynamic runs: integral of the rented-replica count over the horizon
+    #: (the cost a deployment would pay); ``None`` for static runs.
+    replica_seconds: Optional[float] = None
+    #: Dynamic runs: lifecycle event counters (scale_up_events, failures, ...).
+    event_counts: Dict[str, int] = field(default_factory=dict)
 
     # -- cluster-level accessors ----------------------------------------------
     @property
@@ -225,6 +241,24 @@ class ServingReport:
     @property
     def dropped(self) -> int:
         return sum(outcome.dropped for outcome in self.tenants.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(outcome.shed for outcome in self.tenants.values())
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether this run went through the dynamic (lifecycle-aware) loop."""
+        return self.replica_seconds is not None
+
+    @property
+    def peak_replicas(self) -> int:
+        """Largest rented-replica count over the run (static: the pool size)."""
+        if self.replica_count_trace is not None and self.replica_count_trace.size:
+            return int(self.replica_count_trace.max())
+        if self.replica_count_hist is not None and self.replica_count_hist.count:
+            return int(self.replica_count_hist.max)
+        return self.num_replicas
 
     @property
     def cluster_utilisation(self) -> float:
@@ -273,7 +307,7 @@ class ServingReport:
 
     def to_dict(self) -> Dict:
         """Nested, JSON-serialisable summary (scalars only)."""
-        return {
+        payload = {
             "backend": self.backend,
             "policy": self.policy,
             "mode": self.mode,
@@ -284,6 +318,7 @@ class ServingReport:
             "submitted": self.submitted,
             "completed": self.completed,
             "dropped": self.dropped,
+            "shed": self.shed,
             "deadline_miss_rate": self.deadline_miss_rate,
             "cluster_utilisation": self.cluster_utilisation,
             "per_replica_utilisation": [
@@ -295,6 +330,24 @@ class ServingReport:
                 row.pop("tenant"): row for row in (o.row() for o in self.tenants.values())
             },
         }
+        if self.is_dynamic:
+            payload["replica_seconds"] = float(self.replica_seconds)
+            payload["peak_replicas"] = self.peak_replicas
+            payload["event_counts"] = dict(self.event_counts)
+            if self.replica_count_trace is not None:
+                payload["replica_count"] = {
+                    "time_s": [float(t) for t in self.replica_count_times_s],
+                    "count": [int(c) for c in self.replica_count_trace],
+                }
+            elif self.replica_count_hist is not None:
+                hist = self.replica_count_hist
+                payload["replica_count"] = {
+                    "min": float(hist.moments.min) if hist.count else 0.0,
+                    "max": float(hist.max),
+                    "mean": float(hist.mean) if hist.count else 0.0,
+                    "changes": int(hist.count),
+                }
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)
@@ -309,13 +362,22 @@ class ServingReport:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        losses = f"{self.dropped} dropped"
+        if self.shed:
+            losses += f", {self.shed} shed"
+        text = (
             f"{self.policy} on {self.num_replicas}x {self.backend}: "
             f"{self.completed}/{self.submitted} served "
-            f"({self.dropped} dropped), miss rate {self.deadline_miss_rate:.1%}, "
+            f"({losses}), miss rate {self.deadline_miss_rate:.1%}, "
             f"utilisation {self.cluster_utilisation:.1%}, "
             f"max queue {self.max_queue_depth}"
         )
+        if self.is_dynamic:
+            text += (
+                f", peak replicas {self.peak_replicas}, "
+                f"replica-seconds {self.replica_seconds:.3g}"
+            )
+        return text
 
 
 def assemble_report(
@@ -327,6 +389,11 @@ def assemble_report(
     trace_times: np.ndarray,
     trace_depths: np.ndarray,
     duration_s: Optional[float],
+    shed: Sequence[ServingRequest] = (),
+    replica_count_times_s: Optional[np.ndarray] = None,
+    replica_count_trace: Optional[np.ndarray] = None,
+    replica_seconds_state: Optional[Tuple[float, float, int]] = None,
+    event_counts: Optional[Dict[str, int]] = None,
 ) -> ServingReport:
     """Build the :class:`ServingReport` from raw simulation records.
 
@@ -336,6 +403,11 @@ def assemble_report(
     argsort over those arrays rather than per-tenant Python loops.  The
     values are bit-identical to the loop formulation — same floats, same
     (request-index) ordering — which the serving contract tests pin.
+
+    The dynamic loop additionally passes the shed-request list, the rented
+    replica-count timeline, the partial replica-seconds integral
+    ``(integral, last_change_s, rented)`` — finalised here once the horizon
+    is known — and the lifecycle event counters.
     """
     num_records = len(records)
     completions_all = np.fromiter(
@@ -373,9 +445,15 @@ def assemble_report(
         horizon_candidates.append(float(completions_all.max()))
     if dropped:
         horizon_candidates.append(max(request.arrival_s for request in dropped))
+    if shed:
+        horizon_candidates.append(max(request.arrival_s for request in shed))
     horizon = max(horizon_candidates)
+    # Busy time is clamped to the horizon: with `duration_s` the horizon
+    # already covers the last completion, but a degraded replica's final
+    # batch (or a caller-supplied short horizon) can finish past it, and
+    # utilisation must never read above 1.0.
     utilisation = (
-        np.array(busy_time, dtype=np.float64) / horizon
+        np.minimum(np.array(busy_time, dtype=np.float64), horizon) / horizon
         if horizon > 0
         else np.zeros(len(busy_time))
     )
@@ -383,6 +461,9 @@ def assemble_report(
     dropped_by_tenant: Dict[str, int] = {w.tenant: 0 for w in cluster.workloads}
     for request in dropped:
         dropped_by_tenant[request.tenant] += 1
+    shed_by_tenant: Dict[str, int] = {w.tenant: 0 for w in cluster.workloads}
+    for request in shed:
+        shed_by_tenant[request.tenant] += 1
 
     tenants: Dict[str, TenantOutcome] = {}
     for position, workload in enumerate(cluster.workloads):
@@ -421,12 +502,14 @@ def assemble_report(
             extras=extras,
         )
         dropped_count = dropped_by_tenant[workload.tenant]
+        shed_count = shed_by_tenant[workload.tenant]
         tenants[workload.tenant] = TenantOutcome(
             workload=workload,
             report=report,
-            submitted=int(order.size) + dropped_count,
+            submitted=int(order.size) + dropped_count + shed_count,
             completed=int(order.size),
             dropped=dropped_count,
+            shed=shed_count,
         )
 
     policy_name = getattr(cluster.policy, "name", str(cluster.policy))
@@ -444,7 +527,28 @@ def assemble_report(
         queue_depth_trace=trace_depths,
         records=list(records),
         dropped_requests=list(dropped),
+        shed_requests=list(shed),
+        replica_count_times_s=replica_count_times_s,
+        replica_count_trace=replica_count_trace,
+        replica_seconds=_finalise_replica_seconds(replica_seconds_state, horizon),
+        event_counts=dict(event_counts) if event_counts else {},
     )
+
+
+def _finalise_replica_seconds(
+    state: Optional[Tuple[float, float, int]], horizon: float
+) -> Optional[float]:
+    """Close the rented-replica integral at the horizon.
+
+    ``state`` is ``(integral_to_last_change, last_change_s, rented_now)`` as
+    maintained by the dynamic loop; the final segment runs from the last
+    pool change to the horizon.  Static runs pass ``None`` and stay ``None``
+    (``ServingReport.is_dynamic`` keys off this).
+    """
+    if state is None:
+        return None
+    integral, last_change_s, rented = state
+    return float(integral + rented * (horizon - last_change_s))
 
 
 def assemble_sketch_report(
@@ -457,6 +561,11 @@ def assemble_sketch_report(
     max_completion_s: float,
     max_dropped_arrival_s: float,
     duration_s: Optional[float],
+    shed_by_tenant: Optional[Dict[str, int]] = None,
+    max_shed_arrival_s: float = -np.inf,
+    replica_count_hist: Optional[StreamingHistogram] = None,
+    replica_seconds_state: Optional[Tuple[float, float, int]] = None,
+    event_counts: Optional[Dict[str, int]] = None,
 ) -> ServingReport:
     """Build a sketch-mode :class:`ServingReport` from online accumulators.
 
@@ -472,12 +581,17 @@ def assemble_sketch_report(
         horizon_candidates.append(float(max_completion_s))
     if max_dropped_arrival_s > -np.inf:
         horizon_candidates.append(float(max_dropped_arrival_s))
+    if max_shed_arrival_s > -np.inf:
+        horizon_candidates.append(float(max_shed_arrival_s))
     horizon = max(horizon_candidates)
+    # Same horizon clamp as the exact path — identical float operations keep
+    # sketch-mode utilisation bit-identical to the exact oracle.
     utilisation = (
-        np.array(busy_time, dtype=np.float64) / horizon
+        np.minimum(np.array(busy_time, dtype=np.float64), horizon) / horizon
         if horizon > 0
         else np.zeros(len(busy_time))
     )
+    shed_by_tenant = shed_by_tenant or {}
 
     tenants: Dict[str, TenantOutcome] = {}
     for workload in cluster.workloads:
@@ -501,12 +615,14 @@ def assemble_sketch_report(
             extras=extras,
         )
         dropped_count = dropped_by_tenant.get(workload.tenant, 0)
+        shed_count = shed_by_tenant.get(workload.tenant, 0)
         tenants[workload.tenant] = TenantOutcome(
             workload=workload,
             report=report,
-            submitted=sketch.completed + dropped_count,
+            submitted=sketch.completed + dropped_count + shed_count,
             completed=sketch.completed,
             dropped=dropped_count,
+            shed=shed_count,
         )
 
     policy_name = getattr(cluster.policy, "name", str(cluster.policy))
@@ -525,4 +641,7 @@ def assemble_sketch_report(
         mode="sketch",
         queue_depth_hist=queue_depth_hist,
         batch_size_hist=batch_size_hist,
+        replica_count_hist=replica_count_hist,
+        replica_seconds=_finalise_replica_seconds(replica_seconds_state, horizon),
+        event_counts=dict(event_counts) if event_counts else {},
     )

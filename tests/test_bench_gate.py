@@ -1,0 +1,162 @@
+"""Unit tests for the benchmark-regression gate (benchmarks/compare_to_baseline.py).
+
+The gate script lives outside the package (CI invokes it by path), so the
+tests load it with ``importlib`` and drive :func:`compare` directly with
+synthetic pytest-benchmark payloads.  The scenarios pin the core-count
+semantics that let the parallel-harness gate *bite* even though the
+committed baseline had to be recorded on a 1-core container:
+
+* matched cpus meeting ``gate_min_cpus``: the demanded floor is
+  ``max(relative band, declared gate_floor)`` — an under-provisioned
+  baseline cannot water the gate down;
+* cpus mismatch with a capable runner: the declared absolute floor applies;
+* a runner below ``gate_min_cpus``: only the relative band applies (the
+  declared multicore floor is meaningless on one core).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parents[1]
+_GATE = _REPO / "benchmarks" / "compare_to_baseline.py"
+_BASELINE = _REPO / "benchmarks" / "baselines" / "BENCH_experiments.json"
+
+_spec = importlib.util.spec_from_file_location("compare_to_baseline", _GATE)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+_NAME = "benchmarks/test_experiments_speedup.py::test_parallel_speedup"
+
+
+def _payload(speedup=None, mean=1.0, name=_NAME, **extra):
+    """A minimal pytest-benchmark JSON payload with one benchmark."""
+    info = dict(extra)
+    if speedup is not None:
+        info["speedup"] = speedup
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}, "extra_info": info}
+        ]
+    }
+
+
+def _run(current, baseline, tolerance=0.25):
+    verdicts, failures = gate.compare(current, baseline, tolerance)
+    return {v["name"]: v for v in verdicts}, failures
+
+
+class TestDeclaredFloorMatchedCpus:
+    """Matched-cpus ratio mode with a declared hardware-independent floor."""
+
+    BASELINE = _payload(speedup=2.5, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+
+    def test_regressed_run_fails_on_declared_floor(self):
+        # Relative band alone would demand 2.5 * 0.75 = 1.875x; the declared
+        # floor raises the demand to 2.0x, and 1.1x fails either way.
+        current = _payload(speedup=1.1, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, self.BASELINE)
+        assert failures == 1
+        assert verdicts[_NAME]["verdict"] == "FAIL"
+        assert verdicts[_NAME]["bound"] == pytest.approx(2.0)
+
+    def test_declared_floor_is_a_minimum_demand(self):
+        # 1.9x clears the relative band (1.875x) but not the declared 2.0x
+        # floor: a baseline recorded under-provisioned must not water the
+        # gate down below what the benchmark itself declares.
+        current = _payload(speedup=1.9, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, self.BASELINE)
+        assert failures == 1
+        assert verdicts[_NAME]["bound"] == pytest.approx(2.0)
+
+    def test_healthy_run_passes(self):
+        current = _payload(speedup=2.1, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, self.BASELINE)
+        assert failures == 0
+        assert verdicts[_NAME]["verdict"] == "ok"
+        assert verdicts[_NAME]["bound"] == pytest.approx(2.0)
+
+    def test_runner_below_min_cpus_keeps_relative_band_only(self):
+        # On a 1-core container the declared multicore floor is meaningless;
+        # the gate falls back to the (capped) relative band.
+        baseline = _payload(speedup=0.77, cpus=1, gate_floor=2.0, gate_min_cpus=4)
+        current = _payload(speedup=0.70, cpus=1, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, baseline)
+        assert failures == 0
+        assert verdicts[_NAME]["bound"] == pytest.approx(0.77 * 0.75)
+
+    def test_fast_baseline_capped_by_declared_floor(self):
+        # A 10x baseline from a big machine cannot demand 7.5x of everyone:
+        # the declared floor caps the band at 2.0x.
+        baseline = _payload(speedup=10.0, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        current = _payload(speedup=2.2, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, baseline)
+        assert failures == 0
+        assert verdicts[_NAME]["bound"] == pytest.approx(2.0)
+
+
+class TestCpusMismatch:
+    def test_capable_runner_held_to_absolute_floor(self):
+        # Baseline from a 1-core container, runner has 4 cores: the relative
+        # band is apples-to-oranges but the declared floor still applies.
+        baseline = _payload(speedup=0.77, cpus=1, gate_floor=2.0, gate_min_cpus=4)
+        current = _payload(speedup=1.2, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, baseline)
+        assert failures == 1
+        assert verdicts[_NAME]["verdict"] == "FAIL"
+        assert verdicts[_NAME]["mode"] == "gate_floor"
+
+    def test_capable_runner_passing_absolute_floor(self):
+        baseline = _payload(speedup=0.77, cpus=1, gate_floor=2.0, gate_min_cpus=4)
+        current = _payload(speedup=2.4, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        verdicts, failures = _run(current, baseline)
+        assert failures == 0
+        assert verdicts[_NAME]["verdict"] == "ok"
+
+    def test_mismatch_without_declared_floor_skips(self):
+        baseline = _payload(speedup=3.0, cpus=8)
+        current = _payload(speedup=0.9, cpus=1)
+        verdicts, failures = _run(current, baseline)
+        assert failures == 0
+        assert verdicts[_NAME]["verdict"] == "skipped"
+        assert "cpus mismatch" in verdicts[_NAME]["skipped_reason"]
+
+
+class TestGateBasics:
+    def test_identical_run_passes(self):
+        payload = _payload(speedup=2.5, cpus=4, gate_floor=2.0, gate_min_cpus=4)
+        _, failures = _run(payload, payload)
+        assert failures == 0
+
+    def test_missing_benchmark_fails(self):
+        baseline = _payload(speedup=2.5, cpus=4)
+        current = {"benchmarks": []}
+        verdicts, failures = _run(current, baseline)
+        assert failures == 1
+        assert verdicts[_NAME]["skipped_reason"] == "missing from current run"
+
+    def test_mean_mode_regression(self):
+        baseline = _payload(mean=1.0)
+        current = _payload(mean=1.5)
+        verdicts, failures = _run(current, baseline)
+        assert failures == 1
+        assert verdicts[_NAME]["mode"] == "mean"
+
+
+class TestCommittedBaseline:
+    """The committed experiments baseline must be honest and self-consistent."""
+
+    def test_baseline_records_host_cpus(self):
+        payload = json.loads(_BASELINE.read_text())
+        for bench in payload["benchmarks"]:
+            extra = bench["extra_info"]
+            assert extra.get("cpus") is not None
+            assert extra.get("gate_floor") is not None
+            assert extra.get("gate_min_cpus") is not None
+
+    def test_baseline_gates_cleanly_against_itself(self):
+        payload = json.loads(_BASELINE.read_text())
+        _, failures = gate.compare(payload, payload, 0.25)
+        assert failures == 0

@@ -501,3 +501,120 @@ class TestProgressFlag:
         captured = capsys.readouterr()
         assert "plan: 2/2" in captured.err
         json.loads(captured.out)
+
+
+class TestDynamicClusterFlags:
+    """repro serve --autoscale/--fault/--admission and the plan grids."""
+
+    _SERVE = [
+        "serve",
+        "--tenants", "2",
+        "--replicas", "2",
+        "--backend", "cpu",
+        "--duration", "0.02",
+        "--num-graphs", "3",
+    ]
+
+    def test_serve_dynamic_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--autoscale", "reactive:min=1,max=4",
+                "--fault", "fail@0.01:r0;recover@0.015:r0",
+                "--admission", "queue=32,headroom=1.5",
+            ]
+        )
+        assert args.autoscale == "reactive:min=1,max=4"
+        assert args.fault == "fail@0.01:r0;recover@0.015:r0"
+        assert args.admission == "queue=32,headroom=1.5"
+
+    def test_serve_autoscale_json_reports_dynamics(self, capsys):
+        code = main(
+            self._SERVE
+            + [
+                "--autoscale", "reactive:min=1,max=4,interval=0.004,delay=0.004",
+                "--fault", "fail@0.005:r0;recover@0.012:r0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == (
+            payload["completed"] + payload["dropped"] + payload["shed"]
+        )
+        assert payload["replica_seconds"] > 0
+        assert payload["event_counts"]["failures"] == 1
+        assert payload["replica_count"]["count"][0] == 2
+
+    def test_serve_invalid_autoscaler_exits_with_error(self, capsys):
+        code = main(self._SERVE + ["--autoscale", "sigmoid"])
+        assert code == 2
+        assert "invalid serving scenario" in capsys.readouterr().err
+
+    def test_serve_invalid_fault_exits_with_error(self, capsys):
+        code = main(self._SERVE + ["--fault", "explode@0.01:r0"])
+        assert code == 2
+        assert "invalid fault schedule" in capsys.readouterr().err
+
+    def test_serve_fault_replica_out_of_range_exits_with_error(self, capsys):
+        code = main(self._SERVE + ["--fault", "fail@0.01:r7"])
+        assert code == 2
+        assert "invalid fault schedule" in capsys.readouterr().err
+
+    def test_plan_dynamic_flags_are_repeatable(self):
+        # The specs embed both ',' and ';', so the grids are built by
+        # repeating the flag rather than splitting one delimited string.
+        args = build_parser().parse_args(
+            [
+                "plan",
+                "--autoscale", "none",
+                "--autoscale", "reactive:min=1,max=4",
+                "--fault", "none",
+                "--fault", "fail@0.005:r0;recover@0.01:r0",
+            ]
+        )
+        assert args.autoscalers == ["none", "reactive:min=1,max=4"]
+        assert args.faults == ["none", "fail@0.005:r0;recover@0.01:r0"]
+
+    def test_plan_dynamic_sweep_emits_dynamic_columns(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--backend", "cpu",
+                "--tenants", "2",
+                "--num-graphs", "3",
+                "--duration", "0.02",
+                "--workers", "0",
+                "--replicas", "2",
+                "--policies", "edf",
+                "--autoscale", "none",
+                "--autoscale", "reactive:min=1,max=4,interval=0.004",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["scenarios"]
+        assert len(rows) == 2
+        assert {row["autoscale"] for row in rows} == {
+            None,
+            "reactive:min=1,max=4,interval=0.004",
+        }
+        for row in rows:
+            assert row["submitted"] == (
+                row["completed"] + row["dropped"] + row["shed"]
+            )
+
+    def test_plan_invalid_autoscaler_exits_with_error(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--backend", "cpu",
+                "--tenants", "2",
+                "--num-graphs", "3",
+                "--workers", "0",
+                "--autoscale", "sigmoid",
+            ]
+        )
+        assert code == 2
+        assert "sigmoid" in capsys.readouterr().err

@@ -397,3 +397,100 @@ class TestBuildGenerator:
         a = build_generator(workloads, "poisson", 2000.0, seed=5).generate(duration_s=0.01)
         b = build_generator(workloads, "poisson", 2000.0, seed=5).generate(duration_s=0.01)
         assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-cluster sweeps: autoscaler/fault grids
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def dynamic_spec() -> PlanSpec:
+    """8 scenarios crossing policies with a dynamic (autoscale/fault) grid."""
+    return PlanSpec(
+        mixes=[_mix()],
+        backend="cpu",
+        replicas=(2,),
+        policies=("round_robin", "edf"),
+        arrivals=("bursty",),
+        autoscalers=(
+            None,
+            "reactive:min=1,max=4,interval=0.004,delay=0.004,hysteresis=0.02",
+        ),
+        faults=(None, "fail@0.005:r0;recover@0.012:r0"),
+        duration_s=0.02,
+    )
+
+
+class TestDynamicPlan:
+    def test_spec_reports_dynamics(self, dynamic_spec, small_spec):
+        assert dynamic_spec.has_dynamics
+        assert not small_spec.has_dynamics
+        assert dynamic_spec.num_scenarios() == 8
+        assert "autoscalers=" in dynamic_spec.describe()
+        # The dynamic coordinates are the two innermost enumeration loops.
+        scenarios = list(dynamic_spec.scenarios())
+        assert scenarios[0].autoscale is None and scenarios[0].fault is None
+        assert scenarios[1].fault is not None
+        assert scenarios[2].autoscale is not None
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"autoscalers": ("sigmoid",)}, "unknown autoscaler"),
+            ({"autoscalers": ()}, "grid 'autoscalers' is empty"),
+            ({"faults": ("fail@0.01:r9",)}, "replica"),
+            ({"faults": ("explode@0.01:r0",)}, "action"),
+        ],
+    )
+    def test_bad_dynamic_grids_rejected_eagerly(self, overrides, match):
+        fields = {"mixes": [_mix()], "replicas": (2,), **overrides}
+        with pytest.raises(ValueError, match=match):
+            PlanSpec(**fields)
+
+    def test_worker_counts_byte_identical_exact(self, dynamic_spec):
+        serial = PlanRunner(dynamic_spec, workers=1).run()
+        fanned = PlanRunner(dynamic_spec, workers=8).run()
+        assert serial.to_csv() == fanned.to_csv()
+        assert serial.to_json() == fanned.to_json()
+
+    def test_worker_counts_byte_identical_sketch(self, dynamic_spec):
+        from dataclasses import replace
+
+        sketch_spec = replace(dynamic_spec, mode="sketch")
+        serial = PlanRunner(sketch_spec, workers=1).run()
+        fanned = PlanRunner(sketch_spec, workers=8).run()
+        assert serial.to_csv() == fanned.to_csv()
+        assert serial.to_json() == fanned.to_json()
+
+    def test_rows_carry_dynamic_columns_and_conserve(self, dynamic_spec):
+        result = PlanRunner(dynamic_spec, workers=0).run()
+        for row in result.rows:
+            assert set(row) >= {
+                "autoscale",
+                "fault",
+                "shed",
+                "peak_replicas",
+                "scale_events",
+                "failures",
+            }
+            assert row["submitted"] == (
+                row["completed"] + row["dropped"] + row["shed"]
+            )
+            if row["shed"] > 0 or row["dropped"] > 0:
+                assert not row["slo_ok"]
+        # The faulted rows actually saw the scheduled crash.
+        faulted = [row for row in result.rows if row["fault"] is not None]
+        assert faulted and all(row["failures"] >= 1 for row in faulted)
+
+    def test_static_rows_have_no_dynamic_columns(self, small_spec):
+        result = PlanRunner(
+            PlanSpec(
+                mixes=[_mix()],
+                backend="cpu",
+                replicas=(1,),
+                policies=("edf",),
+                duration_s=0.01,
+            ),
+            workers=0,
+        ).run()
+        assert "shed" not in result.rows[0]
+        assert "autoscale" not in result.rows[0]

@@ -444,6 +444,47 @@ class TestCLI:
         assert code == 2
         assert "results store error" in capsys.readouterr().err
 
+    @pytest.fixture
+    def one_run_db(self, tmp_path):
+        db = str(tmp_path / "repro.db")
+        with ResultStore(db) as store:
+            with store.record("dse", "sig", argv=["dse"]) as rec:
+                rec.add_payload([{"a": 1}], '{"a": 1}')
+        return db
+
+    def test_runs_show_unknown_id_exits_2_one_line(self, one_run_db, capsys):
+        code = main(["runs", "show", "dse-99", "--db", one_run_db])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        # One clean diagnostic line on stderr — no traceback.
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert "results store error" in lines[0]
+        assert "dse-99" in lines[0]
+
+    def test_report_compare_unknown_id_exits_2_one_line(
+        self, one_run_db, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "report",
+                "--db",
+                one_run_db,
+                "--out",
+                str(tmp_path / "report"),
+                "--compare",
+                "dse-1",
+                "dse-99",
+            ]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert "results store error" in lines[0]
+        assert "dse-99" in lines[0]
+
     def test_runs_show_unknown_run_exits_2(self, tmp_path, capsys):
         db = str(tmp_path / "repro.db")
         ResultStore(db).close()

@@ -23,7 +23,9 @@ import pytest
 from repro.graph import molecule_like_graph
 from repro.serve import (
     Cluster,
+    FaultSchedule,
     LoadGenerator,
+    ReactiveAutoscaler,
     Workload,
 )
 
@@ -213,3 +215,99 @@ def test_sketch_mode_conserves_and_is_deterministic(seed):
         report_a.per_replica_utilisation, exact.per_replica_utilisation
     )
     assert report_a.to_json() == report_b.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Dynamic clusters under flash-crowd load (autoscaler + optional faults)
+# ---------------------------------------------------------------------------
+def _flash_crowd_scenario(seed: int):
+    """A flash crowd against a dynamic cluster drawn from the seed matrix.
+
+    The random static scenario gains a reactive autoscaler (sometimes plus a
+    seeded crash/recover process) and a bursty arrival stream offered at 3x
+    the static pool's capacity — the canonical traffic spike an autoscaler
+    exists to absorb.
+    """
+    cluster, _, duration = _random_generator(seed)
+    rng = np.random.default_rng([seed, 77])
+    mean = cluster.mean_service_s()
+    autoscaler = ReactiveAutoscaler(
+        min_replicas=1,
+        max_replicas=int(rng.integers(4, 9)),
+        interval_s=float(rng.uniform(1.0, 3.0)) * mean,
+        provision_delay_s=float(rng.uniform(1.0, 4.0)) * mean,
+        scale_down_hysteresis_s=float(rng.uniform(4.0, 12.0)) * mean,
+    )
+    faults = None
+    if rng.random() < 0.5:
+        faults = FaultSchedule.parse(
+            f"random:mtbf={15 * mean},mttr={4 * mean},seed={seed}",
+            num_replicas=cluster.num_replicas,
+            horizon_s=duration,
+        )
+    cluster = cluster.with_options(autoscaler=autoscaler, faults=faults)
+    rate = 3.0 * cluster.num_replicas / mean
+    generator = LoadGenerator.bursty(list(cluster.workloads), rate, seed=seed)
+    return cluster, generator, duration
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flash_crowd_conserves_and_stays_bounded(seed):
+    cluster, generator, duration = _flash_crowd_scenario(seed)
+    requests = generator.generate(duration_s=duration)
+    report = cluster.serve(requests, duration_s=duration)
+    assert report.is_dynamic
+    assert report.submitted == len(requests)
+    assert report.submitted == report.completed + report.dropped + report.shed
+    assert np.all(report.per_replica_utilisation >= 0.0)
+    assert np.all(report.per_replica_utilisation <= 1.0 + 1e-9)
+    # The rented-replica integral is bounded by the pool-count envelope over
+    # the *report's* horizon (an overloaded run drains past ``duration``).
+    # Lifecycle events can trail the last completion by up to a tick plus
+    # the provisioning delay, hence the slack on the upper bound.
+    max_pool = max(cluster.num_replicas, cluster.autoscaler.max_replicas)
+    slack = cluster.autoscaler.interval_s + cluster.autoscaler.provision_delay_s
+    assert 0.0 < report.replica_seconds <= max_pool * (report.horizon_s + 2 * slack)
+    # The autoscaler can only shrink an over-provisioned starting pool.
+    assert report.peak_replicas <= max_pool
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flash_crowd_sketch_matches_exact_counts(seed):
+    cluster, generator, duration = _flash_crowd_scenario(seed)
+    exact = cluster.serve(generator.generate(duration_s=duration), duration_s=duration)
+    sketch = cluster.serve_stream(generator, duration_s=duration)
+    assert sketch.submitted == exact.submitted
+    assert sketch.completed == exact.completed
+    assert sketch.dropped == exact.dropped
+    assert sketch.shed == exact.shed
+    assert sketch.replica_seconds == exact.replica_seconds
+    assert sketch.event_counts == exact.event_counts
+    assert sketch.peak_replicas == exact.peak_replicas
+    np.testing.assert_array_equal(
+        sketch.per_replica_utilisation, exact.per_replica_utilisation
+    )
+
+
+def test_utilisation_clamped_at_horizon_boundary():
+    """A replica saturated straight through the horizon reports exactly 1.0.
+
+    The simulation completes every admitted request even when the final
+    batch finishes *after* the horizon; busy time is clamped to the horizon
+    before dividing, so utilisation lands on 1.0 instead of drifting above.
+    """
+    rng = np.random.default_rng(0)
+    graphs = [molecule_like_graph(16, rng, 6, 3) for _ in range(3)]
+    workload = Workload("t", model="GCN", dataset=graphs)
+    cluster = Cluster([workload], backend="cpu", num_replicas=1)
+    mean = cluster.mean_service_s()
+    generator = LoadGenerator.constant([workload], 4.0 / mean, seed=0)
+    duration = 5.5 * mean
+    requests = generator.generate(duration_s=duration)
+    exact = cluster.serve(requests, duration_s=duration)
+    assert float(exact.per_replica_utilisation[0]) == 1.0
+    assert exact.cluster_utilisation == 1.0
+    sketch = cluster.serve_stream(generator, duration_s=duration)
+    np.testing.assert_array_equal(
+        sketch.per_replica_utilisation, exact.per_replica_utilisation
+    )
