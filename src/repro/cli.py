@@ -400,7 +400,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dynamic cluster: adaptive admission 'queue=N[,headroom=X]' — "
         "shed arrivals beyond a queue depth, or whose predicted latency "
-        "exceeds X times their deadline budget",
+        "exceeds X times their deadline budget; or "
+        "'carbon_waiting[:threshold=G,headroom=X]' holding deferrable "
+        "tenants' work until the grid is cleaner (needs --carbon-trace)",
+    )
+    serve.add_argument(
+        "--power",
+        metavar="SPEC",
+        default=None,
+        help="per-replica power model 'busy=W[,idle=W,provision=W,"
+        "degraded=X]' — integrates the replica lifecycle into "
+        "ServingReport.energy_j (default when --carbon-trace/--power-cap "
+        "need one: derived from the backend's measured energy)",
+    )
+    serve.add_argument(
+        "--carbon-trace",
+        metavar="SPEC",
+        default=None,
+        help="grid carbon intensity: diurnal[:low=G,high=G,period=S,steps=N]"
+        " | constant:GCO2_PER_KWH | trace:PATH — the report then charges "
+        "carbon_gco2 = integral of power x intensity",
+    )
+    serve.add_argument(
+        "--power-cap",
+        metavar="WATTS",
+        type=float,
+        default=None,
+        help="cluster-wide watt budget: dispatch that would push total draw "
+        "above it waits (or is shed by the usual admission rules)",
+    )
+    serve.add_argument(
+        "--tenant-classes",
+        type=_str_list,
+        default=["realtime"],
+        help="comma-separated tenant classes (realtime|deferrable), cycled "
+        "across tenants; deferrable work may be held by the "
+        "carbon_waiting admission",
     )
     serve.add_argument("--seed", type=int, default=0, help="load-generator seed")
     serve.add_argument(
@@ -528,6 +563,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-schedule grid entry (repeat the flag for a grid; 'none' "
         "for no faults) — e.g. --fault none --fault "
         "random:mtbf=0.02,mttr=0.005",
+    )
+    plan.add_argument(
+        "--admission",
+        metavar="SPEC",
+        action="append",
+        dest="admissions",
+        default=None,
+        help="admission-control grid entry (repeat the flag for a grid; "
+        "'none' for no admission) — e.g. --admission none --admission "
+        "queue=64 --admission carbon_waiting:threshold=300",
+    )
+    plan.add_argument(
+        "--carbon-trace",
+        metavar="SPEC",
+        action="append",
+        dest="carbon_traces",
+        default=None,
+        help="carbon-intensity grid entry (repeat the flag for a grid; "
+        "'none' for no carbon accounting) — e.g. --carbon-trace none "
+        "--carbon-trace diurnal:low=100,high=700",
+    )
+    plan.add_argument(
+        "--power-cap",
+        metavar="WATTS",
+        action="append",
+        dest="power_caps",
+        default=None,
+        help="cluster watt-budget grid entry (repeat the flag for a grid; "
+        "'none' for uncapped) — e.g. --power-cap none --power-cap 4.0",
+    )
+    plan.add_argument(
+        "--power",
+        metavar="SPEC",
+        default=None,
+        help="per-replica power model shared by every scenario, "
+        "'busy=W[,idle=W,provision=W,degraded=X]' (when omitted, carbon/"
+        "cap scenarios derive one from the backend's measured energy)",
+    )
+    plan.add_argument(
+        "--tenant-classes",
+        type=_str_list,
+        default=["realtime"],
+        help="comma-separated tenant classes (realtime|deferrable), cycled "
+        "across tenants",
+    )
+    plan.add_argument(
+        "--carbon-budget",
+        metavar="GCO2",
+        type=float,
+        default=None,
+        help="with --solve: a pool is only feasible if its carbon_gco2 "
+        "fits this budget (solved under the first carbon-trace grid point)",
+    )
+    plan.add_argument(
+        "--power-budget",
+        metavar="WATTS",
+        type=float,
+        default=None,
+        help="with --solve: a pool is only feasible if its mean draw "
+        "(grid energy over the horizon) fits this watt budget",
     )
     plan.add_argument(
         "--rate",
@@ -916,6 +1011,7 @@ def _tenant_dicts(args: argparse.Namespace) -> tuple:
             "deadline_s": (
                 args.deadline_us * 1e-6 if args.deadline_us is not None else None
             ),
+            "tenant_class": args.tenant_classes[i % len(args.tenant_classes)],
         }
         for i in range(args.tenants)
     )
@@ -945,6 +1041,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             autoscaler=args.autoscale,
             admission=args.admission,
+            power=args.power,
+            carbon=args.carbon_trace,
+            power_cap_w=args.power_cap,
         )
     except (ValueError, KeyError) as error:
         print(f"invalid serving scenario: {error}", file=sys.stderr)
@@ -1065,6 +1164,19 @@ def _run_plan(args: argparse.Namespace) -> int:
                 None if text.lower() == "none" else text
                 for text in (args.faults or ["none"])
             ),
+            admissions=tuple(
+                None if text.lower() == "none" else text
+                for text in (args.admissions or ["none"])
+            ),
+            carbon_traces=tuple(
+                None if text.lower() == "none" else text
+                for text in (args.carbon_traces or ["none"])
+            ),
+            power_caps=tuple(
+                None if text.lower() == "none" else float(text)
+                for text in (args.power_caps or ["none"])
+            ),
+            power=args.power,
             rate_rps=args.rate,
             utilisation=args.utilisation,
             duration_s=args.duration,
@@ -1100,6 +1212,9 @@ def _run_plan(args: argparse.Namespace) -> int:
             max_batch_size=spec.max_batch_sizes[0],
             batch_timeout_s=spec.batch_timeouts_s[0],
             queue_capacity=spec.queue_capacities[0],
+            power=spec.power,
+            carbon=spec.carbon_traces[0],
+            power_cap_w=spec.power_caps[0],
             measurement_cache=cache,
         )
         requests = build_generator(
@@ -1110,6 +1225,8 @@ def _run_plan(args: argparse.Namespace) -> int:
             requests,
             max_replicas=max(spec.replicas),
             duration_s=spec.duration_s,
+            carbon_budget_gco2=args.carbon_budget,
+            power_budget_w=args.power_budget,
         )
 
     if args.json:
@@ -1119,6 +1236,8 @@ def _run_plan(args: argparse.Namespace) -> int:
                 "replicas": solution.replicas,
                 "max_replicas": solution.max_replicas,
                 "feasible": solution.feasible,
+                "carbon_budget_gco2": args.carbon_budget,
+                "power_budget_w": args.power_budget,
                 "evaluations": solution.evaluations,
             }
         print(json.dumps(payload, indent=2, default=str))

@@ -79,12 +79,16 @@ def scenario_row(
     duration_s: Optional[float] = None,
     rate_rps: Optional[float] = None,
     dynamic: bool = False,
+    carbon: bool = False,
 ) -> Dict:
     """Flatten one scenario evaluation into a single export row.
 
     ``dynamic`` widens the schema with the dynamic-cluster columns
-    (autoscaler/fault coordinates, ``shed``, ``peak_replicas``).  It is a
-    property of the *sweep*, not the scenario — CSV headers come from the
+    (autoscaler/fault/admission coordinates, ``shed``, ``peak_replicas``);
+    ``carbon`` adds the power/carbon columns (``grid_energy_j`` — the
+    power-model integral over the replica lifecycle, distinct from the
+    measured per-request ``energy_j`` — and ``carbon_gco2``).  Both are
+    properties of the *sweep*, not the scenario — CSV headers come from the
     first row, so every row of one sweep must share one column set.
     """
     worst_p99 = max(
@@ -123,6 +127,7 @@ def scenario_row(
     if dynamic:
         row["autoscale"] = scenario.autoscale
         row["fault"] = scenario.fault
+        row["admission"] = scenario.admission
         row["shed"] = report.shed
         row["peak_replicas"] = report.peak_replicas
         counts = report.event_counts
@@ -130,5 +135,12 @@ def scenario_row(
             "scale_down_events", 0
         )
         row["failures"] = counts.get("failures", 0)
+    if carbon:
+        row["carbon_trace"] = scenario.carbon_trace
+        row["power_cap_w"] = scenario.power_cap_w
+        energy = report.energy_j
+        row["grid_energy_j"] = float(energy) if energy is not None else None
+        gco2 = report.carbon_gco2
+        row["carbon_gco2"] = float(gco2) if gco2 is not None else None
     row.update(scenario_cost(report, duration_s))
     return row

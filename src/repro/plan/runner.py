@@ -62,13 +62,46 @@ class PlanResult(ResultTable):
     def num_scenarios(self) -> int:
         return len(self.rows)
 
-    def feasible(self) -> List[Dict]:
-        """Rows whose scenario held every tenant's SLO (no drops)."""
-        return [row for row in self.rows if row["slo_ok"]]
+    def feasible(
+        self,
+        carbon_budget_gco2: Optional[float] = None,
+        power_budget_w: Optional[float] = None,
+    ) -> List[Dict]:
+        """Rows whose scenario held every tenant's SLO (no drops).
 
-    def cheapest_feasible(self) -> Optional[Dict]:
+        ``carbon_budget_gco2`` additionally requires the row's grid carbon
+        charge to fit the budget; ``power_budget_w`` bounds the mean cluster
+        draw (``grid_energy_j`` over the horizon).  Both only filter sweeps
+        that carried power accounting — rows without the carbon columns fail
+        a budget they cannot demonstrate they meet.
+        """
+        rows = [row for row in self.rows if row["slo_ok"]]
+        if carbon_budget_gco2 is not None:
+            rows = [
+                row
+                for row in rows
+                if row.get("carbon_gco2") is not None
+                and row["carbon_gco2"] <= carbon_budget_gco2
+            ]
+        if power_budget_w is not None:
+            horizon = self.spec.duration_s
+            rows = [
+                row
+                for row in rows
+                if row.get("grid_energy_j") is not None
+                and row["grid_energy_j"] / horizon <= power_budget_w
+            ]
+        return rows
+
+    def cheapest_feasible(
+        self,
+        carbon_budget_gco2: Optional[float] = None,
+        power_budget_w: Optional[float] = None,
+    ) -> Optional[Dict]:
         """The feasible row with the least replica-time (ties: energy, order)."""
-        feasible = self.feasible()
+        feasible = self.feasible(
+            carbon_budget_gco2=carbon_budget_gco2, power_budget_w=power_budget_w
+        )
         if not feasible:
             return None
         return min(
@@ -169,6 +202,9 @@ class PlanJob(Job):
             queue_capacity=scenario.queue_capacity,
             autoscaler=scenario.autoscale,
             faults=faults,
+            admission=scenario.admission,
+            carbon=scenario.carbon_trace,
+            power_cap_w=scenario.power_cap_w,
         )
         if self.spec.mode == "sketch":
             # Streaming evaluation: no materialised request list at all —
@@ -187,6 +223,7 @@ class PlanJob(Job):
             duration_s=self.spec.duration_s,
             rate_rps=self.rates[scenario.mix],
             dynamic=self.spec.has_dynamics,
+            carbon=self.spec.has_carbon,
         )
 
     # -- worker-side memoisation ----------------------------------------------
@@ -200,6 +237,7 @@ class PlanJob(Job):
                 backend=self.spec.backend,
                 num_replicas=1,
                 measurement_cache=self._cache,
+                power=self.spec.power,
             )
             cached = (cluster, workloads)
             self._clusters[mix_name] = cached

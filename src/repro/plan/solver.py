@@ -59,6 +59,8 @@ def min_replicas_for_slo(
     duration_s: Optional[float] = None,
     require_no_drops: bool = True,
     stop_at_first: bool = False,
+    carbon_budget_gco2: Optional[float] = None,
+    power_budget_w: Optional[float] = None,
 ) -> CapacityPlan:
     """The smallest replica pool that serves ``requests`` within every SLO.
 
@@ -82,6 +84,16 @@ def min_replicas_for_slo(
         Stop simulating once the first feasible pool is found.  The default
         keeps evaluating up to ``max_replicas`` so the evaluation trail is
         complete (what the capacity-planning example prints).
+    carbon_budget_gco2:
+        When set, a pool is only feasible if its grid carbon charge
+        (``report.carbon_gco2``) fits the budget.  Requires the cluster to
+        carry power/carbon accounting (a carbon trace and, implicitly or
+        explicitly, a power model) — pools without it fail the budget.
+    power_budget_w:
+        When set, a pool is only feasible if its *mean* cluster draw —
+        ``report.energy_j`` over the horizon — fits the watt budget.  To
+        hard-clamp instantaneous draw instead, configure the cluster with
+        ``power_cap_w`` (shedding what does not fit) and solve normally.
     """
     if max_replicas < 1:
         raise ValueError("max_replicas must be >= 1")
@@ -91,6 +103,18 @@ def min_replicas_for_slo(
             requests, duration_s=duration_s
         )
         ok = meets_slo(report, require_no_drops=require_no_drops)
+        if carbon_budget_gco2 is not None:
+            gco2 = report.carbon_gco2
+            ok = ok and gco2 is not None and gco2 <= carbon_budget_gco2
+        if power_budget_w is not None:
+            energy = report.energy_j
+            horizon = duration_s if duration_s is not None else report.horizon_s
+            ok = (
+                ok
+                and energy is not None
+                and horizon > 0
+                and energy / float(horizon) <= power_budget_w
+            )
         plan.reports[num_replicas] = report
         evaluation = {
             "replicas": num_replicas,
@@ -98,6 +122,10 @@ def min_replicas_for_slo(
             "cluster_utilisation": report.cluster_utilisation,
             "dropped": report.dropped,
         }
+        if report.energy_j is not None:
+            evaluation["energy_j"] = float(report.energy_j)
+        if report.carbon_gco2 is not None:
+            evaluation["carbon_gco2"] = float(report.carbon_gco2)
         for name, outcome in report.tenants.items():
             evaluation[f"p99_ms_{name}"] = outcome.report.p99_latency_ms
             evaluation[f"miss_rate_{name}"] = outcome.report.deadline_miss_rate

@@ -21,9 +21,11 @@ from dataclasses import dataclass
 from typing import Iterator, List, Mapping, Optional, Tuple
 
 from ..api.backends import BACKEND_NAMES
-from ..serve.autoscale import parse_autoscaler
+from ..serve.autoscale import parse_admission, parse_autoscaler
+from ..serve.carbon import CarbonIntensity
 from ..serve.cluster import POLICY_NAMES
 from ..serve.faults import FaultSchedule
+from ..serve.power import PowerModel
 from ..serve.workload import Workload
 
 __all__ = ["TenantMix", "Scenario", "PlanSpec", "ARRIVAL_NAMES"]
@@ -77,6 +79,12 @@ class Scenario:
     autoscale: Optional[str] = None
     #: Fault-schedule string (``fail@...`` / ``random:...``) or ``None``.
     fault: Optional[str] = None
+    #: Admission-control string (``carbon_waiting:...`` / ``queue=N``) or ``None``.
+    admission: Optional[str] = None
+    #: Carbon-intensity trace string (``diurnal`` / ``constant:420``) or ``None``.
+    carbon_trace: Optional[str] = None
+    #: Cluster-wide dispatch power cap in watts, or ``None`` (uncapped).
+    power_cap_w: Optional[float] = None
 
     def describe(self) -> str:
         capacity = "inf" if self.queue_capacity is None else str(self.queue_capacity)
@@ -89,6 +97,12 @@ class Scenario:
             text += f", autoscale {self.autoscale}"
         if self.fault is not None:
             text += f", fault {self.fault}"
+        if self.admission is not None:
+            text += f", admission {self.admission}"
+        if self.carbon_trace is not None:
+            text += f", carbon {self.carbon_trace}"
+        if self.power_cap_w is not None:
+            text += f", cap {self.power_cap_w:g}W"
         return text
 
 
@@ -117,6 +131,24 @@ class PlanSpec:
         :meth:`~repro.serve.FaultSchedule.parse`) or ``None``.  Any
         non-``None`` entry switches the sweep's rows to the dynamic column
         set (``shed``, ``peak_replicas``, measured ``replica_seconds``).
+    admissions / carbon_traces / power_caps:
+        Carbon/power grids, all defaulting to ``(None,)`` (off).
+        ``admissions`` entries are admission-control strings
+        (``carbon_waiting:threshold=350`` / ``queue=64`` — see
+        :func:`~repro.serve.parse_admission`) or ``None``;
+        ``carbon_traces`` entries are carbon-trace strings (``diurnal`` /
+        ``constant:420`` / ``trace:PATH`` — see
+        :meth:`~repro.serve.CarbonIntensity.parse`) or ``None``;
+        ``power_caps`` entries are watt budgets (> 0) or ``None``.  Any
+        non-``None`` entry (or an explicit ``power`` model) widens the
+        sweep's rows with the carbon columns (``grid_energy_j``,
+        ``carbon_gco2``) and switches to the dynamic column set.
+    power:
+        Replica power-model string (``busy=2.0`` /
+        ``idle=...,busy=...,provision=...`` — see
+        :meth:`~repro.serve.PowerModel.parse`) applied to every scenario,
+        or ``None`` to derive a model from the measured per-request energy
+        whenever a carbon trace or power cap demands one.
     rate_rps:
         Total offered request rate, split across a mix's tenants by their
         ``share``.  ``None`` derives one rate per mix from the measured
@@ -148,6 +180,10 @@ class PlanSpec:
     arrivals: Tuple[str, ...] = ("poisson",)
     autoscalers: Tuple[Optional[str], ...] = (None,)
     faults: Tuple[Optional[str], ...] = (None,)
+    admissions: Tuple[Optional[str], ...] = (None,)
+    carbon_traces: Tuple[Optional[str], ...] = (None,)
+    power_caps: Tuple[Optional[float], ...] = (None,)
+    power: Optional[str] = None
     rate_rps: Optional[float] = None
     utilisation: float = 0.7
     duration_s: float = 0.05
@@ -165,6 +201,9 @@ class PlanSpec:
             "arrivals",
             "autoscalers",
             "faults",
+            "admissions",
+            "carbon_traces",
+            "power_caps",
         ):
             object.__setattr__(self, name, tuple(getattr(self, name)))
         if not self.mixes:
@@ -186,6 +225,9 @@ class PlanSpec:
             "arrivals",
             "autoscalers",
             "faults",
+            "admissions",
+            "carbon_traces",
+            "power_caps",
         ):
             if not getattr(self, grid_name):
                 raise ValueError(f"grid {grid_name!r} is empty")
@@ -230,6 +272,17 @@ class PlanSpec:
                     num_replicas=min(self.replicas),
                     horizon_s=self.duration_s,
                 )
+        for text in self.admissions:
+            if text is not None:
+                parse_admission(text)
+        for text in self.carbon_traces:
+            if text is not None:
+                CarbonIntensity.parse(text)
+        for cap in self.power_caps:
+            if cap is not None and not cap > 0:
+                raise ValueError("every power cap must be > 0 watts (or None)")
+        if self.power is not None:
+            PowerModel.parse(self.power)
         if self.mode not in ("exact", "sketch"):
             raise ValueError(
                 f"unknown mode {self.mode!r}; use 'exact' or 'sketch'"
@@ -248,19 +301,25 @@ class PlanSpec:
                                 for queue_capacity in self.queue_capacities:
                                     for autoscale in self.autoscalers:
                                         for fault in self.faults:
-                                            yield Scenario(
-                                                index=index,
-                                                mix=mix.name,
-                                                arrival=arrival,
-                                                num_replicas=num_replicas,
-                                                policy=policy,
-                                                max_batch_size=max_batch_size,
-                                                batch_timeout_s=batch_timeout_s,
-                                                queue_capacity=queue_capacity,
-                                                autoscale=autoscale,
-                                                fault=fault,
-                                            )
-                                            index += 1
+                                            for admission in self.admissions:
+                                                for carbon in self.carbon_traces:
+                                                    for cap in self.power_caps:
+                                                        yield Scenario(
+                                                            index=index,
+                                                            mix=mix.name,
+                                                            arrival=arrival,
+                                                            num_replicas=num_replicas,
+                                                            policy=policy,
+                                                            max_batch_size=max_batch_size,
+                                                            batch_timeout_s=batch_timeout_s,
+                                                            queue_capacity=queue_capacity,
+                                                            autoscale=autoscale,
+                                                            fault=fault,
+                                                            admission=admission,
+                                                            carbon_trace=carbon,
+                                                            power_cap_w=cap,
+                                                        )
+                                                        index += 1
 
     def num_scenarios(self) -> int:
         return (
@@ -273,6 +332,9 @@ class PlanSpec:
             * len(self.queue_capacities)
             * len(self.autoscalers)
             * len(self.faults)
+            * len(self.admissions)
+            * len(self.carbon_traces)
+            * len(self.power_caps)
         )
 
     @property
@@ -283,8 +345,25 @@ class PlanSpec:
         *whole* sweep (CSV headers come from the first row), so static and
         dynamic scenarios in one sweep share one column set.
         """
-        return any(a is not None for a in self.autoscalers) or any(
-            f is not None for f in self.faults
+        return (
+            any(a is not None for a in self.autoscalers)
+            or any(f is not None for f in self.faults)
+            or any(a is not None for a in self.admissions)
+            or self.has_carbon
+        )
+
+    @property
+    def has_carbon(self) -> bool:
+        """Whether any grid point carries power/carbon accounting.
+
+        Spec-level for the same schema reason as :attr:`has_dynamics` —
+        power/carbon runs always take the dynamic loop, so ``has_carbon``
+        implies ``has_dynamics``.
+        """
+        return (
+            self.power is not None
+            or any(c is not None for c in self.carbon_traces)
+            or any(p is not None for p in self.power_caps)
         )
 
     def mix_by_name(self, name: str) -> TenantMix:
@@ -306,6 +385,14 @@ class PlanSpec:
                 f"autoscalers={list(self.autoscalers)}, "
                 f"faults={list(self.faults)}, "
                 if self.has_dynamics
+                else ""
+            )
+            + (
+                f"admissions={list(self.admissions)}, "
+                f"carbon={list(self.carbon_traces)}, "
+                f"power_caps={list(self.power_caps)}, "
+                f"power={self.power!r}, "
+                if self.has_carbon or any(a is not None for a in self.admissions)
                 else ""
             )
             + f"{self.num_scenarios()} scenarios)"

@@ -29,11 +29,16 @@ single-stream evaluation (:meth:`Backend.run_stream`) to a serving cluster::
   ``batch_timeout_s``);
 * :class:`ServingReport` — per-tenant :class:`~repro.api.InferenceReport`s
   plus cluster utilisation, drops, batch sizes and the queue-depth trace;
-* dynamic clusters — :class:`Autoscaler` policies (reactive / predictive,
-  with provisioning latency and scale-down hysteresis),
+* dynamic clusters — :class:`Autoscaler` policies (reactive / predictive /
+  carbon-suspending, with provisioning latency and scale-down hysteresis),
   :class:`FaultSchedule` crash/degrade injection, and
   :class:`AdmissionControl` load shedding, all replayed bit-identically by
-  the :func:`reference_serve_dynamic` oracle.
+  the :func:`reference_serve_dynamic` oracle;
+* energy and carbon — a per-replica :class:`PowerModel` integrated over the
+  replica lifecycle into ``ServingReport.energy_j``, a
+  :class:`CarbonIntensity` grid trace charging ``carbon_gco2``, the
+  ``carbon_waiting`` admission holding deferrable tenants for cleaner
+  windows, and ``power_cap_w`` clamping dispatch under a watt budget.
 
 Per-replica timing reuses the backends' measurement pass (and therefore the
 FlowGNN schedule cache and :class:`~repro.graph.GraphStream` statistics), so
@@ -67,12 +72,16 @@ from .autoscale import (
     AdmissionControl,
     Autoscaler,
     AutoscalerMetrics,
+    CarbonSuspendAutoscaler,
+    CarbonWaitingAdmission,
     PredictiveAutoscaler,
     ReactiveAutoscaler,
     parse_admission,
     parse_autoscaler,
 )
+from .carbon import CarbonIntensity, parse_carbon_trace
 from .faults import FAULT_ACTIONS, FaultEvent, FaultSchedule, parse_fault_schedule
+from .power import PowerModel, parse_power_model
 from .reference import reference_serve, reference_serve_dynamic
 from .report import ServingRecord, ServingReport, SketchTenantReport, TenantOutcome
 from .sketches import (
@@ -83,7 +92,7 @@ from .sketches import (
     StreamingMoments,
     sketch_nbytes,
 )
-from .workload import Workload
+from .workload import TENANT_CLASSES, Workload
 
 __all__ = [
     "ArrivalProcess",
@@ -112,11 +121,18 @@ __all__ = [
     "Autoscaler",
     "ReactiveAutoscaler",
     "PredictiveAutoscaler",
+    "CarbonSuspendAutoscaler",
     "AutoscalerMetrics",
     "AUTOSCALER_NAMES",
     "parse_autoscaler",
     "AdmissionControl",
+    "CarbonWaitingAdmission",
     "parse_admission",
+    "CarbonIntensity",
+    "parse_carbon_trace",
+    "PowerModel",
+    "parse_power_model",
+    "TENANT_CLASSES",
     "FaultEvent",
     "FaultSchedule",
     "FAULT_ACTIONS",

@@ -36,6 +36,18 @@ every arrival, it sheds requests when the queue is too deep or when the
 backlog says the request cannot meet its deadline anyway (shed requests are
 counted separately from capacity drops, and conservation —
 ``submitted == completed + dropped + shed`` — is a pinned invariant).
+
+Carbon-aware extensions (both bound to the cluster's
+:class:`~repro.serve.carbon.CarbonIntensity` trace at simulation start):
+
+* :class:`CarbonWaitingAdmission` — holds *deferrable* tenants' requests
+  while grid intensity is above ``carbon_threshold``, releasing them in
+  earliest-due-date order when the grid gets clean or their deadline
+  approaches (real-time tenants pass straight through, and held work is
+  still counted as submitted — conservation is unchanged);
+* :class:`CarbonSuspendAutoscaler` — a reactive autoscaler that parks the
+  pool at ``min_replicas`` whenever intensity is above its threshold and
+  resumes normal reactive scaling once the window passes.
 """
 
 from __future__ import annotations
@@ -50,17 +62,20 @@ __all__ = [
     "Autoscaler",
     "ReactiveAutoscaler",
     "PredictiveAutoscaler",
+    "CarbonSuspendAutoscaler",
     "AdmissionControl",
+    "CarbonWaitingAdmission",
     "AUTOSCALER_NAMES",
     "parse_autoscaler",
     "parse_admission",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .carbon import CarbonIntensity
     from .cluster import _QueueItem, _SimState
 
 #: Registered autoscaler spec names (CLI choices and sweep grids).
-AUTOSCALER_NAMES = ("reactive", "predictive")
+AUTOSCALER_NAMES = ("reactive", "predictive", "carbon")
 
 
 @dataclass(frozen=True)
@@ -120,6 +135,9 @@ class Autoscaler(ABC):
 
     def reset(self) -> None:
         """Called at the start of every simulation (clear estimator state)."""
+
+    def bind_carbon(self, trace: "Optional[CarbonIntensity]") -> None:
+        """Receive the cluster's carbon trace at simulation start (no-op here)."""
 
     @abstractmethod
     def desired_replicas(self, metrics: AutoscalerMetrics) -> int:
@@ -233,6 +251,40 @@ class PredictiveAutoscaler(Autoscaler):
         return int(math.ceil(rate * metrics.mean_service_s / self.target_utilisation))
 
 
+class CarbonSuspendAutoscaler(ReactiveAutoscaler):
+    """Suspend/resume scaling around high-carbon windows.
+
+    While grid intensity is above ``carbon_threshold`` the pool is parked at
+    ``min_replicas`` (replicas drain and retire through the normal lifecycle,
+    so in-flight batches still finish); once the window passes the policy
+    resumes plain reactive scaling.  Without a bound carbon trace it behaves
+    exactly like :class:`ReactiveAutoscaler`.
+    """
+
+    name = "carbon"
+
+    def __init__(self, carbon_threshold: float = 400.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if carbon_threshold < 0:
+            raise ValueError("carbon_threshold must be >= 0")
+        self.carbon_threshold = float(carbon_threshold)
+        self._trace: "Optional[CarbonIntensity]" = None
+
+    def bind_carbon(self, trace: "Optional[CarbonIntensity]") -> None:
+        self._trace = trace
+
+    def desired_replicas(self, metrics: AutoscalerMetrics) -> int:
+        if (
+            self._trace is not None
+            and self._trace.intensity_at(metrics.now_s) > self.carbon_threshold
+        ):
+            return self.min_replicas
+        return super().desired_replicas(metrics)
+
+    def describe(self) -> str:
+        return super().describe()[:-1] + f", threshold={self.carbon_threshold:g})"
+
+
 @dataclass(frozen=True)
 class AdmissionControl:
     """Load-shedding thresholds applied to every arrival.
@@ -290,6 +342,57 @@ class AdmissionControl:
         return "admission(" + ",".join(parts) + ")"
 
 
+@dataclass(frozen=True)
+class CarbonWaitingAdmission(AdmissionControl):
+    """Hold deferrable work for clean-grid windows (carbon_waiting policy).
+
+    At every arrival from a ``deferrable`` tenant, if grid intensity is
+    above ``carbon_threshold`` the request is *held* instead of queued.
+    Held requests are released in earliest-due-date order as soon as the
+    grid is clean again — or unconditionally once the release point
+    ``deadline - release_headroom × service_time`` arrives, so a clean
+    window never has to show up for a deadline to be met.  Best-effort
+    deferrable requests (no deadline) wait for the next clean window.
+
+    Real-time tenants are never held, and the inherited shedding knobs
+    (``max_queue_depth`` / ``deadline_headroom``) still apply to whatever
+    is actually queued — both may be ``None`` here, unlike the base class.
+    """
+
+    carbon_threshold: float = 400.0
+    release_headroom: float = 2.0
+
+    def __post_init__(self) -> None:
+        # Unlike the base class, pure carbon-holding with no shedding knobs
+        # is a valid configuration, so the base "needs max_queue_depth
+        # and/or deadline_headroom" check is deliberately not inherited.
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.deadline_headroom is not None and self.deadline_headroom <= 0:
+            raise ValueError("deadline_headroom must be > 0")
+        if self.carbon_threshold < 0:
+            raise ValueError("carbon_threshold must be >= 0")
+        if self.release_headroom < 0:
+            raise ValueError("release_headroom must be >= 0")
+
+    def release_at_s(self, deadline_s: float, service_s: float) -> float:
+        """Latest time a held request may wait before it must be queued."""
+        if deadline_s == math.inf:
+            return math.inf
+        return deadline_s - self.release_headroom * service_s
+
+    def describe(self) -> str:
+        parts = [
+            f"threshold={self.carbon_threshold:g}",
+            f"release={self.release_headroom:g}",
+        ]
+        if self.max_queue_depth is not None:
+            parts.append(f"queue={self.max_queue_depth}")
+        if self.deadline_headroom is not None:
+            parts.append(f"headroom={self.deadline_headroom:g}")
+        return "carbon_waiting(" + ",".join(parts) + ")"
+
+
 _COMMON_KEYS = {
     "min": ("min_replicas", int),
     "max": ("max_replicas", int),
@@ -309,6 +412,11 @@ _PREDICTIVE_KEYS = {
     "smooth": ("smoothing", float),
 }
 
+_CARBON_KEYS = {
+    **_REACTIVE_KEYS,
+    "threshold": ("carbon_threshold", float),
+}
+
 
 def parse_autoscaler(text: str) -> Autoscaler:
     """Parse ``NAME[:k=v,...]`` into an autoscaler instance.
@@ -316,11 +424,14 @@ def parse_autoscaler(text: str) -> Autoscaler:
     Shared keys: ``min``, ``max``, ``interval``, ``delay``, ``hysteresis``.
     ``reactive`` adds ``high``/``low`` (queue-per-replica watermarks) and
     ``busy`` (all-busy trigger fraction); ``predictive`` adds ``util``
-    (target utilisation) and ``smooth`` (EWMA factor).  Examples::
+    (target utilisation) and ``smooth`` (EWMA factor); ``carbon`` takes the
+    reactive keys plus ``threshold`` (gCO2/kWh above which the pool parks
+    at ``min``).  Examples::
 
         reactive
         reactive:min=1,max=8,interval=0.002,delay=0.004,high=4,low=1
         predictive:util=0.7,smooth=0.5,hysteresis=0.01
+        carbon:threshold=400,min=1,max=8
     """
     text = text.strip()
     name, _, params_text = text.partition(":")
@@ -331,6 +442,9 @@ def parse_autoscaler(text: str) -> Autoscaler:
     elif name == "predictive":
         keys = {**_COMMON_KEYS, **_PREDICTIVE_KEYS}
         factory = PredictiveAutoscaler
+    elif name == "carbon":
+        keys = {**_COMMON_KEYS, **_CARBON_KEYS}
+        factory = CarbonSuspendAutoscaler
     else:
         raise ValueError(
             f"unknown autoscaler {name!r}; expected one of {AUTOSCALER_NAMES}"
@@ -353,8 +467,44 @@ def parse_autoscaler(text: str) -> Autoscaler:
 
 
 def parse_admission(text: str) -> AdmissionControl:
-    """Parse ``queue=N[,headroom=X]`` into an :class:`AdmissionControl`."""
+    """Parse an admission spec.
+
+    Two forms::
+
+        queue=64,headroom=2.5                       -> AdmissionControl
+        carbon_waiting:threshold=400,release=2       -> CarbonWaitingAdmission
+
+    The ``carbon_waiting`` form also accepts the shedding keys ``queue``
+    and ``headroom``, applied to whatever is actually queued.
+    """
     text = text.strip()
+    if text == "carbon_waiting" or text.startswith("carbon_waiting:"):
+        params_text = text.partition(":")[2]
+        kwargs: dict = {}
+        for pair in params_text.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq:
+                raise ValueError(
+                    f"cannot parse admission parameter {pair!r}; expected k=v"
+                )
+            if key == "threshold":
+                kwargs["carbon_threshold"] = float(value)
+            elif key == "release":
+                kwargs["release_headroom"] = float(value)
+            elif key == "queue":
+                kwargs["max_queue_depth"] = int(float(value))
+            elif key == "headroom":
+                kwargs["deadline_headroom"] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown carbon_waiting parameter {key!r}; "
+                    f"expected threshold/release/queue/headroom"
+                )
+        return CarbonWaitingAdmission(**kwargs)
     max_queue_depth: Optional[int] = None
     deadline_headroom: Optional[float] = None
     for pair in text.split(","):

@@ -55,10 +55,13 @@ from .autoscale import (
     AdmissionControl,
     Autoscaler,
     AutoscalerMetrics,
+    CarbonWaitingAdmission,
     parse_admission,
     parse_autoscaler,
 )
+from .carbon import CarbonIntensity
 from .faults import FaultSchedule
+from .power import PowerModel
 from .report import (
     ServingRecord,
     ServingReport,
@@ -566,13 +569,32 @@ class Cluster:
         Optional :class:`~repro.serve.autoscale.AdmissionControl` (or its
         spec string, e.g. ``"queue=64,headroom=1.5"``): adaptive load
         shedding applied to every arrival, before the hard
-        ``queue_capacity`` bound.
+        ``queue_capacity`` bound.  The ``carbon_waiting`` form
+        (:class:`~repro.serve.autoscale.CarbonWaitingAdmission`) holds
+        deferrable tenants' work for clean-grid windows instead.
+    power:
+        Optional :class:`~repro.serve.power.PowerModel` (or its spec
+        string, e.g. ``"busy=2.0"``): per-replica power draw, integrated
+        over the lifecycle timeline into ``ServingReport.energy_j``.  When
+        omitted but ``carbon``/``power_cap_w`` demand one, a model is
+        derived from the backend's measured energy (see
+        :meth:`resolved_power`).
+    carbon:
+        Optional :class:`~repro.serve.carbon.CarbonIntensity` (or its spec
+        string, e.g. ``"diurnal"``): grid carbon intensity over simulation
+        time.  The report then carries ``carbon_gco2 = ∫ power × intensity``
+        and carbon-aware admission/autoscaling read the trace.
+    power_cap_w:
+        Optional cluster-wide watt budget: a free replica is not dispatched
+        when starting its batch would push total draw above the cap (the
+        work waits, or is shed by the usual admission rules).
 
-    Any of ``autoscaler``/``faults``/``admission`` makes the cluster
-    *dynamic*: simulation runs through the dynamic event loop (pinned
-    bit-identical to :func:`repro.serve.reference.reference_serve_dynamic`)
-    and the report gains a replica-count timeline, ``replica_seconds`` and
-    lifecycle event counts.
+    Any of ``autoscaler``/``faults``/``admission``/``power``/``carbon``/
+    ``power_cap_w`` makes the cluster *dynamic*: simulation runs through
+    the dynamic event loop (pinned bit-identical to
+    :func:`repro.serve.reference.reference_serve_dynamic`) and the report
+    gains a replica-count timeline, ``replica_seconds`` and lifecycle event
+    counts (plus per-replica energy and carbon when power is modelled).
     """
 
     workloads: Sequence[Workload]
@@ -586,6 +608,9 @@ class Cluster:
     autoscaler: Union[str, Autoscaler, None] = None
     faults: Union[str, FaultSchedule, None] = None
     admission: Union[str, AdmissionControl, None] = None
+    power: Union[str, PowerModel, None] = None
+    carbon: Union[str, CarbonIntensity, None] = None
+    power_cap_w: Optional[float] = None
     services: Dict[str, TenantService] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -609,6 +634,12 @@ class Cluster:
             self.faults = FaultSchedule.parse(self.faults, num_replicas=self.num_replicas)
         if isinstance(self.admission, str):
             self.admission = parse_admission(self.admission)
+        if isinstance(self.power, str):
+            self.power = PowerModel.parse(self.power)
+        if isinstance(self.carbon, str):
+            self.carbon = CarbonIntensity.parse(self.carbon)
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError("power_cap_w must be > 0 (or None for uncapped)")
         if isinstance(self.policy, str):
             self.policy = get_policy(self.policy)
         backend_instance = get_backend(self.backend)
@@ -639,6 +670,9 @@ class Cluster:
         autoscaler: Union[str, Autoscaler, None, object] = ...,
         faults: Union[str, FaultSchedule, None, object] = ...,
         admission: Union[str, AdmissionControl, None, object] = ...,
+        power: Union[str, PowerModel, None, object] = ...,
+        carbon: Union[str, CarbonIntensity, None, object] = ...,
+        power_cap_w: Union[float, None, object] = ...,
     ) -> "Cluster":
         """A re-configured view of this cluster sharing its measured services.
 
@@ -648,9 +682,9 @@ class Cluster:
         (tenants, backend, measured :class:`TenantService` profiles) is
         shared with ``self``.  This is the primitive the serving-scenario
         sweep engine builds every grid point from without re-measuring.
-        ``queue_capacity``/``autoscaler``/``faults``/``admission`` use
-        ``...`` as their "keep current" default because ``None`` means
-        unbounded/disabled.
+        ``queue_capacity``/``autoscaler``/``faults``/``admission``/
+        ``power``/``carbon``/``power_cap_w`` use ``...`` as their "keep
+        current" default because ``None`` means unbounded/disabled.
         """
         clone = Cluster.__new__(Cluster)
         clone.__dict__.update(self.__dict__)
@@ -686,6 +720,16 @@ class Cluster:
             clone.admission = (
                 parse_admission(admission) if isinstance(admission, str) else admission
             )
+        if power is not ...:
+            clone.power = PowerModel.parse(power) if isinstance(power, str) else power
+        if carbon is not ...:
+            clone.carbon = (
+                CarbonIntensity.parse(carbon) if isinstance(carbon, str) else carbon
+            )
+        if power_cap_w is not ...:
+            if power_cap_w is not None and power_cap_w <= 0:
+                raise ValueError("power_cap_w must be > 0 (or None for uncapped)")
+            clone.power_cap_w = power_cap_w
         return clone
 
     @property
@@ -695,7 +739,34 @@ class Cluster:
             self.autoscaler is not None
             or self.faults is not None
             or self.admission is not None
+            or self.power is not None
+            or self.carbon is not None
+            or self.power_cap_w is not None
         )
+
+    def resolved_power(self) -> Optional[PowerModel]:
+        """The power model in force, deriving one from measurements if needed.
+
+        Explicit models win; otherwise, when carbon accounting or a power
+        cap demands one, the busy draw is the backend's measured joules over
+        measured service seconds across all tenants (the same per-request
+        energy the report already accounts), with idle and provisioning
+        draws as the standard fractions.  ``None`` when power is simply not
+        being modelled.
+        """
+        if isinstance(self.power, PowerModel):
+            return self.power
+        if self.carbon is None and self.power_cap_w is None:
+            return None
+        energy = 0.0
+        busy = 0.0
+        for service in self.services.values():
+            base = service.base_batch_size
+            energy += float(service.energies_j(base).sum())
+            busy += float(service.latencies_s(base).sum())
+        if busy <= 0.0:
+            return PowerModel.from_busy(0.0)
+        return PowerModel.from_energy(energy, busy)
 
     def mean_service_s(self) -> float:
         """Mean batch-1 service time across tenants (capacity heuristics)."""
@@ -1038,9 +1109,16 @@ class Cluster:
         policy = self.policy
         policy.reset(self.num_replicas)
         autoscaler = self.autoscaler
+        carbon_trace = self.carbon
         if autoscaler is not None:
             autoscaler.reset()
+            autoscaler.bind_carbon(carbon_trace)
         admission = self.admission
+        power_model = self.resolved_power()
+        holding = (
+            isinstance(admission, CarbonWaitingAdmission) and carbon_trace is not None
+        )
+        tenant_classes = {w.tenant: w.tenant_class for w in self.workloads}
         mean_service = self.mean_service_s()
         request_iter = iter(request_iter)
         exact = mode == "exact"
@@ -1088,6 +1166,101 @@ class Cluster:
         completions_since = 0         # batch completions since the last tick
         next_seq = 0
         prev_key: Optional[Tuple[float, int, int]] = None
+
+        # Power ledger: per-replica draw is piecewise constant between event
+        # instants, so energy (and, against the carbon trace, gCO2) is an
+        # exact segment sum — the same online-integral shape as the rented
+        # timeline, with identical float operations in the oracle.
+        watts: List[float] = []
+        last_w_change: List[float] = []
+        energy_acc: List[float] = []
+        power_w = 0.0
+        carbon_g = 0.0
+        last_c_change = 0.0
+        if power_model is not None:
+            for _ in range(num_initial):
+                watts.append(power_model.idle_w)
+                last_w_change.append(0.0)
+                energy_acc.append(0.0)
+                power_w += power_model.idle_w
+
+        def power_set(now: float, r: int, new_w: float) -> None:
+            """Close replica ``r``'s power segment at ``now``, switch its draw."""
+            nonlocal power_w, carbon_g, last_c_change
+            if carbon_trace is not None:
+                carbon_g += power_w * carbon_trace.integral_g_per_j(last_c_change, now)
+                last_c_change = now
+            energy_acc[r] += watts[r] * (now - last_w_change[r])
+            last_w_change[r] = now
+            power_w = power_w - watts[r] + new_w
+            watts[r] = new_w
+
+        def power_add(now: float, new_w: float) -> None:
+            """Start a fresh replica's ledger at ``now`` drawing ``new_w``."""
+            nonlocal power_w, carbon_g, last_c_change
+            if carbon_trace is not None:
+                carbon_g += power_w * carbon_trace.integral_g_per_j(last_c_change, now)
+                last_c_change = now
+            watts.append(new_w)
+            last_w_change.append(now)
+            energy_acc.append(0.0)
+            power_w = power_w + new_w
+
+        power_busy: Optional[Callable[[float, int], None]] = None
+        power_gate: Optional[Callable[[float, int], bool]] = None
+        if power_model is not None:
+
+            def power_busy(now: float, r: int) -> None:
+                power_set(now, r, power_model.busy_watts(factors[r]))
+
+            if self.power_cap_w is not None:
+                cap_w = self.power_cap_w
+
+                def power_gate(now: float, r: int) -> bool:
+                    if (
+                        power_w - watts[r] + power_model.busy_watts(factors[r])
+                        <= cap_w
+                    ):
+                        return False
+                    # Over the cap: block only while some batch is in
+                    # flight — its completion lowers the draw and re-runs
+                    # dispatch.  With nothing in flight the draw can never
+                    # drop again, so a cap below the pool's idle-plus-one-
+                    # busy draw serialises work instead of wedging the
+                    # simulation (and its autoscaler ticks) forever.
+                    return any(t > now for t in state.busy_until)
+
+        # Deferrable work held for a cleaner grid window: an EDD heap of
+        # (absolute deadline, seq); each hold schedules its own release
+        # control at min(deadline - headroom x service, next clean window).
+        held: List[Tuple[float, int]] = []
+
+        def release_held(now: float) -> None:
+            """Queue every held request that is due or whose grid is clean."""
+            clean = (
+                carbon_trace.intensity_at(now) <= admission.carbon_threshold
+            )
+            kept: List[Tuple[float, int]] = []
+            while held:
+                deadline, seq = heapq.heappop(held)
+                item = items[seq]
+                due = admission.release_at_s(deadline, item.service_s)
+                if clean or now >= due:
+                    if (
+                        self.queue_capacity is not None
+                        and lanes.pending >= self.queue_capacity
+                    ):
+                        sink.on_drop(item.request)
+                        del items[seq]
+                    else:
+                        item.replica = policy.assign(item, state)
+                        if item.replica is not None:
+                            state.queued_work[item.replica] += item.service_s
+                        lanes.admit(item, policy.order_key(item) + (item.seq,))
+                else:
+                    kept.append((deadline, seq))
+            for entry in kept:
+                heapq.heappush(held, entry)
 
         def push_control(
             time_s: float, kind: int, action: str, replica: int, factor: float = 1.0
@@ -1137,6 +1310,8 @@ class Cluster:
                 state.queued_work.append(0.0)
                 busy_time.append(0.0)
                 lanes.per_replica.append([])
+                if power_model is not None:
+                    power_add(now, power_model.provisioning_w)
                 push_control(
                     now + autoscaler.provision_delay_s, _SCALE, "provision", rid
                 )
@@ -1160,6 +1335,8 @@ class Cluster:
             for r in victims:
                 if states[r] == _PROVISIONING:
                     states[r] = _DEAD
+                    if power_model is not None:
+                        power_set(now, r, 0.0)
                     timeline(now, -1)
                 else:
                     states[r] = _DRAINING
@@ -1211,10 +1388,14 @@ class Cluster:
             elif action == "provision":
                 if states[replica] == _PROVISIONING:
                     states[replica] = _ACTIVE
+                    if power_model is not None:
+                        power_set(now, replica, power_model.idle_w)
                     insort(state.live, replica)
             elif action == "retire":
                 if states[replica] == _DRAINING:
                     states[replica] = _DEAD
+                    if power_model is not None:
+                        power_set(now, replica, 0.0)
                     timeline(now, -1)
             elif action == "fail":
                 if replica < len(states) and states[replica] in (_PROVISIONING, _ACTIVE):
@@ -1223,12 +1404,19 @@ class Cluster:
                     if was_active:
                         state.live.remove(replica)
                         reroute(replica)
+                    # A failed replica draws nothing from the fail instant,
+                    # even mid-batch (the batch's records were already
+                    # emitted at dispatch; its silicon is simply off).
+                    if power_model is not None:
+                        power_set(now, replica, 0.0)
                     timeline(now, -1)
                     counts["failures"] += 1
             elif action == "recover":
                 if replica < len(states) and states[replica] == _DEAD:
                     states[replica] = _ACTIVE
                     factors[replica] = 1.0
+                    if power_model is not None:
+                        power_set(now, replica, power_model.idle_w)
                     insort(state.live, replica)
                     timeline(now, 1)
                     counts["recoveries"] += 1
@@ -1244,6 +1432,12 @@ class Cluster:
                 ):
                     factors[replica] = 1.0
                     counts["restorations"] += 1
+            elif action == "release":
+                # Any release control drains the whole held heap of whatever
+                # is due or clean — a single clean-window edge releases
+                # every waiting request at once, in EDD order.
+                if held:
+                    release_held(now)
 
         def pull() -> None:
             """Admit the next request of the stream into the event heap."""
@@ -1290,7 +1484,29 @@ class Cluster:
                     arrivals_since += 1
                     item = items[payload]
                     pull()
-                    if admission is not None and admission.should_shed(
+                    held_now = False
+                    if (
+                        holding
+                        and tenant_classes[item.request.tenant] == "deferrable"
+                        and carbon_trace.intensity_at(now) > admission.carbon_threshold
+                    ):
+                        deadline = item.request.absolute_deadline_s
+                        due = admission.release_at_s(deadline, item.service_s)
+                        next_clean = carbon_trace.next_below_s(
+                            admission.carbon_threshold, now
+                        )
+                        release_at = due if due < next_clean else next_clean
+                        if now < release_at < math.inf:
+                            # Held: still submitted (the sketch samples its
+                            # queue depth now, in arrival order, exactly as
+                            # the exact path's formula does), queued later.
+                            held_now = True
+                            sink.on_admit(item.request)
+                            heapq.heappush(held, (deadline, item.seq))
+                            push_control(release_at, _SCALE, "release", item.seq)
+                    if held_now:
+                        pass
+                    elif admission is not None and admission.should_shed(
                         item, lanes.pending, state
                     ):
                         sink.on_shed(item.request)
@@ -1309,6 +1525,14 @@ class Cluster:
                         sink.on_admit(item.request)
                 elif kind == _COMPLETION:
                     completions_since += 1
+                    if power_model is not None:
+                        power_set(
+                            now,
+                            payload,
+                            power_model.idle_w
+                            if states[payload] in (_ACTIVE, _DRAINING)
+                            else 0.0,
+                        )
                 elif kind == _TIMER:
                     pass
                 else:
@@ -1330,6 +1554,8 @@ class Cluster:
                 scheduled_timers,
                 live=state.live,
                 factors=factors,
+                power_gate=power_gate,
+                power_busy=power_busy,
             )
 
         if lanes.pending:
@@ -1346,6 +1572,17 @@ class Cluster:
             lanes.pending = 0
 
         replica_seconds_state = (rented_integral, last_change_s, rented)
+        power_state = None
+        if power_model is not None:
+            power_state = (
+                energy_acc,
+                watts,
+                last_w_change,
+                power_w,
+                carbon_g,
+                last_c_change,
+                carbon_trace,
+            )
         if exact:
             return assemble_report(
                 cluster=self,
@@ -1361,6 +1598,7 @@ class Cluster:
                 replica_count_trace=np.array(timeline_counts, dtype=np.int64),
                 replica_seconds_state=replica_seconds_state,
                 event_counts=counts,
+                power_state=power_state,
             )
         assert not items, "dynamic streaming loop leaked queue items"
         return assemble_sketch_report(
@@ -1378,6 +1616,7 @@ class Cluster:
             replica_count_hist=replica_hist,
             replica_seconds_state=replica_seconds_state,
             event_counts=counts,
+            power_state=power_state,
         )
 
     def _serve_stream_fast(
@@ -1543,17 +1782,25 @@ class Cluster:
         scheduled_timers: set,
         live: Optional[List[int]] = None,
         factors: Optional[List[float]] = None,
+        power_gate: Optional[Callable[[float, int], bool]] = None,
+        power_busy: Optional[Callable[[float, int], None]] = None,
     ) -> None:
         """Start work on every replica that is free at ``now``.
 
         ``live`` restricts dispatch to the dynamic loop's dispatchable
         replica ids (default: the full static pool); ``factors`` supplies
         per-replica service-time multipliers for degraded replicas (default:
-        none, and the static float operations are untouched).
+        none, and the static float operations are untouched).  ``power_gate``
+        skips a replica whose dispatch would push cluster draw over the watt
+        cap; ``power_busy`` charges a dispatched replica's busy draw into
+        the power ledger.  Both default to None and the static paths never
+        pass them.
         """
         replica_ids = range(self.num_replicas) if live is None else live
         for replica in replica_ids:
             if state.busy_until[replica] > now or lanes.pending == 0:
+                continue
+            if power_gate is not None and power_gate(now, replica):
                 continue
             if self.max_batch_size == 1:
                 # No batching: the head of the merged lanes is the batch,
@@ -1606,6 +1853,8 @@ class Cluster:
             service_total = finish - now
             state.busy_until[replica] = finish
             busy_time[replica] += service_total
+            if power_busy is not None:
+                power_busy(now, replica)
             sink.on_batch(size)
             heapq.heappush(events, (finish, _COMPLETION, replica))
             for item, service_s in zip(batch, service_each):

@@ -17,11 +17,11 @@ from __future__ import annotations
 import heapq
 import math
 from bisect import insort
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .autoscale import AutoscalerMetrics
+from .autoscale import AutoscalerMetrics, CarbonWaitingAdmission
 from .arrivals import ServingRequest
 from .cluster import (
     _ACTIVE,
@@ -68,6 +68,14 @@ def assert_reports_identical(candidate: ServingReport, reference: ServingReport)
     assert candidate.horizon_s == reference.horizon_s
     assert candidate.replica_seconds == reference.replica_seconds
     assert candidate.event_counts == reference.event_counts
+    assert candidate.energy_j == reference.energy_j
+    assert candidate.carbon_gco2 == reference.carbon_gco2
+    if reference.replica_energy_j is None:
+        assert candidate.replica_energy_j is None
+    else:
+        assert np.array_equal(
+            candidate.replica_energy_j, reference.replica_energy_j
+        )
     if reference.replica_count_trace is None:
         assert candidate.replica_count_trace is None
     else:
@@ -209,17 +217,25 @@ def reference_serve_dynamic(
     instant instead of heap lanes, linear scans instead of incremental
     bookkeeping.  Every control-plane float expression — the rented-time
     integral, provisioning completion times, hysteresis comparisons, tick
-    scheduling — is written identically to the optimised loop so the two
-    paths produce bit-identical reports, which the dynamic contract tests
-    pin.  Like :func:`reference_serve`, this function's value is that it is
-    too simple to be wrong; keep it naive.
+    scheduling, the power/carbon ledger segments and carbon-hold release
+    times — is written identically to the optimised loop so the two paths
+    produce bit-identical reports, which the dynamic contract tests pin.
+    Like :func:`reference_serve`, this function's value is that it is too
+    simple to be wrong; keep it naive.
     """
     policy = cluster.policy
     policy.reset(cluster.num_replicas)
     autoscaler = cluster.autoscaler
+    carbon_trace = cluster.carbon
     if autoscaler is not None:
         autoscaler.reset()
+        autoscaler.bind_carbon(carbon_trace)
     admission = cluster.admission
+    power_model = cluster.resolved_power()
+    holding = (
+        isinstance(admission, CarbonWaitingAdmission) and carbon_trace is not None
+    )
+    tenant_classes = {w.tenant: w.tenant_class for w in cluster.workloads}
     mean_service = cluster.mean_service_s()
 
     for request in requests:
@@ -271,6 +287,91 @@ def reference_serve_dynamic(
     arrivals_since = 0
     completions_since = 0
 
+    # Power ledger — same segment-sum float expressions as the optimised
+    # loop's `power_set` / `power_add`, in the same call order.
+    watts: List[float] = []
+    last_w_change: List[float] = []
+    energy_acc: List[float] = []
+    power_w = 0.0
+    carbon_g = 0.0
+    last_c_change = 0.0
+    if power_model is not None:
+        for _ in range(num_initial):
+            watts.append(power_model.idle_w)
+            last_w_change.append(0.0)
+            energy_acc.append(0.0)
+            power_w += power_model.idle_w
+
+    def power_set(now: float, r: int, new_w: float) -> None:
+        nonlocal power_w, carbon_g, last_c_change
+        if carbon_trace is not None:
+            carbon_g += power_w * carbon_trace.integral_g_per_j(last_c_change, now)
+            last_c_change = now
+        energy_acc[r] += watts[r] * (now - last_w_change[r])
+        last_w_change[r] = now
+        power_w = power_w - watts[r] + new_w
+        watts[r] = new_w
+
+    def power_add(now: float, new_w: float) -> None:
+        nonlocal power_w, carbon_g, last_c_change
+        if carbon_trace is not None:
+            carbon_g += power_w * carbon_trace.integral_g_per_j(last_c_change, now)
+            last_c_change = now
+        watts.append(new_w)
+        last_w_change.append(now)
+        energy_acc.append(0.0)
+        power_w = power_w + new_w
+
+    power_busy: Optional[Callable[[float, int], None]] = None
+    power_gate: Optional[Callable[[float, int], bool]] = None
+    if power_model is not None:
+
+        def power_busy(now: float, r: int) -> None:
+            power_set(now, r, power_model.busy_watts(factors[r]))
+
+        if cluster.power_cap_w is not None:
+            cap_w = cluster.power_cap_w
+
+            def power_gate(now: float, r: int) -> bool:
+                if (
+                    power_w - watts[r] + power_model.busy_watts(factors[r])
+                    <= cap_w
+                ):
+                    return False
+                # Same progress guarantee as the optimised gate: never
+                # block when no batch is in flight anywhere.
+                return any(t > now for t in state.busy_until)
+
+    # Deferrable work held for a cleaner grid window (EDD heap, released in
+    # the same pop order as the optimised loop so the queued_work float
+    # additions and capacity checks match exactly).
+    held: List[Tuple[float, int]] = []
+
+    def release_held(now: float) -> None:
+        clean = (
+            carbon_trace.intensity_at(now) <= admission.carbon_threshold
+        )
+        kept: List[Tuple[float, int]] = []
+        while held:
+            deadline, seq = heapq.heappop(held)
+            item = items[seq]
+            due = admission.release_at_s(deadline, item.service_s)
+            if clean or now >= due:
+                if (
+                    cluster.queue_capacity is not None
+                    and len(queue) >= cluster.queue_capacity
+                ):
+                    dropped.append(item.request)
+                else:
+                    item.replica = policy.assign(item, state)
+                    if item.replica is not None:
+                        state.queued_work[item.replica] += item.service_s
+                    queue.append(item)
+            else:
+                kept.append((deadline, seq))
+        for entry in kept:
+            heapq.heappush(held, entry)
+
     def push_control(
         time_s: float, kind: int, action: str, replica: int, factor: float = 1.0
     ) -> None:
@@ -306,6 +407,8 @@ def reference_serve_dynamic(
             state.busy_until.append(0.0)
             state.queued_work.append(0.0)
             busy_time.append(0.0)
+            if power_model is not None:
+                power_add(now, power_model.provisioning_w)
             push_control(now + autoscaler.provision_delay_s, _SCALE, "provision", rid)
         policy.rebind(len(states))
         timeline(now, count)
@@ -324,6 +427,8 @@ def reference_serve_dynamic(
         for r in victims:
             if states[r] == _PROVISIONING:
                 states[r] = _DEAD
+                if power_model is not None:
+                    power_set(now, r, 0.0)
                 timeline(now, -1)
             else:
                 states[r] = _DRAINING
@@ -370,10 +475,14 @@ def reference_serve_dynamic(
         elif action == "provision":
             if states[replica] == _PROVISIONING:
                 states[replica] = _ACTIVE
+                if power_model is not None:
+                    power_set(now, replica, power_model.idle_w)
                 insort(state.live, replica)
         elif action == "retire":
             if states[replica] == _DRAINING:
                 states[replica] = _DEAD
+                if power_model is not None:
+                    power_set(now, replica, 0.0)
                 timeline(now, -1)
         elif action == "fail":
             if replica < len(states) and states[replica] in (_PROVISIONING, _ACTIVE):
@@ -382,12 +491,16 @@ def reference_serve_dynamic(
                 if was_active:
                     state.live.remove(replica)
                     reroute(replica)
+                if power_model is not None:
+                    power_set(now, replica, 0.0)
                 timeline(now, -1)
                 counts["failures"] += 1
         elif action == "recover":
             if replica < len(states) and states[replica] == _DEAD:
                 states[replica] = _ACTIVE
                 factors[replica] = 1.0
+                if power_model is not None:
+                    power_set(now, replica, power_model.idle_w)
                 insort(state.live, replica)
                 timeline(now, 1)
                 counts["recoveries"] += 1
@@ -403,6 +516,9 @@ def reference_serve_dynamic(
             ):
                 factors[replica] = 1.0
                 counts["restorations"] += 1
+        elif action == "release":
+            if held:
+                release_held(now)
 
     if cluster.faults is not None:
         for fault in cluster.faults.events:
@@ -419,7 +535,25 @@ def reference_serve_dynamic(
             if kind == _ARRIVAL:
                 arrivals_since += 1
                 item = items[payload]
-                if admission is not None and admission.should_shed(
+                held_now = False
+                if (
+                    holding
+                    and tenant_classes[item.request.tenant] == "deferrable"
+                    and carbon_trace.intensity_at(now) > admission.carbon_threshold
+                ):
+                    deadline = item.request.absolute_deadline_s
+                    due = admission.release_at_s(deadline, item.service_s)
+                    next_clean = carbon_trace.next_below_s(
+                        admission.carbon_threshold, now
+                    )
+                    release_at = due if due < next_clean else next_clean
+                    if now < release_at < math.inf:
+                        held_now = True
+                        heapq.heappush(held, (deadline, item.seq))
+                        push_control(release_at, _SCALE, "release", item.seq)
+                if held_now:
+                    pass
+                elif admission is not None and admission.should_shed(
                     item, len(queue), state
                 ):
                     shed.append(item.request)
@@ -435,6 +569,14 @@ def reference_serve_dynamic(
                     queue.append(item)
             elif kind == _COMPLETION:
                 completions_since += 1
+                if power_model is not None:
+                    power_set(
+                        now,
+                        payload,
+                        power_model.idle_w
+                        if states[payload] in (_ACTIVE, _DRAINING)
+                        else 0.0,
+                    )
             elif kind == _TIMER:
                 pass
             else:
@@ -444,7 +586,7 @@ def reference_serve_dynamic(
         trace_depths.append(len(queue))
         _dispatch_dynamic(
             cluster, now, state, factors, queue, busy_time, records, batch_sizes,
-            events, scheduled_timers,
+            events, scheduled_timers, power_gate, power_busy,
         )
 
     if queue:
@@ -455,6 +597,17 @@ def reference_serve_dynamic(
         del queue[:]
 
     replica_seconds_state = (rented_integral, last_change_s, rented)
+    power_state = None
+    if power_model is not None:
+        power_state = (
+            energy_acc,
+            watts,
+            last_w_change,
+            power_w,
+            carbon_g,
+            last_c_change,
+            carbon_trace,
+        )
     return assemble_report(
         cluster=cluster,
         records=records,
@@ -469,6 +622,7 @@ def reference_serve_dynamic(
         replica_count_trace=np.array(timeline_counts, dtype=np.int64),
         replica_seconds_state=replica_seconds_state,
         event_counts=counts,
+        power_state=power_state,
     )
 
 
@@ -483,6 +637,8 @@ def _dispatch_dynamic(
     batch_sizes: List[int],
     events: List[Tuple[float, int, int]],
     scheduled_timers: set,
+    power_gate: Optional[Callable[[float, int], bool]] = None,
+    power_busy: Optional[Callable[[float, int], None]] = None,
 ) -> None:
     """The full-sort dispatch walk over the live replica subset.
 
@@ -497,6 +653,8 @@ def _dispatch_dynamic(
     taken: set = set()
     for replica in state.live:
         if state.busy_until[replica] > now or len(taken) == len(ordered):
+            continue
+        if power_gate is not None and power_gate(now, replica):
             continue
         eligible = [
             item
@@ -534,6 +692,8 @@ def _dispatch_dynamic(
         service_total = finish - now
         state.busy_until[replica] = finish
         busy_time[replica] += service_total
+        if power_busy is not None:
+            power_busy(now, replica)
         batch_sizes.append(size)
         heapq.heappush(events, (finish, _COMPLETION, replica))
         for item, service_s in zip(batch, service_each):

@@ -224,6 +224,13 @@ class ServingReport:
     replica_seconds: Optional[float] = None
     #: Dynamic runs: lifecycle event counters (scale_up_events, failures, ...).
     event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Power-modelled runs: per-replica ``∫ power dt`` over the horizon (J).
+    replica_energy_j: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Power-modelled runs: total cluster energy — the plain Python sum of
+    #: the per-replica integrals, so conservation is exact, not approximate.
+    energy_j: Optional[float] = None
+    #: Carbon-traced runs: ``∫ power × intensity dt`` over the horizon (gCO2).
+    carbon_gco2: Optional[float] = None
 
     # -- cluster-level accessors ----------------------------------------------
     @property
@@ -347,6 +354,13 @@ class ServingReport:
                     "mean": float(hist.mean) if hist.count else 0.0,
                     "changes": int(hist.count),
                 }
+            if self.replica_energy_j is not None:
+                payload["energy_j"] = float(self.energy_j)
+                payload["replica_energy_j"] = [
+                    float(e) for e in self.replica_energy_j
+                ]
+                if self.carbon_gco2 is not None:
+                    payload["carbon_gco2"] = float(self.carbon_gco2)
         return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -377,6 +391,10 @@ class ServingReport:
                 f", peak replicas {self.peak_replicas}, "
                 f"replica-seconds {self.replica_seconds:.3g}"
             )
+        if self.energy_j is not None:
+            text += f", energy {self.energy_j:.3g}J"
+            if self.carbon_gco2 is not None:
+                text += f", carbon {self.carbon_gco2:.3g}g"
         return text
 
 
@@ -394,6 +412,7 @@ def assemble_report(
     replica_count_trace: Optional[np.ndarray] = None,
     replica_seconds_state: Optional[Tuple[float, float, int]] = None,
     event_counts: Optional[Dict[str, int]] = None,
+    power_state: Optional[Tuple] = None,
 ) -> ServingReport:
     """Build the :class:`ServingReport` from raw simulation records.
 
@@ -513,6 +532,7 @@ def assemble_report(
         )
 
     policy_name = getattr(cluster.policy, "name", str(cluster.policy))
+    replica_energy, total_energy, carbon_g = _finalise_power(power_state, horizon)
     return ServingReport(
         backend=cluster.backend,
         policy=policy_name,
@@ -532,6 +552,9 @@ def assemble_report(
         replica_count_trace=replica_count_trace,
         replica_seconds=_finalise_replica_seconds(replica_seconds_state, horizon),
         event_counts=dict(event_counts) if event_counts else {},
+        replica_energy_j=replica_energy,
+        energy_j=total_energy,
+        carbon_gco2=carbon_g,
     )
 
 
@@ -551,6 +574,36 @@ def _finalise_replica_seconds(
     return float(integral + rented * (horizon - last_change_s))
 
 
+def _finalise_power(
+    state: Optional[Tuple], horizon: float
+) -> Tuple[Optional[np.ndarray], Optional[float], Optional[float]]:
+    """Close the power and carbon integrals at the horizon.
+
+    ``state`` is the dynamic loop's power ledger — per-replica
+    ``(accumulated J, current watts, last change time)`` columns plus the
+    cluster draw, carbon accumulator and trace — exactly as maintained
+    online; the final segment of each replica runs from its last draw
+    change to the horizon, and the cluster total is the plain Python sum of
+    the per-replica integrals (exact conservation).  Runs without a power
+    model pass ``None`` and every output stays ``None``.
+    """
+    if state is None:
+        return None, None, None
+    energy_acc, watts, last_w_change, power_w, carbon_g, last_c_change, trace = state
+    replica_energy = np.array(
+        [
+            e + w * (horizon - t)
+            for e, w, t in zip(energy_acc, watts, last_w_change)
+        ],
+        dtype=np.float64,
+    )
+    total = float(sum(replica_energy.tolist()))
+    carbon: Optional[float] = None
+    if trace is not None:
+        carbon = float(carbon_g + power_w * trace.integral_g_per_j(last_c_change, horizon))
+    return replica_energy, total, carbon
+
+
 def assemble_sketch_report(
     cluster: "Cluster",
     sketches: Dict[str, LatencySketch],
@@ -566,6 +619,7 @@ def assemble_sketch_report(
     replica_count_hist: Optional[StreamingHistogram] = None,
     replica_seconds_state: Optional[Tuple[float, float, int]] = None,
     event_counts: Optional[Dict[str, int]] = None,
+    power_state: Optional[Tuple] = None,
 ) -> ServingReport:
     """Build a sketch-mode :class:`ServingReport` from online accumulators.
 
@@ -626,6 +680,7 @@ def assemble_sketch_report(
         )
 
     policy_name = getattr(cluster.policy, "name", str(cluster.policy))
+    replica_energy, total_energy, carbon_g = _finalise_power(power_state, horizon)
     return ServingReport(
         backend=cluster.backend,
         policy=policy_name,
@@ -644,4 +699,7 @@ def assemble_sketch_report(
         replica_count_hist=replica_count_hist,
         replica_seconds=_finalise_replica_seconds(replica_seconds_state, horizon),
         event_counts=dict(event_counts) if event_counts else {},
+        replica_energy_j=replica_energy,
+        energy_j=total_energy,
+        carbon_gco2=carbon_g,
     )

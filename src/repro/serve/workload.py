@@ -19,7 +19,10 @@ from ..graph import Graph
 from ..nn.models.base import GNNModel
 from ..api import InferenceRequest
 
-__all__ = ["Workload"]
+__all__ = ["Workload", "TENANT_CLASSES"]
+
+#: Recognised tenant classes (carbon-aware admission may hold deferrable work).
+TENANT_CLASSES = ("realtime", "deferrable")
 
 
 @dataclass
@@ -42,6 +45,11 @@ class Workload:
     share:
         Relative traffic share, used by the :class:`~repro.serve.LoadGenerator`
         conveniences that split a cluster-wide request rate across tenants.
+    tenant_class:
+        ``"realtime"`` (default) or ``"deferrable"``.  Carbon-aware admission
+        (``carbon_waiting``) may hold deferrable requests for cleaner grid
+        windows, releasing them before their deadlines; real-time tenants are
+        never held.
     """
 
     tenant: str
@@ -54,6 +62,7 @@ class Workload:
     deadline_s: Optional[float] = None
     priority: int = 0
     share: float = 1.0
+    tenant_class: str = "realtime"
     request: InferenceRequest = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -65,6 +74,11 @@ class Workload:
             raise ValueError("share must be positive")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if self.tenant_class not in TENANT_CLASSES:
+            raise ValueError(
+                f"tenant_class must be one of {TENANT_CLASSES}, "
+                f"got {self.tenant_class!r}"
+            )
         # Eager validation of model/dataset/config/batch size happens here.
         self.request = InferenceRequest(
             model=self.model,
@@ -83,6 +97,7 @@ class Workload:
         request: InferenceRequest,
         priority: int = 0,
         share: float = 1.0,
+        tenant_class: str = "realtime",
     ) -> "Workload":
         """Wrap an existing request as a tenant workload.
 
@@ -101,6 +116,7 @@ class Workload:
             deadline_s=request.deadline_s,
             priority=priority,
             share=share,
+            tenant_class=tenant_class,
         )
         workload.request = request
         return workload
@@ -114,7 +130,11 @@ class Workload:
         deadline = (
             f"{self.deadline_s * 1e6:.0f}us" if self.deadline_s is not None else "none"
         )
+        tenant_class = (
+            f", class={self.tenant_class}" if self.tenant_class != "realtime" else ""
+        )
         return (
             f"Workload(tenant={self.tenant!r}, {self.request.describe()}, "
-            f"deadline={deadline}, priority={self.priority}, share={self.share})"
+            f"deadline={deadline}, priority={self.priority}, "
+            f"share={self.share}{tenant_class})"
         )

@@ -243,6 +243,43 @@ class TestServeCommand:
         assert payload["submitted"] == payload["completed"] + payload["dropped"]
         assert set(payload["tenants"]) == {"tenant0", "tenant1"}
 
+    def test_serve_carbon_json_output_parses(self, capsys):
+        """The full carbon surface in one run: explicit power model, diurnal
+        trace, binding power cap and carbon-holding admission."""
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--replicas", "2",
+                "--backend", "cpu",
+                "--duration", "0.02",
+                "--num-graphs", "3",
+                "--rate", "3000",
+                "--seed", "0",
+                "--power", "busy=2.0,idle=0.5",
+                "--carbon-trace", "diurnal",
+                "--power-cap", "3.5",
+                "--tenant-classes", "realtime,deferrable",
+                "--admission", "carbon_waiting:threshold=350",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == (
+            payload["completed"] + payload["dropped"] + payload["shed"]
+        )
+        assert payload["energy_j"] > 0.0
+        assert payload["carbon_gco2"] > 0.0
+        assert len(payload["replica_energy_j"]) >= 2
+
+    def test_serve_bad_power_spec_exits_with_error(self, capsys):
+        code = main(
+            ["serve", "--backend", "cpu", "--num-graphs", "2", "--power", "watts=2"]
+        )
+        assert code == 2
+        assert "power" in capsys.readouterr().err
+
     def test_serve_trace_arrivals(self, tmp_path, capsys):
         trace = tmp_path / "trace.csv"
         trace.write_text(
@@ -397,6 +434,57 @@ class TestPlanCommand:
         assert all(
             not evaluations[r]["slo_ok"] for r in range(1, chosen)
         )
+
+    def test_plan_carbon_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "plan",
+                "--carbon-trace", "diurnal",
+                "--carbon-trace", "none",
+                "--power-cap", "3.0",
+                "--admission", "carbon_waiting",
+            ]
+        )
+        assert args.carbon_traces == ["diurnal", "none"]
+        assert args.power_caps == ["3.0"]
+        assert args.admissions == ["carbon_waiting"]
+
+    def test_plan_carbon_grid_and_budget_solve(self, capsys):
+        """A carbon/admission grid sweeps, carries the carbon columns, and
+        the solver honours the carbon/power budgets (the first grid point —
+        diurnal, no admission — is the one the solver evaluates)."""
+        code = main(
+            self._BASE
+            + [
+                "--replicas", "1,2",
+                "--policies", "round_robin",
+                "--power", "busy=2.0,idle=0.5",
+                "--carbon-trace", "diurnal",
+                "--carbon-trace", "none",
+                "--admission", "none",
+                "--admission", "carbon_waiting:threshold=350",
+                "--tenant-classes", "realtime,deferrable",
+                "--solve",
+                "--carbon-budget", "1.0",
+                "--power-budget", "50.0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["scenarios"]
+        assert payload["num_scenarios"] == len(rows) == 8
+        for row in rows:
+            assert row["grid_energy_j"] > 0.0
+            if row["carbon_trace"] is not None:
+                assert row["carbon_gco2"] > 0.0
+            else:
+                assert row["carbon_gco2"] is None
+        solver = payload["solver"]
+        assert solver["feasible"] is True
+        assert solver["carbon_budget_gco2"] == 1.0
+        assert solver["power_budget_w"] == 50.0
+        assert all("carbon_gco2" in e for e in solver["evaluations"])
 
     def test_plan_infeasible_slo_exits_nonzero(self, capsys):
         code = main(

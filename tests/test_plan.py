@@ -494,3 +494,167 @@ class TestDynamicPlan:
         ).run()
         assert "shed" not in result.rows[0]
         assert "autoscale" not in result.rows[0]
+        assert "carbon_gco2" not in result.rows[0]
+        assert "grid_energy_j" not in result.rows[0]
+
+
+# ---------------------------------------------------------------------------
+# Carbon/power sweeps: admission/trace/cap grids and budget filters
+# ---------------------------------------------------------------------------
+def _carbon_mix(num_graphs: int = 3) -> TenantMix:
+    """The standard mix with the screening tenant marked deferrable."""
+    tenants = _mix(num_graphs).tenants
+    deferred = dict(tenants[1])
+    deferred["tenant_class"] = "deferrable"
+    return TenantMix("green", (tenants[0], deferred))
+
+
+@pytest.fixture(scope="module")
+def carbon_spec() -> PlanSpec:
+    """8 scenarios crossing an admission grid with carbon traces and caps."""
+    return PlanSpec(
+        mixes=[_carbon_mix()],
+        backend="cpu",
+        replicas=(2,),
+        policies=("round_robin",),
+        arrivals=("poisson",),
+        admissions=(None, "carbon_waiting:threshold=350"),
+        carbon_traces=("diurnal", None),
+        # 3.0 W binds for the 2-replica pool (idle 1.0 W, each batch +1.5 W):
+        # two concurrent batches would draw 4.0 W, so the cap serialises.
+        power_caps=(None, 3.0),
+        power="busy=2.0,idle=0.5",
+        duration_s=0.02,
+    )
+
+
+class TestCarbonPlan:
+    def test_spec_reports_carbon(self, carbon_spec, small_spec, dynamic_spec):
+        assert carbon_spec.has_carbon and carbon_spec.has_dynamics
+        assert not small_spec.has_carbon
+        assert not dynamic_spec.has_carbon
+        assert carbon_spec.num_scenarios() == 8
+        # The carbon coordinates are the innermost enumeration loops:
+        # power_caps fastest, then carbon_traces, then admissions.
+        scenarios = list(carbon_spec.scenarios())
+        assert [
+            (s.admission, s.carbon_trace, s.power_cap_w) for s in scenarios[:4]
+        ] == [
+            (None, "diurnal", None),
+            (None, "diurnal", 3.0),
+            (None, None, None),
+            (None, None, 3.0),
+        ]
+        assert scenarios[4].admission == "carbon_waiting:threshold=350"
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"admissions": ("carbonated",)}, "cannot parse admission"),
+            ({"carbon_traces": ("sinusoid",)}, "unknown carbon trace"),
+            ({"carbon_traces": ()}, "grid 'carbon_traces' is empty"),
+            ({"power_caps": (0.0,)}, "power cap"),
+            ({"power": "watts=2"}, "cannot parse power parameter"),
+        ],
+    )
+    def test_bad_carbon_grids_rejected_eagerly(self, overrides, match):
+        fields = {"mixes": [_carbon_mix()], "replicas": (2,), **overrides}
+        with pytest.raises(ValueError, match=match):
+            PlanSpec(**fields)
+
+    @pytest.fixture(scope="class")
+    def carbon_result(self, carbon_spec):
+        return PlanRunner(carbon_spec, workers=1).run()
+
+    def test_worker_counts_byte_identical_exact(self, carbon_spec, carbon_result):
+        fanned = PlanRunner(carbon_spec, workers=8).run()
+        assert carbon_result.to_csv() == fanned.to_csv()
+        assert carbon_result.to_json() == fanned.to_json()
+
+    def test_worker_counts_byte_identical_sketch(self, carbon_spec):
+        from dataclasses import replace
+
+        sketch_spec = replace(carbon_spec, mode="sketch")
+        serial = PlanRunner(sketch_spec, workers=1).run()
+        fanned = PlanRunner(sketch_spec, workers=8).run()
+        assert serial.to_csv() == fanned.to_csv()
+        assert serial.to_json() == fanned.to_json()
+
+    def test_rows_carry_carbon_columns_and_conserve(self, carbon_result):
+        for row in carbon_result.rows:
+            assert set(row) >= {
+                "admission",
+                "carbon_trace",
+                "power_cap_w",
+                "grid_energy_j",
+                "carbon_gco2",
+            }
+            # The explicit power model charges every scenario for energy...
+            assert row["grid_energy_j"] > 0.0
+            # ...but only traced grid points are charged for carbon.
+            if row["carbon_trace"] is not None:
+                assert row["carbon_gco2"] > 0.0
+            else:
+                assert row["carbon_gco2"] is None
+            assert row["submitted"] == (
+                row["completed"] + row["dropped"] + row["shed"]
+            )
+
+    def test_feasible_and_cheapest_respect_budgets(self, carbon_result):
+        plain = carbon_result.feasible()
+        assert plain, "the 2-replica pool should hold the SLOs somewhere"
+        carbon_rows = [r for r in plain if r["carbon_gco2"] is not None]
+        assert carbon_rows
+        budget = max(r["carbon_gco2"] for r in carbon_rows)
+        within = carbon_result.feasible(carbon_budget_gco2=budget)
+        # A budget excludes untraced rows (they cannot demonstrate
+        # compliance) and anything over it, and never admits new rows.
+        assert within == carbon_rows
+        assert carbon_result.feasible(carbon_budget_gco2=0.0) == []
+        horizon = carbon_result.spec.duration_s
+        draws = [r["grid_energy_j"] / horizon for r in plain]
+        assert carbon_result.feasible(power_budget_w=max(draws) + 1.0) == plain
+        assert carbon_result.feasible(power_budget_w=min(draws) / 2.0) == []
+        cheapest = carbon_result.cheapest_feasible(carbon_budget_gco2=budget)
+        assert cheapest is not None and cheapest["carbon_gco2"] <= budget
+        assert carbon_result.cheapest_feasible(carbon_budget_gco2=0.0) is None
+
+    def test_solver_respects_carbon_and_power_budgets(self):
+        workloads = _carbon_mix().workloads()
+        cluster = Cluster(
+            workloads,
+            backend="cpu",
+            num_replicas=1,
+            power="busy=2.0,idle=0.5",
+            carbon="constant:500",
+        )
+        rate = 0.5 / cluster.mean_service_s()
+        requests = LoadGenerator.poisson(workloads, rate, seed=0).generate(
+            duration_s=0.03
+        )
+        free = min_replicas_for_slo(
+            cluster, requests, max_replicas=4, duration_s=0.05
+        )
+        assert free.feasible
+        assert free.report.carbon_gco2 is not None
+        # A budget at the unconstrained answer's charge changes nothing...
+        same = min_replicas_for_slo(
+            cluster,
+            requests,
+            max_replicas=4,
+            duration_s=0.05,
+            carbon_budget_gco2=free.report.carbon_gco2,
+            power_budget_w=free.report.energy_j / 0.05 + 1.0,
+        )
+        assert same.feasible and same.replicas == free.replicas
+        # ...an impossible one makes every pool infeasible, with the trail
+        # recording the carbon charge that disqualified each size.
+        denied = min_replicas_for_slo(
+            cluster,
+            requests,
+            max_replicas=4,
+            duration_s=0.05,
+            carbon_budget_gco2=free.report.carbon_gco2 / 1e6,
+        )
+        assert not denied.feasible
+        assert all(e["carbon_gco2"] > 0.0 for e in denied.evaluations)

@@ -22,9 +22,12 @@ import pytest
 
 from repro.graph import molecule_like_graph
 from repro.serve import (
+    CarbonIntensity,
+    CarbonWaitingAdmission,
     Cluster,
     FaultSchedule,
     LoadGenerator,
+    PowerModel,
     ReactiveAutoscaler,
     Workload,
 )
@@ -287,6 +290,88 @@ def test_flash_crowd_sketch_matches_exact_counts(seed):
     np.testing.assert_array_equal(
         sketch.per_replica_utilisation, exact.per_replica_utilisation
     )
+
+
+# ---------------------------------------------------------------------------
+# Power and carbon accounting under the seed matrix
+# ---------------------------------------------------------------------------
+def _powered_scenario(seed: int):
+    """A random scenario carrying a power model and a diurnal carbon trace."""
+    cluster, generator, duration = _random_generator(seed)
+    rng = np.random.default_rng([seed, 101])
+    power = PowerModel.from_busy(
+        float(rng.uniform(1.0, 5.0)), degraded_factor=float(rng.uniform(1.0, 2.0))
+    )
+    trace = CarbonIntensity.diurnal(
+        low=float(rng.uniform(50.0, 150.0)),
+        high=float(rng.uniform(400.0, 900.0)),
+        period_s=duration / float(rng.integers(1, 4)),
+    )
+    return cluster.with_options(power=power, carbon=trace), generator, duration
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_energy_is_sum_of_replica_integrals(seed):
+    cluster, generator, duration = _powered_scenario(seed)
+    requests = generator.generate(duration_s=duration)
+    report = cluster.serve(requests, duration_s=duration)
+    assert report.replica_energy_j is not None
+    assert np.all(report.replica_energy_j >= 0.0)
+    # Conservation is exact by construction (plain Python sum), not approximate.
+    assert report.energy_j == sum(report.replica_energy_j.tolist())
+    assert report.carbon_gco2 >= 0.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_zero_intensity_grid_charges_zero_carbon(seed):
+    cluster, generator, duration = _powered_scenario(seed)
+    cluster = cluster.with_options(carbon=CarbonIntensity.constant(0.0))
+    requests = generator.generate(duration_s=duration)
+    report = cluster.serve(requests, duration_s=duration)
+    assert report.energy_j > 0.0
+    assert report.carbon_gco2 == 0.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_carbon_waiting_never_misses_deadlines_baseline_meets(seed):
+    """Holding deferrable work must not cost a real-time tenant a deadline.
+
+    Real-time tenants are never held, and the deferred tenants' work is
+    released with enough headroom to finish in time; so for every tenant
+    whose baseline (no admission) run meets every deadline, the
+    carbon_waiting run must too.  The scenario leaves capacity headroom —
+    at saturation, *any* backlog shuffle can push a tail over a deadline,
+    which is an overload property, not a holding bug.
+    """
+    cluster, generator, duration = _powered_scenario(seed)
+    rng = np.random.default_rng([seed, 202])
+    workloads = list(cluster.workloads)
+    for index, workload in enumerate(workloads):
+        if index % 2 == 1:
+            workload.tenant_class = "deferrable"
+            # Loose enough that a held request released at its due date
+            # still has release_headroom x service to run.
+            workload.deadline_s = duration
+    cluster = cluster.with_options(queue_capacity=None)
+    rate = 0.4 * cluster.num_replicas / cluster.mean_service_s()
+    generator = LoadGenerator.poisson(workloads, rate, seed=int(rng.integers(1 << 16)))
+    requests = generator.generate(duration_s=0.6 * duration)
+    threshold = float(
+        cluster.carbon.min_intensity
+        + 0.5 * (cluster.carbon.max_intensity - cluster.carbon.min_intensity)
+    )
+    waiting = cluster.with_options(
+        admission=CarbonWaitingAdmission(carbon_threshold=threshold)
+    )
+    baseline_report = cluster.serve(requests, duration_s=duration)
+    waiting_report = waiting.serve(requests, duration_s=duration)
+    assert waiting_report.completed == baseline_report.completed == len(requests)
+    for name, outcome in waiting_report.tenants.items():
+        if outcome.workload.tenant_class != "realtime":
+            continue
+        baseline = baseline_report.tenants[name]
+        if baseline.report.deadline_miss_rate == 0.0:
+            assert outcome.report.deadline_miss_rate == 0.0, name
 
 
 def test_utilisation_clamped_at_horizon_boundary():
