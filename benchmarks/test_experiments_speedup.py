@@ -45,6 +45,12 @@ SPEEDUP_FLOOR = 2.0
 #: overhead dominate).
 GATE_MIN_CPUS = 4
 
+#: Engine transport under benchmark.  Every executor is row-identical, so
+#: the executor is a measurement condition, not a correctness knob; it is
+#: recorded in ``extra_info`` so a baseline recorded under one transport is
+#: never silently compared against a run under another.
+EXECUTOR = os.environ.get("REPRO_BENCH_EXECUTOR", "pool")
+
 
 def _available_cpus() -> int:
     try:
@@ -73,7 +79,7 @@ def test_experiment_harness_parallel_identical_and_2x(benchmark):
     def parallel_run():
         started = time.perf_counter()
         results = run_all_experiments(
-            fast=True, names=PARALLEL_NAMES, workers=workers
+            fast=True, names=PARALLEL_NAMES, workers=workers, executor=EXECUTOR
         )
         parallel_times.append(time.perf_counter() - started)
         return results
@@ -96,9 +102,11 @@ def test_experiment_harness_parallel_identical_and_2x(benchmark):
     benchmark.extra_info["gate_min_cpus"] = GATE_MIN_CPUS
     benchmark.extra_info["cpus"] = cpus
     benchmark.extra_info["serial_s"] = round(serial_elapsed, 4)
+    benchmark.extra_info["executor"] = EXECUTOR
     print(
-        f"\nserial harness: {serial_elapsed:.3f}s | {workers}-worker: "
-        f"{parallel_elapsed:.3f}s | speedup: {speedup:.2f}x on {cpus} cpu(s)"
+        f"\nserial harness: {serial_elapsed:.3f}s | {workers}-worker "
+        f"({EXECUTOR}): {parallel_elapsed:.3f}s | speedup: {speedup:.2f}x "
+        f"on {cpus} cpu(s)"
     )
 
     # The floor scales with what the machine can deliver: >=2x needs at

@@ -57,7 +57,7 @@ from .results import ResultStore, StoredRun, generate_report
 
 #: The single source of truth for the package version — ``setup.py`` parses
 #: this assignment and ``repro --version`` prints it.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Graph",

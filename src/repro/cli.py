@@ -44,6 +44,7 @@ from .api import BACKEND_NAMES, InferenceRequest, MeasurementCache, get_backend
 from .arch import ALVEO_U50
 from .datasets import DATASET_NAMES, load_dataset
 from .dse import SweepRunner, SweepSpec
+from .engine import EXECUTOR_NAMES
 from .eval import EXPERIMENT_NAMES, render_dict_table, run_all_experiments
 from .nn import MODEL_NAMES
 from .plan import PlanRunner, PlanSpec, TenantMix, min_replicas_for_slo
@@ -132,7 +133,19 @@ def _add_record_flag(parser: argparse.ArgumentParser) -> None:
 #: Namespace keys that select *how* a run executes or is exported, not *what*
 #: it computes — excluded from the recorded config signature so a re-run of
 #: the same workload matches regardless of worker count or output flags.
-_NON_SIGNATURE_KEYS = {"command", "workers", "progress", "json", "csv", "record"}
+#: ``executor`` and ``resume`` are operational too: every executor produces
+#: byte-identical rows, so a steal-executor resume of a pool-executor run is
+#: legitimate and must signature-match.
+_NON_SIGNATURE_KEYS = {
+    "command",
+    "workers",
+    "progress",
+    "json",
+    "csv",
+    "record",
+    "executor",
+    "resume",
+}
 
 
 def _signature_from_args(args: argparse.Namespace, **extra) -> str:
@@ -164,6 +177,122 @@ def _maybe_record(args: argparse.Namespace, kind: str, workers: Optional[int] = 
             workers=workers,
         ) as recorder:
             yield recorder
+        print(f"recorded run {recorder.run_id} in {store.path}", file=sys.stderr)
+
+
+class _RunComplete(Exception):
+    """``--resume`` named a finished run: the command is a successful no-op."""
+
+    def __init__(self, run_id: str) -> None:
+        super().__init__(run_id)
+        self.run_id = run_id
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Install ``--executor``/``--resume`` (experiments, dse, plan)."""
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default="pool",
+        help="engine transport: serial (in-process) | pool (chunked "
+        "multiprocessing, the default) | steal (single-item work stealing) "
+        "| dispatcher (spawned workers over a spooled work directory); "
+        "every choice produces byte-identical results",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="resume an interrupted --record run from its checkpoint "
+        "journal (pass the same workload flags; 'repro runs list' marks "
+        "resumable runs)",
+    )
+
+
+def _open_checkpoint(
+    store: ResultStore,
+    args: argparse.Namespace,
+    kind: str,
+    signature: str,
+    workers: Optional[int],
+):
+    """The run's :class:`~repro.results.StoreCheckpoint` — fresh or resumed.
+
+    Announces the run id on stderr either way (so an interrupted invocation
+    is resumable from what it printed).  Raises :class:`StoreError` for a
+    bad ``--resume`` target and :class:`_RunComplete` when the named run
+    already finished.
+    """
+    resume = getattr(args, "resume", None)
+    if resume:
+        state = store.checkpoint_state(resume)
+        if state is None:
+            raise StoreError(f"no checkpointed run {resume!r} in {store.path}")
+        if state["finished"]:
+            raise _RunComplete(resume)
+        if state["kind"] != kind:
+            raise StoreError(
+                f"run {resume!r} is a {state['kind']!r} run, not {kind!r}"
+            )
+        if state["signature"] != signature:
+            raise StoreError(
+                f"run {resume!r} was started with a different configuration "
+                f"(signature {state['signature'][:12]}, this invocation "
+                f"{signature[:12]}); resume with the original workload flags"
+            )
+        print(
+            f"resuming run {resume}: {state['completed_items']} items already "
+            "journaled",
+            file=sys.stderr,
+        )
+        return store.resume_checkpoint(resume)
+    checkpoint = store.begin_checkpoint(
+        kind,
+        signature,
+        executor=getattr(args, "executor", None),
+        workers=workers,
+    )
+    print(
+        f"checkpointing run {checkpoint.run_id} in {store.path} "
+        f"(resume an interrupted run with --resume {checkpoint.run_id})",
+        file=sys.stderr,
+    )
+    return checkpoint
+
+
+@contextmanager
+def _record_with_checkpoint(
+    args: argparse.Namespace, kind: str, workers: Optional[int] = None
+):
+    """Yield ``(recorder, checkpoint)`` for the checkpoint-capable commands.
+
+    Without ``--record``: ``(None, None)`` (and ``--resume`` is an error —
+    the journal lives in the results store).  With ``--record``: reserves a
+    run id (or reopens one with ``--resume``), journals completed items into
+    it during the block, and claims the id with the final payload when the
+    block finishes, flipping the checkpoint to finished in the same
+    transaction.  A kill anywhere in between leaves a resumable journal.
+    """
+    record = getattr(args, "record", None)
+    if record is None:
+        if getattr(args, "resume", None):
+            raise StoreError(
+                "--resume requires --record (the checkpoint journal lives in "
+                "the results store)"
+            )
+        yield None, None
+        return
+    signature = _signature_from_args(args)
+    with ResultStore(record) as store:
+        checkpoint = _open_checkpoint(store, args, kind, signature, workers)
+        with store.record(
+            kind,
+            signature,
+            argv=getattr(args, "_argv", None),
+            workers=workers,
+            run_id=checkpoint.run_id,
+        ) as recorder:
+            yield recorder, checkpoint
         print(f"recorded run {recorder.run_id} in {store.path}", file=sys.stderr)
 
 
@@ -228,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_progress_flag(experiments)
     _add_record_flag(experiments)
+    _add_executor_flags(experiments)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate one model on one dataset on a chosen backend"
@@ -304,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--csv", metavar="PATH", default=None, help="write the sweep rows as CSV")
     _add_progress_flag(dse)
     _add_record_flag(dse)
+    _add_executor_flags(dse)
 
     serve = subparsers.add_parser(
         "serve",
@@ -326,7 +457,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--arrival",
         default="poisson",
-        help="arrival process: poisson | bursty | constant | trace:PATH "
+        help="arrival process: poisson | bursty | constant | "
+        "diurnal[:low=,high=,period=] | trace:PATH "
         "(CSV with an arrival_s column; a tenant column routes rows)",
     )
     serve.add_argument(
@@ -539,7 +671,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrivals",
         type=_str_list,
         default=["poisson"],
-        help="arrival-process grid: poisson | bursty | constant | trace:PATH",
+        help="arrival-process grid: poisson | bursty | constant | "
+        "diurnal[:low=,high=,period=] | trace:PATH",
     )
     # The dynamic grids are repeatable flags rather than comma-separated
     # lists: autoscaler specs contain commas and fault schedules contain
@@ -676,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_progress_flag(plan)
     _add_record_flag(plan)
+    _add_executor_flags(plan)
 
     runs = subparsers.add_parser(
         "runs", help="inspect the results store that --record populates"
@@ -754,37 +888,74 @@ def _run_experiments(args: argparse.Namespace) -> int:
         )
         return 2
     progress = _progress_printer("experiments") if args.progress else None
-    started = time.perf_counter()
-    results = run_all_experiments(
-        fast=not args.full, names=names, workers=args.workers, progress=progress
-    )
-    suite_elapsed = time.perf_counter() - started
+    if args.record is None and args.resume:
+        print(
+            "--resume requires --record (the checkpoint journal lives in "
+            "the results store)",
+            file=sys.stderr,
+        )
+        return 2
 
-    if args.record is not None:
-        # One recorded run per experiment (they are distinct result tables);
-        # each carries the whole suite's wall clock — experiments share one
-        # engine pool, so a per-name split does not exist.
-        try:
-            with ResultStore(args.record) as store:
-                run_ids = []
-                for name in names:
-                    signature = _signature_from_args(args, names=None, experiment=name)
-                    with store.record(
-                        "experiments",
-                        signature,
-                        argv=getattr(args, "_argv", None),
-                        workers=args.workers,
-                    ) as recorder:
-                        recorder.add_table(results[name])
-                        recorder.duration_s = suite_elapsed
-                    run_ids.append(recorder.run_id)
+    store = None
+    checkpoint = None
+    try:
+        if args.record is not None:
+            # One suite-level checkpoint journals the union of every
+            # experiment's work items (the suite runs as one engine job),
+            # so a kill mid-suite resumes without redoing finished items.
+            store = ResultStore(args.record)
+            try:
+                checkpoint = _open_checkpoint(
+                    store, args, "experiments", _signature_from_args(args), args.workers
+                )
+            except _RunComplete as done:
                 print(
-                    f"recorded runs {', '.join(run_ids)} in {store.path}",
+                    f"run {done.run_id} is already complete; nothing to resume",
                     file=sys.stderr,
                 )
-        except StoreError as error:
-            print(f"cannot record runs: {error}", file=sys.stderr)
-            return 2
+                return 0
+
+        started = time.perf_counter()
+        results = run_all_experiments(
+            fast=not args.full,
+            names=names,
+            workers=args.workers,
+            progress=progress,
+            executor=args.executor,
+            checkpoint=checkpoint,
+        )
+        suite_elapsed = time.perf_counter() - started
+
+        if store is not None:
+            # One recorded run per experiment (they are distinct result
+            # tables); each carries the whole suite's wall clock —
+            # experiments share one engine pool, so a per-name split does
+            # not exist.  The suite checkpoint is marked finished once
+            # every per-experiment run has landed (its reserved sequence
+            # number is left unclaimed, which is fine: ids stay unique).
+            run_ids = []
+            for name in names:
+                signature = _signature_from_args(args, names=None, experiment=name)
+                with store.record(
+                    "experiments",
+                    signature,
+                    argv=getattr(args, "_argv", None),
+                    workers=args.workers,
+                ) as recorder:
+                    recorder.add_table(results[name])
+                    recorder.duration_s = suite_elapsed
+                run_ids.append(recorder.run_id)
+            store.finish_checkpoint(checkpoint.run_id)
+            print(
+                f"recorded runs {', '.join(run_ids)} in {store.path}",
+                file=sys.stderr,
+            )
+    except StoreError as error:
+        print(f"cannot record runs: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if store is not None:
+            store.close()
 
     if args.json:
         payload = {name: results[name].to_dict() for name in names}
@@ -938,12 +1109,24 @@ def _run_dse(args: argparse.Namespace) -> int:
         return 2
     print(spec.describe())
     try:
-        with _maybe_record(args, "dse", workers=args.workers) as recorder:
-            result = SweepRunner(spec, workers=args.workers).run(
-                progress=_progress_printer("dse") if args.progress else None
+        with _record_with_checkpoint(args, "dse", workers=args.workers) as (
+            recorder,
+            checkpoint,
+        ):
+            result = SweepRunner(
+                spec, workers=args.workers, executor=args.executor
+            ).run(
+                progress=_progress_printer("dse") if args.progress else None,
+                checkpoint=checkpoint,
             )
             if recorder is not None:
                 recorder.add_table(result)
+    except _RunComplete as done:
+        print(
+            f"run {done.run_id} is already complete; nothing to resume",
+            file=sys.stderr,
+        )
+        return 0
     except StoreError as error:
         print(f"cannot record run: {error}", file=sys.stderr)
         return 2
@@ -1188,12 +1371,24 @@ def _run_plan(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        with _maybe_record(args, "plan", workers=args.workers) as recorder:
-            result = PlanRunner(spec, workers=args.workers, cache=cache).run(
-                progress=_progress_printer("plan") if args.progress else None
+        with _record_with_checkpoint(args, "plan", workers=args.workers) as (
+            recorder,
+            checkpoint,
+        ):
+            result = PlanRunner(
+                spec, workers=args.workers, cache=cache, executor=args.executor
+            ).run(
+                progress=_progress_printer("plan") if args.progress else None,
+                checkpoint=checkpoint,
             )
             if recorder is not None:
                 recorder.add_table(result)
+    except _RunComplete as done:
+        print(
+            f"run {done.run_id} is already complete; nothing to resume",
+            file=sys.stderr,
+        )
+        return 0
     except StoreError as error:
         print(f"cannot record run: {error}", file=sys.stderr)
         return 2
@@ -1299,15 +1494,19 @@ def _run_runs(args: argparse.Namespace) -> int:
         with ResultStore(args.db, create=False) as store:
             if args.runs_command == "list":
                 runs = store.runs(kind=args.kind)
+                # Interrupted --record runs surface alongside finished ones
+                # with status "resumable", so the run id to hand to
+                # --resume is discoverable after the fact.
+                rows = [run.meta_row() for run in runs]
+                rows.extend(store.resumable_runs(kind=args.kind))
                 if args.json:
-                    print(json.dumps([run.meta_row() for run in runs], indent=2))
-                elif not runs:
+                    print(json.dumps(rows, indent=2))
+                elif not rows:
                     print(f"no recorded runs in {store.path}")
                 else:
                     print(
                         render_dict_table(
-                            [run.meta_row() for run in runs],
-                            title=f"recorded runs in {store.path}",
+                            rows, title=f"recorded runs in {store.path}"
                         )
                     )
                 return 0

@@ -31,7 +31,14 @@ from ..arch.energy import estimate_energy
 from ..arch.resources import estimate_resources
 from ..arch.simulator import simulate_inference, weight_loading_cycles
 from ..datasets import load_dataset
-from ..engine import Engine, Job, ProgressCallback, ResultTable, contiguous_chunks
+from ..engine import (
+    CheckpointSlice,
+    Engine,
+    Job,
+    ProgressCallback,
+    ResultTable,
+    contiguous_chunks,
+)
 from ..graph import Graph
 from ..nn import build_model
 from ..nn.models.base import GNNModel
@@ -241,6 +248,9 @@ class SweepRunner:
     use_fast_path:
         Compute cache misses with the vectorised scheduler (bit-identical to
         the reference; off means the reference scheduler runs on misses).
+    executor:
+        Engine transport (``serial`` / ``pool`` / ``steal`` /
+        ``dispatcher``); every choice produces byte-identical rows.
     """
 
     def __init__(
@@ -249,21 +259,31 @@ class SweepRunner:
         workers: Optional[int] = None,
         use_cache: bool = True,
         use_fast_path: bool = True,
+        executor: str = "pool",
     ) -> None:
         self.spec = spec
-        self.engine = Engine(workers=workers)
+        self.engine = Engine(workers=workers, executor=executor)
         self.workers = self.engine.workers
         self.use_cache = use_cache
         self.use_fast_path = use_fast_path
 
-    def run(self, progress: Optional[ProgressCallback] = None) -> SweepResult:
+    def run(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint=None,
+    ) -> SweepResult:
         """Evaluate every feasible sweep point.
 
         ``progress`` (optional) receives ``(completed, total)`` counts as
-        simulated points stream back from the engine.
+        simulated points stream back from the engine.  ``checkpoint``
+        (optional, a :class:`~repro.engine.Checkpoint`) journals each
+        completed point; a rerun with the same spec and journal skips the
+        journaled points and returns a byte-identical result.  The journal
+        is indexed by the sweep's run-wide point order (groups in spec
+        order, feasible configs in grid order within each group).
         """
         if self.spec.backend != "flowgnn":
-            return self._run_platform_backend(progress)
+            return self._run_platform_backend(progress, checkpoint)
         started = time.perf_counter()
         skipped: List[Dict] = []
         jobs = self._build_group_jobs(skipped)
@@ -279,7 +299,14 @@ class SweepRunner:
                 def group_progress(done, _total, _offset=completed):
                     progress(_offset + done, total)
 
-            run = self.engine.run(job, progress=group_progress)
+            group_checkpoint = None
+            if checkpoint is not None:
+                group_checkpoint = CheckpointSlice(
+                    checkpoint, completed, len(job.configs)
+                )
+            run = self.engine.run(
+                job, progress=group_progress, checkpoint=group_checkpoint
+            )
             rows.extend(run.rows)
             completed += len(job.configs)
             for info in run.infos:
@@ -335,10 +362,12 @@ class SweepRunner:
         return jobs
 
     def _run_platform_backend(
-        self, progress: Optional[ProgressCallback] = None
+        self, progress: Optional[ProgressCallback] = None, checkpoint=None
     ) -> SweepResult:
         started = time.perf_counter()
-        run = self.engine.run(PlatformSweepJob(spec=self.spec), progress=progress)
+        run = self.engine.run(
+            PlatformSweepJob(spec=self.spec), progress=progress, checkpoint=checkpoint
+        )
         return SweepResult(
             spec=self.spec,
             rows=run.rows,

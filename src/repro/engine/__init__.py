@@ -10,10 +10,13 @@ This package is the one implementation they all now run on:
   pre-measured :class:`~repro.api.MeasurementCache` snapshot), ``setup()``
   per-worker state, ``evaluate(item)`` one row, ``collect()`` worker-side
   statistics;
-* :class:`Engine` — runs any job over a ``multiprocessing`` pool with
-  order-preserving contiguous chunking, per-worker context injection and
-  incremental completed/total progress callbacks.  A 1-worker and an
-  N-worker run of the same job produce identical rows in identical order;
+* :class:`Engine` — runs any job over a pluggable executor (``serial`` /
+  ``pool`` / ``steal`` / ``dispatcher``, see :mod:`repro.engine.exec`) with
+  per-worker context injection, enumeration-order row reassembly,
+  incremental completed/total progress callbacks and optional
+  :class:`Checkpoint` journaling for kill-and-resume runs.  A 1-worker and
+  an N-worker run of the same job — under any executor — produce identical
+  rows in identical order;
 * :func:`contiguous_chunks` — the deterministic chunking primitive
   (previously copy-pasted between the dse and plan runners);
 * :class:`ResultTable` — the base class behind ``SweepResult``,
@@ -27,14 +30,36 @@ module scope, so any layer can build on it without import-order cycles.
 
 from .chunks import contiguous_chunks
 from .engine import Engine, EngineRun, ProgressCallback
+from .exec import (
+    EXECUTOR_NAMES,
+    Checkpoint,
+    CheckpointSlice,
+    DispatcherExecutor,
+    Executor,
+    MemoryCheckpoint,
+    PoolExecutor,
+    SerialExecutor,
+    WorkStealingExecutor,
+    make_executor,
+)
 from .job import Job
 from .table import ResultTable
 
 __all__ = [
+    "EXECUTOR_NAMES",
+    "Checkpoint",
+    "CheckpointSlice",
+    "DispatcherExecutor",
     "Engine",
     "EngineRun",
+    "Executor",
     "Job",
+    "MemoryCheckpoint",
+    "PoolExecutor",
     "ProgressCallback",
     "ResultTable",
+    "SerialExecutor",
+    "WorkStealingExecutor",
     "contiguous_chunks",
+    "make_executor",
 ]

@@ -1,62 +1,53 @@
-"""The engine: one pool/chunking/worker-init implementation for every job.
+"""The engine: one enumeration/checkpoint/assembly loop over any executor.
 
-:class:`Engine` executes any :class:`~repro.engine.Job` with the fan-out
-discipline the dse and plan runners independently evolved, now in one place:
+:class:`Engine` executes any :class:`~repro.engine.Job` and owns everything
+that must be deterministic — enumeration order, row assembly, progress and
+the checkpoint journal — while delegating the transport to a pluggable
+:class:`~repro.engine.exec.Executor`:
 
-* the job and its prepared context are pickled **once per worker** through
-  the pool initializer, never once per task;
-* work is split with :func:`~repro.engine.contiguous_chunks` and results are
-  drained with ``imap`` (ordered), so rows come back in enumeration order no
-  matter which worker finishes first — a 1-worker and an N-worker run are
-  row-identical by construction;
-* completed counts stream back to an optional ``progress`` callback as each
-  chunk (or each item, for in-process runs) finishes;
-* worker counts below two, or jobs with fewer than two items, run in-process
-  with no pool at all — same code path as a worker, same rows.
+* ``serial`` — in-process, no pool (the reference transport);
+* ``pool`` — contiguous chunks over a ``multiprocessing`` pool, the
+  historical engine path: job + context pickled **once per worker** through
+  the pool initializer, ordered ``imap`` drain;
+* ``steal`` — single-item dispatch from the pool's shared queue, so an idle
+  worker always steals the next item instead of waiting behind a
+  straggler's chunk;
+* ``dispatcher`` — fuzzbench-style dispatcher/scheduler split over a
+  spooled work directory of spawned worker processes.
 
-``chunk_items`` selects the chunking policy.  The default (one contiguous
-chunk per worker) maximises per-worker cache locality and is right for
-homogeneous items; ``chunk_items=1`` dispatches items one at a time, which
-load-balances wildly uneven items (e.g. whole paper experiments) at the cost
-of more task pickling.
+Rows are reassembled by enumeration index in the parent, so a 1-worker and
+an N-worker run — and any pair of executors — produce identical rows in
+identical order, by construction.
+
+Passing a ``checkpoint`` journal to :meth:`Engine.run` makes the run
+resumable: each completed row is appended to the journal as it arrives, and
+a later run with the same job and journal re-enumerates, skips the
+journaled indices and slots their rows straight into the output —
+byte-identical to an uninterrupted run.
+
+``chunk_items`` selects the pool chunking policy.  The default (one
+contiguous chunk per worker) maximises per-worker cache locality and is
+right for homogeneous items; ``chunk_items=1`` dispatches items one at a
+time, which load-balances wildly uneven items (e.g. whole paper
+experiments) at the cost of more task pickling.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Union
 
-from .chunks import contiguous_chunks
+from .exec import EXECUTOR_NAMES, Checkpoint, Executor, SerialExecutor, make_executor
 from .job import Job
 
 __all__ = ["Engine", "EngineRun"]
 
 #: ``progress(completed_items, total_items)`` — invoked from the parent
-#: process only, monotonically, ending at ``(total, total)``.
+#: process only, monotonically, ending at ``(total, total)``.  Resumed runs
+#: start the completed count at the number of journaled items.
 ProgressCallback = Callable[[int, int], None]
-
-
-# Worker-process state, installed once per pool worker by ``_init_worker``
-# so the job (and its shared context) crosses the process boundary exactly
-# once per worker instead of once per chunk.
-_WORKER_JOB: Optional[Job] = None
-
-
-def _init_worker(job: Job, context: Any) -> None:
-    global _WORKER_JOB
-    job.setup(context)
-    _WORKER_JOB = job
-
-
-def _evaluate_chunk(items: List) -> Tuple[List, int, Optional[Any]]:
-    rows = [_WORKER_JOB.evaluate(item) for item in items]
-    # The worker id rides along so the parent can keep only each worker's
-    # *latest* report: collect() returns cumulative worker state, and a fast
-    # worker may process several chunks.
-    return rows, os.getpid(), _WORKER_JOB.collect()
 
 
 @dataclass
@@ -67,24 +58,36 @@ class EngineRun:
     infos: List = field(default_factory=list)
     num_items: int = 0
     elapsed_s: float = 0.0
+    #: Items replayed from the checkpoint journal rather than evaluated.
+    resumed_items: int = 0
 
 
 class Engine:
-    """Runs :class:`~repro.engine.Job` s over a shared worker pool.
+    """Runs :class:`~repro.engine.Job` s over a pluggable executor.
 
     Parameters
     ----------
     workers:
-        ``multiprocessing`` worker count.  ``None`` uses ``os.cpu_count()``;
-        values below 2 run in-process (no pool, identical rows).
+        Worker count.  ``None`` uses ``os.cpu_count()``; values below 2 run
+        the pool-backed executors in-process (no pool, identical rows).
     chunk_items:
-        ``None`` (default) splits work into one contiguous chunk per worker;
-        a positive integer dispatches contiguous chunks of that many items,
-        trading task overhead for load balancing of uneven items.
+        ``None`` (default) splits pool work into one contiguous chunk per
+        worker; a positive integer dispatches contiguous chunks of that many
+        items, trading task overhead for load balancing of uneven items.
+        Only the ``pool`` executor chunks; ``steal`` and ``dispatcher``
+        always dispatch single items.
+    executor:
+        One of :data:`~repro.engine.exec.EXECUTOR_NAMES` (``"serial"``,
+        ``"pool"``, ``"steal"``, ``"dispatcher"``), or a pre-built
+        :class:`~repro.engine.exec.Executor` instance (used as given, no
+        in-process fallback).
     """
 
     def __init__(
-        self, workers: Optional[int] = None, chunk_items: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        chunk_items: Optional[int] = None,
+        executor: Union[str, Executor] = "pool",
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -92,77 +95,72 @@ class Engine:
         if chunk_items is not None and int(chunk_items) < 1:
             raise ValueError("chunk_items must be a positive integer or None")
         self.chunk_items = None if chunk_items is None else int(chunk_items)
+        if isinstance(executor, str) and executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        self.executor = executor
 
-    def run(self, job: Job, progress: Optional[ProgressCallback] = None) -> EngineRun:
-        """Evaluate every item of ``job``; rows come back in item order."""
+    def run(
+        self,
+        job: Job,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> EngineRun:
+        """Evaluate every item of ``job``; rows come back in item order.
+
+        With a ``checkpoint``, already-journaled items are skipped and their
+        rows replayed, and every newly completed row is appended to the
+        journal before it counts as done.
+        """
         started = time.perf_counter()
         items = list(job.enumerate())
         if not items:
             return EngineRun(elapsed_s=time.perf_counter() - started)
-        context = job.prepare()
-        if self.workers < 2 or len(items) < 2:
-            rows, infos = self._run_in_process(job, context, items, progress)
-        else:
-            rows, infos = self._run_pool(job, context, items, progress)
+
+        completed = {} if checkpoint is None else dict(checkpoint.completed_rows())
+        pending = [
+            (index, item) for index, item in enumerate(items) if index not in completed
+        ]
+        rows_by_index = dict(completed)
+        total = len(items)
+        done = len(completed)
+
+        def on_row(index: int, row: Any) -> None:
+            nonlocal done
+            rows_by_index[index] = row
+            if checkpoint is not None:
+                checkpoint.append(index, row)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+
+        infos: List = []
+        if pending:
+            context = job.prepare()
+            infos = self._select_executor(len(pending)).execute(
+                job, context, pending, on_row
+            )
+        rows = [rows_by_index[index] for index in range(total)]
         return EngineRun(
             rows=rows,
             infos=infos,
-            num_items=len(items),
+            num_items=total,
             elapsed_s=time.perf_counter() - started,
+            resumed_items=len(completed),
         )
 
-    # -- execution paths ------------------------------------------------------
-    def _run_in_process(
-        self,
-        job: Job,
-        context: Any,
-        items: List,
-        progress: Optional[ProgressCallback],
-    ) -> Tuple[List, List]:
-        job.setup(context)
-        rows = []
-        for index, item in enumerate(items):
-            rows.append(job.evaluate(item))
-            if progress is not None:
-                progress(index + 1, len(items))
-        info = job.collect()
-        return rows, ([info] if info is not None else [])
-
-    def _run_pool(
-        self,
-        job: Job,
-        context: Any,
-        items: List,
-        progress: Optional[ProgressCallback],
-    ) -> Tuple[List, List]:
-        if self.chunk_items is None:
-            chunks = contiguous_chunks(items, self.workers)
-        else:
-            chunks = [
-                items[start : start + self.chunk_items]
-                for start in range(0, len(items), self.chunk_items)
-            ]
-        rows: List = []
-        info_by_worker: dict = {}
-        completed = 0
-        with multiprocessing.Pool(
-            processes=min(self.workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(job, context),
-        ) as pool:
-            # imap (ordered) rather than map: chunk results arrive as they
-            # complete, which is what lets progress stream incrementally,
-            # but are yielded in submission order, which is what keeps the
-            # assembled rows deterministic.
-            for chunk_rows, worker_id, info in pool.imap(_evaluate_chunk, chunks):
-                rows.extend(chunk_rows)
-                if info is not None:
-                    # collect() reports cumulative worker state; keep only
-                    # the latest report per worker so statistics aggregate
-                    # without double counting when one worker runs several
-                    # chunks.
-                    info_by_worker[worker_id] = info
-                completed += len(chunk_rows)
-                if progress is not None:
-                    progress(completed, len(items))
-        return rows, list(info_by_worker.values())
+    def _select_executor(self, num_pending: int) -> Executor:
+        if not isinstance(self.executor, str):
+            return self.executor
+        # The pool-backed transports degrade to in-process execution when a
+        # pool could not help (one worker, or a single pending item): same
+        # code path as a worker, same rows, no pickling.
+        if self.executor in ("pool", "steal") and (
+            self.workers < 2 or num_pending < 2
+        ):
+            return SerialExecutor()
+        if self.executor == "serial":
+            return SerialExecutor()
+        return make_executor(self.executor, self.workers, self.chunk_items)

@@ -1,0 +1,82 @@
+"""Checkpoint journals: what the engine replays to resume a killed run.
+
+A checkpoint is anything with two methods:
+
+* ``completed_rows() -> Dict[int, row]`` — the already-journaled rows,
+  keyed by enumeration index, read once at the start of a run;
+* ``append(index, row)`` — journal one completed item; called from the
+  parent process as each row arrives, so a kill at any instant loses at
+  most the not-yet-appended items and never tears a row.
+
+The engine re-enumerates the job (enumeration is deterministic by the
+:class:`~repro.engine.Job` contract), skips completed indices, and feeds
+the journaled rows back into their slots — so a resumed run's output is
+byte-identical to an uninterrupted one.
+
+This module keeps the engine package dependency-free: the durable
+implementation (SQLite ``checkpoints`` table, keyed by run id + config
+signature + git SHA) lives in :class:`repro.results.StoreCheckpoint`; here
+are only the in-memory journal used by engine-level tests and the window
+view that lets one journal span several engine jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["Checkpoint", "CheckpointSlice", "MemoryCheckpoint"]
+
+
+class Checkpoint:
+    """Duck-typed journal of completed ``(index, row)`` pairs."""
+
+    def completed_rows(self) -> Dict[int, Any]:
+        """Journaled rows keyed by enumeration index."""
+        raise NotImplementedError
+
+    def append(self, index: int, row: Any) -> None:
+        """Journal one completed item (must be atomic per item)."""
+        raise NotImplementedError
+
+
+class MemoryCheckpoint(Checkpoint):
+    """An in-process journal — survives nothing, pins the resume contract."""
+
+    def __init__(self) -> None:
+        self.rows: Dict[int, Any] = {}
+
+    def completed_rows(self) -> Dict[int, Any]:
+        return dict(self.rows)
+
+    def append(self, index: int, row: Any) -> None:
+        self.rows[index] = row
+
+
+class CheckpointSlice(Checkpoint):
+    """A window ``[offset, offset + length)`` of a larger journal.
+
+    The dse runner executes one engine job per model×dataset group, but one
+    *run* (and therefore one resumable journal) spans all groups.  A slice
+    translates a group's local enumeration indices to positions in the
+    run-wide item order, so each group job sees only its own window.
+    """
+
+    def __init__(self, inner: Checkpoint, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise ValueError("checkpoint slice offset/length must be >= 0")
+        self.inner = inner
+        self.offset = int(offset)
+        self.length = int(length)
+
+    def completed_rows(self) -> Dict[int, Any]:
+        end = self.offset + self.length
+        return {
+            index - self.offset: row
+            for index, row in self.inner.completed_rows().items()
+            if self.offset <= index < end
+        }
+
+    def append(self, index: int, row: Any) -> None:
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} outside slice of length {self.length}")
+        self.inner.append(self.offset + index, row)

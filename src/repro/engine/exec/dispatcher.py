@@ -1,0 +1,187 @@
+"""Dispatcher/scheduler executor: spawned workers over a spooled work dir.
+
+The fuzzbench experiment-infrastructure shape (``dispatcher.py`` /
+``scheduler.py`` / measure workers): the parent is a *dispatcher* that
+spools the job, its context and every pending task into a work directory,
+spawns free-running worker processes, and then runs a *scheduler* loop that
+polls for completed results.  Workers share nothing with the parent but the
+directory:
+
+.. code-block:: text
+
+    work_dir/
+      shared.pkl                 pickled (job, context), read once per worker
+      tasks/item-00000042.pkl    one (index, item) per pending task
+      claimed/item-...pkl.<pid>  a task atomically renamed by its claimer
+      results/item-00000042.pkl  (index, row), tmp-written then renamed
+      stats/worker-<pid>.pkl     the worker's final collect() report
+
+Claiming is ``os.rename`` (atomic on POSIX): exactly one worker wins each
+task, with no locks and no queue.  Results are written to a ``.tmp`` path
+and ``os.replace``d into place, so the scheduler only ever reads complete
+files.  Because every transport step is a file, swapping the directory for
+a shared filesystem (or an object store) turns this into multi-host fan-out
+without touching the engine — and a crashed run leaves its work dir as a
+post-mortem.
+
+If any worker dies mid-task its claimed item never produces a result; the
+scheduler detects the shortfall once all workers have exited and raises
+rather than returning a silently truncated run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from ..job import Job
+from .base import Executor, OnRow
+
+__all__ = ["DispatcherExecutor"]
+
+_SHARED = "shared.pkl"
+_TASKS = "tasks"
+_CLAIMED = "claimed"
+_RESULTS = "results"
+_STATS = "stats"
+
+
+def _task_name(index: int) -> str:
+    return f"item-{index:08d}.pkl"
+
+
+def _atomic_write(path: str, payload: Any) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _load(path: str) -> Any:
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _worker_main(work_dir: str) -> None:
+    """A free-running worker: claim tasks by rename until none remain."""
+    job, context = _load(os.path.join(work_dir, _SHARED))
+    job.setup(context)
+    tasks_dir = os.path.join(work_dir, _TASKS)
+    claimed_dir = os.path.join(work_dir, _CLAIMED)
+    results_dir = os.path.join(work_dir, _RESULTS)
+    while True:
+        names = sorted(os.listdir(tasks_dir))
+        if not names:
+            break
+        progressed = False
+        for name in names:
+            claim = os.path.join(claimed_dir, f"{name}.{os.getpid()}")
+            try:
+                os.rename(os.path.join(tasks_dir, name), claim)
+            except OSError:
+                continue  # another worker won the rename race
+            index, item = _load(claim)
+            _atomic_write(os.path.join(results_dir, name), (index, job.evaluate(item)))
+            progressed = True
+        if not progressed:
+            # Lost every race this pass; let the winners drain the directory.
+            time.sleep(0.002)
+    info = job.collect()
+    if info is not None:
+        _atomic_write(
+            os.path.join(work_dir, _STATS, f"worker-{os.getpid()}.pkl"), info
+        )
+
+
+class DispatcherExecutor(Executor):
+    """Spool tasks to a directory, spawn workers, poll results back."""
+
+    name = "dispatcher"
+
+    def __init__(
+        self,
+        workers: int,
+        work_dir: Optional[str] = None,
+        poll_s: float = 0.01,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.work_dir = work_dir
+        self.poll_s = float(poll_s)
+
+    def execute(
+        self,
+        job: Job,
+        context: Any,
+        pending: Sequence[Tuple[int, Any]],
+        on_row: OnRow,
+    ) -> List[Any]:
+        owns_dir = self.work_dir is None
+        work_dir = self.work_dir or tempfile.mkdtemp(prefix="repro-dispatch-")
+        try:
+            return self._dispatch(job, context, list(pending), on_row, work_dir)
+        finally:
+            if owns_dir:
+                shutil.rmtree(work_dir, ignore_errors=True)
+
+    def _dispatch(
+        self,
+        job: Job,
+        context: Any,
+        pending: List[Tuple[int, Any]],
+        on_row: OnRow,
+        work_dir: str,
+    ) -> List[Any]:
+        for sub in (_TASKS, _CLAIMED, _RESULTS, _STATS):
+            os.makedirs(os.path.join(work_dir, sub), exist_ok=True)
+        _atomic_write(os.path.join(work_dir, _SHARED), (job, context))
+        tasks_dir = os.path.join(work_dir, _TASKS)
+        for index, item in pending:
+            _atomic_write(os.path.join(tasks_dir, _task_name(index)), (index, item))
+
+        context_mp = multiprocessing.get_context()
+        procs = [
+            context_mp.Process(target=_worker_main, args=(work_dir,), daemon=True)
+            for _ in range(min(self.workers, len(pending)))
+        ]
+        for proc in procs:
+            proc.start()
+
+        results_dir = os.path.join(work_dir, _RESULTS)
+        seen: Set[str] = set()
+        while len(seen) < len(pending):
+            self._drain(results_dir, seen, on_row)
+            if len(seen) >= len(pending):
+                break
+            if not any(proc.is_alive() for proc in procs):
+                self._drain(results_dir, seen, on_row)
+                if len(seen) < len(pending):
+                    raise RuntimeError(
+                        "dispatcher workers exited with "
+                        f"{len(pending) - len(seen)} of {len(pending)} results "
+                        f"missing (work dir: {work_dir})"
+                    )
+                break
+            time.sleep(self.poll_s)
+        for proc in procs:
+            proc.join()
+
+        stats_dir = os.path.join(work_dir, _STATS)
+        return [
+            _load(os.path.join(stats_dir, name))
+            for name in sorted(os.listdir(stats_dir))
+            if name.endswith(".pkl")
+        ]
+
+    @staticmethod
+    def _drain(results_dir: str, seen: Set[str], on_row: OnRow) -> None:
+        for name in sorted(os.listdir(results_dir)):
+            if name in seen or not name.endswith(".pkl"):
+                continue  # .tmp.<pid> files are still being written
+            index, row = _load(os.path.join(results_dir, name))
+            on_row(index, row)
+            seen.add(name)

@@ -1,0 +1,34 @@
+"""In-process executor: no pool, no pickling — the reference transport."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from ..job import Job
+from .base import Executor, OnRow
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Evaluates every pending item in the parent process, in order.
+
+    This is the same code path a pool worker runs (``setup`` then
+    ``evaluate`` per item), which is what makes a 1-worker run byte-identical
+    to an N-worker run: there is nothing the pool does that this doesn't.
+    """
+
+    name = "serial"
+
+    def execute(
+        self,
+        job: Job,
+        context: Any,
+        pending: Sequence[Tuple[int, Any]],
+        on_row: OnRow,
+    ) -> List[Any]:
+        job.setup(context)
+        for index, item in pending:
+            on_row(index, job.evaluate(item))
+        info = job.collect()
+        return [info] if info is not None else []

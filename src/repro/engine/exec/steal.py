@@ -1,0 +1,52 @@
+"""Work-stealing executor: single-item dispatch from a shared queue.
+
+Every pending item is its own task on the pool's shared queue
+(``chunksize=1``), so an idle worker always steals the next item rather
+than waiting behind a straggler's pre-assigned chunk — the right trade for
+wildly uneven items (whole paper experiments, mixed-size plan scenarios).
+Results are drained *unordered* for latency, then reassembled by
+enumeration index in the engine, so the output is byte-identical to the
+serial and chunked-pool executors.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, List, Sequence, Tuple
+
+from ..job import Job
+from .base import Executor, OnRow
+from .worker import _evaluate_one, _init_worker
+
+__all__ = ["WorkStealingExecutor"]
+
+
+class WorkStealingExecutor(Executor):
+    """One item per task, ``imap_unordered`` drain, index reassembly."""
+
+    name = "steal"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = int(workers)
+
+    def execute(
+        self,
+        job: Job,
+        context: Any,
+        pending: Sequence[Tuple[int, Any]],
+        on_row: OnRow,
+    ) -> List[Any]:
+        pending = list(pending)
+        info_by_worker: dict = {}
+        with multiprocessing.Pool(
+            processes=min(self.workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(job, context),
+        ) as pool:
+            for index, row, worker_id, info in pool.imap_unordered(
+                _evaluate_one, pending, chunksize=1
+            ):
+                on_row(index, row)
+                if info is not None:
+                    info_by_worker[worker_id] = info
+        return list(info_by_worker.values())

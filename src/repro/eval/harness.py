@@ -135,6 +135,8 @@ def run_all_experiments(
     names: Optional[List[str]] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    executor: str = "pool",
+    checkpoint=None,
 ) -> Dict[str, ExperimentResult]:
     """Run every (or the selected) experiment and return results by name.
 
@@ -142,7 +144,10 @@ def run_all_experiments(
     many processes (``None`` uses the CPU count; values below 2 run
     in-process).  Rows are identical for any worker count.  ``progress``
     (optional) receives ``(completed, total)`` item counts as evaluations
-    stream back from the engine.
+    stream back from the engine.  ``executor`` selects the engine transport
+    (``serial`` / ``pool`` / ``steal`` / ``dispatcher``) and ``checkpoint``
+    (a :class:`~repro.engine.Checkpoint`) journals completed suite items
+    for kill-and-resume — neither changes the assembled rows.
 
     .. note:: the default is parallel.  On platforms whose multiprocessing
        start method is ``spawn`` (macOS, Windows), call this under an
@@ -152,7 +157,9 @@ def run_all_experiments(
     selected = names or EXPERIMENT_NAMES
     jobs = [build_experiment_job(name, fast=fast) for name in selected]
     suite = ExperimentSuiteJob(jobs=jobs)
-    run = Engine(workers=workers, chunk_items=1).run(suite, progress=progress)
+    run = Engine(workers=workers, chunk_items=1, executor=executor).run(
+        suite, progress=progress, checkpoint=checkpoint
+    )
     return suite.assemble(run.rows)
 
 

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..api import MeasurementCache
 from ..engine import Engine, Job, ProgressCallback, ResultTable
-from ..serve import Cluster, FaultSchedule, LoadGenerator, Workload
+from ..serve import Cluster, DiurnalArrivals, FaultSchedule, LoadGenerator, Workload
 from .cost import PLAN_OBJECTIVES, scenario_row
 from .spec import PlanSpec, Scenario
 
@@ -133,10 +133,11 @@ def build_generator(
 ) -> LoadGenerator:
     """The :class:`LoadGenerator` for one arrival-process name.
 
-    ``arrival`` is one of :data:`~repro.plan.ARRIVAL_NAMES` or
-    ``trace:PATH``.  This is the single name→process mapping shared by plan
-    sweeps, the CLI solve path and ``repro serve``, so every front-end
-    offers identical load for the same arguments.
+    ``arrival`` is one of :data:`~repro.plan.ARRIVAL_NAMES`,
+    ``diurnal[:low=L,high=H,period=P]`` or ``trace:PATH``.  This is the
+    single name→process mapping shared by plan sweeps, the CLI solve path
+    and ``repro serve``, so every front-end offers identical load for the
+    same arguments.
     """
     if arrival.startswith("trace:"):
         return LoadGenerator.trace(workloads, arrival[len("trace:"):], seed=seed)
@@ -146,9 +147,12 @@ def build_generator(
         return LoadGenerator.bursty(workloads, rate_rps, seed=seed)
     if arrival == "constant":
         return LoadGenerator.constant(workloads, rate_rps, seed=seed)
+    if arrival == "diurnal" or arrival.startswith("diurnal:"):
+        options = DiurnalArrivals.parse_options(arrival)
+        return LoadGenerator.diurnal(workloads, rate_rps, seed=seed, **options)
     raise ValueError(
-        f"unknown arrival process {arrival!r}; "
-        "use poisson, bursty, constant or trace:PATH"
+        f"unknown arrival process {arrival!r}; use poisson, bursty, constant, "
+        "diurnal[:low=,high=,period=] or trace:PATH"
     )
 
 
@@ -291,9 +295,10 @@ class PlanRunner:
         spec: PlanSpec,
         workers: Optional[int] = None,
         cache: Optional[MeasurementCache] = None,
+        executor: str = "pool",
     ) -> None:
         self.spec = spec
-        self.engine = Engine(workers=workers)
+        self.engine = Engine(workers=workers, executor=executor)
         self.workers = self.engine.workers
         self.cache = cache if cache is not None else MeasurementCache()
 
@@ -332,16 +337,23 @@ class PlanRunner:
                 )
         return cache, rates
 
-    def run(self, progress: Optional[ProgressCallback] = None) -> PlanResult:
+    def run(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint=None,
+    ) -> PlanResult:
         """Evaluate every scenario of the sweep.
 
         ``progress`` (optional) receives ``(completed, total)`` scenario
-        counts as results stream back from the engine.
+        counts as results stream back from the engine.  ``checkpoint``
+        (optional, a :class:`~repro.engine.Checkpoint`) journals completed
+        scenarios for kill-and-resume; the premeasure pass is recomputed on
+        resume (it is deterministic), only scenario evaluations are skipped.
         """
         started = time.perf_counter()
         cache, rates = self._premeasure()
         job = PlanJob(spec=self.spec, rates=rates, profiles=cache.snapshot())
-        run = self.engine.run(job, progress=progress)
+        run = self.engine.run(job, progress=progress, checkpoint=checkpoint)
         return PlanResult(
             spec=self.spec,
             rows=run.rows,

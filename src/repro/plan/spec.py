@@ -31,7 +31,7 @@ from ..serve.workload import Workload
 __all__ = ["TenantMix", "Scenario", "PlanSpec", "ARRIVAL_NAMES"]
 
 #: Arrival-process conveniences a scenario can name (plus ``trace:PATH``).
-ARRIVAL_NAMES: Tuple[str, ...] = ("poisson", "bursty", "constant")
+ARRIVAL_NAMES: Tuple[str, ...] = ("poisson", "bursty", "constant", "diurnal")
 
 
 @dataclass(frozen=True)
@@ -248,10 +248,14 @@ class PlanSpec:
         ):
             raise ValueError("queue capacities must be >= 1 or None (unbounded)")
         for arrival in self.arrivals:
-            if arrival not in ARRIVAL_NAMES and not arrival.startswith("trace:"):
+            if (
+                arrival not in ARRIVAL_NAMES
+                and not arrival.startswith("diurnal:")
+                and not arrival.startswith("trace:")
+            ):
                 raise ValueError(
-                    f"unknown arrival process {arrival!r}; "
-                    f"use one of {ARRIVAL_NAMES} or trace:PATH"
+                    f"unknown arrival process {arrival!r}; use one of "
+                    f"{ARRIVAL_NAMES}, diurnal:low=,high=,period= or trace:PATH"
                 )
         if self.rate_rps is not None and not self.rate_rps > 0:
             raise ValueError("rate_rps must be positive (or None to derive it)")

@@ -27,6 +27,7 @@ from .store import (
     DEFAULT_DB_PATH,
     ResultStore,
     RunRecorder,
+    StoreCheckpoint,
     StoredRun,
     StoreError,
     config_signature,
@@ -37,6 +38,7 @@ __all__ = [
     "DEFAULT_COMPARE_METRICS",
     "ResultStore",
     "RunRecorder",
+    "StoreCheckpoint",
     "StoredRun",
     "StoreError",
     "config_signature",

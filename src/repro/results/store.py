@@ -23,6 +23,19 @@ Two more accumulate CI artifacts (:mod:`repro.results.ingest`):
 (regression-gate outcomes from ``benchmarks/compare_to_baseline.py
 --json-out``).
 
+Two carry resumable-run journals (:class:`StoreCheckpoint`, the durable
+:class:`~repro.engine.Checkpoint`): ``checkpoint_runs`` — one row per
+checkpointed run, keyed by run id with the config signature, git SHA,
+executor and a ``finished`` flag — and ``checkpoints`` — one **pickled**
+row payload per completed item index (pickle, not JSON, so the replayed
+rows are the original objects and a resumed run is byte-identical to an
+uninterrupted one).  Each journal append is a single autocommitted INSERT:
+a kill at any instant loses at most in-flight items, never tears a row.
+A checkpointed run reserves its run id up front; the final ``record()``
+claims that id and flips ``finished``, so interrupted runs are exactly the
+``checkpoint_runs`` rows with no final payload — what ``repro runs list``
+surfaces as ``resumable``.
+
 Concurrency: the store opens SQLite in WAL mode with a generous busy
 timeout, and run insertion takes an immediate transaction, so two processes
 recording into the same database interleave safely (run ids stay unique and
@@ -33,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import sqlite3
 import subprocess
 import time
@@ -45,6 +59,7 @@ from typing import Dict, Iterator, List, Optional
 __all__ = [
     "DEFAULT_DB_PATH",
     "ResultStore",
+    "StoreCheckpoint",
     "StoreError",
     "StoredRun",
     "RunRecorder",
@@ -104,6 +119,23 @@ CREATE TABLE IF NOT EXISTS verdicts (
     skipped_reason TEXT,
     source         TEXT,
     PRIMARY KEY (name, recorded_utc)
+);
+CREATE TABLE IF NOT EXISTS checkpoint_runs (
+    run_id      TEXT PRIMARY KEY,
+    seq         INTEGER NOT NULL,
+    kind        TEXT NOT NULL,
+    signature   TEXT NOT NULL,
+    git_sha     TEXT,
+    executor    TEXT,
+    workers     INTEGER,
+    started_utc TEXT NOT NULL,
+    finished    INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    run_id     TEXT NOT NULL REFERENCES checkpoint_runs(run_id) ON DELETE CASCADE,
+    item_index INTEGER NOT NULL,
+    payload    BLOB NOT NULL,
+    PRIMARY KEY (run_id, item_index)
 );
 """
 
@@ -189,6 +221,7 @@ class StoredRun:
             "workers": self.workers,
             "duration_s": round(self.duration_s, 3),
             "host_cpus": self.host_cpus,
+            "status": "complete",
         }
 
 
@@ -225,6 +258,42 @@ class RunRecorder:
             raise StoreError("record() already holds a result for this run")
         self.rows = rows
         self.payload = payload
+
+
+@dataclass
+class StoreCheckpoint:
+    """A durable run journal: the :class:`~repro.engine.Checkpoint` protocol
+    backed by the store's ``checkpoints`` table.
+
+    Rows are pickled (not JSON), so :meth:`completed_rows` replays the
+    original row objects and a resumed run's output is byte-identical to an
+    uninterrupted one.  Each :meth:`append` is one autocommitted INSERT —
+    atomic per item, so a crash or kill never leaves a torn row behind.
+    """
+
+    store: "ResultStore"
+    run_id: str
+    kind: str
+    signature: str
+
+    def completed_rows(self) -> Dict[int, object]:
+        cursor = self.store._connection.execute(
+            "SELECT item_index, payload FROM checkpoints WHERE run_id = ?",
+            (self.run_id,),
+        )
+        return {index: pickle.loads(payload) for index, payload in cursor}
+
+    def append(self, index: int, row) -> None:
+        self.store._connection.execute(
+            "INSERT OR REPLACE INTO checkpoints (run_id, item_index, payload)"
+            " VALUES (?, ?, ?)",
+            (self.run_id, index, pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+
+    def completed_count(self) -> int:
+        return self.store._connection.execute(
+            "SELECT COUNT(*) FROM checkpoints WHERE run_id = ?", (self.run_id,)
+        ).fetchone()[0]
 
 
 class ResultStore:
@@ -283,6 +352,7 @@ class ResultStore:
         signature: str,
         argv: Optional[List[str]] = None,
         workers: Optional[int] = None,
+        run_id: Optional[str] = None,
     ) -> Iterator[RunRecorder]:
         """Record one run: provenance captured here, result attached by the caller.
 
@@ -296,6 +366,10 @@ class ResultStore:
         The wall-clock duration is the time spent inside the ``with`` block.
         Nothing is written if the block raises — a crashed run leaves no
         partial row behind.
+
+        ``run_id`` claims an id reserved by :meth:`begin_checkpoint`: the
+        final payload lands under the id announced when the run started, and
+        the checkpoint is marked finished in the same transaction.
         """
         recorder = RunRecorder(kind=kind, signature=signature, argv=argv, workers=workers)
         started = time.perf_counter()
@@ -319,15 +393,25 @@ class ResultStore:
         # concurrent recorders cannot mint the same run id.
         connection.execute("BEGIN IMMEDIATE")
         try:
-            next_id = connection.execute(
-                "SELECT COALESCE(MAX(id), 0) + 1 FROM runs"
-            ).fetchone()[0]
-            run_id = f"{kind}-{next_id}"
+            if run_id is None:
+                next_id = self._next_seq()
+                run_id = f"{kind}-{next_id}"
+            else:
+                reserved = connection.execute(
+                    "SELECT seq FROM checkpoint_runs WHERE run_id = ?", (run_id,)
+                ).fetchone()
+                if reserved is None:
+                    raise StoreError(
+                        f"run id {run_id!r} was not reserved by begin_checkpoint"
+                    )
+                next_id = reserved[0]
             connection.execute(
-                "INSERT INTO runs (run_id, kind, signature, timestamp_utc, git_sha,"
-                " git_dirty, repro_version, argv, workers, duration_s, host_cpus,"
-                " num_rows, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO runs (id, run_id, kind, signature, timestamp_utc,"
+                " git_sha, git_dirty, repro_version, argv, workers, duration_s,"
+                " host_cpus, num_rows, payload)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
+                    next_id,
                     run_id,
                     kind,
                     signature,
@@ -350,11 +434,151 @@ class ResultStore:
                     for index, row in enumerate(recorder.rows)
                 ],
             )
+            connection.execute(
+                "UPDATE checkpoint_runs SET finished = 1 WHERE run_id = ?",
+                (run_id,),
+            )
             connection.commit()
         except BaseException:
             connection.rollback()
             raise
         recorder.run_id = run_id
+
+    def _next_seq(self) -> int:
+        """The next global run sequence number (call inside a transaction).
+
+        Considers both recorded runs *and* reserved-but-unfinished
+        checkpoints, so a concurrent plain ``record()`` can never mint an id
+        a resumable run is still holding.
+        """
+        max_run = self._connection.execute(
+            "SELECT COALESCE(MAX(id), 0) FROM runs"
+        ).fetchone()[0]
+        try:
+            max_seq = self._connection.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM checkpoint_runs"
+            ).fetchone()[0]
+        except sqlite3.OperationalError:  # pre-checkpoint schema, create=False
+            max_seq = 0
+        return max(max_run, max_seq) + 1
+
+    # -- checkpointed (resumable) runs --------------------------------------
+    def begin_checkpoint(
+        self,
+        kind: str,
+        signature: str,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> StoreCheckpoint:
+        """Reserve a run id and open its journal.
+
+        The returned :class:`StoreCheckpoint` plugs straight into
+        ``Engine.run(job, checkpoint=...)``; pass its ``run_id`` to
+        :meth:`record` once the run completes so the final payload claims
+        the reserved id and the checkpoint is marked finished.
+        """
+        timestamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        git_sha, _ = _git_info()
+        connection = self._connection
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            seq = self._next_seq()
+            run_id = f"{kind}-{seq}"
+            connection.execute(
+                "INSERT INTO checkpoint_runs (run_id, seq, kind, signature,"
+                " git_sha, executor, workers, started_utc, finished)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)",
+                (run_id, seq, kind, signature, git_sha, executor, workers, timestamp),
+            )
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        return StoreCheckpoint(store=self, run_id=run_id, kind=kind, signature=signature)
+
+    def checkpoint_state(self, run_id: str) -> Optional[Dict]:
+        """The checkpoint's metadata (plus completed-item count), or ``None``."""
+        try:
+            record = self._connection.execute(
+                "SELECT run_id, seq, kind, signature, git_sha, executor, workers,"
+                " started_utc, finished FROM checkpoint_runs WHERE run_id = ?",
+                (run_id,),
+            ).fetchone()
+        except sqlite3.OperationalError:  # pre-checkpoint schema, create=False
+            return None
+        if record is None:
+            return None
+        completed = self._connection.execute(
+            "SELECT COUNT(*) FROM checkpoints WHERE run_id = ?", (run_id,)
+        ).fetchone()[0]
+        return {
+            "run_id": record[0],
+            "seq": record[1],
+            "kind": record[2],
+            "signature": record[3],
+            "git_sha": record[4],
+            "executor": record[5],
+            "workers": record[6],
+            "started_utc": record[7],
+            "finished": bool(record[8]),
+            "completed_items": completed,
+        }
+
+    def resume_checkpoint(self, run_id: str) -> StoreCheckpoint:
+        """Reopen an existing checkpoint journal by run id."""
+        state = self.checkpoint_state(run_id)
+        if state is None:
+            raise StoreError(f"no checkpointed run {run_id!r} in {self.path}")
+        return StoreCheckpoint(
+            store=self,
+            run_id=run_id,
+            kind=state["kind"],
+            signature=state["signature"],
+        )
+
+    def finish_checkpoint(self, run_id: str) -> None:
+        """Mark a checkpoint finished without claiming its id via record()."""
+        self._connection.execute(
+            "UPDATE checkpoint_runs SET finished = 1 WHERE run_id = ?", (run_id,)
+        )
+
+    def resumable_runs(self, kind: Optional[str] = None) -> List[Dict]:
+        """Interrupted runs (journal present, no final payload), oldest first.
+
+        Rows are shaped like :meth:`StoredRun.meta_row` so ``repro runs
+        list`` renders complete and resumable runs in one table.
+        """
+        try:
+            cursor = self._connection.execute(
+                "SELECT run_id, kind, signature, git_sha, executor, workers,"
+                " started_utc FROM checkpoint_runs WHERE finished = 0"
+                + ("" if kind is None else " AND kind = ?")
+                + " ORDER BY seq",
+                () if kind is None else (kind,),
+            )
+        except sqlite3.OperationalError:  # pre-checkpoint schema, create=False
+            return []
+        rows = []
+        for run_id, run_kind, signature, git_sha, executor, workers, started in cursor:
+            completed = self._connection.execute(
+                "SELECT COUNT(*) FROM checkpoints WHERE run_id = ?", (run_id,)
+            ).fetchone()[0]
+            rows.append(
+                {
+                    "run_id": run_id,
+                    "kind": run_kind,
+                    "timestamp_utc": started,
+                    "git": (git_sha or "")[:10] or "?",
+                    "version": "?",
+                    "signature": signature[:12],
+                    "rows": completed,
+                    "workers": workers,
+                    "duration_s": None,
+                    "host_cpus": None,
+                    "status": "resumable",
+                }
+            )
+        return rows
 
     # -- loading ------------------------------------------------------------
     def load_run(self, run_id: str) -> StoredRun:

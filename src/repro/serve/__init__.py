@@ -21,8 +21,9 @@ single-stream evaluation (:meth:`Backend.run_stream`) to a serving cluster::
 * :class:`Workload` — per-tenant spec (model, dataset, deadline, priority,
   traffic share), eagerly validated via :class:`~repro.api.InferenceRequest`;
 * :class:`LoadGenerator` + arrival processes (:class:`PoissonArrivals`,
-  bursty :class:`OnOffArrivals`, :class:`ConstantArrivals`,
-  :class:`TraceArrivals` CSV replay) — seeded, bit-reproducible;
+  bursty :class:`OnOffArrivals`, day/night :class:`DiurnalArrivals`,
+  :class:`ConstantArrivals`, :class:`TraceArrivals` CSV replay) — seeded,
+  bit-reproducible;
 * :class:`Cluster` — event-driven multiplexing over replicated backends
   with swappable dispatch policies (``round_robin`` / ``least_loaded`` /
   SLO-aware ``edf``) and dynamic batching (``max_batch_size``,
@@ -49,6 +50,7 @@ from .arrivals import (
     STREAM_CHUNK,
     ArrivalProcess,
     ConstantArrivals,
+    DiurnalArrivals,
     LoadGenerator,
     OnOffArrivals,
     PoissonArrivals,
@@ -97,6 +99,7 @@ from .workload import TENANT_CLASSES, Workload
 __all__ = [
     "ArrivalProcess",
     "ConstantArrivals",
+    "DiurnalArrivals",
     "PoissonArrivals",
     "OnOffArrivals",
     "TraceArrivals",

@@ -11,6 +11,10 @@ implementations:
 * :class:`OnOffArrivals` — bursty MMPP-style traffic: exponentially
   distributed ON/OFF phases with a high in-burst rate and a (default zero)
   background rate;
+* :class:`DiurnalArrivals` — rate-modulated (non-homogeneous) Poisson
+  traffic following a day/night cosine: overnight lull at ``low`` times the
+  mean, midday peak at ``high`` times, one cycle per ``period_s`` — the
+  arrival-side twin of the carbon grid's diurnal intensity trace;
 * :class:`TraceArrivals` — replay of recorded timestamps, loadable from CSV.
 
 Everything is seeded: a ``LoadGenerator`` derives one independent
@@ -55,6 +59,7 @@ __all__ = [
     "RequestBlock",
     "ArrivalProcess",
     "ConstantArrivals",
+    "DiurnalArrivals",
     "PoissonArrivals",
     "OnOffArrivals",
     "TraceArrivals",
@@ -303,6 +308,121 @@ class PoissonArrivals(ArrivalProcess):
                     yield kept
                 if last >= duration_s:
                     return
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Rate-modulated Poisson arrivals on a day/night cosine.
+
+    The instantaneous rate follows one cosine cycle per ``period_s``:
+    trough at ``t = 0`` (the overnight lull), peak at half period.  ``low``
+    and ``high`` are rate multipliers relative to the process's **mean** —
+    intensities are normalised so the long-run average rate is exactly
+    ``rate_rps`` whatever the swing, which keeps capacity planning
+    comparable across arrival shapes.
+
+    Sampling is exact thinning of a homogeneous Poisson process at the peak
+    rate: candidates are drawn at the peak rate and kept with probability
+    ``intensity(t) / peak``.  Candidate gaps and acceptance draws are
+    consumed in fixed-size chunks by *both* paths — ``times()`` is the
+    concatenation of ``iter_times()`` — so eager and lazy generation are
+    bit-identical by construction.
+    """
+
+    rate_rps: float
+    low: float = 0.25
+    high: float = 1.75
+    period_s: float = 0.02
+
+    name = "diurnal"
+
+    def __post_init__(self) -> None:
+        if not self.rate_rps > 0:
+            raise ValueError("rate_rps must be positive")
+        if not self.period_s > 0:
+            raise ValueError("period_s must be positive")
+        if self.low < 0 or not self.high > 0 or self.low > self.high:
+            raise ValueError("need 0 <= low <= high with high > 0")
+
+    @property
+    def mean_rate_rps(self) -> float:
+        return self.rate_rps
+
+    @staticmethod
+    def parse_options(spec: str) -> Dict[str, float]:
+        """Options of a ``diurnal[:low=L,high=H,period=P]`` arrival string.
+
+        Mirrors the ``CarbonIntensity.parse`` grammar: comma-separated
+        ``key=value`` pairs after the colon, unknown keys rejected.  Returns
+        keyword arguments for :class:`DiurnalArrivals` /
+        :meth:`LoadGenerator.diurnal` (``period`` maps to ``period_s``).
+        """
+        if spec == "diurnal":
+            return {}
+        if not spec.startswith("diurnal:"):
+            raise ValueError(f"not a diurnal arrival spec: {spec!r}")
+        keys = {"low": "low", "high": "high", "period": "period_s"}
+        options: Dict[str, float] = {}
+        for part in spec[len("diurnal:") :].split(","):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"diurnal option {part!r} is not key=value")
+            key = key.strip()
+            if key not in keys:
+                raise ValueError(
+                    f"unknown diurnal option {key!r}; use low=, high=, period="
+                )
+            options[keys[key]] = float(value)
+        return options
+
+    def _intensity_multiplier(self, times: np.ndarray) -> np.ndarray:
+        """The un-normalised rate multiplier ``low..high`` at each time."""
+        phase = times * (2.0 * math.pi / self.period_s)
+        return self.low + (self.high - self.low) * 0.5 * (1.0 - np.cos(phase))
+
+    def times(self, num_requests=None, duration_s=None, rng=None) -> np.ndarray:
+        chunks = list(
+            self.iter_times(num_requests=num_requests, duration_s=duration_s, rng=rng)
+        )
+        if not chunks:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(chunks)
+
+    def iter_times(self, num_requests=None, duration_s=None, rng=None):
+        _check_sizing(num_requests, duration_s)
+        if rng is None:
+            raise ValueError("DiurnalArrivals needs an rng (it is stochastic)")
+        # Normalise so the time-averaged rate is rate_rps: the cosine's mean
+        # multiplier is (low + high) / 2, so candidates run at
+        # rate_rps * high / mean and survive with probability mult / high.
+        mean_multiplier = 0.5 * (self.low + self.high)
+        peak_gap = mean_multiplier / (self.rate_rps * self.high)
+        horizon = math.inf if duration_s is None else float(duration_s)
+        target = math.inf if num_requests is None else int(num_requests)
+        emitted = 0
+        carry: Optional[float] = None
+        while emitted < target:
+            gaps = rng.exponential(peak_gap, size=STREAM_CHUNK)
+            if carry is None:
+                candidates = np.cumsum(gaps)
+            else:
+                candidates = np.cumsum(np.concatenate(([carry], gaps)))[1:]
+            carry = float(candidates[-1])
+            # One uniform per candidate, drawn unconditionally, so rng
+            # consumption is independent of the horizon/target cut below.
+            accept = rng.random(size=STREAM_CHUNK)
+            kept = candidates[
+                accept * self.high < self._intensity_multiplier(candidates)
+            ]
+            if duration_s is not None:
+                kept = kept[kept < duration_s]
+            if num_requests is not None and emitted + kept.size > target:
+                kept = kept[: int(target) - emitted]
+            emitted += int(kept.size)
+            if kept.size:
+                yield kept
+            if carry >= horizon:
+                return  # horizon crossed; every later candidate is larger
 
 
 @dataclass(frozen=True)
@@ -722,6 +842,33 @@ class LoadGenerator:
                 on_rate_rps=on_rate, mean_on_s=on_s, mean_off_s=off_s
             )
         return cls(workloads, processes, seed=seed)
+
+    @classmethod
+    def diurnal(
+        cls,
+        workloads: Sequence[Workload],
+        total_rate_rps: float,
+        seed: int = 0,
+        low: float = 0.25,
+        high: float = 1.75,
+        period_s: float = 0.02,
+    ) -> "LoadGenerator":
+        """Day/night rate-modulated Poisson tenants split by share.
+
+        Every tenant follows the same ``low``/``high``/``period_s`` cosine
+        (they share the clock — a real diurnal cycle is cluster-wide), with
+        per-tenant mean rates splitting ``total_rate_rps`` by share; the
+        cluster's long-run mean rate is exactly ``total_rate_rps``.
+        """
+        rates = cls._share_rates(workloads, total_rate_rps)
+        return cls(
+            workloads,
+            {
+                name: DiurnalArrivals(rate, low=low, high=high, period_s=period_s)
+                for name, rate in rates.items()
+            },
+            seed=seed,
+        )
 
     @classmethod
     def constant(

@@ -387,7 +387,7 @@ class TestMinReplicasForSLO:
 class TestBuildGenerator:
     def test_names_map_to_processes(self):
         workloads = _mix().workloads()
-        for name in ("poisson", "bursty", "constant"):
+        for name in ("poisson", "bursty", "constant", "diurnal"):
             generator = build_generator(workloads, name, 1000.0, seed=0)
             requests = generator.generate(duration_s=0.01)
             assert all(r.arrival_s < 0.01 for r in requests)
@@ -397,6 +397,19 @@ class TestBuildGenerator:
         a = build_generator(workloads, "poisson", 2000.0, seed=5).generate(duration_s=0.01)
         b = build_generator(workloads, "poisson", 2000.0, seed=5).generate(duration_s=0.01)
         assert a == b
+
+    def test_diurnal_options_thread_through(self):
+        workloads = _mix().workloads()
+        spec = "diurnal:low=0.2,high=1.8,period=0.005"
+        a = build_generator(workloads, spec, 4000.0, seed=2).generate(duration_s=0.02)
+        b = build_generator(workloads, spec, 4000.0, seed=2).generate(duration_s=0.02)
+        assert a == b and a
+        with pytest.raises(ValueError, match="unknown diurnal option"):
+            build_generator(workloads, "diurnal:swing=2", 4000.0, seed=2)
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            build_generator(_mix().workloads(), "tides", 1000.0, seed=0)
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.graph import GraphStream
 from repro.serve import (
     Cluster,
     ConstantArrivals,
+    DiurnalArrivals,
     LoadGenerator,
     OnOffArrivals,
     PoissonArrivals,
@@ -150,6 +151,71 @@ class TestArrivalProcesses:
         with pytest.raises(ValueError, match="arrival_s"):
             TraceArrivals.from_csv(str(path))
 
+    def test_diurnal_is_seeded_and_sorted(self):
+        process = DiurnalArrivals(1000.0)
+        a = process.times(duration_s=0.5, rng=np.random.default_rng(3))
+        b = process.times(duration_s=0.5, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+        assert np.all(np.diff(a) >= 0) and np.all(a > 0) and a[-1] < 0.5
+
+    def test_diurnal_long_run_mean_matches_rate(self):
+        """The low/high swing is normalised so the time-averaged rate stays
+        ``rate_rps`` — the capacity-planning comparability contract."""
+        for low, high in ((0.25, 1.75), (0.0, 2.0), (1.0, 1.0)):
+            times = DiurnalArrivals(2000.0, low=low, high=high).times(
+                duration_s=1.0, rng=np.random.default_rng(7)
+            )
+            assert times.size == pytest.approx(2000, rel=0.1)
+
+    def test_diurnal_peak_beats_trough(self):
+        """Arrivals concentrate at half-period (peak) and thin at t=0 and
+        period boundaries (trough)."""
+        process = DiurnalArrivals(5000.0, low=0.1, high=1.9, period_s=0.02)
+        times = process.times(duration_s=1.0, rng=np.random.default_rng(11))
+        phase = np.mod(times, 0.02) / 0.02
+        peak = np.sum((phase > 0.35) & (phase < 0.65))
+        trough = np.sum((phase < 0.15) | (phase > 0.85))
+        assert peak > 3 * trough
+
+    def test_diurnal_lazy_chunks_are_bit_identical_to_eager(self):
+        process = DiurnalArrivals(40000.0, low=0.5, high=1.5, period_s=0.01)
+        eager = process.times(duration_s=0.7, rng=np.random.default_rng(5))
+        assert eager.size > 8192  # spans several stream chunks
+        lazy = np.concatenate(
+            list(process.iter_times(duration_s=0.7, rng=np.random.default_rng(5)))
+        )
+        np.testing.assert_array_equal(lazy, eager)
+
+    def test_diurnal_num_requests_bound(self):
+        times = DiurnalArrivals(1000.0).times(
+            num_requests=40, rng=np.random.default_rng(0)
+        )
+        assert times.size == 40
+
+    def test_diurnal_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            DiurnalArrivals(10.0).times(num_requests=5)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            DiurnalArrivals(0.0)
+        with pytest.raises(ValueError, match="period_s"):
+            DiurnalArrivals(10.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, low=1.5, high=0.5)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, low=-0.1)
+
+    def test_diurnal_option_grammar(self):
+        assert DiurnalArrivals.parse_options("diurnal") == {}
+        assert DiurnalArrivals.parse_options(
+            "diurnal:low=0.1,high=1.9,period=0.04"
+        ) == {"low": 0.1, "high": 1.9, "period_s": 0.04}
+        with pytest.raises(ValueError, match="unknown diurnal option"):
+            DiurnalArrivals.parse_options("diurnal:swing=2")
+        with pytest.raises(ValueError, match="key=value"):
+            DiurnalArrivals.parse_options("diurnal:low")
+
 
 # ---------------------------------------------------------------------------
 # LoadGenerator
@@ -176,6 +242,21 @@ class TestLoadGenerator:
         a = LoadGenerator.bursty(two_tenants, 10000.0, seed=9).generate(duration_s=0.03)
         b = LoadGenerator.bursty(two_tenants, 10000.0, seed=9).generate(duration_s=0.03)
         assert a == b
+
+    def test_diurnal_generator_splits_rate_and_reproduces(self, two_tenants):
+        generator = LoadGenerator.diurnal(
+            two_tenants, 20000.0, seed=4, low=0.2, high=1.8, period_s=0.01
+        )
+        a = generator.generate(duration_s=0.03)
+        b = LoadGenerator.diurnal(
+            two_tenants, 20000.0, seed=4, low=0.2, high=1.8, period_s=0.01
+        ).generate(duration_s=0.03)
+        assert a == b
+        counts = {name: 0 for name in ("trigger", "screening")}
+        for request in a:
+            counts[request.tenant] += 1
+        # trigger has share 2.0 vs 1.0: roughly twice the requests.
+        assert counts["trigger"] == pytest.approx(2 * counts["screening"], rel=0.3)
 
     def test_graph_indices_cycle_through_the_pool(self, two_tenants):
         requests = LoadGenerator.constant(two_tenants, 10000.0, seed=0).generate(
